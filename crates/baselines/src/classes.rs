@@ -1,0 +1,106 @@
+//! The qualitative design-class comparison of Table 2.
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignClassRow {
+    /// Design class name.
+    pub class: &'static str,
+    /// Works in tandem with the GEMM unit.
+    pub in_tandem: Support,
+    /// Specialized execution.
+    pub specialization: Support,
+    /// Programmability.
+    pub programmability: Support,
+    /// Execution control / orchestration.
+    pub execution_control: Support,
+}
+
+/// Support level in Table 2 (✓ / ✗ / partial-†).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    /// Full support (✓).
+    Yes,
+    /// No support (✗).
+    No,
+    /// Partial support (✗† in the paper).
+    Partial,
+}
+
+impl Support {
+    /// Table-cell rendering.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Support::Yes => "yes",
+            Support::No => "no",
+            Support::Partial => "partial",
+        }
+    }
+}
+
+/// Table 2, verbatim.
+pub fn design_class_matrix() -> Vec<DesignClassRow> {
+    use Support::*;
+    vec![
+        DesignClassRow {
+            class: "Off-chip CPU fallback",
+            in_tandem: No,
+            specialization: No,
+            programmability: Yes,
+            execution_control: Yes,
+        },
+        DesignClassRow {
+            class: "Dedicated on-chip hardware units",
+            in_tandem: Yes,
+            specialization: Yes,
+            programmability: No,
+            execution_control: No,
+        },
+        DesignClassRow {
+            class: "On-chip RISC-V core (+ dedicated units)",
+            in_tandem: Partial,
+            specialization: Partial,
+            programmability: Yes,
+            execution_control: Yes,
+        },
+        DesignClassRow {
+            class: "General-purpose vector unit",
+            in_tandem: Yes,
+            specialization: Partial,
+            programmability: Yes,
+            execution_control: No,
+        },
+        DesignClassRow {
+            class: "This work (Tandem Processor)",
+            in_tandem: Yes,
+            specialization: Yes,
+            programmability: Yes,
+            execution_control: Yes,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_the_tandem_processor_checks_every_box() {
+        let rows = design_class_matrix();
+        assert_eq!(rows.len(), 5);
+        let full: Vec<_> = rows
+            .iter()
+            .filter(|r| {
+                [
+                    r.in_tandem,
+                    r.specialization,
+                    r.programmability,
+                    r.execution_control,
+                ]
+                .iter()
+                .all(|&s| s == Support::Yes)
+            })
+            .collect();
+        assert_eq!(full.len(), 1);
+        assert!(full[0].class.contains("Tandem"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Host CPU and PCIe cost models (paper §7: Intel Core i9-9980XE over
+//! PCIe Gen3 x8, measured with ONNX Runtime and a Xilinx Alveo U280).
+
+use tandem_model::{Graph, Node, NodeCost};
+
+/// Off-chip CPU executing non-GEMM operators through ONNX Runtime.
+///
+/// Per-operator time = dispatch overhead + max(memory-stream time,
+/// compute time). The constants reflect an 18-core AVX-512 part running
+/// single-stream inference with framework overheads:
+/// short tensor ops achieve nowhere near STREAM bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Framework dispatch overhead per operator node, seconds (ONNX
+    /// Runtime kernel launch + scheduling; ~10 µs).
+    pub per_op_overhead_s: f64,
+    /// Effective streaming bandwidth for tensor operators, GB/s.
+    pub eff_gbps: f64,
+    /// Effective scalar-equivalent throughput for compute-heavy
+    /// expansions, Gops/s.
+    pub eff_gops: f64,
+    /// Package power while active, watts (i9-9980XE TDP, paper §8).
+    pub tdp_w: f64,
+}
+
+impl CpuModel {
+    /// The calibrated i9-9980XE model.
+    pub fn i9_9980xe() -> Self {
+        CpuModel {
+            per_op_overhead_s: 10e-6,
+            eff_gbps: 25.0,
+            eff_gops: 150.0,
+            tdp_w: 165.0,
+        }
+    }
+
+    /// Seconds to execute one non-GEMM node.
+    pub fn node_seconds(&self, graph: &Graph, node: &Node) -> f64 {
+        let cost = NodeCost::of(graph, node);
+        let bytes = cost.activation_bytes(4) as f64;
+        let ops_per_element =
+            tandem_model::operator_roofline(node.kind, 1.0, 1.0).ops_per_element;
+        let ops = cost.out_elems as f64 * ops_per_element;
+        let stream_s = bytes / (self.eff_gbps * 1e9);
+        let compute_s = ops / (self.eff_gops * 1e9);
+        self.per_op_overhead_s + stream_s.max(compute_s)
+    }
+
+    /// Energy for `seconds` of CPU activity.
+    pub fn energy_j(&self, seconds: f64) -> f64 {
+        self.tdp_w * seconds
+    }
+}
+
+/// PCIe Gen3 x8 transfer model (paper §7; ~7.88 GB/s effective).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcieModel {
+    /// Effective bandwidth, GB/s.
+    pub eff_gbps: f64,
+    /// Per-transfer latency, seconds (doorbell + DMA setup).
+    pub latency_s: f64,
+    /// Energy per byte, joules (Zeppelin-style SerDes, ~10 pJ/bit).
+    pub pj_per_byte: f64,
+}
+
+impl PcieModel {
+    /// PCIe Gen3 x8.
+    pub fn gen3_x8() -> Self {
+        PcieModel {
+            eff_gbps: 7.88,
+            latency_s: 15e-6,
+            pj_per_byte: 80.0,
+        }
+    }
+
+    /// Seconds for one transfer of `bytes`.
+    pub fn transfer_s(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / (self.eff_gbps * 1e9)
+    }
+
+    /// Energy for moving `bytes`, joules.
+    pub fn energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.pj_per_byte * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tandem_model::{GraphBuilder, OpKind};
+
+    #[test]
+    fn cpu_time_scales_with_tensor_size() {
+        let cpu = CpuModel::i9_9980xe();
+        let mut b = GraphBuilder::new("t", 2024);
+        let small = b.input("s", [1, 1024]);
+        let rs = b.relu(small);
+        let big = b.input("b", [1, 1024 * 1024]);
+        let rb = b.relu(big);
+        b.output(rs);
+        b.output(rb);
+        let g = b.finish();
+        let nodes: Vec<_> = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == OpKind::Relu)
+            .collect();
+        let t_small = cpu.node_seconds(&g, nodes[0]);
+        let t_big = cpu.node_seconds(&g, nodes[1]);
+        assert!(t_big > t_small * 10.0);
+        // tiny ops are overhead-dominated
+        assert!(t_small < 2.0 * cpu.per_op_overhead_s);
+    }
+
+    #[test]
+    fn pcie_transfer_has_latency_floor() {
+        let pcie = PcieModel::gen3_x8();
+        let tiny = pcie.transfer_s(64);
+        assert!(tiny >= pcie.latency_s);
+        let mb = pcie.transfer_s(1 << 20);
+        assert!(mb > tiny);
+        // 1 GB at 7.88 GB/s ≈ 127 ms
+        let gb = pcie.transfer_s(1 << 30);
+        assert!((gb - 0.1363).abs() < 0.01, "{gb}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # tandem-baselines
+//!
+//! Every comparison design point of the paper's evaluation (§2.3, §7),
+//! behind one [`Platform`] interface:
+//!
+//! | Class | Model | Paper baseline |
+//! |-------|-------|----------------|
+//! | (1) Off-chip CPU fallback | [`CpuFallback`] | GEMM unit + PCIe-attached Intel i9-9980XE |
+//! | (2) Dedicated on-chip units | [`DedicatedUnits`] | GEMM unit + ReLU/Clip/ResAdd/MaxPool/scale-shift blocks, CPU fallback for the rest |
+//! | (3) On-chip RISC-V core | [`Gemmini`] | Gemmini-like systolic array + dedicated units + scalar core(s), im2col'd depthwise conv |
+//! | (4) General-purpose vector unit | [`vpu`] | TPU+VPU (via the NPU's de-specialization knobs) |
+//! | (4) GPUs | [`GpuModel`] | A100 (TensorRT / CUDA), Jetson Xavier NX, RTX 2080 Ti |
+//!
+//! All models are **calibrated analytical simulators**: the paper's real
+//! hardware (A100, Xavier, FireSim'd Gemmini, Alveo-measured PCIe) is not
+//! available here, so each is replaced by a documented cost model that
+//! exercises the same comparison code path and preserves the evaluation's
+//! relative shape (see `DESIGN.md`, "Substitutions").
+
+#![warn(missing_docs)]
+
+mod classes;
+mod cpu;
+mod fallback;
+mod gemmini;
+mod gpu;
+mod platform;
+pub mod vpu;
+
+pub use classes::{design_class_matrix, DesignClassRow};
+pub use cpu::{CpuModel, PcieModel};
+pub use fallback::{CpuFallback, DedicatedUnits, DEDICATED_OPS};
+pub use gemmini::Gemmini;
+pub use gpu::{GpuExecution, GpuModel};
+pub use platform::{Platform, PlatformReport};

@@ -1,0 +1,45 @@
+//! The common platform interface and report.
+
+use tandem_model::Graph;
+
+/// The result of running one model on a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlatformReport {
+    /// Seconds spent on GEMM-class layers.
+    pub gemm_s: f64,
+    /// Seconds spent on non-GEMM layers.
+    pub non_gemm_s: f64,
+    /// Seconds spent on host↔accelerator communication (PCIe) and data
+    /// conversion.
+    pub comm_s: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+}
+
+impl PlatformReport {
+    /// End-to-end seconds.
+    pub fn total_s(&self) -> f64 {
+        self.gemm_s + self.non_gemm_s + self.comm_s
+    }
+
+    /// `(gemm, non_gemm, comm)` fractions of the total runtime.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total_s().max(f64::MIN_POSITIVE);
+        (self.gemm_s / t, self.non_gemm_s / t, self.comm_s / t)
+    }
+
+    /// Inferences per second per watt.
+    pub fn perf_per_watt(&self) -> f64 {
+        let power = self.energy_j / self.total_s().max(1e-12);
+        (1.0 / self.total_s().max(1e-12)) / power.max(1e-9)
+    }
+}
+
+/// A design point that can execute a model end-to-end.
+pub trait Platform {
+    /// Short display name.
+    fn name(&self) -> &str;
+
+    /// Runs batch-1 inference of `graph`.
+    fn run(&self, graph: &Graph) -> PlatformReport;
+}

@@ -1,0 +1,114 @@
+//! The TPU+VPU design point (paper §7, Figures 18–19), built from the
+//! NPU's de-specialization knobs: a vector unit that *keeps* a vector
+//! register file, software loops, software address calculation and FIFO
+//! coupling, but gains hardware special-function instructions — modelled
+//! per Google's VPU patent as the paper describes.
+
+use tandem_npu::{Despecialization, Npu, NpuConfig, NpuReport};
+use tandem_model::Graph;
+
+/// The cumulative ablation steps of Figure 18, in the order the paper
+/// reports its four bars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VpuAblation {
+    /// Bar 1: only the register-file LD/ST overhead restored.
+    RegfileOnly,
+    /// Bar 2: + software (branch-based) loop execution.
+    PlusLoops,
+    /// Bar 3: + FIFO coupling instead of direct Output-BUF reads.
+    PlusFifo,
+    /// Bar 4: + hardware special-function instructions for the VPU (the
+    /// full TPU+VPU model; this bar is the end-to-end comparison).
+    Full,
+}
+
+impl VpuAblation {
+    /// All steps in paper order.
+    pub const ALL: [VpuAblation; 4] = [
+        VpuAblation::RegfileOnly,
+        VpuAblation::PlusLoops,
+        VpuAblation::PlusFifo,
+        VpuAblation::Full,
+    ];
+
+    /// The knob set of this ablation step. Software address calculation
+    /// accompanies software loops (the VPU computes addresses in its
+    /// scalar pipeline).
+    pub fn knobs(self) -> Despecialization {
+        match self {
+            VpuAblation::RegfileOnly => Despecialization {
+                regfile_ldst: true,
+                ..Default::default()
+            },
+            VpuAblation::PlusLoops => Despecialization {
+                regfile_ldst: true,
+                branch_loops: true,
+                sw_addr_calc: true,
+                ..Default::default()
+            },
+            VpuAblation::PlusFifo => Despecialization {
+                regfile_ldst: true,
+                branch_loops: true,
+                sw_addr_calc: true,
+                obuf_fifo: true,
+                ..Default::default()
+            },
+            VpuAblation::Full => Despecialization::vpu_like(),
+        }
+    }
+}
+
+/// Runs `graph` on the TPU+VPU-like machine at the given ablation step.
+pub fn run_vpu(graph: &Graph, ablation: VpuAblation) -> NpuReport {
+    let mut cfg = NpuConfig::paper();
+    cfg.knobs = ablation.knobs();
+    Npu::new(cfg).run(graph)
+}
+
+/// Extra VPU energy: register-file traffic the Tandem Processor does not
+/// have (three vector-register row accesses per compute instruction),
+/// in nanojoules.
+pub fn vpu_regfile_energy_nj(report: &NpuReport) -> f64 {
+    // A 32-lane register file row access ≈ a scratchpad row at lower
+    // capacity: ~0.4 pJ/word.
+    let row_pj = 0.4 * report.tandem_lanes as f64;
+    report.counters.compute_issues as f64 * 3.0 * row_pj * 1e-3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tandem_model::zoo;
+    use tandem_npu::{Npu, NpuConfig};
+
+    #[test]
+    fn ablation_steps_slow_down_monotonically_until_special_fns() {
+        let g = zoo::mobilenetv2();
+        let tandem = Npu::new(NpuConfig::paper()).run(&g).total_cycles;
+        let rf = run_vpu(&g, VpuAblation::RegfileOnly).total_cycles;
+        let loops = run_vpu(&g, VpuAblation::PlusLoops).total_cycles;
+        let fifo = run_vpu(&g, VpuAblation::PlusFifo).total_cycles;
+        assert!(tandem < rf, "{tandem} !< {rf}");
+        assert!(rf < loops);
+        assert!(loops <= fifo);
+    }
+
+    #[test]
+    fn special_functions_help_transformers() {
+        // BERT is full of exp/sqrt/erf: the special-function bar must be
+        // faster than the same machine without them.
+        let g = zoo::bert_base(128);
+        let without = run_vpu(&g, VpuAblation::PlusFifo).total_cycles;
+        let with = run_vpu(&g, VpuAblation::Full).total_cycles;
+        assert!(with < without, "{with} !< {without}");
+    }
+
+    #[test]
+    fn regfile_energy_is_positive_and_bounded() {
+        let g = zoo::vgg16();
+        let r = run_vpu(&g, VpuAblation::Full);
+        let e = vpu_regfile_energy_nj(&r);
+        assert!(e > 0.0);
+        assert!(e < r.total_energy_nj() * 2.0);
+    }
+}

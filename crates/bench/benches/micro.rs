@@ -1,0 +1,115 @@
+//! Criterion microbenchmarks of the simulator stack: ISA decode, the
+//! functional pipeline, compiled-kernel throughput, and end-to-end model
+//! evaluation speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tandem_compiler::{OpLowering, View};
+use tandem_core::{Dram, Mode, TandemConfig, TandemProcessor};
+use tandem_isa::{AluFunc, Instruction, Namespace, Operand, Program};
+use tandem_npu::{Npu, NpuConfig};
+
+fn bench_isa(c: &mut Criterion) {
+    let instr = Instruction::alu(
+        AluFunc::Macc,
+        Operand::new(Namespace::Interim1, 3),
+        Operand::new(Namespace::Obuf, 1),
+        Operand::new(Namespace::Imm, 7),
+    );
+    let word = instr.encode();
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode", |b| b.iter(|| std::hint::black_box(instr).encode()));
+    g.bench_function("decode", |b| {
+        b.iter(|| Instruction::decode(std::hint::black_box(word)).unwrap())
+    });
+    g.finish();
+}
+
+fn relu_program(rows: u16) -> Program {
+    let low = OpLowering::new(32, 512);
+    low.elementwise_tile(
+        tandem_model::OpKind::Relu,
+        0.0,
+        (0.0, 0.0),
+        rows,
+        View {
+            ns: Namespace::Interim1,
+            base: 0,
+            rows,
+        },
+        None,
+        View {
+            ns: Namespace::Interim1,
+            base: rows,
+            rows,
+        },
+    )
+    .unwrap()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    for &rows in &[16u16, 128, 256] {
+        let prog = relu_program(rows);
+        let elems = rows as u64 * 32;
+        g.throughput(Throughput::Elements(elems));
+        g.bench_with_input(
+            BenchmarkId::new("functional_relu", rows),
+            &prog,
+            |b, prog| {
+                let mut proc =
+                    TandemProcessor::with_mode(TandemConfig::paper(), Mode::Functional);
+                let mut dram = Dram::new(64);
+                b.iter(|| proc.run(prog, &mut dram).unwrap());
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("performance_relu", rows),
+            &prog,
+            |b, prog| {
+                let mut proc =
+                    TandemProcessor::with_mode(TandemConfig::paper(), Mode::Performance);
+                let mut dram = Dram::new(64);
+                b.iter(|| proc.run(prog, &mut dram).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    use tandem_compiler::kernels;
+    let mut g = c.benchmark_group("kernels");
+    let xs: Vec<i32> = (0..1024).map(|i| (i - 512) * 37).collect();
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("i_exp_1k", |b| {
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| kernels::i_exp(std::hint::black_box(x), 14))
+                .sum::<i32>()
+        })
+    });
+    g.bench_function("i_softmax_1k", |b| {
+        b.iter(|| kernels::i_softmax(std::hint::black_box(&xs), 14))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let npu = Npu::new(NpuConfig::paper());
+    for bench in [
+        tandem_model::zoo::Benchmark::Resnet50,
+        tandem_model::zoo::Benchmark::Bert,
+    ] {
+        let graph = bench.graph();
+        g.bench_function(BenchmarkId::new("npu_run", bench.name()), |b| {
+            b.iter(|| npu.run(std::hint::black_box(&graph)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_isa, bench_pipeline, bench_kernels, bench_end_to_end);
+criterion_main!(benches);

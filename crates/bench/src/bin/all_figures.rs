@@ -1,0 +1,34 @@
+//! Prints every reproduced table and figure in paper order.
+
+use tandem_bench::figures::*;
+use tandem_bench::Suite;
+
+fn main() {
+    let suite = Suite::load();
+    for table in [
+        table1_operator_classes(&suite),
+        fig01_operator_types(&suite),
+        fig02_cumulative_ops(&suite),
+        fig03_runtime_breakdown(&suite),
+        table2_design_classes(&suite),
+        fig05_roofline(&suite),
+        fig06_specialization_overheads(&suite),
+        fig08_utilization(&suite),
+        table3_config(&suite),
+        fig14_speedup_baselines(&suite),
+        fig15_energy_baselines(&suite),
+        fig16_gemmini(&suite),
+        fig17_gemmini_breakdown(&suite),
+        fig18_vpu_speedup(&suite),
+        fig19_vpu_energy(&suite),
+        fig20_perf_per_watt(&suite),
+        fig21_a100(&suite),
+        fig22_a100_breakdown(&suite),
+        fig23_nongemm_speedup(&suite),
+        fig24_tandem_breakdown(&suite),
+        fig25_energy_breakdown(&suite),
+        fig26_area(&suite),
+    ] {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Design-space exploration sweep: evaluates a grid of GeneSys-style
+//! generator configurations on the full suite and prints the Pareto
+//! frontier (latency × Tandem area × energy).
+
+use tandem_bench::table::Table;
+use tandem_model::zoo::Benchmark;
+use tandem_npu::dse::{pareto_frontier, sweep, DesignPoint, DseResult};
+
+fn main() {
+    let points: Vec<DesignPoint> = [8usize, 16, 32, 64, 128]
+        .iter()
+        .flat_map(|&lanes| {
+            [(128usize, 16usize), (256, 32), (512, 32), (1024, 64)]
+                .iter()
+                .map(move |&(interim_rows, gemm_side)| DesignPoint {
+                    lanes,
+                    interim_rows,
+                    gemm_side,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    for bench in [Benchmark::Mobilenetv2, Benchmark::Bert] {
+        let graph = bench.graph();
+        let results = sweep(&points, &graph);
+        let frontier = pareto_frontier(&results);
+        let mut sorted: Vec<DseResult> = frontier;
+        sorted.sort_by(|a, b| a.latency_ms.total_cmp(&b.latency_ms));
+
+        let mut t = Table::new(
+            format!(
+                "DSE Pareto frontier — {} ({} of {} points)",
+                bench.name(),
+                sorted.len(),
+                results.len()
+            ),
+            &["lanes", "interim rows", "GEMM side", "latency ms", "area mm^2", "energy mJ"],
+        );
+        for r in &sorted {
+            t.row(vec![
+                r.point.lanes.to_string(),
+                r.point.interim_rows.to_string(),
+                r.point.gemm_side.to_string(),
+                format!("{:.3}", r.latency_ms),
+                format!("{:.3}", r.tandem_area_mm2),
+                format!("{:.3}", r.energy_mj),
+            ]);
+        }
+        t.note("area covers the Tandem Processor only (65 nm model)");
+        println!("{t}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 1 (operator variety per model).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig01_operator_types(&suite));
+}

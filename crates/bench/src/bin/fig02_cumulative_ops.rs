@@ -1,0 +1,6 @@
+//! Reproduces Figure 2 (cumulative GEMM vs non-GEMM node counts).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig02_cumulative_ops(&suite));
+}

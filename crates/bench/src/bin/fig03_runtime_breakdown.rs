@@ -1,0 +1,6 @@
+//! Reproduces Figure 3 (runtime breakdown across platforms).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig03_runtime_breakdown(&suite));
+}

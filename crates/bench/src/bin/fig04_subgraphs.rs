@@ -1,0 +1,58 @@
+//! Reproduces Figure 4: the repeated GEMM/non-GEMM subgraphs of
+//! ResNet-50, MobileNetV2, and BERT. The partitioner's fused-block
+//! signatures *are* those subgraphs — this binary counts and prints the
+//! most frequent ones.
+
+use std::collections::BTreeMap;
+use tandem_bench::table::Table;
+use tandem_model::zoo::Benchmark;
+use tandem_model::OpClass;
+use tandem_npu as _;
+
+fn main() {
+    for bench in [Benchmark::Resnet50, Benchmark::Mobilenetv2, Benchmark::Bert] {
+        let graph = bench.graph();
+        let blocks = tandem_compiler::Partitioner::new().partition(&graph);
+        let mut signatures: BTreeMap<String, usize> = BTreeMap::new();
+        for block in &blocks {
+            let mut parts: Vec<String> = Vec::new();
+            if let Some(g) = block.gemm {
+                parts.push(format!("[{}]", graph.node(g).kind));
+            }
+            for &id in &block.non_gemm {
+                let node = graph.node(id);
+                if node.kind.class() == OpClass::LayoutTransform
+                    && graph.tensor(node.outputs[0]).shape
+                        == graph.tensor(node.inputs[0]).shape
+                {
+                    continue; // pure-metadata reshapes clutter the signature
+                }
+                parts.push(format!("({})", node.kind));
+            }
+            if parts.is_empty() {
+                continue;
+            }
+            *signatures.entry(parts.join("→")).or_default() += 1;
+        }
+        let mut ranked: Vec<(String, usize)> = signatures.into_iter().collect();
+        ranked.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+
+        let mut t = Table::new(
+            format!(
+                "Figure 4 — repeated subgraphs of {} ([GEMM] and (non-GEMM) nodes)",
+                bench.name()
+            ),
+            &["count", "block signature"],
+        );
+        for (sig, n) in ranked.into_iter().take(6) {
+            let sig = if sig.len() > 90 {
+                format!("{}…", &sig[..90])
+            } else {
+                sig
+            };
+            t.row(vec![n.to_string(), sig]);
+        }
+        t.note("paper Fig. 4: Conv→Relu chains with residual Adds (ResNet), Conv→Clip→DWConv→Clip→Conv→Add (MobileNetV2), MatMul/Transpose/Softmax attention blocks (BERT)");
+        println!("{t}");
+    }
+}

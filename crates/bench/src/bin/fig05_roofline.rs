@@ -1,0 +1,6 @@
+//! Reproduces Figure 5 (non-GEMM operator roofline).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig05_roofline(&suite));
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 6 (specialization overhead analysis).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig06_specialization_overheads(&suite));
+}

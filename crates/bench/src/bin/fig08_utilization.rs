@@ -1,0 +1,6 @@
+//! Reproduces Figure 8 (tile vs layer granularity utilization).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig08_utilization(&suite));
+}

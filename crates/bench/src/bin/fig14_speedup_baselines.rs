@@ -1,0 +1,6 @@
+//! Reproduces Figure 14 (speedup over baselines 1 and 2).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig14_speedup_baselines(&suite));
+}

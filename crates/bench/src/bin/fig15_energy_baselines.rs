@@ -1,0 +1,6 @@
+//! Reproduces Figure 15 (energy reduction over baselines).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig15_energy_baselines(&suite));
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 16 (comparison with Gemmini).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig16_gemmini(&suite));
+}

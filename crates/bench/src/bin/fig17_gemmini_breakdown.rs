@@ -1,0 +1,6 @@
+//! Reproduces Figure 17 (Gemmini runtime breakdown).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig17_gemmini_breakdown(&suite));
+}

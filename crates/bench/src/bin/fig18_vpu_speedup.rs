@@ -1,0 +1,6 @@
+//! Reproduces Figure 18 (TPU+VPU comparison with ablations).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig18_vpu_speedup(&suite));
+}

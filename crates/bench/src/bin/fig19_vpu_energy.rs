@@ -1,0 +1,6 @@
+//! Reproduces Figure 19 (TPU+VPU energy comparison).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig19_vpu_energy(&suite));
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 20 (perf/W vs Jetson and RTX 2080 Ti).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig20_perf_per_watt(&suite));
+}

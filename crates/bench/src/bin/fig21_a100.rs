@@ -1,0 +1,6 @@
+//! Reproduces Figure 21 (iso-TOPs comparison with A100).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig21_a100(&suite));
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 22 (runtime breakdown vs A100 CUDA).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig22_a100_breakdown(&suite));
+}

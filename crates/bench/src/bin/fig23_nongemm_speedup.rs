@@ -1,0 +1,6 @@
+//! Reproduces Figure 23 (non-GEMM speedup over A100).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig23_nongemm_speedup(&suite));
+}

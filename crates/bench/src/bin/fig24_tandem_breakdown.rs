@@ -1,0 +1,6 @@
+//! Reproduces Figure 24 (NPU-Tandem runtime breakdown).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig24_tandem_breakdown(&suite));
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 25 (Tandem energy breakdown).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig25_energy_breakdown(&suite));
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 26 (area breakdown).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::fig26_area(&suite));
+}

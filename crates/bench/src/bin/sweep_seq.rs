@@ -1,0 +1,33 @@
+//! Sequence-length sweep for the language models: how latency, the
+//! non-GEMM share, and utilization evolve as context grows — the
+//! transformer-era trend motivating the Tandem Processor (paper §1-2).
+
+use tandem_bench::table::{pct, Table};
+use tandem_model::zoo;
+use tandem_npu::{Npu, NpuConfig};
+
+fn main() {
+    let npu = Npu::new(NpuConfig::paper());
+    for (name, build) in [
+        ("BERT-base", zoo::bert_base as fn(usize) -> tandem_model::Graph),
+        ("GPT-2", zoo::gpt2 as fn(usize) -> tandem_model::Graph),
+    ] {
+        let mut t = Table::new(
+            format!("{name}: sequence-length scaling on the NPU-Tandem"),
+            &["seq", "latency ms", "non-GEMM share", "GEMM util", "Tandem util"],
+        );
+        for seq in [32usize, 64, 128, 256, 512] {
+            let graph = build(seq);
+            let r = npu.run(&graph);
+            t.row(vec![
+                seq.to_string(),
+                format!("{:.3}", r.seconds() * 1e3),
+                pct(r.non_gemm_fraction()),
+                pct(r.gemm_utilization()),
+                pct(r.tandem_utilization()),
+            ]);
+        }
+        t.note("attention's O(seq²) softmax/transpose work grows the non-GEMM share");
+        println!("{t}");
+    }
+}

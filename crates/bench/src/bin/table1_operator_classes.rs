@@ -1,0 +1,6 @@
+//! Reproduces Table 1 (non-GEMM operator classes).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::table1_operator_classes(&suite));
+}

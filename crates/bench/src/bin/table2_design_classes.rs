@@ -1,0 +1,6 @@
+//! Reproduces Table 2 (design-class comparison).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::table2_design_classes(&suite));
+}

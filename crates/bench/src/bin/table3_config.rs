@@ -1,0 +1,6 @@
+//! Reproduces Table 3 (NPU-Tandem configuration).
+
+fn main() {
+    let suite = tandem_bench::Suite::load();
+    println!("{}", tandem_bench::figures::table3_config(&suite));
+}

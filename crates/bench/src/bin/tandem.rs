@@ -1,0 +1,207 @@
+//! `tandem` — command-line driver for the NPU-Tandem simulator.
+//!
+//! ```text
+//! tandem models                         list the benchmark zoo
+//! tandem run <model> [flags]            end-to-end simulation
+//!     --layer-granularity               whole-layer handoff (Figure 8 baseline)
+//!     --knobs regfile,loops,addr,fifo,special
+//!                                       de-specialize (Figure 6/18 ablations)
+//!     --iso-a100                        216x scale-up (Figure 21 setting)
+//!     --seq <n>                         sequence length for BERT/GPT-2
+//! tandem asm <file.tasm>                assemble + run a Tandem program
+//!                                       functionally, print the report
+//! ```
+
+use std::process::ExitCode;
+use tandem_core::{Dram, TandemConfig, TandemProcessor};
+use tandem_model::zoo::{self, Benchmark};
+use tandem_model::Graph;
+use tandem_npu::{Despecialization, Npu, NpuConfig, TileGranularity};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tandem models\n  tandem run <model> [--layer-granularity] \
+         [--knobs k1,k2,..] [--iso-a100] [--seq <n>]\n  tandem asm <file.tasm>"
+    );
+    ExitCode::from(2)
+}
+
+fn model_by_name(name: &str, seq: usize) -> Option<Graph> {
+    Some(match name.to_lowercase().as_str() {
+        "vgg16" | "vgg-16" => zoo::vgg16(),
+        "resnet50" | "resnet-50" => zoo::resnet50(),
+        "yolov3" => zoo::yolov3(),
+        "mobilenetv2" | "mobilenet" => zoo::mobilenetv2(),
+        "efficientnet" | "efficientnet-b0" => zoo::efficientnet_b0(),
+        "bert" | "bert-base" => zoo::bert_base(seq),
+        "gpt2" | "gpt-2" => zoo::gpt2(seq),
+        _ => return None,
+    })
+}
+
+fn parse_knobs(spec: &str) -> Result<Despecialization, String> {
+    let mut knobs = Despecialization::none();
+    for k in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match k {
+            "regfile" => knobs.regfile_ldst = true,
+            "loops" => knobs.branch_loops = true,
+            "addr" => knobs.sw_addr_calc = true,
+            "fifo" => knobs.obuf_fifo = true,
+            "special" => knobs.special_fn = true,
+            "vpu" => knobs = Despecialization::vpu_like(),
+            other => return Err(format!("unknown knob `{other}`")),
+        }
+    }
+    Ok(knobs)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(model_name) = args.first() else {
+        return usage();
+    };
+    let mut cfg = NpuConfig::paper();
+    let mut seq = 128usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--layer-granularity" => cfg.granularity = TileGranularity::Layer,
+            "--iso-a100" => {
+                let knobs = cfg.knobs;
+                let granularity = cfg.granularity;
+                cfg = NpuConfig::iso_a100();
+                cfg.knobs = knobs;
+                cfg.granularity = granularity;
+            }
+            "--knobs" => {
+                i += 1;
+                let Some(spec) = args.get(i) else { return usage() };
+                match parse_knobs(spec) {
+                    Ok(k) => cfg.knobs = k,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--seq" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                seq = n;
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let Some(graph) = model_by_name(model_name, seq) else {
+        eprintln!("unknown model `{model_name}` — see `tandem models`");
+        return ExitCode::from(2);
+    };
+
+    let report = Npu::new(cfg.clone()).run(&graph);
+    println!("model          : {} ({} nodes)", graph.name, graph.nodes().len());
+    println!(
+        "machine        : {}x{} GEMM + {}-lane Tandem{}",
+        cfg.gemm.rows,
+        cfg.gemm.cols,
+        cfg.tandem.lanes,
+        if cfg.knobs == Despecialization::none() {
+            String::new()
+        } else {
+            format!(" (knobs: {:?})", cfg.knobs)
+        }
+    );
+    println!("latency        : {:.4} ms", report.seconds() * 1e3);
+    println!("energy         : {:.4} mJ", report.total_energy_nj() * 1e-6);
+    println!("avg power      : {:.3} W", report.average_power_w());
+    println!("GEMM util      : {:.1}%", report.gemm_utilization() * 100.0);
+    println!("Tandem util    : {:.1}%", report.tandem_utilization() * 100.0);
+    println!("non-GEMM share : {:.1}%", report.non_gemm_fraction() * 100.0);
+    println!("DRAM traffic   : {:.2} MB (Tandem) + {:.2} MB (GEMM)",
+        report.tandem_dram_bytes as f64 / 1e6,
+        report.gemm_dram_bytes as f64 / 1e6);
+    println!("\ncycles by operator:");
+    let mut kinds: Vec<_> = report.per_kind_cycles.iter().collect();
+    kinds.sort_by_key(|(_, &c)| std::cmp::Reverse(c));
+    for (kind, cycles) in kinds.into_iter().take(12) {
+        println!("  {:<20} {cycles:>12}", kind.to_string());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_asm(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else { return usage() };
+    let trace = args.iter().any(|a| a == "--trace");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match tandem_isa::Program::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "assembled {} instructions ({} compute):\n{program}",
+        program.len(),
+        program.compute_count()
+    );
+    let mut proc = TandemProcessor::new(TandemConfig::paper());
+    let mut dram = Dram::new(1 << 20);
+    let result = if trace {
+        proc.run_logged(&program, &mut dram).map(|(report, log)| {
+            println!("execution trace:");
+            for event in &log {
+                println!("  {event:?}");
+            }
+            report
+        })
+    } else {
+        proc.run(&program, &mut dram)
+    };
+    match result {
+        Ok(report) => {
+            println!("compute cycles : {}", report.compute_cycles);
+            println!("DMA cycles     : {}", report.dma_cycles);
+            println!("ALU lane-ops   : {}", report.counters.alu_lane_ops);
+            println!("scratchpad R/W : {} / {}",
+                report.counters.spad_row_reads, report.counters.spad_row_writes);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("simulation error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("models") => {
+            for b in Benchmark::ALL {
+                let g = b.graph();
+                println!(
+                    "{:<14} {:>4} nodes, {:>3} GEMM, {} non-GEMM",
+                    b.name(),
+                    g.nodes().len(),
+                    g.stats().gemm_nodes(),
+                    g.stats().non_gemm_nodes()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => cmd_run(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
+        _ => usage(),
+    }
+}

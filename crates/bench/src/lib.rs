@@ -1,0 +1,45 @@
+//! # tandem-bench
+//!
+//! The benchmark harness reproducing **every table and figure** of the
+//! Tandem Processor paper's evaluation (§2, §8). Each `fig*`/`table*`
+//! function regenerates the corresponding result — same benchmarks, same
+//! baselines, same series — and prints it next to the paper's reported
+//! value. `EXPERIMENTS.md` at the repository root records the full
+//! paper-vs-measured comparison.
+//!
+//! Run a single experiment:
+//! ```text
+//! cargo run -p tandem-bench --release --bin fig14_speedup_baselines
+//! ```
+//! or everything at once via the `figures` bench target:
+//! ```text
+//! cargo bench -p tandem-bench --bench figures
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod suite;
+pub mod table;
+
+pub use suite::Suite;
+
+/// Geometric mean of positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

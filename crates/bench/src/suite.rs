@@ -1,0 +1,96 @@
+//! The shared benchmark suite: the seven models plus cached platform runs.
+
+use tandem_baselines::{CpuFallback, DedicatedUnits, Gemmini, GpuExecution, GpuModel, Platform, PlatformReport};
+use tandem_model::zoo::Benchmark;
+use tandem_model::Graph;
+use tandem_npu::{Npu, NpuConfig, NpuReport};
+
+/// The evaluation suite: all seven benchmark DNNs and the design points
+/// they run on. Construction runs every platform once and caches the
+/// reports (a few seconds in release mode).
+#[derive(Debug)]
+pub struct Suite {
+    /// `(benchmark, graph)` in figure order.
+    pub models: Vec<(Benchmark, Graph)>,
+    /// NPU-Tandem reports (Table 3 configuration), per model.
+    pub tandem: Vec<NpuReport>,
+    /// Baseline (1) reports.
+    pub baseline1: Vec<PlatformReport>,
+    /// Baseline (2) reports.
+    pub baseline2: Vec<PlatformReport>,
+    /// Gemmini single-core reports.
+    pub gemmini1: Vec<PlatformReport>,
+    /// Gemmini 32-core reports.
+    pub gemmini32: Vec<PlatformReport>,
+    /// A100 TensorRT reports.
+    pub a100_trt: Vec<PlatformReport>,
+    /// A100 CUDA reports.
+    pub a100_cuda: Vec<PlatformReport>,
+    /// Jetson Xavier NX reports.
+    pub jetson: Vec<PlatformReport>,
+    /// RTX 2080 Ti reports.
+    pub rtx: Vec<PlatformReport>,
+}
+
+impl Suite {
+    /// Builds the suite and runs every cached platform.
+    pub fn load() -> Self {
+        let models: Vec<(Benchmark, Graph)> = Benchmark::ALL
+            .iter()
+            .map(|&b| (b, b.graph()))
+            .collect();
+        let npu = Npu::new(NpuConfig::paper());
+        let run_all = |p: &dyn Platform| -> Vec<PlatformReport> {
+            models.iter().map(|(_, g)| p.run(g)).collect()
+        };
+        Suite {
+            tandem: models.iter().map(|(_, g)| npu.run(g)).collect(),
+            baseline1: run_all(&CpuFallback::new()),
+            baseline2: run_all(&DedicatedUnits::new()),
+            gemmini1: run_all(&Gemmini::new()),
+            gemmini32: run_all(&Gemmini::multicore(32)),
+            a100_trt: run_all(&GpuModel::a100(GpuExecution::TensorRt)),
+            a100_cuda: run_all(&GpuModel::a100(GpuExecution::Cuda)),
+            jetson: run_all(&GpuModel::jetson_xavier_nx()),
+            rtx: run_all(&GpuModel::rtx_2080_ti()),
+            models,
+        }
+    }
+
+    /// Model display names in figure order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.models.iter().map(|(b, _)| b.name()).collect()
+    }
+
+    /// NPU-Tandem end-to-end seconds per model.
+    pub fn tandem_seconds(&self) -> Vec<f64> {
+        self.tandem.iter().map(NpuReport::seconds).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_models_on_every_platform() {
+        let s = Suite::load();
+        assert_eq!(s.models.len(), 7);
+        for reports in [
+            &s.baseline1,
+            &s.baseline2,
+            &s.gemmini1,
+            &s.gemmini32,
+            &s.a100_trt,
+            &s.a100_cuda,
+            &s.jetson,
+            &s.rtx,
+        ] {
+            assert_eq!(reports.len(), 7);
+            assert!(reports.iter().all(|r| r.total_s() > 0.0));
+            assert!(reports.iter().all(|r| r.energy_j > 0.0));
+        }
+        assert!(s.tandem_seconds().iter().all(|&t| t > 0.0));
+        assert_eq!(s.names()[0], "VGG-16");
+    }
+}

@@ -1,0 +1,162 @@
+//! Execution-block partitioning (paper §4.2, Figure 10: "the compiler
+//! breaks the DNN graph into a set of execution blocks … (1) a single GEMM
+//! layer, (2) a group of bundled non-GEMM layers, (3) a GEMM layer
+//! followed by a group of bundled non-GEMM layers").
+
+use tandem_model::{Graph, NodeId, OpClass, TensorId};
+
+/// The three block topologies of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// A single GEMM layer.
+    GemmOnly,
+    /// A bundle of non-GEMM layers.
+    NonGemmOnly,
+    /// A GEMM layer fused with its dependent non-GEMM bundle — executed
+    /// in tandem at tile granularity.
+    Fused,
+}
+
+/// One execution block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionBlock {
+    /// The GEMM node, if the block has one.
+    pub gemm: Option<NodeId>,
+    /// The bundled non-GEMM nodes, in execution order.
+    pub non_gemm: Vec<NodeId>,
+}
+
+impl ExecutionBlock {
+    /// The block topology.
+    pub fn kind(&self) -> BlockKind {
+        match (self.gemm, self.non_gemm.is_empty()) {
+            (Some(_), true) => BlockKind::GemmOnly,
+            (Some(_), false) => BlockKind::Fused,
+            (None, _) => BlockKind::NonGemmOnly,
+        }
+    }
+
+    /// Total nodes in the block.
+    pub fn len(&self) -> usize {
+        self.non_gemm.len() + usize::from(self.gemm.is_some())
+    }
+
+    /// `true` when the block holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Greedy fusion partitioner: a GEMM node opens a block; subsequent
+/// non-GEMM nodes consuming values produced inside the open block fuse
+/// into it; independent non-GEMM nodes bundle together.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Partitioner;
+
+impl Partitioner {
+    /// Creates the partitioner.
+    pub fn new() -> Self {
+        Partitioner
+    }
+
+    /// Splits `graph` into execution blocks covering every node exactly
+    /// once, preserving execution order.
+    pub fn partition(&self, graph: &Graph) -> Vec<ExecutionBlock> {
+        let mut blocks: Vec<ExecutionBlock> = Vec::new();
+        let mut current = ExecutionBlock {
+            gemm: None,
+            non_gemm: Vec::new(),
+        };
+        // Values produced inside the current block.
+        let mut live: Vec<TensorId> = Vec::new();
+
+        for node in graph.nodes() {
+            let is_gemm = node.kind.class() == OpClass::Gemm;
+            if is_gemm {
+                if !current.is_empty() {
+                    blocks.push(current);
+                }
+                current = ExecutionBlock {
+                    gemm: Some(node.id),
+                    non_gemm: Vec::new(),
+                };
+                live = node.outputs.clone();
+            } else {
+                let feeds_current =
+                    !current.is_empty() && node.inputs.iter().any(|i| live.contains(i));
+                if !feeds_current && current.gemm.is_some() {
+                    // A non-GEMM node independent of the open fused block
+                    // starts a fresh non-GEMM bundle.
+                    blocks.push(current);
+                    current = ExecutionBlock {
+                        gemm: None,
+                        non_gemm: Vec::new(),
+                    };
+                    live = Vec::new();
+                }
+                current.non_gemm.push(node.id);
+                live.extend(node.outputs.iter().copied());
+            }
+        }
+        if !current.is_empty() {
+            blocks.push(current);
+        }
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tandem_model::{GraphBuilder, Padding};
+
+    #[test]
+    fn conv_relu_pool_fuses_into_one_block() {
+        let mut b = GraphBuilder::new("t", 2024);
+        let x = b.input("x", [1, 3, 32, 32]);
+        let c = b.conv(x, 8, 3, 1, Padding::Same);
+        let r = b.relu(c);
+        let p = b.max_pool(r, 2, 2);
+        b.output(p);
+        let g = b.finish();
+        let blocks = Partitioner::new().partition(&g);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].kind(), BlockKind::Fused);
+        assert_eq!(blocks[0].non_gemm.len(), 2);
+    }
+
+    #[test]
+    fn every_node_lands_in_exactly_one_block() {
+        let g = tandem_model::zoo::bert_base(64);
+        let blocks = Partitioner::new().partition(&g);
+        let covered: usize = blocks.iter().map(ExecutionBlock::len).sum();
+        assert_eq!(covered, g.nodes().len());
+        assert!(blocks.iter().all(|b| !b.is_empty()));
+    }
+
+    #[test]
+    fn resnet_is_mostly_fused_blocks() {
+        let g = tandem_model::zoo::resnet50();
+        let blocks = Partitioner::new().partition(&g);
+        let fused = blocks
+            .iter()
+            .filter(|b| b.kind() == BlockKind::Fused)
+            .count();
+        // Every conv+relu(+add) chain fuses.
+        assert!(fused >= 30, "only {fused} fused blocks");
+    }
+
+    #[test]
+    fn leading_non_gemm_forms_its_own_block() {
+        let mut b = GraphBuilder::new("t", 2024);
+        let x = b.input("x", [1, 16]);
+        let s = b.sigmoid(x);
+        let y = b.fc(s, 8);
+        b.output(y);
+        let g = b.finish();
+        let blocks = Partitioner::new().partition(&g);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].kind(), BlockKind::NonGemmOnly);
+        assert_eq!(blocks[1].kind(), BlockKind::GemmOnly);
+    }
+}

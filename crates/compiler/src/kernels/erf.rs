@@ -1,0 +1,114 @@
+//! Integer error function and GELU, after I-BERT's `i-erf`/`i-gelu`:
+//! `erf(x) ≈ sign(x)·[a·(min(|x|, −b) + b)² + c]` — the "five
+//! multiplications, three additions, a sign, an absolute, and a minimum"
+//! expansion the paper quotes in §3.4.
+
+/// `a = −0.2888` in Q14.
+pub const ERF_A_Q14: i32 = -4732;
+/// `b = −1.769` in Q14.
+pub const ERF_B_Q14: i32 = -28984;
+/// `c = 1.0` in Q14.
+pub const ERF_C_Q14: i32 = 1 << 14;
+
+/// `1/√2` in Q14.
+const INV_SQRT2_Q14: i32 = 11585;
+
+fn rescale(c_q14: i32, q: u32) -> i32 {
+    if q >= 14 {
+        c_q14 << (q - 14)
+    } else {
+        c_q14 >> (14 - q)
+    }
+}
+
+/// Integer `erf(x)` in `Q(q)`.
+pub fn i_erf(x: i32, q: u32) -> i32 {
+    let a = rescale(ERF_A_Q14, q);
+    let b = rescale(ERF_B_Q14, q);
+    let c = rescale(ERF_C_Q14, q);
+    let sign = x.signum();
+    let ax = x.wrapping_abs().min(-b); // clip at −b = 1.769
+    let t = ax + b; // ∈ [b, 0]
+    let t2 = (t.wrapping_mul(t)) >> q;
+    let p = ((a.wrapping_mul(t2)) >> q) + c;
+    sign * p
+}
+
+/// Integer GELU `x·½·(1 + erf(x/√2))` in `Q(q)`.
+///
+/// Domain: `|x| ≲ 8.0` at `q = 14` (beyond that the 32-bit multiply in the
+/// gating product would wrap, like the hardware's Mul). DNN activations
+/// entering GELU are normalized well inside this range.
+pub fn i_gelu(x: i32, q: u32) -> i32 {
+    let inv_sqrt2 = rescale(INV_SQRT2_Q14, q);
+    let xr = (x.wrapping_mul(inv_sqrt2)) >> q;
+    let e = i_erf(xr, q);
+    let one = 1 << q;
+    // x · (1 + erf)/2, halving the gate first to keep the product in range.
+    let gate_half = (e + one) >> 1;
+    (x.wrapping_mul(gate_half)) >> q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{from_fixed, to_fixed};
+
+    const Q: u32 = 14;
+
+    fn erf_f64(x: f64) -> f64 {
+        // Abramowitz–Stegun 7.1.26, |ε| < 1.5e−7 — plenty as a reference.
+        let sign = x.signum();
+        let x = x.abs();
+        let t = 1.0 / (1.0 + 0.3275911 * x);
+        let y = 1.0
+            - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+                + 0.254829592)
+                * t
+                * (-x * x).exp();
+        sign * y
+    }
+
+    #[test]
+    fn i_erf_tracks_reference() {
+        for i in -60..=60 {
+            let x = i as f64 * 0.1;
+            let got = from_fixed(i_erf(to_fixed(x, Q), Q), Q);
+            // I-BERT fits the quadratic to minimize *GELU* error (where
+            // the erf error enters multiplied by x/2), so the standalone
+            // erf deviates by up to ~0.1 near zero. The i_gelu test below
+            // checks the tight end-to-end bound.
+            assert!((got - erf_f64(x)).abs() < 0.11, "erf({x}) got {got}");
+        }
+    }
+
+    #[test]
+    fn i_erf_is_odd_and_saturates() {
+        for i in 1..50 {
+            let x = i << (Q - 3);
+            assert_eq!(i_erf(x, Q), -i_erf(-x, Q), "odd at {i}");
+        }
+        // beyond the clip point the value is exactly the saturated poly
+        assert_eq!(i_erf(3 << Q, Q), i_erf(2 << Q, Q));
+    }
+
+    #[test]
+    fn i_gelu_tracks_f64() {
+        for i in -60..=60 {
+            let x = i as f64 * 0.1;
+            let got = from_fixed(i_gelu(to_fixed(x, Q), Q), Q);
+            let want = 0.5 * x * (1.0 + erf_f64(x / std::f64::consts::SQRT_2));
+            // The erf segment error scales by |x|/2 through the gate.
+            assert!((got - want).abs() < 0.12, "gelu({x}) = {want}, got {got}");
+        }
+    }
+
+    #[test]
+    fn i_gelu_limits() {
+        // gelu(x) → x for large positive x, → 0 for large negative x.
+        let x = to_fixed(5.0, Q);
+        assert!((from_fixed(i_gelu(x, Q), Q) - 5.0).abs() < 0.05);
+        let xn = to_fixed(-5.0, Q);
+        assert!(from_fixed(i_gelu(xn, Q), Q).abs() < 0.05);
+    }
+}

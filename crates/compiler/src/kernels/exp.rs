@@ -1,0 +1,139 @@
+//! Integer-only exponential and the sigmoid/tanh built on it, after
+//! I-BERT's `i-exp` (Kim et al., 2021): range-reduce by powers of two,
+//! then a second-order polynomial on the residual — all in `Q(q)` fixed
+//! point using only the Tandem primitive set (Add, Sub, Mul, Div, Max,
+//! Min, Shl, Shr).
+
+/// `ln 2` in Q14.
+pub const LN2_Q14: i32 = 11357;
+/// Polynomial coefficient `a = 0.3585` in Q14 (`exp(r) ≈ a(r+b)² + c`).
+pub const EXP_COEF_A_Q14: i32 = 5874;
+/// Polynomial coefficient `b = 1.353` in Q14.
+pub const EXP_COEF_B_Q14: i32 = 22168;
+/// Polynomial coefficient `c = 0.344` in Q14.
+pub const EXP_COEF_C_Q14: i32 = 5636;
+
+fn rescale(c_q14: i32, q: u32) -> i32 {
+    if q >= 14 {
+        c_q14 << (q - 14)
+    } else {
+        c_q14 >> (14 - q)
+    }
+}
+
+/// Integer `exp(x)` for **non-positive** `x` in `Q(q)`; returns `Q(q)`.
+///
+/// Decomposes `x = −z·ln2 + r` with `r ∈ (−ln2, 0]`, evaluates
+/// `exp(r) ≈ 0.3585(r + 1.353)² + 0.344`, and shifts by `z`. The sequence
+/// uses exactly the primitives the compiled template emits (Div, Mul, Shr,
+/// Add), so compiled programs reproduce it bit for bit.
+///
+/// Positive inputs are clamped to zero (softmax always shifts by the max
+/// first); inputs below `−16` return 0.
+pub fn i_exp(x: i32, q: u32) -> i32 {
+    let x = x.min(0);
+    if x <= -(16 << q) {
+        return 0;
+    }
+    let ln2 = rescale(LN2_Q14, q);
+    let a = rescale(EXP_COEF_A_Q14, q);
+    let b = rescale(EXP_COEF_B_Q14, q);
+    let c = rescale(EXP_COEF_C_Q14, q);
+    let z = (-x) / ln2; // integer quotient ≥ 0
+    let r = x + z * ln2; // residual in (−ln2, 0]
+    let t = r + b;
+    let t2 = (t.wrapping_mul(t)) >> q;
+    let p = ((a.wrapping_mul(t2)) >> q) + c;
+    p >> (z as u32).min(31)
+}
+
+/// Integer sigmoid `1/(1+exp(−x))` in `Q(q)`.
+pub fn i_sigmoid(x: i32, q: u32) -> i32 {
+    let one = 1 << q;
+    let e = i_exp(-x.wrapping_abs(), q); // exp(−|x|) ∈ (0, 1]
+    let denom = one + e;
+    if x >= 0 {
+        // 1/(1+exp(−x)) = 1 − e/(1+e)
+        one - ((e << q) / denom)
+    } else {
+        (e << q) / denom
+    }
+}
+
+/// Integer tanh via `tanh(x) = 2·sigmoid(2x) − 1` in `Q(q)`.
+pub fn i_tanh(x: i32, q: u32) -> i32 {
+    let two_x = x.saturating_mul(2).clamp(-(20 << q), 20 << q);
+    2 * i_sigmoid(two_x, q) - (1 << q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{from_fixed, to_fixed};
+
+    const Q: u32 = 14;
+
+    #[test]
+    fn i_exp_tracks_f64_exp() {
+        for i in 0..=160 {
+            let x = -(i as f64) * 0.05; // 0 .. −8
+            let got = from_fixed(i_exp(to_fixed(x, Q), Q), Q);
+            let want = x.exp();
+            assert!(
+                (got - want).abs() < 0.01,
+                "exp({x}) = {want}, i_exp = {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn i_exp_saturates_far_negative() {
+        assert_eq!(i_exp(-(17 << Q), Q), 0);
+        assert!(i_exp(-(15 << Q), Q) <= 1);
+    }
+
+    #[test]
+    fn i_exp_clamps_positive_input() {
+        assert_eq!(i_exp(5 << Q, Q), i_exp(0, Q));
+        let one = from_fixed(i_exp(0, Q), Q);
+        assert!((one - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn i_sigmoid_tracks_f64() {
+        for i in -80..=80 {
+            let x = i as f64 * 0.1;
+            let got = from_fixed(i_sigmoid(to_fixed(x, Q), Q), Q);
+            let want = 1.0 / (1.0 + (-x).exp());
+            assert!(
+                (got - want).abs() < 0.01,
+                "sigmoid({x}) = {want}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn i_sigmoid_is_monotone_and_symmetric() {
+        let mut prev = i32::MIN;
+        for i in -60..=60 {
+            let v = i_sigmoid(i << (Q - 4), Q);
+            assert!(v >= prev, "monotonicity at {i}");
+            prev = v;
+        }
+        let one = 1 << Q;
+        for i in 1..40 {
+            let x = i << (Q - 3);
+            let s = i_sigmoid(x, Q) + i_sigmoid(-x, Q);
+            assert!((s - one).abs() <= 2, "σ(x)+σ(−x)=1 at {i}: {s}");
+        }
+    }
+
+    #[test]
+    fn i_tanh_tracks_f64() {
+        for i in -40..=40 {
+            let x = i as f64 * 0.1;
+            let got = from_fixed(i_tanh(to_fixed(x, Q), Q), Q);
+            assert!((got - x.tanh()).abs() < 0.02, "tanh({x}) got {got}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Integer-only reference kernels for complex non-GEMM operators.
+//!
+//! The Tandem Processor's ALUs are INT32-only (paper §3.4); the compiler
+//! "translates [complex operations] to an integer-based counterpart"
+//! following I-BERT (Kim et al., ICML 2021) and gemmlowp. This module is
+//! that counterpart library in two roles:
+//!
+//! 1. **Reference semantics** — plain-Rust fixed-point implementations,
+//!    validated against `f64` math in the test suite, and
+//! 2. **Lowering targets** — the codegen templates emit exactly these
+//!    primitive sequences as Tandem instructions, and the integration
+//!    tests check the compiled programs reproduce these functions bit for
+//!    bit.
+//!
+//! All kernels use power-of-two fixed-point scales: a value `v` in `Q(q)`
+//! represents the real number `v / 2^q`.
+
+mod erf;
+mod exp;
+mod reciprocal;
+mod softmax;
+mod sqrt;
+
+pub use erf::{i_erf, i_gelu, ERF_A_Q14, ERF_B_Q14, ERF_C_Q14};
+pub use exp::{i_exp, i_sigmoid, i_tanh, EXP_COEF_A_Q14, EXP_COEF_B_Q14, EXP_COEF_C_Q14, LN2_Q14};
+pub use reciprocal::i_reciprocal;
+pub use softmax::i_softmax;
+pub use sqrt::i_sqrt;
+
+/// Converts a real number to `Q(q)` fixed point (test/builder helper).
+pub fn to_fixed(x: f64, q: u32) -> i32 {
+    (x * (1i64 << q) as f64).round() as i32
+}
+
+/// Converts a `Q(q)` fixed-point value back to a real number.
+pub fn from_fixed(v: i32, q: u32) -> f64 {
+    v as f64 / (1i64 << q) as f64
+}
+
+/// Fixed-point multiply: `Q(q) × Q(q) → Q(q)` with a 64-bit intermediate,
+/// mirroring the Mul-then-Shr instruction pair the templates emit (the
+/// hardware's 32-bit Mul wraps, so compiled code keeps magnitudes small;
+/// the reference uses the same wrap to stay bit-exact).
+pub fn fx_mul(a: i32, b: i32, q: u32) -> i32 {
+    (a.wrapping_mul(b)) >> q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_roundtrip() {
+        for &x in &[0.0, 1.0, -1.5, 0.3585, -2.25] {
+            let v = to_fixed(x, 14);
+            assert!((from_fixed(v, 14) - x).abs() < 1e-3, "{x}");
+        }
+    }
+
+    #[test]
+    fn fx_mul_matches_real_multiplication_in_range() {
+        let q = 12;
+        for &(a, b) in &[(1.5, 2.0), (-0.75, 0.5), (3.0, -1.25)] {
+            let r = fx_mul(to_fixed(a, q), to_fixed(b, q), q);
+            assert!((from_fixed(r, q) - a * b).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Integer reciprocal. The Tandem ALU has a Div primitive (paper §5), so
+//! the reciprocal is a single scaled division — the `Reciprocal` ONNX
+//! operator lowers to exactly this.
+
+/// Integer `1/v` for `v ≠ 0` in `Q(q)`, result in `Q(q)`:
+/// `(1 ≪ 2q) / v`. Requires `2q ≤ 30`. `v = 0` saturates like the
+/// hardware divider.
+pub fn i_reciprocal(v: i32, q: u32) -> i32 {
+    assert!(2 * q <= 30, "2q must stay in 32 bits");
+    if v == 0 {
+        return i32::MAX;
+    }
+    (1i32 << (2 * q)) / v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{from_fixed, to_fixed};
+
+    const Q: u32 = 14;
+
+    #[test]
+    fn tracks_f64_reciprocal() {
+        for &x in &[0.01, 0.1, 0.5, 1.0, 3.0, 100.0] {
+            let got = from_fixed(i_reciprocal(to_fixed(x, Q), Q), Q);
+            let rel = (got - 1.0 / x).abs() / (1.0 / x);
+            assert!(rel < 0.02, "1/{x} got {got}");
+        }
+    }
+
+    #[test]
+    fn negative_and_zero() {
+        assert!(i_reciprocal(to_fixed(-2.0, Q), Q) < 0);
+        assert_eq!(i_reciprocal(0, Q), i32::MAX);
+    }
+}

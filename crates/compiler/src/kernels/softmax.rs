@@ -1,0 +1,79 @@
+//! Integer softmax: max-shift, `i-exp`, sum, scaled divide (paper §6:
+//! "for such complex operations (e.g., Softmax …) the compiler translates
+//! them to an integer-based counterpart").
+
+use super::exp::i_exp;
+
+/// Integer softmax over `xs` in `Q(q)`; the output distribution is in
+/// `Q(q)` (so it sums to ≈ `1 ≪ q`).
+///
+/// Works for rows up to `2^(31 − q)` elements (the INT32 sum of the
+/// exponentials bounds the row length, exactly as on the hardware).
+pub fn i_softmax(xs: &[i32], q: u32) -> Vec<i32> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let max = *xs.iter().max().expect("non-empty");
+    let exps: Vec<i32> = xs
+        .iter()
+        .map(|&x| i_exp(x.saturating_sub(max), q))
+        .collect();
+    let sum: i32 = exps.iter().sum();
+    let sum = sum.max(1);
+    exps.iter().map(|&e| (e << q) / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{from_fixed, to_fixed};
+
+    const Q: u32 = 14;
+
+    fn softmax_f64(xs: &[f64]) -> Vec<f64> {
+        let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let e: Vec<f64> = xs.iter().map(|x| (x - m).exp()).collect();
+        let s: f64 = e.iter().sum();
+        e.iter().map(|v| v / s).collect()
+    }
+
+    #[test]
+    fn tracks_f64_softmax() {
+        let xs = [-1.0, 0.0, 1.0, 2.0, 0.5, -3.0];
+        let fixed: Vec<i32> = xs.iter().map(|&x| to_fixed(x, Q)).collect();
+        let got = i_softmax(&fixed, Q);
+        let want = softmax_f64(&xs);
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((from_fixed(*g, Q) - w).abs() < 0.01, "got {g} want {w}");
+        }
+    }
+
+    #[test]
+    fn sums_to_one() {
+        let xs: Vec<i32> = (0..128).map(|i| to_fixed((i % 13) as f64 * 0.3 - 2.0, Q)).collect();
+        let got = i_softmax(&xs, Q);
+        let total: i64 = got.iter().map(|&v| v as i64).sum();
+        let err = (total - (1 << Q)).abs() as f64 / (1 << Q) as f64;
+        assert!(err < 0.02, "sum error {err}");
+    }
+
+    #[test]
+    fn shift_invariance() {
+        // softmax(x) == softmax(x + c)
+        let xs: Vec<i32> = vec![100, 5000, -3000, 0];
+        let shifted: Vec<i32> = xs.iter().map(|&x| x + to_fixed(1.5, Q)).collect();
+        assert_eq!(i_softmax(&xs, Q), i_softmax(&shifted, Q));
+    }
+
+    #[test]
+    fn one_hot_limit() {
+        let xs = [to_fixed(10.0, Q), 0, 0];
+        let got = i_softmax(&xs, Q);
+        assert!(from_fixed(got[0], Q) > 0.99);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(i_softmax(&[], Q).is_empty());
+    }
+}

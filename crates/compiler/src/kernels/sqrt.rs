@@ -1,0 +1,78 @@
+//! Integer square root by fixed-count Newton iteration — branch-free, so
+//! it lowers directly onto the Code Repeater (no data-dependent control
+//! flow exists on the Tandem Processor).
+
+/// Integer `sqrt(v)` for `v ≥ 0` in `Q(q)`, result in `Q(q)`.
+///
+/// Uses 16 Newton steps `y ← (y + (v≪q)/y) / 2` from the seed
+/// `y₀ = max(v ≫ (q/2), 1)` — enough to converge across the dynamic range
+/// the LayerNorm variance path produces. `v` is clamped to `2^17 − 1`
+/// (real value 8.0 at q=14… 128 at q=10) so the `v ≪ q` intermediate stays
+/// in 32 bits, exactly as the compiled template must.
+///
+/// Negative inputs return 0.
+pub fn i_sqrt(v: i32, q: u32) -> i32 {
+    if v <= 0 {
+        return 0;
+    }
+    let v = v.min((1 << (31 - q)) - 1);
+    let target = v << q; // y² ≈ v·2^q ⇒ y = sqrt(v/2^q)·2^q
+    let mut y = (v >> (q / 2)).max(1);
+    for _ in 0..16 {
+        y = (y + target / y) >> 1;
+        y = y.max(1);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{from_fixed, to_fixed};
+
+    const Q: u32 = 14;
+
+    #[test]
+    fn tracks_f64_sqrt_within_domain() {
+        // Domain at Q14 is v < 8.0 (the `v ≪ q` intermediate must stay in
+        // 32 bits); LayerNorm variances of normalized activations are O(1).
+        for &x in &[0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 4.0, 7.9] {
+            let got = from_fixed(i_sqrt(to_fixed(x, Q), Q), Q);
+            let want = x.sqrt();
+            let rel = (got - want).abs() / want.max(0.05);
+            assert!(rel < 0.02, "sqrt({x}) = {want}, got {got}");
+        }
+    }
+
+    #[test]
+    fn saturates_beyond_domain() {
+        // Inputs past the 32-bit-safe limit clamp to the domain edge.
+        assert_eq!(i_sqrt(to_fixed(100.0, Q), Q), i_sqrt(i32::MAX, Q));
+    }
+
+    #[test]
+    fn wide_range_at_lower_q() {
+        // At Q8 the domain extends to 2^23/256 = 32768.0.
+        for &x in &[1.0, 100.0, 1000.0, 8000.0] {
+            let got = from_fixed(i_sqrt(to_fixed(x, 8), 8), 8);
+            let rel = (got - x.sqrt()).abs() / x.sqrt();
+            assert!(rel < 0.02, "sqrt({x}) at Q8 got {got}");
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_inputs() {
+        assert_eq!(i_sqrt(0, Q), 0);
+        assert_eq!(i_sqrt(-100, Q), 0);
+    }
+
+    #[test]
+    fn monotone() {
+        let mut prev = -1;
+        for i in 0..200 {
+            let y = i_sqrt(i << 8, Q);
+            assert!(y >= prev);
+            prev = y;
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # tandem-compiler
+//!
+//! The compilation stack of the Tandem Processor (paper §6, Figure 13):
+//! it takes the ONNX-level operator graphs of [`tandem_model`], partitions
+//! them into **execution blocks** (a GEMM layer, a bundle of non-GEMM
+//! layers, or a GEMM layer fused with its trailing non-GEMM bundle),
+//! chooses a **uniform tile** per block that fits the on-chip scratchpads
+//! (never tiling GEMM reduction dimensions), maps every non-GEMM operator
+//! onto a pre-defined **operation template**, translates complex operators
+//! to integer-only counterparts (the I-BERT-style [`kernels`]), and lowers
+//! the templates into Tandem ISA [`tandem_isa::Program`]s — nested-loop
+//! configurations, iterator-table setup, IMM-BUF constants, DAE transfers,
+//! and the synchronization instructions that weave GEMM and non-GEMM
+//! execution together.
+//!
+//! The emitted programs are *real*: the `tandem-core` simulator executes
+//! them functionally, and the test suite validates compiled operators
+//! against the reference kernels and against floating-point math.
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+
+mod blocks;
+mod codegen;
+mod lower;
+pub mod passes;
+mod schedule;
+mod tiling;
+
+pub use blocks::{BlockKind, ExecutionBlock, Partitioner};
+pub use codegen::{BuilderMark, Fixed, NestLevel, TileProgramBuilder, View};
+pub use lower::{CompileError, CompiledOp, OpLowering};
+pub use schedule::{schedule_block, schedule_graph, ScheduledBlock};
+pub use tiling::{TilePlan, Tiler};

@@ -1,0 +1,282 @@
+//! Loop-level optimization passes (paper §6, "Dependency relaxation"):
+//!
+//! * **Loop fission** — "The Tandem Processor compiler leverages loop
+//!   fission to remove dependencies among series of instructions." On this
+//!   machine fission has a second, structural trigger: all statements in
+//!   one Code Repeater body share a *single* per-slot iterator binding per
+//!   loop level, so statements whose operands advance with different
+//!   strides (e.g. a broadcast operand mixed with a streaming one) must be
+//!   split into separate nests.
+//! * **Loop interchange** — "some non-GEMM operations such as MaxPool
+//!   (has) a long sequence of dependencies among instructions. For such
+//!   cases, the compiler leverages loop interchange to relax the
+//!   dependencies": moving an accumulation's reduction level inward (or a
+//!   dependence-free level outward) so consecutive issues of the pipelined
+//!   ALU touch independent accumulators.
+//!
+//! The passes operate on a small nest IR ([`NestIr`]); the operator
+//! templates in [`crate::OpLowering`] encode the *results* of these passes
+//! by construction, and the tests here show the passes derive the same
+//! structures.
+
+use std::collections::BTreeMap;
+
+/// Per-slot row-stride requirements of one statement at every loop level
+/// (outermost first). `None` = the slot is unused (immediate operand).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtStrides {
+    /// Statement label (for diagnostics).
+    pub name: String,
+    /// Destination strides per level.
+    pub dst: Vec<i32>,
+    /// First-source strides per level (`None` if immediate).
+    pub src1: Option<Vec<i32>>,
+    /// Second-source strides per level (`None` if immediate).
+    pub src2: Option<Vec<i32>>,
+    /// Whether the statement accumulates into its destination
+    /// (read-modify-write: MACC, running Max/Min).
+    pub accumulates: bool,
+}
+
+/// A loop nest over statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestIr {
+    /// Iteration counts, outermost first.
+    pub extents: Vec<u32>,
+    /// The body.
+    pub stmts: Vec<StmtStrides>,
+}
+
+impl NestIr {
+    /// The per-slot binding signature a statement imposes on the shared
+    /// Code Repeater tables.
+    fn signature(stmt: &StmtStrides) -> (Vec<i32>, Option<Vec<i32>>, Option<Vec<i32>>) {
+        (stmt.dst.clone(), stmt.src1.clone(), stmt.src2.clone())
+    }
+}
+
+/// **Loop fission**: splits a nest into the minimal sequence of nests in
+/// which every body shares one per-slot binding signature. Statements are
+/// never reordered (fission preserves program order, hence dependencies).
+pub fn fission(nest: &NestIr) -> Vec<NestIr> {
+    let mut out: Vec<NestIr> = Vec::new();
+    for stmt in &nest.stmts {
+        let sig = NestIr::signature(stmt);
+        match out.last_mut() {
+            Some(last)
+                if last
+                    .stmts
+                    .last()
+                    .map(|s| NestIr::signature(s) == sig)
+                    .unwrap_or(false)
+                    || last.stmts.iter().all(|s| NestIr::signature(s) == sig) =>
+            {
+                last.stmts.push(stmt.clone());
+            }
+            _ => out.push(NestIr {
+                extents: nest.extents.clone(),
+                stmts: vec![stmt.clone()],
+            }),
+        }
+    }
+    out
+}
+
+/// **Loop interchange**: for an accumulating single-statement nest whose
+/// innermost level carries the reduction (destination stride 0 — every
+/// iteration read-modify-writes the *same* row, a serial dependence
+/// chain), finds an outer level over which the destination moves and
+/// swaps it inward, so consecutive pipeline issues hit independent
+/// accumulators. Returns the permutation applied (identity when no
+/// profitable interchange exists).
+pub fn interchange(nest: &mut NestIr) -> Vec<usize> {
+    let levels = nest.extents.len();
+    let mut perm: Vec<usize> = (0..levels).collect();
+    if levels < 2 || nest.stmts.len() != 1 {
+        return perm;
+    }
+    let stmt = &nest.stmts[0];
+    if !stmt.accumulates {
+        return perm;
+    }
+    let innermost = levels - 1;
+    if stmt.dst.get(innermost).copied() != Some(0) {
+        return perm; // innermost already independent
+    }
+    // Find the innermost level where the destination advances.
+    let Some(indep) = (0..innermost).rev().find(|&l| stmt.dst[l] != 0) else {
+        return perm; // fully serial reduction — nothing to interchange
+    };
+    perm.swap(indep, innermost);
+    nest.extents.swap(indep, innermost);
+    for s in &mut nest.stmts {
+        s.dst.swap(indep, innermost);
+        if let Some(v) = &mut s.src1 {
+            v.swap(indep, innermost);
+        }
+        if let Some(v) = &mut s.src2 {
+            v.swap(indep, innermost);
+        }
+    }
+    perm
+}
+
+/// Statistics a pass run produces (surfaced by compiler diagnostics).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Nests produced by fission per original nest size.
+    pub fission_splits: BTreeMap<usize, usize>,
+    /// Nests whose levels were interchanged.
+    pub interchanged: usize,
+}
+
+/// Runs fission then interchange over a sequence of nests.
+pub fn optimize(nests: Vec<NestIr>) -> (Vec<NestIr>, PassStats) {
+    let mut stats = PassStats::default();
+    let mut out = Vec::new();
+    for nest in nests {
+        let body_len = nest.stmts.len();
+        let mut pieces = fission(&nest);
+        *stats.fission_splits.entry(body_len).or_default() += pieces.len();
+        for piece in &mut pieces {
+            let perm = interchange(piece);
+            if perm.iter().enumerate().any(|(i, &p)| i != p) {
+                stats.interchanged += 1;
+            }
+        }
+        out.extend(pieces);
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stmt(name: &str, dst: &[i32], src1: Option<&[i32]>, src2: Option<&[i32]>, acc: bool) -> StmtStrides {
+        StmtStrides {
+            name: name.into(),
+            dst: dst.to_vec(),
+            src1: src1.map(<[i32]>::to_vec),
+            src2: src2.map(<[i32]>::to_vec),
+            accumulates: acc,
+        }
+    }
+
+    #[test]
+    fn compatible_statements_stay_in_one_nest() {
+        // The i-exp expansion: every operand advances one row per
+        // iteration — a single nest survives fission.
+        let nest = NestIr {
+            extents: vec![64],
+            stmts: (0..13)
+                .map(|i| stmt(&format!("s{i}"), &[1], Some(&[1]), Some(&[1]), false))
+                .collect(),
+        };
+        let pieces = fission(&nest);
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].stmts.len(), 13);
+    }
+
+    #[test]
+    fn broadcast_forces_a_split() {
+        // softmax step: `s = x − m` (m broadcast: inner stride 0) followed
+        // by the streaming exp chain (all strides 1) — the paper's fission
+        // case, and exactly how `softmax_tile` emits two nests.
+        let nest = NestIr {
+            extents: vec![4, 16],
+            stmts: vec![
+                stmt("sub_broadcast", &[4, 1], Some(&[4, 1]), Some(&[1, 0]), false),
+                stmt("exp_chain", &[4, 1], Some(&[4, 1]), Some(&[4, 1]), false),
+            ],
+        };
+        let pieces = fission(&nest);
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0].stmts[0].name, "sub_broadcast");
+        assert_eq!(pieces[1].stmts[0].name, "exp_chain");
+    }
+
+    #[test]
+    fn fission_preserves_statement_order() {
+        let nest = NestIr {
+            extents: vec![8],
+            stmts: vec![
+                stmt("a", &[1], Some(&[1]), None, false),
+                stmt("b", &[0], Some(&[1]), None, true),
+                stmt("c", &[1], Some(&[1]), None, false),
+            ],
+        };
+        let pieces = fission(&nest);
+        let order: Vec<&str> = pieces
+            .iter()
+            .flat_map(|p| p.stmts.iter().map(|s| s.name.as_str()))
+            .collect();
+        assert_eq!(order, ["a", "b", "c"]);
+        assert_eq!(pieces.len(), 3);
+    }
+
+    #[test]
+    fn maxpool_reduction_moves_inward_dependence_out() {
+        // MaxPool as naively written: levels (oy, ox, ky, kx) with the
+        // accumulator frozen over (ky, kx) — the innermost iterations form
+        // a serial max chain. Interchange swaps kx with ox so consecutive
+        // issues hit different output columns.
+        let mut nest = NestIr {
+            extents: vec![16, 16, 3, 3],
+            stmts: vec![stmt(
+                "max_acc",
+                &[16, 1, 0, 0],
+                Some(&[16, 1, 0, 0]),
+                Some(&[32, 2, 16, 1]),
+                true,
+            )],
+        };
+        let perm = interchange(&mut nest);
+        assert_ne!(perm, vec![0, 1, 2, 3]);
+        // the new innermost level advances the accumulator
+        assert_ne!(*nest.stmts[0].dst.last().unwrap(), 0);
+        // extents moved with the levels
+        assert_eq!(nest.extents.iter().product::<u32>(), 16 * 16 * 9);
+    }
+
+    #[test]
+    fn elementwise_nests_are_left_alone() {
+        let mut nest = NestIr {
+            extents: vec![64],
+            stmts: vec![stmt("relu", &[1], Some(&[1]), None, false)],
+        };
+        let perm = interchange(&mut nest);
+        assert_eq!(perm, vec![0]);
+    }
+
+    #[test]
+    fn fully_serial_reduction_cannot_interchange() {
+        // A global reduction into one scalar row: no level moves the
+        // destination — interchange must be a no-op, not a panic.
+        let mut nest = NestIr {
+            extents: vec![128, 8],
+            stmts: vec![stmt("sum", &[0, 0], Some(&[8, 1]), None, true)],
+        };
+        assert_eq!(interchange(&mut nest), vec![0, 1]);
+    }
+
+    #[test]
+    fn optimize_reports_stats() {
+        let nests = vec![
+            NestIr {
+                extents: vec![4, 16],
+                stmts: vec![
+                    stmt("bcast", &[4, 1], Some(&[4, 1]), Some(&[1, 0]), false),
+                    stmt("stream", &[4, 1], Some(&[4, 1]), Some(&[4, 1]), false),
+                ],
+            },
+            NestIr {
+                extents: vec![8, 3],
+                stmts: vec![stmt("acc", &[1, 0], Some(&[1, 0]), Some(&[3, 1]), true)],
+            },
+        ];
+        let (out, stats) = optimize(nests);
+        assert_eq!(out.len(), 3);
+        assert_eq!(stats.interchanged, 1);
+    }
+}

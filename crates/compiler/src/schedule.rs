@@ -1,0 +1,197 @@
+//! Block-program assembly (paper Figure 10, step 0): weaving the
+//! synchronization instructions around the GEMM configuration region and
+//! the per-tile non-GEMM program so the NPU's Inst. Dispatch unit can
+//! route each region to its unit and the execution controller can track
+//! tile completion and Output-BUF ownership.
+
+use crate::blocks::{BlockKind, ExecutionBlock};
+use crate::lower::{CompileError, OpLowering};
+use tandem_isa::{CastTarget, Instruction, Program, SyncEdge, SyncKind, SyncUnit};
+use tandem_model::{Graph, OpClass};
+
+/// A fully scheduled execution block: the combined instruction stream of
+/// Figure 10 plus its tile count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledBlock {
+    /// Block topology.
+    pub kind: BlockKind,
+    /// The combined instruction stream (GEMM region + per-tile non-GEMM
+    /// program, delimited by synchronization instructions).
+    pub program: Program,
+    /// Tiles the block executes.
+    pub tiles: u64,
+}
+
+/// Assembles the combined instruction stream for one execution block.
+///
+/// Layout (paper Figure 10):
+/// ```text
+/// sync.gemm.start.exec      ─┐ GEMM region: macro-configuration the
+///   <gemm config>            │ dispatch unit forwards to the GEMM unit
+/// sync.gemm.end.exec        ─┘
+/// sync.simd.start.exec      ─┐ Tandem region, executed once per tile:
+///   <tile program …>         │   consume the Output BUF …
+///   sync.simd.end.buf        │   … release it for the next GEMM tile …
+///   <tile program tail>      │   … finish private-buffer work
+/// sync.simd.end.exec        ─┘ (Tandem_done → execution FSM)
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from lowering the block's non-GEMM nodes.
+pub fn schedule_block(
+    lowering: &OpLowering,
+    graph: &Graph,
+    block: &ExecutionBlock,
+    group: u8,
+) -> Result<ScheduledBlock, CompileError> {
+    let mut program = Program::new();
+    let mut tiles = 1u64;
+
+    if let Some(gemm_id) = block.gemm {
+        let node = graph.node(gemm_id);
+        debug_assert_eq!(node.kind.class(), OpClass::Gemm);
+        program.push(Instruction::sync(
+            SyncUnit::Gemm,
+            SyncEdge::Start,
+            SyncKind::Exec,
+            group,
+        ));
+        // The GEMM unit operates at macro-operation level (paper §4.2):
+        // its region carries configuration instructions the dispatch unit
+        // decodes, not a von Neumann stream. We stand in with the
+        // datatype configuration the real compiler emits.
+        program.push(Instruction::DatatypeConfig {
+            target: CastTarget::Fxp8,
+        });
+        program.push(Instruction::sync(
+            SyncUnit::Gemm,
+            SyncEdge::End,
+            SyncKind::Exec,
+            group,
+        ));
+    }
+
+    if !block.non_gemm.is_empty() {
+        program.push(Instruction::sync(
+            SyncUnit::Simd,
+            SyncEdge::Start,
+            SyncKind::Exec,
+            group,
+        ));
+        let mut obuf_released = block.gemm.is_none();
+        for (i, &id) in block.non_gemm.iter().enumerate() {
+            let node = graph.node(id);
+            let compiled = match lowering.lower_node(graph, node) {
+                Ok(c) => c,
+                Err(CompileError::Unsupported { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            for (prog, reps) in &compiled.tiles {
+                tiles = tiles.max(*reps);
+                program.extend(prog.iter().copied());
+            }
+            // After the first operator consumed the GEMM output tile the
+            // compiler releases the Output BUF so the GEMM unit can
+            // proceed (paper §4.2: "the compiler inserts a synchronization
+            // instruction right after the instructions consuming the data
+            // on the Output BUF").
+            if !obuf_released && i == 0 {
+                program.push(Instruction::sync(
+                    SyncUnit::Simd,
+                    SyncEdge::End,
+                    SyncKind::Buf,
+                    group,
+                ));
+                obuf_released = true;
+            }
+        }
+        program.push(Instruction::sync(
+            SyncUnit::Simd,
+            SyncEdge::End,
+            SyncKind::Exec,
+            group,
+        ));
+    }
+
+    Ok(ScheduledBlock {
+        kind: block.kind(),
+        program,
+        tiles,
+    })
+}
+
+/// Schedules every block of a graph, numbering sync groups modulo the
+/// 5-bit group-id space.
+///
+/// # Errors
+///
+/// Propagates the first [`CompileError`].
+pub fn schedule_graph(
+    lowering: &OpLowering,
+    graph: &Graph,
+) -> Result<Vec<ScheduledBlock>, CompileError> {
+    crate::blocks::Partitioner::new()
+        .partition(graph)
+        .iter()
+        .enumerate()
+        .map(|(i, b)| schedule_block(lowering, graph, b, (i % 32) as u8))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tandem_model::{GraphBuilder, Padding};
+
+    fn lowering() -> OpLowering {
+        OpLowering::new(32, 512)
+    }
+
+    fn fused_graph() -> Graph {
+        let mut b = GraphBuilder::new("t", 2024);
+        let x = b.input("x", [1, 32, 16, 16]);
+        let c = b.conv(x, 32, 3, 1, Padding::Same);
+        let r = b.relu(c);
+        let m = b.max_pool(r, 2, 2);
+        b.output(m);
+        b.finish()
+    }
+
+    #[test]
+    fn fused_block_has_both_regions_and_a_buf_release() {
+        let g = fused_graph();
+        let blocks = schedule_graph(&lowering(), &g).unwrap();
+        assert_eq!(blocks.len(), 1);
+        let sb = &blocks[0];
+        assert_eq!(sb.kind, BlockKind::Fused);
+        let text = sb.program.to_string();
+        assert!(text.contains("sync.gemm.start.exec"));
+        assert!(text.contains("sync.gemm.end.exec"));
+        assert!(text.contains("sync.simd.start.exec"));
+        assert!(text.contains("sync.simd.end.buf"), "missing OBUF release:\n{text}");
+        assert!(text.contains("sync.simd.end.exec"));
+        // buf release must come after the first consumer's instructions
+        // and before the final end marker
+        let buf_pos = text.find("sync.simd.end.buf").unwrap();
+        let end_pos = text.rfind("sync.simd.end.exec").unwrap();
+        assert!(buf_pos < end_pos);
+        assert!(sb.program.compute_count() > 0);
+    }
+
+    #[test]
+    fn whole_suite_schedules() {
+        let low = lowering();
+        for bench in tandem_model::zoo::Benchmark::ALL {
+            let g = bench.graph();
+            let blocks = schedule_graph(&low, &g).unwrap();
+            assert!(!blocks.is_empty(), "{}", g.name);
+            for sb in &blocks {
+                // every program decodes back from its binary form
+                let words = sb.program.encode();
+                let decoded = Program::decode(&words).unwrap();
+                assert_eq!(decoded, sb.program);
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Tile-size selection (paper §6 "Tiling optimization"): tiles must be
+//! "big enough to encompass all the adjacent elements of an input tensor
+//! for the non-GEMM operation, while small enough to fit on the limited
+//! on-chip scratchpads". This module decides per-operator tile shapes and
+//! drives [`crate::OpLowering`]'s templates to produce `(program,
+//! repetition)` pairs.
+//!
+//! Layout convention: SIMD lanes carry the *independent* dimension
+//! (channels for image operators, token/head instances for transformer
+//! reductions); scratchpad rows carry the walked dimension. Reduction
+//! extents are never split across tiles when they fit on chip — when a
+//! reduction is larger than the Interim BUF (e.g. the 112×112 global pools
+//! of EfficientNet's first SE block), it is chunked into partial
+//! reductions, mirroring what the paper's compiler must do.
+
+use crate::codegen::View;
+use crate::lower::{CompileError, CompiledOp, OpLowering};
+use tandem_isa::Namespace;
+use tandem_model::{Graph, Node, OpClass, OpKind};
+
+/// A chosen tile decomposition for one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilePlan {
+    /// Rows of one tile (per lane-group).
+    pub tile_rows: u16,
+    /// Number of tile executions.
+    pub tiles: u64,
+}
+
+/// Tile-size policy bound to a machine shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Tiler {
+    lanes: usize,
+    interim_rows: usize,
+}
+
+/// Temp buffers (Interim BUF 2 rows-multiples) each element-wise template
+/// allocates; bounds the tile so temps fit.
+fn temp_buffers(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Exp => 3,
+        OpKind::Erf => 2,
+        OpKind::Gelu => 4,
+        OpKind::Sigmoid => 7,
+        OpKind::Tanh => 8,
+        OpKind::Sqrt => 4,
+        OpKind::LeakyRelu => 1,
+        _ => 1,
+    }
+}
+
+impl Tiler {
+    /// Creates the policy for `lanes` lanes and `interim_rows` rows per
+    /// Interim BUF.
+    pub fn new(lanes: usize, interim_rows: usize) -> Self {
+        Tiler {
+            lanes,
+            interim_rows,
+        }
+    }
+
+    /// Splits `total_rows` into equal tiles of at most `budget_rows`.
+    pub fn plan(&self, total_rows: u64, budget_rows: u64) -> TilePlan {
+        let budget = budget_rows.max(1);
+        let tile_rows = total_rows.min(budget).max(1);
+        TilePlan {
+            tile_rows: tile_rows.min(u16::MAX as u64) as u16,
+            tiles: total_rows.div_ceil(tile_rows),
+        }
+    }
+
+    fn rows_for(&self, elems: u64) -> u64 {
+        elems.div_ceil(self.lanes as u64)
+    }
+
+    /// Lowers one node into tile programs. GEMM-class nodes are rejected
+    /// (they run on the systolic array).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] on unsupported nodes or resource exhaustion.
+    pub fn lower(
+        &self,
+        lowering: &OpLowering,
+        graph: &Graph,
+        node: &Node,
+    ) -> Result<CompiledOp, CompileError> {
+        let kind = node.kind;
+        if kind.class() == OpClass::Gemm {
+            return Err(CompileError::Unsupported { kind });
+        }
+        let out_shape = &graph.tensor(node.outputs[0]).shape;
+        let out_elems: u64 = out_shape.elements() as u64;
+        let ir = self.interim_rows as u64;
+
+        let tiles = match kind {
+            // pure metadata — free on the Tandem Processor
+            OpKind::Reshape | OpKind::Flatten | OpKind::Squeeze | OpKind::Unsqueeze => Vec::new(),
+
+            // reductions over the last axis
+            OpKind::Softmax | OpKind::ReduceMean => {
+                let d = out_shapes_last_input_axis(graph, node) as u64;
+                let instances = (input_elems(graph, node) / d.max(1)).max(1);
+                let groups_total = self.rows_for(instances * self.lanes as u64 / self.lanes as u64)
+                    .max(1);
+                let groups_total = instances.div_ceil(self.lanes as u64).max(groups_total.min(1));
+                // Chunk oversized reduction extents. Softmax keeps the
+                // shifted row, the exponentials and the three i-exp temps
+                // resident in Interim BUF 2 (≈5 rows per reduce row);
+                // reduce-mean only streams and accumulates.
+                let d_cap = if kind == OpKind::Softmax {
+                    (ir.saturating_sub(4) / 5).max(1)
+                } else {
+                    (ir / 2).max(1)
+                };
+                let d_chunk = d.min(d_cap).max(1).min(u16::MAX as u64);
+                let d_tiles = d.div_ceil(d_chunk);
+                let per_group = if kind == OpKind::Softmax {
+                    5 * d_chunk + 4
+                } else {
+                    d_chunk + 2
+                };
+                // Bound by both the IBUF2 appetite and the x+y residency
+                // in IBUF1.
+                let g = (ir / per_group)
+                    .min(ir / (2 * d_chunk))
+                    .clamp(1, groups_total)
+                    .min(u16::MAX as u64);
+                let g_tiles = groups_total.div_ceil(g);
+                let x = View {
+                    ns: Namespace::Interim1,
+                    base: 0,
+                    rows: (g * d_chunk) as u16,
+                };
+                let y_rows = if kind == OpKind::Softmax {
+                    (g * d_chunk) as u16
+                } else {
+                    g as u16
+                };
+                let y = View {
+                    ns: Namespace::Interim1,
+                    base: x.rows,
+                    rows: y_rows,
+                };
+                let prog = if kind == OpKind::Softmax {
+                    lowering.softmax_tile(g as u16, d_chunk as u16, x, y)?
+                } else {
+                    lowering.reduce_mean_tile(g as u16, d_chunk as u16, d as i32, x, y)?
+                };
+                vec![(prog, g_tiles * d_tiles)]
+            }
+
+            OpKind::GlobalAveragePool => {
+                let s = &graph.tensor(node.inputs[0]).shape;
+                let (c, d) = (s.dim(1) as u64, (s.dim(2) * s.dim(3)) as u64);
+                let groups_total = c.div_ceil(self.lanes as u64);
+                let d_chunk = d.min(ir / 4).max(1);
+                let d_tiles = d.div_ceil(d_chunk);
+                let g = (ir / (d_chunk + 2)).clamp(1, groups_total);
+                let g_tiles = groups_total.div_ceil(g);
+                let x = View {
+                    ns: Namespace::Interim1,
+                    base: 0,
+                    rows: (g * d_chunk) as u16,
+                };
+                let y = View {
+                    ns: Namespace::Interim1,
+                    base: x.rows,
+                    rows: g as u16,
+                };
+                let prog =
+                    lowering.reduce_mean_tile(g as u16, d_chunk as u16, d as i32, x, y)?;
+                vec![(prog, g_tiles * d_tiles)]
+            }
+
+            // window operators: channels across lanes, one output-row strip
+            // per tile
+            OpKind::MaxPool | OpKind::AveragePool | OpKind::DepthwiseConv => {
+                let s = &graph.tensor(node.inputs[0]).shape;
+                let (c, _h, w) = (s.dim(1) as u64, s.dim(2) as u64, s.dim(3) as u64);
+                let k = node.attrs.kernel.max(1) as u64;
+                let stride = node.attrs.stride.max(1) as u64;
+                let (oh, ow) = (out_shape.dim(2) as u64, out_shape.dim(3) as u64);
+                let ch_tiles = c.div_ceil(self.lanes as u64);
+                // When the machine has far more lanes than channels (the
+                // iso-TOPs scale-up), the compiler folds output columns
+                // into the spare lanes.
+                let spatial_fold = (self.lanes as u64 / c.max(1)).clamp(1, ow);
+                // Output strip height fitting the input halo on chip.
+                let budget = ir.max(k * w + 1);
+                let oh_t = (((budget / w.max(1)).saturating_sub(k)) / stride + 1)
+                    .clamp(1, oh)
+                    .min(u16::MAX as u64);
+                let strips = oh.div_ceil(oh_t);
+                // Width split only when even one image row spills.
+                let (w_t, w_tiles) = if k * w <= ir {
+                    (w, 1)
+                } else {
+                    let wt = (ir / k).max(1);
+                    (wt, w.div_ceil(wt))
+                };
+                let in_rows = (((oh_t - 1) * stride + k) * w_t).min(ir) as u16;
+                let x = View {
+                    ns: Namespace::Interim1,
+                    base: 0,
+                    rows: in_rows,
+                };
+                let ow_t = if w_tiles == 1 { ow } else { (w_t / stride).max(1) };
+                let y = View {
+                    ns: Namespace::Interim1,
+                    base: in_rows,
+                    rows: (oh_t * ow_t).min(ir - in_rows as u64).max(1) as u16,
+                };
+                let (wv, bv) = if kind == OpKind::DepthwiseConv {
+                    let wv = View {
+                        ns: Namespace::Interim2,
+                        base: 0,
+                        rows: (k * k) as u16,
+                    };
+                    let bv = View {
+                        ns: Namespace::Interim2,
+                        base: wv.rows,
+                        rows: 1,
+                    };
+                    (Some(wv), Some(bv))
+                } else {
+                    (None, None)
+                };
+                let prog = lowering.window_tile(
+                    kind,
+                    w_t as u16,
+                    oh_t as u16,
+                    ow_t as u16,
+                    k as u16,
+                    stride as u16,
+                    x,
+                    wv,
+                    bv,
+                    y,
+                )?;
+                vec![(
+                    prog,
+                    (ch_tiles * strips * w_tiles).div_ceil(spatial_fold),
+                )]
+            }
+
+            // layout movement through the Permute Engine
+            OpKind::Transpose
+            | OpKind::Concat
+            | OpKind::Split
+            | OpKind::Slice
+            | OpKind::Gather
+            | OpKind::Resize => {
+                let rows_total = self.rows_for(out_elems);
+                let plan = self.plan(rows_total, ir / 2);
+                let src = View {
+                    ns: Namespace::Interim1,
+                    base: 0,
+                    rows: plan.tile_rows,
+                };
+                let dst = View {
+                    ns: Namespace::Interim2,
+                    base: 0,
+                    rows: plan.tile_rows,
+                };
+                let cross = kind == OpKind::Transpose;
+                let words = plan.tile_rows.max(1);
+                let prog = lowering.permute_tile(
+                    src,
+                    dst,
+                    &[words, self.lanes as u16],
+                    &[self.lanes as i16, 1],
+                    &[if cross { 1 } else { self.lanes as i16 }, if cross { words as i16 } else { 1 }],
+                    cross,
+                )?;
+                vec![(prog, plan.tiles)]
+            }
+
+            // everything element-wise (math, activations, casts, Where)
+            _ => {
+                let rows_total = self.rows_for(out_elems);
+                let io_bufs = 1 + node.inputs.len().min(2); // x (+x2) + y
+                let temps = temp_buffers(kind);
+                let budget = (ir / io_bufs.max(temps) as u64).max(1);
+                let plan = self.plan(rows_total, budget);
+                let r = plan.tile_rows;
+                let x = View {
+                    ns: Namespace::Interim1,
+                    base: 0,
+                    rows: r,
+                };
+                let needs_x2 = matches!(
+                    kind,
+                    OpKind::Add
+                        | OpKind::Sub
+                        | OpKind::Mul
+                        | OpKind::Div
+                        | OpKind::Greater
+                        | OpKind::Equal
+                        | OpKind::Less
+                        | OpKind::Where
+                );
+                let x2 = needs_x2.then_some(View {
+                    ns: Namespace::Interim1,
+                    base: r,
+                    rows: r,
+                });
+                let y = View {
+                    ns: Namespace::Interim1,
+                    base: r * io_bufs.min(3) as u16 - r,
+                    rows: r,
+                };
+                let prog = lowering.elementwise_tile(
+                    kind,
+                    node.attrs.alpha,
+                    (node.attrs.clip_min, node.attrs.clip_max),
+                    r,
+                    x,
+                    x2,
+                    y,
+                )?;
+                vec![(prog, plan.tiles)]
+            }
+        };
+        Ok(CompiledOp { kind, tiles })
+    }
+}
+
+fn input_elems(graph: &Graph, node: &Node) -> u64 {
+    graph.tensor(node.inputs[0]).shape.elements() as u64
+}
+
+fn out_shapes_last_input_axis(graph: &Graph, node: &Node) -> usize {
+    graph.tensor(node.inputs[0]).shape.dim(-1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_splits_evenly() {
+        let t = Tiler::new(32, 512);
+        let p = t.plan(1000, 512);
+        assert_eq!(p.tile_rows, 512);
+        assert_eq!(p.tiles, 2);
+        let small = t.plan(100, 512);
+        assert_eq!(small.tile_rows, 100);
+        assert_eq!(small.tiles, 1);
+    }
+
+    #[test]
+    fn plan_never_zero() {
+        let t = Tiler::new(32, 512);
+        let p = t.plan(1, 0);
+        assert_eq!(p.tile_rows, 1);
+        assert_eq!(p.tiles, 1);
+    }
+}

@@ -1,0 +1,590 @@
+//! Compiled-operator validation: every template is lowered to a Tandem ISA
+//! program, executed functionally on the `tandem-core` simulator, and
+//! compared against the reference integer kernels / naive implementations
+//! — the RTL-vs-simulator-vs-software validation loop of paper §7.
+
+use tandem_compiler::{kernels, OpLowering, View};
+use tandem_core::{Dram, Mode, TandemConfig, TandemProcessor};
+use tandem_isa::Namespace;
+use tandem_model::OpKind;
+
+const LANES: usize = 8;
+const INTERIM_ROWS: usize = 128;
+
+fn machine() -> (TandemProcessor, Dram, OpLowering) {
+    let mut cfg = TandemConfig::tiny();
+    cfg.lanes = LANES;
+    cfg.interim_rows = INTERIM_ROWS;
+    (
+        TandemProcessor::new(cfg),
+        Dram::new(1 << 12),
+        OpLowering::new(LANES, INTERIM_ROWS),
+    )
+}
+
+fn view(base: u16, rows: u16) -> View {
+    View {
+        ns: Namespace::Interim1,
+        base,
+        rows,
+    }
+}
+
+/// Runs an element-wise template over `x` (and optional `x2`) and returns
+/// the produced values.
+fn run_elementwise(
+    kind: OpKind,
+    alpha: f64,
+    clip: (f64, f64),
+    x: &[i32],
+    x2: Option<&[i32]>,
+) -> Vec<i32> {
+    let (mut proc, mut dram, low) = machine();
+    let rows = x.len().div_ceil(LANES) as u16;
+    let xv = view(0, rows);
+    let x2v = x2.map(|_| view(rows, rows));
+    let yv = view(2 * rows, rows);
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, x)
+        .unwrap();
+    if let Some(vals) = x2 {
+        proc.scratchpad_mut(Namespace::Interim1)
+            .load_rows(rows as usize, vals)
+            .unwrap();
+    }
+    let prog = low
+        .elementwise_tile(kind, alpha, clip, rows, xv, x2v, yv)
+        .unwrap();
+    proc.run(&prog, &mut dram).unwrap();
+    proc.scratchpad(Namespace::Interim1)
+        .dump_rows(2 * rows as usize, x.len())
+        .unwrap()
+}
+
+const Q: u32 = 14;
+
+fn fx(x: f64) -> i32 {
+    kernels::to_fixed(x, Q)
+}
+
+#[test]
+fn compiled_relu_matches_reference() {
+    let x: Vec<i32> = (-16..16).map(|i| i * 1000).collect();
+    let y = run_elementwise(OpKind::Relu, 0.0, (0.0, 0.0), &x, None);
+    for (i, (&xi, &yi)) in x.iter().zip(y.iter()).enumerate() {
+        assert_eq!(yi, xi.max(0), "element {i}");
+    }
+}
+
+#[test]
+fn compiled_clip_matches_reference() {
+    let x: Vec<i32> = (-16..16).map(|i| i * fx(0.5)).collect();
+    let y = run_elementwise(OpKind::Clip, 0.0, (0.0, 6.0), &x, None);
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        assert_eq!(yi, xi.clamp(0, fx(6.0)));
+    }
+}
+
+#[test]
+fn compiled_leaky_relu_matches_reference() {
+    let alpha = 0.1;
+    let x: Vec<i32> = (-16..16).map(|i| i * fx(0.25)).collect();
+    let y = run_elementwise(OpKind::LeakyRelu, alpha, (0.0, 0.0), &x, None);
+    let a_q = fx(alpha);
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        let expect = xi.max(0) + ((xi.min(0).wrapping_mul(a_q)) >> Q);
+        assert_eq!(yi, expect);
+    }
+}
+
+#[test]
+fn compiled_add_and_mul_match_fixed_point() {
+    let a: Vec<i32> = (0..32).map(|i| fx(0.1) * i).collect();
+    let b: Vec<i32> = (0..32).map(|i| fx(0.05) * (32 - i)).collect();
+    let sum = run_elementwise(OpKind::Add, 0.0, (0.0, 0.0), &a, Some(&b));
+    for i in 0..32 {
+        assert_eq!(sum[i], a[i] + b[i]);
+    }
+    let prod = run_elementwise(OpKind::Mul, 0.0, (0.0, 0.0), &a, Some(&b));
+    for i in 0..32 {
+        assert_eq!(prod[i], (a[i].wrapping_mul(b[i])) >> Q);
+    }
+}
+
+#[test]
+fn compiled_div_matches_fixed_point() {
+    let a: Vec<i32> = (1..=32).map(|i| fx(0.2) * i).collect();
+    let b: Vec<i32> = (1..=32).map(|i| fx(0.1) * i + fx(0.5)).collect();
+    let out = run_elementwise(OpKind::Div, 0.0, (0.0, 0.0), &a, Some(&b));
+    for i in 0..32 {
+        assert_eq!(out[i], (a[i] << Q) / b[i]);
+    }
+}
+
+#[test]
+fn compiled_exp_matches_kernel_bit_for_bit() {
+    let x: Vec<i32> = (0..32).map(|i| -i * fx(0.3)).collect();
+    let y = run_elementwise(OpKind::Exp, 0.0, (0.0, 0.0), &x, None);
+    for (i, (&xi, &yi)) in x.iter().zip(y.iter()).enumerate() {
+        assert_eq!(yi, kernels::i_exp(xi, Q), "exp element {i}");
+    }
+}
+
+#[test]
+fn compiled_erf_matches_kernel_bit_for_bit() {
+    let x: Vec<i32> = (-16..16).map(|i| i * fx(0.2)).collect();
+    let y = run_elementwise(OpKind::Erf, 0.0, (0.0, 0.0), &x, None);
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        assert_eq!(yi, kernels::i_erf(xi, Q));
+    }
+}
+
+#[test]
+fn compiled_gelu_tracks_kernel() {
+    let x: Vec<i32> = (-16..16).map(|i| i * fx(0.25)).collect();
+    let y = run_elementwise(OpKind::Gelu, 0.0, (0.0, 0.0), &x, None);
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        let want = kernels::i_gelu(xi, Q);
+        // the template reorders the halving; allow a 2-LSB rounding skew
+        assert!(
+            (yi - want).abs() <= (want.abs() >> 10).max(2),
+            "gelu({xi}) = {want}, compiled {yi}"
+        );
+    }
+}
+
+#[test]
+fn compiled_sigmoid_matches_kernel_bit_for_bit() {
+    let x: Vec<i32> = (-16..16).map(|i| i * fx(0.4)).collect();
+    let y = run_elementwise(OpKind::Sigmoid, 0.0, (0.0, 0.0), &x, None);
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        assert_eq!(yi, kernels::i_sigmoid(xi, Q), "sigmoid({xi})");
+    }
+}
+
+#[test]
+fn compiled_tanh_tracks_kernel() {
+    let x: Vec<i32> = (-16..16).map(|i| i * fx(0.2)).collect();
+    let y = run_elementwise(OpKind::Tanh, 0.0, (0.0, 0.0), &x, None);
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        let want = kernels::i_tanh(xi, Q);
+        assert!(
+            (yi - want).abs() <= 2,
+            "tanh({xi}) = {want}, compiled {yi}"
+        );
+    }
+}
+
+#[test]
+fn compiled_sqrt_matches_kernel_bit_for_bit() {
+    let x: Vec<i32> = (0..32).map(|i| i * fx(0.25)).collect();
+    let y = run_elementwise(OpKind::Sqrt, 0.0, (0.0, 0.0), &x, None);
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        assert_eq!(yi, kernels::i_sqrt(xi, Q), "sqrt({xi})");
+    }
+}
+
+#[test]
+fn compiled_reciprocal_matches_kernel() {
+    let x: Vec<i32> = (1..=32).map(|i| i * fx(0.3)).collect();
+    let y = run_elementwise(OpKind::Reciprocal, 0.0, (0.0, 0.0), &x, None);
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        assert_eq!(yi, kernels::i_reciprocal(xi, Q));
+    }
+}
+
+#[test]
+fn compiled_comparisons_produce_predicates() {
+    let a: Vec<i32> = (0..16).collect();
+    let b: Vec<i32> = (0..16).rev().collect();
+    let gt = run_elementwise(OpKind::Greater, 0.0, (0.0, 0.0), &a, Some(&b));
+    for i in 0..16usize {
+        assert_eq!(gt[i], i32::from(a[i] > b[i]));
+    }
+}
+
+#[test]
+fn compiled_softmax_matches_kernel_bit_for_bit() {
+    // 2 groups × 8 reduce-rows, lanes carry 8 independent instances.
+    let (mut proc, mut dram, low) = machine();
+    let groups = 2u16;
+    let d = 8u16;
+    let rows = (groups * d) as usize;
+    let x: Vec<i32> = (0..rows * LANES)
+        .map(|i| ((i * 37) % 23) as i32 * fx(0.13) - fx(1.0))
+        .collect();
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, &x)
+        .unwrap();
+    let xv = view(0, rows as u16);
+    let yv = view(rows as u16, rows as u16);
+    let prog = low.softmax_tile(groups, d, xv, yv).unwrap();
+    proc.run(&prog, &mut dram).unwrap();
+    let y = proc
+        .scratchpad(Namespace::Interim1)
+        .dump_rows(rows, rows * LANES)
+        .unwrap();
+
+    // Reference: per (group, lane), softmax over the d entries.
+    for g in 0..groups as usize {
+        for lane in 0..LANES {
+            let xs: Vec<i32> = (0..d as usize)
+                .map(|r| x[(g * d as usize + r) * LANES + lane])
+                .collect();
+            let want = kernels::i_softmax(&xs, Q);
+            for (r, &w) in want.iter().enumerate() {
+                let got = y[(g * d as usize + r) * LANES + lane];
+                assert_eq!(got, w, "group {g} lane {lane} row {r}");
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_reduce_mean_matches_naive() {
+    let (mut proc, mut dram, low) = machine();
+    let groups = 3u16;
+    let d = 7u16;
+    let rows = (groups * d) as usize;
+    let x: Vec<i32> = (0..rows * LANES).map(|i| (i as i32 % 29) * 100).collect();
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, &x)
+        .unwrap();
+    let prog = low
+        .reduce_mean_tile(groups, d, d as i32, view(0, rows as u16), view(rows as u16, groups))
+        .unwrap();
+    proc.run(&prog, &mut dram).unwrap();
+    let y = proc
+        .scratchpad(Namespace::Interim1)
+        .dump_rows(rows, groups as usize * LANES)
+        .unwrap();
+    for g in 0..groups as usize {
+        for lane in 0..LANES {
+            let sum: i32 = (0..d as usize)
+                .map(|r| x[(g * d as usize + r) * LANES + lane])
+                .sum();
+            assert_eq!(y[g * LANES + lane], sum / d as i32);
+        }
+    }
+}
+
+#[test]
+fn compiled_maxpool_matches_naive() {
+    // 2×2 pool stride 2 over a 6×6 image, channels across lanes.
+    let (mut proc, mut dram, low) = machine();
+    let (h, w, k, s) = (6usize, 6usize, 2usize, 2usize);
+    let (oh, ow) = (3usize, 3usize);
+    let x: Vec<i32> = (0..h * w * LANES)
+        .map(|i| ((i * 13) % 101) as i32 - 50)
+        .collect();
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, &x)
+        .unwrap();
+    let prog = low
+        .window_tile(
+            OpKind::MaxPool,
+            w as u16,
+            oh as u16,
+            ow as u16,
+            k as u16,
+            s as u16,
+            view(0, (h * w) as u16),
+            None,
+            None,
+            view((h * w) as u16, (oh * ow) as u16),
+        )
+        .unwrap();
+    proc.run(&prog, &mut dram).unwrap();
+    let y = proc
+        .scratchpad(Namespace::Interim1)
+        .dump_rows(h * w, oh * ow * LANES)
+        .unwrap();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            for lane in 0..LANES {
+                let mut m = i32::MIN / 2;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let idx = ((oy * s + ky) * w + ox * s + kx) * LANES + lane;
+                        m = m.max(x[idx]);
+                    }
+                }
+                assert_eq!(y[(oy * ow + ox) * LANES + lane], m, "({oy},{ox},{lane})");
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_depthwise_conv_matches_naive() {
+    // 3×3 valid depthwise conv over a 6×6 image, stride 1.
+    let (mut proc, mut dram, low) = machine();
+    let (h, w, k, s) = (6usize, 6usize, 3usize, 1usize);
+    let (oh, ow) = (4usize, 4usize);
+    let x: Vec<i32> = (0..h * w * LANES)
+        .map(|i| fx(0.01) * (((i * 7) % 41) as i32 - 20))
+        .collect();
+    let wt: Vec<i32> = (0..k * k * LANES)
+        .map(|i| fx(0.05) * (((i * 11) % 13) as i32 - 6))
+        .collect();
+    let bias: Vec<i32> = (0..LANES).map(|i| fx(0.1) * i as i32).collect();
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, &x)
+        .unwrap();
+    proc.scratchpad_mut(Namespace::Interim2)
+        .load_rows(0, &wt)
+        .unwrap();
+    proc.scratchpad_mut(Namespace::Interim2)
+        .load_rows(k * k, &bias)
+        .unwrap();
+    let prog = low
+        .window_tile(
+            OpKind::DepthwiseConv,
+            w as u16,
+            oh as u16,
+            ow as u16,
+            k as u16,
+            s as u16,
+            view(0, (h * w) as u16),
+            Some(View {
+                ns: Namespace::Interim2,
+                base: 0,
+                rows: (k * k) as u16,
+            }),
+            Some(View {
+                ns: Namespace::Interim2,
+                base: (k * k) as u16,
+                rows: 1,
+            }),
+            view((h * w) as u16, (oh * ow) as u16),
+        )
+        .unwrap();
+    proc.run(&prog, &mut dram).unwrap();
+    let y = proc
+        .scratchpad(Namespace::Interim1)
+        .dump_rows(h * w, oh * ow * LANES)
+        .unwrap();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            for lane in 0..LANES {
+                let mut acc = bias[lane];
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let xi = x[((oy * s + ky) * w + ox * s + kx) * LANES + lane];
+                        let wi = wt[(ky * k + kx) * LANES + lane];
+                        acc = acc.wrapping_add(xi.wrapping_mul(wi));
+                    }
+                }
+                let expect = acc >> Q;
+                assert_eq!(
+                    y[(oy * ow + ox) * LANES + lane],
+                    expect,
+                    "({oy},{ox},{lane})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_broadcast_add_matches_naive() {
+    let (mut proc, mut dram, low) = machine();
+    let groups = 3u16;
+    let d = 5u16;
+    let rows = (groups * d) as usize;
+    let x: Vec<i32> = (0..rows * LANES).map(|i| i as i32).collect();
+    let c: Vec<i32> = (0..groups as usize * LANES).map(|i| 1000 * i as i32).collect();
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, &x)
+        .unwrap();
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(rows, &c)
+        .unwrap();
+    let prog = low
+        .broadcast_binary_tile(
+            OpKind::Add,
+            groups,
+            d,
+            view(0, rows as u16),
+            view(rows as u16, groups),
+            view(rows as u16 + groups, rows as u16),
+        )
+        .unwrap();
+    proc.run(&prog, &mut dram).unwrap();
+    let y = proc
+        .scratchpad(Namespace::Interim1)
+        .dump_rows(rows + groups as usize, rows * LANES)
+        .unwrap();
+    for g in 0..groups as usize {
+        for r in 0..d as usize {
+            for lane in 0..LANES {
+                assert_eq!(
+                    y[(g * d as usize + r) * LANES + lane],
+                    x[(g * d as usize + r) * LANES + lane] + c[g * LANES + lane]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_transpose_matches_naive() {
+    // Transpose an 8×8 block across lanes via the permute engine.
+    let (mut proc, mut dram, low) = machine();
+    let n = 8usize;
+    let x: Vec<i32> = (0..n * n).map(|i| i as i32).collect();
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, &x)
+        .unwrap();
+    let prog = low
+        .permute_tile(
+            view(0, n as u16),
+            View {
+                ns: Namespace::Interim2,
+                base: 0,
+                rows: n as u16,
+            },
+            &[n as u16, n as u16],
+            &[n as i16, 1],
+            &[1, n as i16],
+            true,
+        )
+        .unwrap();
+    proc.run(&prog, &mut dram).unwrap();
+    let y = proc
+        .scratchpad(Namespace::Interim2)
+        .dump_rows(0, n * n)
+        .unwrap();
+    for r in 0..n {
+        for c in 0..n {
+            assert_eq!(y[c * n + r], x[r * n + c]);
+        }
+    }
+}
+
+#[test]
+fn performance_mode_agrees_with_functional_on_compiled_softmax() {
+    let low = OpLowering::new(LANES, INTERIM_ROWS);
+    let prog = low
+        .softmax_tile(2, 8, view(0, 16), view(16, 16))
+        .unwrap();
+    let mut cfg = TandemConfig::tiny();
+    cfg.lanes = LANES;
+    cfg.interim_rows = INTERIM_ROWS;
+    let mut dram = Dram::new(64);
+    let mut f = TandemProcessor::with_mode(cfg.clone(), Mode::Functional);
+    let mut p = TandemProcessor::with_mode(cfg, Mode::Performance);
+    let rf = f.run(&prog, &mut dram).unwrap();
+    let rp = p.run(&prog, &mut dram).unwrap();
+    assert_eq!(rf, rp);
+}
+
+#[test]
+fn compiled_where_selects_against_broadcast_else() {
+    // Where(cond, then, else_const): the template moves the else constant
+    // then cond-moves the "then" values in — GPT-2's causal masking.
+    let cond: Vec<i32> = (0..16).map(|i| i32::from(i % 3 == 0)).collect();
+    let then_v: Vec<i32> = (0..16).map(|i| 100 + i).collect();
+    let y = run_elementwise(OpKind::Where, 0.0, (0.0, 0.0), &cond, Some(&then_v));
+    let else_v = -(8 << Q);
+    for i in 0..16 {
+        let want = if cond[i] != 0 { then_v[i] } else { else_v };
+        assert_eq!(y[i], want, "element {i}");
+    }
+}
+
+#[test]
+fn compiled_cast_saturates_to_int8() {
+    let x: Vec<i32> = vec![0, 127, 128, -128, -129, 1000, -1000, 42];
+    let y = run_elementwise(OpKind::Cast, 0.0, (0.0, 0.0), &x, None);
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        assert_eq!(yi, xi.clamp(-128, 127));
+    }
+}
+
+#[test]
+fn compiled_bitshift_requantizes() {
+    let x: Vec<i32> = (0..16).map(|i| i * 256 - 2048).collect();
+    let y = run_elementwise(OpKind::BitShift, 4.0, (0.0, 0.0), &x, None);
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        assert_eq!(yi, xi >> 4);
+    }
+}
+
+#[test]
+fn compiled_pow_cubes_for_gpt2_gelu() {
+    // GPT-2's tanh-GELU decomposition needs x³ in fixed point.
+    let x: Vec<i32> = (-8..8).map(|i| i * fx(0.25)).collect();
+    let y = run_elementwise(OpKind::Pow, 3.0, (0.0, 0.0), &x, None);
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        let sq = (xi.wrapping_mul(xi)) >> Q;
+        let want = (sq.wrapping_mul(xi)) >> Q;
+        assert_eq!(yi, want);
+    }
+}
+
+#[test]
+fn compiled_gelu_tanh_chain_tracks_f64() {
+    // The GPT-2 decomposition executed op by op:
+    // 0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))
+    let (mut proc, mut dram, low) = machine();
+    let n = 4 * LANES;
+    let rows = (n / LANES) as u16;
+    let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.1 - 1.6).collect();
+    let x_q: Vec<i32> = xs.iter().map(|&v| kernels::to_fixed(v, Q)).collect();
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, &x_q)
+        .unwrap();
+    // constant rows
+    let c1 = kernels::to_fixed(0.044715, Q);
+    let c2 = kernels::to_fixed((2.0 / std::f64::consts::PI).sqrt(), Q);
+    let half = kernels::to_fixed(0.5, Q);
+    let one = 1 << Q;
+    for (row, v) in [(5 * rows, c1), (6 * rows, c2), (7 * rows, half), (8 * rows, one)] {
+        proc.scratchpad_mut(Namespace::Interim1)
+            .load_rows(row as usize, &[v; LANES])
+            .unwrap();
+    }
+    let v = |base: u16, r: u16| view(base, r);
+    let steps = [
+        // x3 = x^3
+        low.elementwise_tile(OpKind::Pow, 3.0, (0.0, 0.0), rows, v(0, rows), None, v(rows, rows))
+            .unwrap(),
+        // t = x3 * 0.044715 (broadcast row)
+        low.broadcast_binary_tile(OpKind::Mul, 1, rows, v(rows, rows), v(5 * rows, 1), v(2 * rows, rows))
+            .unwrap(),
+        // t = x + t
+        low.elementwise_tile(OpKind::Add, 0.0, (0.0, 0.0), rows, v(0, rows), Some(v(2 * rows, rows)), v(2 * rows, rows))
+            .unwrap(),
+        // t = t * sqrt(2/pi)
+        low.broadcast_binary_tile(OpKind::Mul, 1, rows, v(2 * rows, rows), v(6 * rows, 1), v(2 * rows, rows))
+            .unwrap(),
+        // t = tanh(t)
+        low.elementwise_tile(OpKind::Tanh, 0.0, (0.0, 0.0), rows, v(2 * rows, rows), None, v(3 * rows, rows))
+            .unwrap(),
+        // t = t + 1
+        low.broadcast_binary_tile(OpKind::Add, 1, rows, v(3 * rows, rows), v(8 * rows, 1), v(3 * rows, rows))
+            .unwrap(),
+        // y = x * t ; y = y * 0.5
+        low.elementwise_tile(OpKind::Mul, 0.0, (0.0, 0.0), rows, v(0, rows), Some(v(3 * rows, rows)), v(4 * rows, rows))
+            .unwrap(),
+        low.broadcast_binary_tile(OpKind::Mul, 1, rows, v(4 * rows, rows), v(7 * rows, 1), v(4 * rows, rows))
+            .unwrap(),
+    ];
+    for p in &steps {
+        proc.run(p, &mut dram).unwrap();
+    }
+    let out = proc
+        .scratchpad(Namespace::Interim1)
+        .dump_rows(4 * rows as usize, n)
+        .unwrap();
+    for (i, (&xf, &yq)) in xs.iter().zip(out.iter()).enumerate() {
+        let inner = (2.0f64 / std::f64::consts::PI).sqrt() * (xf + 0.044715 * xf.powi(3));
+        let want = 0.5 * xf * (1.0 + inner.tanh());
+        let got = kernels::from_fixed(yq, Q);
+        assert!(
+            (got - want).abs() < 0.03,
+            "gelu_tanh({xf}) at {i}: want {want:.4}, got {got:.4}"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Cross-validation of the two ground truths: for the same graph node,
+//! the *compiled integer program* executed on the simulated Tandem
+//! pipeline must agree (within quantization error) with the *f32
+//! reference interpreter* — the compiler, the simulator, and the
+//! reference executor triangulate each other.
+
+use std::collections::HashMap;
+use tandem_compiler::{kernels, OpLowering, View};
+use tandem_core::{Dram, TandemConfig, TandemProcessor};
+use tandem_isa::Namespace;
+use tandem_model::interp::{self, TensorData};
+use tandem_model::{GraphBuilder, OpKind, Shape};
+
+const LANES: usize = 8;
+const Q: u32 = 14;
+
+/// Compiles and functionally runs `kind` over `xs_f`, returning real
+/// numbers.
+fn compiled(kind: OpKind, alpha: f64, clip: (f64, f64), xs_f: &[f32]) -> Vec<f64> {
+    let mut cfg = TandemConfig::tiny();
+    cfg.lanes = LANES;
+    cfg.interim_rows = 128;
+    let low = OpLowering::new(LANES, 128);
+    let rows = xs_f.len().div_ceil(LANES) as u16;
+    let x_q: Vec<i32> = xs_f.iter().map(|&v| kernels::to_fixed(v as f64, Q)).collect();
+    let mut proc = TandemProcessor::new(cfg);
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, &x_q)
+        .unwrap();
+    let prog = low
+        .elementwise_tile(
+            kind,
+            alpha,
+            clip,
+            rows,
+            View {
+                ns: Namespace::Interim1,
+                base: 0,
+                rows,
+            },
+            None,
+            View {
+                ns: Namespace::Interim1,
+                base: rows,
+                rows,
+            },
+        )
+        .unwrap();
+    let mut dram = Dram::new(64);
+    proc.run(&prog, &mut dram).unwrap();
+    proc.scratchpad(Namespace::Interim1)
+        .dump_rows(rows as usize, xs_f.len())
+        .unwrap()
+        .iter()
+        .map(|&v| kernels::from_fixed(v, Q))
+        .collect()
+}
+
+/// Runs the same op through the f32 interpreter.
+fn interpreted(kind: OpKind, alpha: f64, clip: (f64, f64), xs_f: &[f32]) -> Vec<f32> {
+    let mut b = GraphBuilder::new("x", 2026);
+    let x = b.input("x", [1, xs_f.len()]);
+    let y = match kind {
+        OpKind::Relu => b.relu(x),
+        OpKind::Sigmoid => b.sigmoid(x),
+        OpKind::Tanh => b.tanh(x),
+        OpKind::Clip => b.clip(x, clip.0, clip.1),
+        OpKind::LeakyRelu => b.leaky_relu(x, alpha),
+        other => panic!("not wired: {other}"),
+    };
+    b.output(y);
+    let g = b.finish();
+    let env = interp::run(
+        &g,
+        &HashMap::from([(
+            x,
+            TensorData::new(Shape::from([1, xs_f.len()]), xs_f.to_vec()),
+        )]),
+    )
+    .unwrap();
+    env[&g.outputs()[0]].data.clone()
+}
+
+fn check(kind: OpKind, alpha: f64, clip: (f64, f64), tol: f64) {
+    let xs: Vec<f32> = (0..4 * LANES).map(|i| i as f32 * 0.22 - 3.5).collect();
+    let a = compiled(kind, alpha, clip, &xs);
+    let b = interpreted(kind, alpha, clip, &xs);
+    for (i, (&c, &f)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (c - f as f64).abs() < tol,
+            "{kind} at {i} (x={}): compiled {c:.5}, interpreted {f:.5}",
+            xs[i]
+        );
+    }
+}
+
+#[test]
+fn relu_agrees_exactly_up_to_quantization() {
+    check(OpKind::Relu, 0.0, (0.0, 0.0), 1.0 / (1 << Q) as f64 + 1e-9);
+}
+
+#[test]
+fn clip_agrees() {
+    check(OpKind::Clip, 0.0, (0.0, 6.0), 2.0 / (1 << Q) as f64);
+}
+
+#[test]
+fn leaky_relu_agrees() {
+    check(OpKind::LeakyRelu, 0.1, (0.0, 0.0), 1e-3);
+}
+
+#[test]
+fn sigmoid_agrees_within_ibert_error() {
+    check(OpKind::Sigmoid, 0.0, (0.0, 0.0), 0.01);
+}
+
+#[test]
+fn tanh_agrees_within_ibert_error() {
+    check(OpKind::Tanh, 0.0, (0.0, 0.0), 0.02);
+}
+
+#[test]
+fn softmax_distribution_agrees() {
+    // compiled integer softmax vs interpreted f32 softmax on one row
+    let d = 12usize;
+    let xs: Vec<f32> = (0..d).map(|i| i as f32 * 0.4 - 2.0).collect();
+
+    // interpreter side
+    let mut b = GraphBuilder::new("s", 2026);
+    let x = b.input("x", [1, d]);
+    let y = b.softmax(x, -1);
+    b.output(y);
+    let g = b.finish();
+    let env = interp::run(
+        &g,
+        &HashMap::from([(x, TensorData::new(Shape::from([1, d]), xs.clone()))]),
+    )
+    .unwrap();
+    let want = &env[&g.outputs()[0]].data;
+
+    // compiled side: lanes carry copies of the row
+    let mut cfg = TandemConfig::tiny();
+    cfg.lanes = LANES;
+    cfg.interim_rows = 128;
+    let low = OpLowering::new(LANES, 128);
+    let mut proc = TandemProcessor::new(cfg);
+    let mut data = Vec::new();
+    for &v in &xs {
+        data.extend(std::iter::repeat_n(kernels::to_fixed(v as f64, Q), LANES));
+    }
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, &data)
+        .unwrap();
+    let prog = low
+        .softmax_tile(
+            1,
+            d as u16,
+            View {
+                ns: Namespace::Interim1,
+                base: 0,
+                rows: d as u16,
+            },
+            View {
+                ns: Namespace::Interim1,
+                base: d as u16,
+                rows: d as u16,
+            },
+        )
+        .unwrap();
+    let mut dram = Dram::new(64);
+    proc.run(&prog, &mut dram).unwrap();
+    let got = proc
+        .scratchpad(Namespace::Interim1)
+        .dump_rows(d, d * LANES)
+        .unwrap();
+    for (r, &w) in want.iter().enumerate() {
+        let g = kernels::from_fixed(got[r * LANES], Q);
+        assert!(
+            (g - w as f64).abs() < 0.01,
+            "softmax[{r}]: compiled {g:.5}, interpreted {w:.5}"
+        );
+    }
+}

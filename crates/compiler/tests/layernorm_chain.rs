@@ -1,0 +1,161 @@
+//! LayerNorm end to end: the nine-primitive decomposition the zoo's BERT
+//! graph carries (ReduceMean → Sub → Pow → ReduceMean → Add → Sqrt → Div →
+//! Mul → Add) is compiled template by template, chained through the
+//! Interim BUFs on one simulated processor, and validated against `f64`
+//! LayerNorm — the deepest compiled-arithmetic test in the suite.
+
+use tandem_compiler::{kernels, OpLowering, View};
+use tandem_core::{Dram, TandemConfig, TandemProcessor};
+use tandem_isa::Namespace;
+use tandem_model::OpKind;
+
+const LANES: usize = 8; // 8 independent tokens across lanes
+const D: u16 = 16; // hidden size along rows
+const Q: u32 = 14;
+
+fn view(base: u16, rows: u16) -> View {
+    View {
+        ns: Namespace::Interim1,
+        base,
+        rows,
+    }
+}
+
+#[test]
+fn compiled_layernorm_chain_matches_f64() {
+    let mut cfg = TandemConfig::tiny();
+    cfg.lanes = LANES;
+    cfg.interim_rows = 256;
+    let low = OpLowering::new(LANES, cfg.interim_rows);
+    let mut proc = TandemProcessor::new(cfg);
+    let mut dram = Dram::new(64);
+
+    // Region map in Interim BUF 1 (rows):
+    //   x: 0..D     centred: D..2D   sq: 2D..3D    norm: 3D..4D
+    //   mean: 4D    var: 4D+1        eps: 4D+2     std: 4D+3
+    //   gamma: 5D..6D   beta: 6D..7D   y: 7D..8D
+    let x = view(0, D);
+    let centred = view(D, D);
+    let sq = view(2 * D, D);
+    let norm = view(3 * D, D);
+    let mean = view(4 * D, 1);
+    let var = view(4 * D + 1, 1);
+    let eps = view(4 * D + 2, 1);
+    let std = view(4 * D + 3, 1);
+    let gamma = view(5 * D, D);
+    let beta = view(6 * D, D);
+    let y = view(7 * D, D);
+
+    // --- input data: per-token activations with distinct stats ---
+    let xs: Vec<f64> = (0..D as usize * LANES)
+        .map(|i| {
+            let token = i % LANES;
+            let row = i / LANES;
+            ((row * 7 + token * 13) % 19) as f64 * 0.22 - 2.0 + token as f64 * 0.1
+        })
+        .collect();
+    let x_q: Vec<i32> = xs.iter().map(|&v| kernels::to_fixed(v, Q)).collect();
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, &x_q)
+        .unwrap();
+    // affine parameters, replicated across lanes (hidden dim is along rows)
+    let gamma_f: Vec<f64> = (0..D as usize).map(|r| 0.8 + 0.025 * r as f64).collect();
+    let beta_f: Vec<f64> = (0..D as usize).map(|r| -0.3 + 0.04 * r as f64).collect();
+    let rep = |vals: &[f64]| -> Vec<i32> {
+        vals.iter()
+            .flat_map(|&v| std::iter::repeat_n(kernels::to_fixed(v, Q), LANES))
+            .collect()
+    };
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(gamma.base as usize, &rep(&gamma_f))
+        .unwrap();
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(beta.base as usize, &rep(&beta_f))
+        .unwrap();
+    let eps_f = 1e-3;
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(eps.base as usize, &[kernels::to_fixed(eps_f, Q); LANES])
+        .unwrap();
+
+    // --- compile and run the nine steps ---
+    let programs = [
+        low.reduce_mean_tile(1, D, D as i32, x, mean).unwrap(),
+        low.broadcast_binary_tile(OpKind::Sub, 1, D, x, mean, centred)
+            .unwrap(),
+        low.elementwise_tile(OpKind::Pow, 2.0, (0.0, 0.0), D, centred, None, sq)
+            .unwrap(),
+        low.reduce_mean_tile(1, D, D as i32, sq, var).unwrap(),
+        low.elementwise_tile(OpKind::Add, 0.0, (0.0, 0.0), 1, var, Some(eps), view(4 * D + 1, 1))
+            .unwrap(),
+        low.elementwise_tile(OpKind::Sqrt, 0.0, (0.0, 0.0), 1, var, None, std)
+            .unwrap(),
+        low.broadcast_binary_tile(OpKind::Div, 1, D, centred, std, norm)
+            .unwrap(),
+        low.elementwise_tile(OpKind::Mul, 0.0, (0.0, 0.0), D, norm, Some(gamma), view(3 * D, D))
+            .unwrap(),
+        low.elementwise_tile(OpKind::Add, 0.0, (0.0, 0.0), D, norm, Some(beta), y)
+            .unwrap(),
+    ];
+    for p in &programs {
+        proc.run(p, &mut dram).unwrap();
+    }
+
+    // --- validate against f64 LayerNorm per token ---
+    let out = proc
+        .scratchpad(Namespace::Interim1)
+        .dump_rows(y.base as usize, D as usize * LANES)
+        .unwrap();
+    for token in 0..LANES {
+        let vals: Vec<f64> = (0..D as usize).map(|r| xs[r * LANES + token]).collect();
+        let mean_f: f64 = vals.iter().sum::<f64>() / D as f64;
+        let var_f: f64 =
+            vals.iter().map(|v| (v - mean_f).powi(2)).sum::<f64>() / D as f64;
+        let std_f = (var_f + eps_f).sqrt();
+        for r in 0..D as usize {
+            let want = (vals[r] - mean_f) / std_f * gamma_f[r] + beta_f[r];
+            let got = kernels::from_fixed(out[r * LANES + token], Q);
+            assert!(
+                (got - want).abs() < 0.03,
+                "token {token} row {r}: want {want:.4}, got {got:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn layernorm_chain_is_shift_invariant() {
+    // LayerNorm(x + c) == LayerNorm(x): a structural invariant the
+    // compiled chain must preserve (mean subtraction removes c exactly in
+    // integer arithmetic).
+    let run = |offset: f64| -> Vec<i32> {
+        let mut cfg = TandemConfig::tiny();
+        cfg.lanes = LANES;
+        cfg.interim_rows = 256;
+        let low = OpLowering::new(LANES, cfg.interim_rows);
+        let mut proc = TandemProcessor::new(cfg);
+        let mut dram = Dram::new(64);
+        let x = view(0, D);
+        let centred = view(D, D);
+        let mean = view(4 * D, 1);
+        let xs: Vec<i32> = (0..D as usize * LANES)
+            .map(|i| kernels::to_fixed(((i % 23) as f64) * 0.1 - 1.0 + offset, Q))
+            .collect();
+        proc.scratchpad_mut(Namespace::Interim1)
+            .load_rows(0, &xs)
+            .unwrap();
+        let p1 = low.reduce_mean_tile(1, D, D as i32, x, mean).unwrap();
+        let p2 = low
+            .broadcast_binary_tile(OpKind::Sub, 1, D, x, mean, centred)
+            .unwrap();
+        proc.run(&p1, &mut dram).unwrap();
+        proc.run(&p2, &mut dram).unwrap();
+        proc.scratchpad(Namespace::Interim1)
+            .dump_rows(D as usize, D as usize * LANES)
+            .unwrap()
+    };
+    let base = run(0.0);
+    let shifted = run(1.5);
+    for (i, (a, b)) in base.iter().zip(shifted.iter()).enumerate() {
+        assert!((a - b).abs() <= 1, "centred value differs at {i}: {a} vs {b}");
+    }
+}

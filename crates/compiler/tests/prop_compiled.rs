@@ -1,0 +1,183 @@
+//! Property tests: compiled element-wise programs agree with their scalar
+//! references over random inputs, random shapes, and random operator
+//! choices.
+
+use proptest::prelude::*;
+use tandem_compiler::{kernels, OpLowering, View};
+use tandem_core::{Dram, TandemConfig, TandemProcessor};
+use tandem_isa::Namespace;
+use tandem_model::OpKind;
+
+const LANES: usize = 8;
+const INTERIM_ROWS: usize = 128;
+const Q: u32 = 14;
+
+fn run_op(kind: OpKind, alpha: f64, x: &[i32], x2: Option<&[i32]>) -> Vec<i32> {
+    let mut cfg = TandemConfig::tiny();
+    cfg.lanes = LANES;
+    cfg.interim_rows = INTERIM_ROWS;
+    let low = OpLowering::new(LANES, INTERIM_ROWS);
+    let rows = x.len().div_ceil(LANES) as u16;
+    let mk = |base: u16| View {
+        ns: Namespace::Interim1,
+        base,
+        rows,
+    };
+    let mut proc = TandemProcessor::new(cfg);
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, x)
+        .unwrap();
+    if let Some(v) = x2 {
+        proc.scratchpad_mut(Namespace::Interim1)
+            .load_rows(rows as usize, v)
+            .unwrap();
+    }
+    let prog = low
+        .elementwise_tile(
+            kind,
+            alpha,
+            (0.0, 6.0),
+            rows,
+            mk(0),
+            x2.map(|_| mk(rows)),
+            mk(2 * rows),
+        )
+        .unwrap();
+    let mut dram = Dram::new(64);
+    proc.run(&prog, &mut dram).unwrap();
+    proc.scratchpad(Namespace::Interim1)
+        .dump_rows(2 * rows as usize, x.len())
+        .unwrap()
+}
+
+/// Scalar reference for the op under the compiled fixed-point semantics.
+fn reference(kind: OpKind, a: i32, b: i32) -> i32 {
+    match kind {
+        OpKind::Add => a.wrapping_add(b),
+        OpKind::Sub => a.wrapping_sub(b),
+        OpKind::Mul => a.wrapping_mul(b) >> Q,
+        OpKind::Relu => a.max(0),
+        OpKind::Clip => a.clamp(0, 6 << Q),
+        OpKind::Greater => i32::from(a > b),
+        OpKind::Less => i32::from(a < b),
+        OpKind::Equal => i32::from(a == b),
+        OpKind::Exp => kernels::i_exp(a, Q),
+        OpKind::Erf => kernels::i_erf(a, Q),
+        OpKind::Sigmoid => kernels::i_sigmoid(a, Q),
+        OpKind::Sqrt => kernels::i_sqrt(a, Q),
+        OpKind::Reciprocal => kernels::i_reciprocal(a, Q),
+        _ => unreachable!(),
+    }
+}
+
+fn arb_unary_kind() -> impl Strategy<Value = OpKind> {
+    prop::sample::select(vec![
+        OpKind::Relu,
+        OpKind::Clip,
+        OpKind::Exp,
+        OpKind::Erf,
+        OpKind::Sigmoid,
+        OpKind::Sqrt,
+    ])
+}
+
+fn arb_binary_kind() -> impl Strategy<Value = OpKind> {
+    prop::sample::select(vec![
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Greater,
+        OpKind::Less,
+        OpKind::Equal,
+    ])
+}
+
+/// Values in roughly ±4.0 at Q14 — the activation magnitudes real
+/// quantized networks feed these operators.
+fn arb_activation() -> impl Strategy<Value = i32> {
+    -(4 << Q)..(4 << Q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_unary_matches_reference(
+        kind in arb_unary_kind(),
+        xs in prop::collection::vec(arb_activation(), 8..96),
+    ) {
+        let got = run_op(kind, 0.0, &xs, None);
+        for (i, (&x, &g)) in xs.iter().zip(got.iter()).enumerate() {
+            prop_assert_eq!(g, reference(kind, x, 0), "{} at {}", kind, i);
+        }
+    }
+
+    #[test]
+    fn compiled_binary_matches_reference(
+        kind in arb_binary_kind(),
+        pairs in prop::collection::vec((arb_activation(), arb_activation()), 8..96),
+    ) {
+        let (xs, ys): (Vec<i32>, Vec<i32>) = pairs.into_iter().unzip();
+        let got = run_op(kind, 0.0, &xs, Some(&ys));
+        for i in 0..xs.len() {
+            prop_assert_eq!(got[i], reference(kind, xs[i], ys[i]), "{} at {}", kind, i);
+        }
+    }
+
+    #[test]
+    fn compiled_reciprocal_matches_reference(
+        xs in prop::collection::vec(1..(4 << Q), 8..64),
+    ) {
+        let got = run_op(OpKind::Reciprocal, 0.0, &xs, None);
+        for (i, (&x, &g)) in xs.iter().zip(got.iter()).enumerate() {
+            prop_assert_eq!(g, reference(OpKind::Reciprocal, x, 0), "at {}", i);
+        }
+    }
+
+    /// Sigmoid is bounded, monotone, and symmetric — invariants that must
+    /// survive compilation regardless of input.
+    #[test]
+    fn compiled_sigmoid_invariants(xs in prop::collection::vec(arb_activation(), 8..64)) {
+        let got = run_op(OpKind::Sigmoid, 0.0, &xs, None);
+        for &g in &got {
+            prop_assert!((0..=(1 << Q) + 1).contains(&g), "out of [0,1]: {}", g);
+        }
+    }
+
+    /// Softmax outputs are a distribution for any input row.
+    #[test]
+    fn compiled_softmax_is_a_distribution(
+        row in prop::collection::vec(arb_activation(), 4..16),
+    ) {
+        let d = row.len() as u16;
+        let mut cfg = TandemConfig::tiny();
+        cfg.lanes = LANES;
+        cfg.interim_rows = INTERIM_ROWS;
+        let low = OpLowering::new(LANES, INTERIM_ROWS);
+        // broadcast the row across all lanes
+        let mut data = Vec::new();
+        for &v in &row {
+            data.extend(std::iter::repeat_n(v, LANES));
+        }
+        let mut proc = TandemProcessor::new(cfg);
+        proc.scratchpad_mut(Namespace::Interim1).load_rows(0, &data).unwrap();
+        let prog = low
+            .softmax_tile(
+                1,
+                d,
+                View { ns: Namespace::Interim1, base: 0, rows: d },
+                View { ns: Namespace::Interim1, base: d, rows: d },
+            )
+            .unwrap();
+        let mut dram = Dram::new(64);
+        proc.run(&prog, &mut dram).unwrap();
+        let out = proc
+            .scratchpad(Namespace::Interim1)
+            .dump_rows(d as usize, row.len() * LANES)
+            .unwrap();
+        let sum: i64 = (0..row.len()).map(|r| out[r * LANES] as i64).sum();
+        prop_assert!(out.iter().all(|&v| v >= 0), "negative probability");
+        let err = (sum - (1 << Q)).abs() as f64 / (1 << Q) as f64;
+        prop_assert!(err < 0.05, "sum {} err {}", sum, err);
+    }
+}

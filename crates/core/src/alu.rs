@@ -1,0 +1,140 @@
+//! The INT32 primitive operation set of the SIMD lanes (paper §3.4).
+//!
+//! Arithmetic wraps like the RTL's two's-complement datapath; division by
+//! zero saturates. Complex operators (GeLU, Softmax, Exp, …) are *not*
+//! primitives — the compiler expands them over this set (paper: "the
+//! calculations of the non-GEMM layers are only supported through primitive
+//! arithmetic/logic vector operations").
+
+use tandem_isa::{AluFunc, CalculusFunc, CastTarget, ComparisonFunc};
+
+/// Evaluates one binary ALU primitive on a pair of lane values.
+/// For [`AluFunc::Macc`] and [`AluFunc::CondMove`], `dst` carries the
+/// destination's prior value (read-modify-write semantics).
+pub fn alu_binary(func: AluFunc, a: i32, b: i32, dst: i32) -> i32 {
+    match func {
+        AluFunc::Add => a.wrapping_add(b),
+        AluFunc::Sub => a.wrapping_sub(b),
+        AluFunc::Mul => a.wrapping_mul(b),
+        AluFunc::Macc => dst.wrapping_add(a.wrapping_mul(b)),
+        AluFunc::Div => {
+            if b == 0 {
+                if a >= 0 {
+                    i32::MAX
+                } else {
+                    i32::MIN
+                }
+            } else if a == i32::MIN && b == -1 {
+                i32::MAX
+            } else {
+                a / b
+            }
+        }
+        AluFunc::Max => a.max(b),
+        AluFunc::Min => a.min(b),
+        AluFunc::Shl => a.wrapping_shl((b & 31) as u32),
+        AluFunc::Shr => a.wrapping_shr((b & 31) as u32),
+        AluFunc::Not => !a,
+        AluFunc::And => a & b,
+        AluFunc::Or => a | b,
+        AluFunc::Move => a,
+        AluFunc::CondMove => {
+            if b != 0 {
+                a
+            } else {
+                dst
+            }
+        }
+    }
+}
+
+/// `true` when the function ignores its second source operand.
+pub fn alu_is_unary(func: AluFunc) -> bool {
+    matches!(func, AluFunc::Not | AluFunc::Move)
+}
+
+/// Evaluates one calculus (unary mathematical) primitive.
+pub fn calculus(func: CalculusFunc, a: i32) -> i32 {
+    match func {
+        CalculusFunc::Abs => a.wrapping_abs(),
+        CalculusFunc::Sign => a.signum(),
+        CalculusFunc::Neg => a.wrapping_neg(),
+    }
+}
+
+/// Evaluates one comparison primitive, producing a 0/1 predicate.
+pub fn compare(func: ComparisonFunc, a: i32, b: i32) -> i32 {
+    let r = match func {
+        ComparisonFunc::Eq => a == b,
+        ComparisonFunc::Ne => a != b,
+        ComparisonFunc::Gt => a > b,
+        ComparisonFunc::Ge => a >= b,
+        ComparisonFunc::Lt => a < b,
+        ComparisonFunc::Le => a <= b,
+    };
+    r as i32
+}
+
+/// Saturating cast to a fixed-point target width (paper §5:
+/// `DATATYPE_CAST` to FXP32/16/8/4 "needed by the GEMM unit").
+pub fn saturate_to(target: CastTarget, a: i32) -> i32 {
+    let (lo, hi) = target.range();
+    a.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn division_saturates_instead_of_trapping() {
+        assert_eq!(alu_binary(AluFunc::Div, 5, 0, 0), i32::MAX);
+        assert_eq!(alu_binary(AluFunc::Div, -5, 0, 0), i32::MIN);
+        assert_eq!(alu_binary(AluFunc::Div, i32::MIN, -1, 0), i32::MAX);
+        assert_eq!(alu_binary(AluFunc::Div, 7, 2, 0), 3);
+        assert_eq!(alu_binary(AluFunc::Div, -7, 2, 0), -3);
+    }
+
+    #[test]
+    fn macc_accumulates_into_dst() {
+        assert_eq!(alu_binary(AluFunc::Macc, 3, 4, 10), 22);
+    }
+
+    #[test]
+    fn cond_move_is_predicated() {
+        assert_eq!(alu_binary(AluFunc::CondMove, 42, 1, 7), 42);
+        assert_eq!(alu_binary(AluFunc::CondMove, 42, 0, 7), 7);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(alu_binary(AluFunc::Shl, 1, 33, 0), 2);
+        assert_eq!(alu_binary(AluFunc::Shr, -8, 1, 0), -4); // arithmetic
+    }
+
+    #[test]
+    fn sign_and_abs() {
+        assert_eq!(calculus(CalculusFunc::Sign, -9), -1);
+        assert_eq!(calculus(CalculusFunc::Sign, 0), 0);
+        assert_eq!(calculus(CalculusFunc::Sign, 3), 1);
+        assert_eq!(calculus(CalculusFunc::Abs, -9), 9);
+        assert_eq!(calculus(CalculusFunc::Neg, 5), -5);
+    }
+
+    #[test]
+    fn comparisons_produce_predicates() {
+        assert_eq!(compare(ComparisonFunc::Gt, 2, 1), 1);
+        assert_eq!(compare(ComparisonFunc::Gt, 1, 2), 0);
+        assert_eq!(compare(ComparisonFunc::Le, 1, 1), 1);
+        assert_eq!(compare(ComparisonFunc::Ne, 1, 1), 0);
+    }
+
+    #[test]
+    fn casts_saturate() {
+        assert_eq!(saturate_to(CastTarget::Fxp8, 1000), 127);
+        assert_eq!(saturate_to(CastTarget::Fxp8, -1000), -128);
+        assert_eq!(saturate_to(CastTarget::Fxp4, 100), 7);
+        assert_eq!(saturate_to(CastTarget::Fxp16, 100), 100);
+        assert_eq!(saturate_to(CastTarget::Fxp32, i32::MIN), i32::MIN);
+    }
+}

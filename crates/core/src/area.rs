@@ -1,0 +1,97 @@
+//! Post-layout area model (paper Figure 26: 1.02 mm² in GF 65 nm; ALU
+//! 56.6%, Interim BUF 1&2 29.2%, permute logic 12.0%, the rest muxing /
+//! pipeline registers / Code Repeater / decode).
+
+use crate::config::TandemConfig;
+
+/// Component areas in mm² (65 nm node).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// INT32 SIMD ALU lanes.
+    pub alu_mm2: f64,
+    /// Interim BUF 1 & 2 SRAM.
+    pub interim_mm2: f64,
+    /// Permute engine (shuffle network + control).
+    pub permute_mm2: f64,
+    /// Muxing, pipeline registers, Code Repeater, decode.
+    pub other_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.alu_mm2 + self.interim_mm2 + self.permute_mm2 + self.other_mm2
+    }
+
+    /// `(alu, interim, permute, other)` fractions of the total.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total_mm2().max(f64::MIN_POSITIVE);
+        (
+            self.alu_mm2 / t,
+            self.interim_mm2 / t,
+            self.permute_mm2 / t,
+            self.other_mm2 / t,
+        )
+    }
+}
+
+/// Linear area model: per-lane ALU/permute area and per-KB SRAM area,
+/// fitted to the paper's post-layout numbers at the Table 3 configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// ALU area per lane (mm², 65 nm).
+    pub alu_per_lane_mm2: f64,
+    /// SRAM area per KB (mm², 65 nm).
+    pub sram_per_kb_mm2: f64,
+    /// Permute network area per lane (mm², 65 nm; the crossbar grows with
+    /// lane count).
+    pub permute_per_lane_mm2: f64,
+    /// Fixed area of decode/Code Repeater/pipeline registers (mm²).
+    pub fixed_mm2: f64,
+}
+
+impl AreaModel {
+    /// The model fitted to Figure 26 (1.02 mm² total at 32 lanes / 128 KB).
+    pub fn paper() -> Self {
+        AreaModel {
+            alu_per_lane_mm2: 0.5773 / 32.0,
+            sram_per_kb_mm2: 0.2978 / 128.0,
+            permute_per_lane_mm2: 0.1224 / 32.0,
+            fixed_mm2: 0.0225,
+        }
+    }
+
+    /// Area of a Tandem Processor at the given configuration.
+    pub fn breakdown(&self, cfg: &TandemConfig) -> AreaBreakdown {
+        let interim_kb = (2 * cfg.interim_bytes()) as f64 / 1024.0;
+        AreaBreakdown {
+            alu_mm2: self.alu_per_lane_mm2 * cfg.lanes as f64,
+            interim_mm2: self.sram_per_kb_mm2 * interim_kb,
+            permute_mm2: self.permute_per_lane_mm2 * cfg.lanes as f64,
+            other_mm2: self.fixed_mm2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_reproduces_figure_26() {
+        let area = AreaModel::paper().breakdown(&TandemConfig::paper());
+        assert!((area.total_mm2() - 1.02).abs() < 0.01, "{}", area.total_mm2());
+        let (alu, interim, permute, _other) = area.fractions();
+        assert!((alu - 0.566).abs() < 0.01, "alu {alu}");
+        assert!((interim - 0.292).abs() < 0.01, "interim {interim}");
+        assert!((permute - 0.120).abs() < 0.01, "permute {permute}");
+    }
+
+    #[test]
+    fn area_scales_with_lanes() {
+        let small = AreaModel::paper().breakdown(&TandemConfig::tiny());
+        let big = AreaModel::paper().breakdown(&TandemConfig::paper());
+        assert!(small.alu_mm2 < big.alu_mm2);
+        assert!(small.total_mm2() < big.total_mm2());
+    }
+}

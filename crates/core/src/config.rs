@@ -1,0 +1,115 @@
+//! Microarchitectural configuration (paper Table 3).
+
+/// Configuration of one Tandem Processor instance.
+///
+/// The default values ([`TandemConfig::paper`]) reproduce Table 3 of the
+/// paper: 32 SIMD lanes, 128 KB of Interim BUF (two 64 KB buffers), a
+/// 128 KB GEMM-unit Output BUF, INT32 datapath, 1 GHz.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TandemConfig {
+    /// Number of SIMD ALU lanes (= scratchpad banks; one scratchpad row
+    /// holds `lanes` 32-bit words).
+    pub lanes: usize,
+    /// Rows in each Interim BUF (per-buffer capacity = `rows × lanes × 4`
+    /// bytes).
+    pub interim_rows: usize,
+    /// Rows in the Output BUF view (the GEMM unit's accumulator buffer the
+    /// Tandem Processor takes fluid ownership of).
+    pub obuf_rows: usize,
+    /// IMM BUF slots (paper: 32).
+    pub imm_slots: usize,
+    /// Clock frequency in GHz (paper: 1 GHz in both 65 nm and 15 nm).
+    pub freq_ghz: f64,
+    /// Sustained DRAM bandwidth in 4-byte words per cycle
+    /// (4 words/cycle × 4 B × 1 GHz = 16 GB/s, a LPDDR4x-class interface).
+    pub dram_words_per_cycle: f64,
+    /// Fixed DRAM transaction latency per DMA burst, in cycles.
+    pub dram_latency_cycles: u64,
+    /// Pipeline depth (fill cost charged once per loop nest).
+    pub pipeline_depth: u64,
+}
+
+impl TandemConfig {
+    /// The configuration of Table 3.
+    pub fn paper() -> Self {
+        TandemConfig {
+            lanes: 32,
+            // 64 KB per Interim BUF = 16K words = 512 rows of 32 lanes.
+            interim_rows: 512,
+            // 128 KB accumulators = 32K words = 1024 rows.
+            obuf_rows: 1024,
+            imm_slots: 32,
+            freq_ghz: 1.0,
+            dram_words_per_cycle: 4.0,
+            dram_latency_cycles: 100,
+            pipeline_depth: 8,
+        }
+    }
+
+    /// A small configuration for unit tests (8 lanes, 64-row buffers).
+    pub fn tiny() -> Self {
+        TandemConfig {
+            lanes: 8,
+            interim_rows: 64,
+            obuf_rows: 128,
+            imm_slots: 32,
+            freq_ghz: 1.0,
+            dram_words_per_cycle: 4.0,
+            dram_latency_cycles: 10,
+            pipeline_depth: 8,
+        }
+    }
+
+    /// Scales compute resources by `factor` (lanes and DRAM bandwidth),
+    /// used by the iso-TOPs A100 comparison (§7: "scale up … by 216×").
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut cfg = self.clone();
+        cfg.lanes = ((self.lanes as f64) * factor).round() as usize;
+        // Bandwidth scales to the HBM-class memory of the iso-TOPs setting.
+        cfg.dram_words_per_cycle = self.dram_words_per_cycle * factor.sqrt() * 8.0;
+        cfg
+    }
+
+    /// Peak INT32 throughput in Gops/s.
+    pub fn peak_gops(&self) -> f64 {
+        self.lanes as f64 * self.freq_ghz
+    }
+
+    /// Sustained DRAM bandwidth in GB/s.
+    pub fn dram_gbps(&self) -> f64 {
+        self.dram_words_per_cycle * 4.0 * self.freq_ghz
+    }
+
+    /// Capacity of one Interim BUF in bytes.
+    pub fn interim_bytes(&self) -> usize {
+        self.interim_rows * self.lanes * 4
+    }
+}
+
+impl Default for TandemConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table3() {
+        let cfg = TandemConfig::paper();
+        assert_eq!(cfg.lanes, 32);
+        // Interim BUF 1&2 total 128 KB.
+        assert_eq!(cfg.interim_bytes() * 2, 128 * 1024);
+        assert_eq!(cfg.peak_gops(), 32.0);
+        assert_eq!(cfg.dram_gbps(), 16.0);
+    }
+
+    #[test]
+    fn scaling_grows_lanes() {
+        let cfg = TandemConfig::paper().scaled(216.0);
+        assert_eq!(cfg.lanes, 32 * 216);
+        assert!(cfg.dram_gbps() > TandemConfig::paper().dram_gbps());
+    }
+}

@@ -1,0 +1,422 @@
+//! The Data Access Engine and the off-chip DRAM model (paper §3.1, §4.1).
+//!
+//! The DAE replaces the load/store path of conventional SIMD processors: it
+//! is configured once per tensor with a base address and strided loop
+//! nests, then a single `TILE_LD_ST START` instruction streams an entire
+//! tile between DRAM and an Interim BUF. "The tiled data may be even
+//! dispersed across non-contiguous regions of memory lines, yet statically
+//! arranged in strided patterns" (§4.1).
+
+use crate::config::TandemConfig;
+use crate::error::SimError;
+use crate::scratchpad::Scratchpad;
+use tandem_isa::{TileBuffer, TileDirection};
+
+/// Word-addressed DRAM with a bandwidth/latency cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dram {
+    data: Vec<i32>,
+}
+
+impl Dram {
+    /// Allocates `words` zeroed 4-byte words.
+    pub fn new(words: usize) -> Self {
+        Dram {
+            data: vec![0; words],
+        }
+    }
+
+    /// Capacity in words.
+    pub fn words(&self) -> usize {
+        self.data.len()
+    }
+
+    fn check(&self, addr: i64) -> Result<usize, SimError> {
+        if addr < 0 || addr as usize >= self.data.len() {
+            Err(SimError::DramOutOfRange {
+                addr,
+                words: self.data.len(),
+            })
+        } else {
+            Ok(addr as usize)
+        }
+    }
+
+    /// Reads one word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DramOutOfRange`] outside the modelled capacity.
+    pub fn read(&self, addr: i64) -> Result<i32, SimError> {
+        Ok(self.data[self.check(addr)?])
+    }
+
+    /// Writes one word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DramOutOfRange`] outside the modelled capacity.
+    pub fn write(&mut self, addr: i64, value: i32) -> Result<(), SimError> {
+        let i = self.check(addr)?;
+        self.data[i] = value;
+        Ok(())
+    }
+
+    /// Bulk-initializes a region (test/NPU setup helper).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DramOutOfRange`] if the slice does not fit.
+    pub fn load(&mut self, base: usize, values: &[i32]) -> Result<(), SimError> {
+        if base + values.len() > self.data.len() {
+            return Err(SimError::DramOutOfRange {
+                addr: (base + values.len()) as i64,
+                words: self.data.len(),
+            });
+        }
+        self.data[base..base + values.len()].copy_from_slice(values);
+        Ok(())
+    }
+
+    /// Reads a contiguous region.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DramOutOfRange`] if the range exceeds capacity.
+    pub fn dump(&self, base: usize, len: usize) -> Result<Vec<i32>, SimError> {
+        if base + len > self.data.len() {
+            return Err(SimError::DramOutOfRange {
+                addr: (base + len) as i64,
+                words: self.data.len(),
+            });
+        }
+        Ok(self.data[base..base + len].to_vec())
+    }
+}
+
+const MAX_DAE_LOOPS: usize = 4;
+
+/// One direction's transfer plan: a DRAM base address, an outer "tile grid"
+/// loop nest advanced once per `START`, and an intra-tile loop nest walked
+/// per transfer. The innermost unit is one scratchpad row (`lanes`
+/// consecutive DRAM words).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferPlan {
+    /// DRAM base word address (assembled from two 16-bit configuration
+    /// immediates).
+    pub base_addr: i64,
+    /// Outer (tile-grid) loop `(count, word-stride)` pairs.
+    pub base_loops: [(u32, i64); MAX_DAE_LOOPS],
+    /// Intra-tile loop `(count, word-stride)` pairs; the product of counts
+    /// is the number of rows transferred.
+    pub tile_loops: [(u32, i64); MAX_DAE_LOOPS],
+    /// Target Interim buffer.
+    pub buf: TileBuffer,
+    /// Live odometer over `base_loops`, advanced after each `START`
+    /// (paper §4.2: "the Data Access Engine reuses the initialized
+    /// configurations and incrementally updates them").
+    tile_counters: [u32; MAX_DAE_LOOPS],
+    configured: bool,
+}
+
+impl Default for TransferPlan {
+    fn default() -> Self {
+        TransferPlan {
+            base_addr: 0,
+            base_loops: [(1, 0); MAX_DAE_LOOPS],
+            tile_loops: [(1, 0); MAX_DAE_LOOPS],
+            buf: TileBuffer::Interim1,
+            tile_counters: [0; MAX_DAE_LOOPS],
+            configured: false,
+        }
+    }
+}
+
+impl TransferPlan {
+    /// Rows transferred per tile.
+    pub fn rows_per_tile(&self) -> u64 {
+        self.tile_loops.iter().map(|&(c, _)| c as u64).product()
+    }
+
+    fn grid_offset(&self) -> i64 {
+        self.base_loops
+            .iter()
+            .zip(self.tile_counters.iter())
+            .map(|(&(_, stride), &c)| c as i64 * stride)
+            .sum()
+    }
+
+    fn advance_grid(&mut self) {
+        // Odometer over the grid, innermost (highest index) first.
+        for i in (0..MAX_DAE_LOOPS).rev() {
+            self.tile_counters[i] += 1;
+            if self.tile_counters[i] < self.base_loops[i].0 {
+                return;
+            }
+            self.tile_counters[i] = 0;
+        }
+    }
+}
+
+/// The Data Access Engine: two independent transfer plans (load and store)
+/// plus the DMA cost model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataAccessEngine {
+    /// DRAM → Interim BUF plan.
+    pub load: TransferPlan,
+    /// Interim BUF → DRAM plan.
+    pub store: TransferPlan,
+}
+
+impl DataAccessEngine {
+    /// Creates an unconfigured engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable access to one direction's plan.
+    pub fn plan_mut(&mut self, dir: TileDirection) -> &mut TransferPlan {
+        match dir {
+            TileDirection::Load => &mut self.load,
+            TileDirection::Store => &mut self.store,
+        }
+    }
+
+    /// Applies one 16-bit immediate to the plan's base address
+    /// (`half = 0` low, `half = 1` high).
+    pub fn config_base_addr(&mut self, dir: TileDirection, half: u8, imm: u16) {
+        let plan = self.plan_mut(dir);
+        if half & 1 == 0 {
+            plan.base_addr = (plan.base_addr & !0xffff) | imm as i64;
+        } else {
+            plan.base_addr = (plan.base_addr & 0xffff) | ((imm as i64) << 16);
+        }
+        plan.configured = true;
+    }
+
+    /// Configures one loop level's iteration count or stride. `loop_idx`
+    /// bit 4 selects the upper 16 bits of the value; bits 0–3 select the
+    /// level.
+    pub fn config_loop(
+        &mut self,
+        dir: TileDirection,
+        tile_level: bool,
+        is_stride: bool,
+        loop_idx: u8,
+        imm: u16,
+    ) {
+        let plan = self.plan_mut(dir);
+        let level = (loop_idx & 0x7) as usize % MAX_DAE_LOOPS;
+        let high = loop_idx & 0x10 != 0;
+        let loops = if tile_level {
+            &mut plan.tile_loops
+        } else {
+            &mut plan.base_loops
+        };
+        if is_stride {
+            let s = &mut loops[level].1;
+            if high {
+                *s = (*s & 0xffff) | ((imm as i64) << 16);
+            } else {
+                // low half sign-extends so small negative strides work
+                *s = imm as i16 as i64;
+            }
+        } else {
+            let c = &mut loops[level].0;
+            if high {
+                *c = (*c & 0xffff) | ((imm as u32) << 16);
+            } else {
+                *c = imm as u32;
+            }
+        }
+        plan.configured = true;
+        plan.tile_counters = [0; MAX_DAE_LOOPS];
+    }
+
+    /// Executes one `START`: streams a tile between DRAM and `spad`
+    /// (functionally when `functional`), advances the tile-grid odometer,
+    /// and returns `(rows_transferred, cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DaeNotConfigured`] if `START` precedes configuration;
+    /// [`SimError::DramOutOfRange`] / [`SimError::AddressOutOfRange`] on a
+    /// bad address in functional mode.
+    pub fn start(
+        &mut self,
+        dir: TileDirection,
+        cfg: &TandemConfig,
+        dram: &mut Dram,
+        spad: &mut Scratchpad,
+        functional: bool,
+    ) -> Result<(u64, u64), SimError> {
+        let lanes = cfg.lanes;
+        let plan = match dir {
+            TileDirection::Load => &mut self.load,
+            TileDirection::Store => &mut self.store,
+        };
+        if !plan.configured {
+            return Err(SimError::DaeNotConfigured);
+        }
+        let rows = plan.rows_per_tile();
+        if functional {
+            let tile_base = plan.base_addr + plan.grid_offset();
+            let counts: Vec<u32> = plan.tile_loops.iter().map(|&(c, _)| c).collect();
+            let strides: Vec<i64> = plan.tile_loops.iter().map(|&(_, s)| s).collect();
+            let mut counters = [0u32; MAX_DAE_LOOPS];
+            let mut spad_row: i64 = 0;
+            'outer: loop {
+                let offset: i64 = counters
+                    .iter()
+                    .zip(strides.iter())
+                    .map(|(&c, &s)| c as i64 * s)
+                    .sum();
+                let dram_addr = tile_base + offset;
+                match dir {
+                    TileDirection::Load => {
+                        for lane in 0..lanes {
+                            let v = dram.read(dram_addr + lane as i64)?;
+                            spad.set_element(spad_row, lane, v)?;
+                        }
+                    }
+                    TileDirection::Store => {
+                        for lane in 0..lanes {
+                            let v = spad.element(spad_row, lane)?;
+                            dram.write(dram_addr + lane as i64, v)?;
+                        }
+                    }
+                }
+                spad_row += 1;
+                // Odometer over tile loops, innermost last.
+                for i in (0..MAX_DAE_LOOPS).rev() {
+                    counters[i] += 1;
+                    if counters[i] < counts[i] {
+                        continue 'outer;
+                    }
+                    counters[i] = 0;
+                    if i == 0 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        plan.advance_grid();
+        let words = rows * lanes as u64;
+        let cycles =
+            cfg.dram_latency_cycles + (words as f64 / cfg.dram_words_per_cycle).ceil() as u64;
+        Ok((rows, cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tandem_isa::Namespace;
+
+    fn cfg() -> TandemConfig {
+        TandemConfig::tiny() // 8 lanes
+    }
+
+    #[test]
+    fn contiguous_load_roundtrip() {
+        let cfg = cfg();
+        let mut dram = Dram::new(4096);
+        let data: Vec<i32> = (0..64).collect();
+        dram.load(100, &data).unwrap();
+        let mut spad = Scratchpad::new(Namespace::Interim1, 64, cfg.lanes);
+        let mut dae = DataAccessEngine::new();
+        dae.config_base_addr(TileDirection::Load, 0, 100);
+        dae.config_loop(TileDirection::Load, true, false, 0, 8); // 8 rows
+        dae.config_loop(TileDirection::Load, true, true, 0, 8); // stride 8 words
+        let (rows, cycles) = dae
+            .start(TileDirection::Load, &cfg, &mut dram, &mut spad, true)
+            .unwrap();
+        assert_eq!(rows, 8);
+        assert!(cycles >= 8);
+        assert_eq!(spad.dump_rows(0, 64).unwrap(), data);
+    }
+
+    #[test]
+    fn strided_gather_skips_dram_rows() {
+        // Load every other 8-word line: stride 16.
+        let cfg = cfg();
+        let mut dram = Dram::new(4096);
+        let data: Vec<i32> = (0..128).collect();
+        dram.load(0, &data).unwrap();
+        let mut spad = Scratchpad::new(Namespace::Interim1, 64, cfg.lanes);
+        let mut dae = DataAccessEngine::new();
+        dae.config_base_addr(TileDirection::Load, 0, 0);
+        dae.config_loop(TileDirection::Load, true, false, 0, 4);
+        dae.config_loop(TileDirection::Load, true, true, 0, 16);
+        dae.start(TileDirection::Load, &cfg, &mut dram, &mut spad, true)
+            .unwrap();
+        assert_eq!(spad.element(0, 0).unwrap(), 0);
+        assert_eq!(spad.element(1, 0).unwrap(), 16);
+        assert_eq!(spad.element(3, 7).unwrap(), 55);
+    }
+
+    #[test]
+    fn tile_grid_advances_between_starts() {
+        let cfg = cfg();
+        let mut dram = Dram::new(4096);
+        let data: Vec<i32> = (0..256).collect();
+        dram.load(0, &data).unwrap();
+        let mut spad = Scratchpad::new(Namespace::Interim1, 64, cfg.lanes);
+        let mut dae = DataAccessEngine::new();
+        dae.config_base_addr(TileDirection::Load, 0, 0);
+        // grid: 2 tiles, 64 words apart
+        dae.config_loop(TileDirection::Load, false, false, 0, 2);
+        dae.config_loop(TileDirection::Load, false, true, 0, 64);
+        // tile: 2 rows of 8
+        dae.config_loop(TileDirection::Load, true, false, 0, 2);
+        dae.config_loop(TileDirection::Load, true, true, 0, 8);
+        dae.start(TileDirection::Load, &cfg, &mut dram, &mut spad, true)
+            .unwrap();
+        assert_eq!(spad.element(0, 0).unwrap(), 0);
+        dae.start(TileDirection::Load, &cfg, &mut dram, &mut spad, true)
+            .unwrap();
+        // second tile starts 64 words in
+        assert_eq!(spad.element(0, 0).unwrap(), 64);
+    }
+
+    #[test]
+    fn store_writes_back() {
+        let cfg = cfg();
+        let mut dram = Dram::new(1024);
+        let mut spad = Scratchpad::new(Namespace::Interim2, 64, cfg.lanes);
+        spad.load_rows(0, &(100..116).collect::<Vec<i32>>()).unwrap();
+        let mut dae = DataAccessEngine::new();
+        dae.config_base_addr(TileDirection::Store, 0, 512);
+        dae.config_loop(TileDirection::Store, true, false, 0, 2);
+        dae.config_loop(TileDirection::Store, true, true, 0, 8);
+        dae.start(TileDirection::Store, &cfg, &mut dram, &mut spad, true)
+            .unwrap();
+        assert_eq!(dram.dump(512, 16).unwrap(), (100..116).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn start_without_config_fails() {
+        let cfg = cfg();
+        let mut dram = Dram::new(64);
+        let mut spad = Scratchpad::new(Namespace::Interim1, 8, cfg.lanes);
+        let mut dae = DataAccessEngine::new();
+        assert_eq!(
+            dae.start(TileDirection::Load, &cfg, &mut dram, &mut spad, true),
+            Err(SimError::DaeNotConfigured)
+        );
+    }
+
+    #[test]
+    fn out_of_range_dram_reports_error() {
+        let cfg = cfg();
+        let mut dram = Dram::new(32);
+        let mut spad = Scratchpad::new(Namespace::Interim1, 8, cfg.lanes);
+        let mut dae = DataAccessEngine::new();
+        dae.config_base_addr(TileDirection::Load, 0, 30);
+        dae.config_loop(TileDirection::Load, true, false, 0, 1);
+        assert!(matches!(
+            dae.start(TileDirection::Load, &cfg, &mut dram, &mut spad, true),
+            Err(SimError::DramOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,82 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+use tandem_isa::Namespace;
+
+/// An architectural-level error raised while simulating a program.
+///
+/// These correspond to conditions that would be hardware bugs or
+/// compiler-contract violations on the real chip — the simulator surfaces
+/// them instead of silently corrupting state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A computed scratchpad row address fell outside the namespace.
+    AddressOutOfRange {
+        /// Namespace accessed.
+        ns: Namespace,
+        /// The offending row.
+        row: i64,
+        /// Namespace capacity in rows.
+        rows: usize,
+    },
+    /// A compute instruction named the IMM BUF as its destination.
+    ImmDestination,
+    /// `LOOP SET_INDEX` was issued before any `SET_ITER` configured a level.
+    IndexWithoutLoop,
+    /// `LOOP SET_NUM_INST` declared a body extending past the program end,
+    /// or containing a non-compute instruction.
+    MalformedLoopBody {
+        /// Program counter of the SET_NUM_INST instruction.
+        pc: usize,
+    },
+    /// More loop levels configured than the Code Repeater supports.
+    TooManyLoopLevels {
+        /// Levels requested.
+        requested: usize,
+    },
+    /// A DMA transfer touched DRAM outside the modelled capacity.
+    DramOutOfRange {
+        /// The offending word address.
+        addr: i64,
+        /// Modelled DRAM size in words.
+        words: usize,
+    },
+    /// The Data Access Engine was started without a complete configuration.
+    DaeNotConfigured,
+    /// A permute was started without a complete configuration.
+    PermuteNotConfigured,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::AddressOutOfRange { ns, row, rows } => {
+                write!(f, "row {row} outside namespace {ns} ({rows} rows)")
+            }
+            SimError::ImmDestination => {
+                write!(f, "IMM BUF cannot be a compute destination")
+            }
+            SimError::IndexWithoutLoop => {
+                write!(f, "LOOP SET_INDEX issued before any SET_ITER")
+            }
+            SimError::MalformedLoopBody { pc } => {
+                write!(f, "malformed loop body declared at pc {pc}")
+            }
+            SimError::TooManyLoopLevels { requested } => {
+                write!(f, "{requested} loop levels exceed the Code Repeater's 8")
+            }
+            SimError::DramOutOfRange { addr, words } => {
+                write!(f, "DRAM word address {addr} outside modelled {words} words")
+            }
+            SimError::DaeNotConfigured => {
+                write!(f, "data access engine started without configuration")
+            }
+            SimError::PermuteNotConfigured => {
+                write!(f, "permute engine started without configuration")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}

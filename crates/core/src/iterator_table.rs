@@ -1,0 +1,80 @@
+//! Per-namespace Iterator Tables (paper §3.2, Figure 7).
+//!
+//! Each namespace owns a 32-entry table of ⟨offset, stride⟩ tuples. A
+//! compute instruction's ⟨namespace, iterator index⟩ operand selects an
+//! entry whose *offset* provides the operand's base row; the Code Repeater
+//! adds the entries' *strides* scaled by the live loop counters (one bound
+//! iterator per loop level per operand slot).
+
+use tandem_isa::ITERATOR_TABLE_ENTRIES;
+
+/// One iterator-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IteratorEntry {
+    /// Base row offset within the namespace.
+    pub offset: u16,
+    /// Row stride applied per advance of the loop level this iterator is
+    /// bound to.
+    pub stride: i16,
+}
+
+/// A 32-entry iterator table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IteratorTable {
+    entries: [IteratorEntry; ITERATOR_TABLE_ENTRIES],
+}
+
+impl IteratorTable {
+    /// A zeroed table.
+    pub fn new() -> Self {
+        IteratorTable {
+            entries: [IteratorEntry::default(); ITERATOR_TABLE_ENTRIES],
+        }
+    }
+
+    /// Reads entry `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32` (the ISA field is 5 bits, so decoded
+    /// instructions can never trigger this).
+    pub fn entry(&self, index: u8) -> IteratorEntry {
+        self.entries[index as usize]
+    }
+
+    /// Sets the base offset of entry `index` (ITERATOR_CONFIG BASE_ADDR).
+    pub fn set_offset(&mut self, index: u8, offset: u16) {
+        self.entries[index as usize].offset = offset;
+    }
+
+    /// Sets the stride of entry `index` (ITERATOR_CONFIG STRIDE).
+    pub fn set_stride(&mut self, index: u8, stride: i16) {
+        self.entries[index as usize].stride = stride;
+    }
+}
+
+impl Default for IteratorTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configure_and_read() {
+        let mut t = IteratorTable::new();
+        t.set_offset(3, 100);
+        t.set_stride(3, -2);
+        assert_eq!(
+            t.entry(3),
+            IteratorEntry {
+                offset: 100,
+                stride: -2
+            }
+        );
+        assert_eq!(t.entry(0), IteratorEntry::default());
+    }
+}

@@ -1,0 +1,241 @@
+//! The Permute Engine (paper §5, Figure 9): multi-dimensional tensor
+//! permutation between namespaces, with optional cross-lane shuffling.
+//!
+//! Addresses are *flat word addresses* within a namespace
+//! (`row × lanes + lane`); each configured dimension carries an extent plus
+//! independent source and destination word strides, so any transpose /
+//! reshape-with-copy is a single engine launch.
+
+use crate::error::SimError;
+use crate::scratchpad::Scratchpad;
+use tandem_isa::Namespace;
+
+const MAX_PERMUTE_DIMS: usize = 8;
+
+/// One permutation descriptor plus its execution logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermuteEngine {
+    src_ns: Namespace,
+    dst_ns: Namespace,
+    src_base: i64,
+    dst_base: i64,
+    extents: [u32; MAX_PERMUTE_DIMS],
+    src_strides: [i64; MAX_PERMUTE_DIMS],
+    dst_strides: [i64; MAX_PERMUTE_DIMS],
+    configured: bool,
+}
+
+impl Default for PermuteEngine {
+    fn default() -> Self {
+        PermuteEngine {
+            src_ns: Namespace::Interim1,
+            dst_ns: Namespace::Interim2,
+            src_base: 0,
+            dst_base: 0,
+            extents: [1; MAX_PERMUTE_DIMS],
+            src_strides: [0; MAX_PERMUTE_DIMS],
+            dst_strides: [0; MAX_PERMUTE_DIMS],
+            configured: false,
+        }
+    }
+}
+
+impl PermuteEngine {
+    /// Creates an unconfigured engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `PERMUTE SET_BASE_ADDR`.
+    pub fn set_base(&mut self, is_dst: bool, ns: Namespace, addr: u16) {
+        if is_dst {
+            self.dst_ns = ns;
+            self.dst_base = addr as i64;
+        } else {
+            self.src_ns = ns;
+            self.src_base = addr as i64;
+        }
+        self.configured = true;
+    }
+
+    /// `PERMUTE SET_LOOP_ITER` for dimension `dim`.
+    pub fn set_extent(&mut self, dim: u8, count: u16) {
+        self.extents[dim as usize % MAX_PERMUTE_DIMS] = count.max(1) as u32;
+        self.configured = true;
+    }
+
+    /// `PERMUTE SET_LOOP_STRIDE` for one side of dimension `dim` (word
+    /// stride, signed).
+    pub fn set_stride(&mut self, is_dst: bool, dim: u8, stride: i16) {
+        let d = dim as usize % MAX_PERMUTE_DIMS;
+        if is_dst {
+            self.dst_strides[d] = stride as i64;
+        } else {
+            self.src_strides[d] = stride as i64;
+        }
+        self.configured = true;
+    }
+
+    /// Total words the configured permutation moves.
+    pub fn words(&self) -> u64 {
+        self.extents.iter().map(|&e| e as u64).product()
+    }
+
+    /// Executes the permutation. When `functional`, data actually moves
+    /// between the scratchpads selected at configuration time (`spads` is
+    /// the namespace-indexed scratchpad array). Returns `(words_moved,
+    /// cycles)`; a cross-lane shuffle costs twice the row rate of a
+    /// lane-aligned copy.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::PermuteNotConfigured`] before configuration, or an
+    /// address error from a stride walking outside a namespace.
+    pub fn start(
+        &mut self,
+        cross_lane: bool,
+        lanes: usize,
+        spads: &mut [Scratchpad; 4],
+        functional: bool,
+    ) -> Result<(u64, u64), SimError> {
+        if !self.configured {
+            return Err(SimError::PermuteNotConfigured);
+        }
+        let words = self.words();
+        if functional {
+            // Gather the full source stream first (models the engine's
+            // internal buffering and makes same-namespace permutes safe).
+            let mut gathered = Vec::with_capacity(words as usize);
+            let mut counters = [0u32; MAX_PERMUTE_DIMS];
+            loop {
+                let off: i64 = counters
+                    .iter()
+                    .zip(self.src_strides.iter())
+                    .map(|(&c, &s)| c as i64 * s)
+                    .sum();
+                let flat = self.src_base + off;
+                let (row, lane) = (flat.div_euclid(lanes as i64), flat.rem_euclid(lanes as i64));
+                gathered.push(spads[self.src_ns as usize].element(row, lane as usize)?);
+                if !advance(&mut counters, &self.extents) {
+                    break;
+                }
+            }
+            let mut counters = [0u32; MAX_PERMUTE_DIMS];
+            for v in gathered {
+                let off: i64 = counters
+                    .iter()
+                    .zip(self.dst_strides.iter())
+                    .map(|(&c, &s)| c as i64 * s)
+                    .sum();
+                let flat = self.dst_base + off;
+                let (row, lane) = (flat.div_euclid(lanes as i64), flat.rem_euclid(lanes as i64));
+                spads[self.dst_ns as usize].set_element(row, lane as usize, v)?;
+                advance(&mut counters, &self.extents);
+            }
+        }
+        let rows = words.div_ceil(lanes as u64);
+        let cycles = if cross_lane { rows * 2 } else { rows };
+        // One configuration is consumed per launch; the compiler
+        // reconfigures for the next permutation.
+        self.configured = false;
+        self.extents = [1; MAX_PERMUTE_DIMS];
+        self.src_strides = [0; MAX_PERMUTE_DIMS];
+        self.dst_strides = [0; MAX_PERMUTE_DIMS];
+        Ok((words, cycles))
+    }
+}
+
+/// Odometer increment, innermost (highest index) dimension fastest.
+/// Returns `false` once the space is exhausted.
+fn advance(counters: &mut [u32; MAX_PERMUTE_DIMS], extents: &[u32; MAX_PERMUTE_DIMS]) -> bool {
+    for i in (0..MAX_PERMUTE_DIMS).rev() {
+        counters[i] += 1;
+        if counters[i] < extents[i] {
+            return true;
+        }
+        counters[i] = 0;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spads(lanes: usize) -> [Scratchpad; 4] {
+        [
+            Scratchpad::new(Namespace::Interim1, 64, lanes),
+            Scratchpad::new(Namespace::Interim2, 64, lanes),
+            Scratchpad::new(Namespace::Imm, 4, lanes),
+            Scratchpad::new(Namespace::Obuf, 64, lanes),
+        ]
+    }
+
+    #[test]
+    fn transpose_4x8_across_lanes() {
+        let lanes = 8;
+        let mut sp = spads(lanes);
+        // source: 4 rows × 8 lanes holding v = r*8 + c at IBUF1
+        let src: Vec<i32> = (0..32).collect();
+        sp[0].load_rows(0, &src).unwrap();
+        let mut pe = PermuteEngine::new();
+        pe.set_base(false, Namespace::Interim1, 0);
+        pe.set_base(true, Namespace::Interim2, 0);
+        // dims: (rows=4, cols=8); src walks row-major, dst column-major.
+        pe.set_extent(0, 4);
+        pe.set_extent(1, 8);
+        pe.set_stride(false, 0, 8);
+        pe.set_stride(false, 1, 1);
+        pe.set_stride(true, 0, 1);
+        pe.set_stride(true, 1, 4);
+        let (words, cycles) = pe.start(true, lanes, &mut sp, true).unwrap();
+        assert_eq!(words, 32);
+        assert_eq!(cycles, 8); // 4 rows × 2 for cross-lane
+        // dst[c][r] = src[r][c] with dst as 8×4
+        for r in 0..4 {
+            for c in 0..8 {
+                let flat = (c * 4 + r) as i64;
+                let (row, lane) = (flat / lanes as i64, (flat % lanes as i64) as usize);
+                assert_eq!(sp[1].element(row, lane).unwrap(), r * 8 + c);
+            }
+        }
+    }
+
+    #[test]
+    fn start_without_config_fails_and_config_is_consumed() {
+        let lanes = 8;
+        let mut sp = spads(lanes);
+        let mut pe = PermuteEngine::new();
+        assert_eq!(
+            pe.start(false, lanes, &mut sp, true),
+            Err(SimError::PermuteNotConfigured)
+        );
+        pe.set_base(false, Namespace::Interim1, 0);
+        pe.set_extent(0, 2);
+        pe.set_stride(false, 0, 1);
+        pe.set_stride(true, 0, 1);
+        assert!(pe.start(false, lanes, &mut sp, true).is_ok());
+        // configuration consumed
+        assert_eq!(
+            pe.start(false, lanes, &mut sp, true),
+            Err(SimError::PermuteNotConfigured)
+        );
+    }
+
+    #[test]
+    fn lane_aligned_copy_costs_one_cycle_per_row() {
+        let lanes = 8;
+        let mut sp = spads(lanes);
+        sp[3].load_rows(0, &(0..16).collect::<Vec<i32>>()).unwrap();
+        let mut pe = PermuteEngine::new();
+        pe.set_base(false, Namespace::Obuf, 0);
+        pe.set_base(true, Namespace::Interim1, 0);
+        pe.set_extent(0, 16);
+        pe.set_stride(false, 0, 1);
+        pe.set_stride(true, 0, 1);
+        let (words, cycles) = pe.start(false, lanes, &mut sp, true).unwrap();
+        assert_eq!(words, 16);
+        assert_eq!(cycles, 2);
+        assert_eq!(sp[0].dump_rows(0, 16).unwrap(), (0..16).collect::<Vec<i32>>());
+    }
+}

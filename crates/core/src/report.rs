@@ -1,0 +1,52 @@
+//! Execution reports.
+
+use crate::energy::EventCounters;
+
+/// The result of simulating one program on the Tandem Processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunReport {
+    /// Cycles spent in the compute pipeline (configuration + Code Repeater
+    /// driven vector execution + permutes + sync).
+    pub compute_cycles: u64,
+    /// Cycles of Data Access Engine DMA activity. Under the double-buffered
+    /// execution of §4.2 DMA overlaps compute, so a block's latency is
+    /// `max(compute, dma)`, which [`RunReport::overlapped_cycles`] returns.
+    pub dma_cycles: u64,
+    /// Architectural event counts (feed [`crate::EnergyModel::energy`]).
+    pub counters: EventCounters,
+}
+
+impl RunReport {
+    /// Block latency assuming DMA/compute double-buffered overlap.
+    pub fn overlapped_cycles(&self) -> u64 {
+        self.compute_cycles.max(self.dma_cycles)
+    }
+
+    /// Serial (non-overlapped) latency — what a design without
+    /// double-buffering would pay.
+    pub fn serial_cycles(&self) -> u64 {
+        self.compute_cycles + self.dma_cycles
+    }
+
+    /// Wall-clock seconds at `freq_ghz`.
+    pub fn seconds(&self, freq_ghz: f64) -> f64 {
+        self.overlapped_cycles() as f64 / (freq_ghz * 1e9)
+    }
+
+    /// Multiplies cycles and events by `n` (an identical tile program
+    /// executed `n` times).
+    pub fn scaled(&self, n: u64) -> RunReport {
+        RunReport {
+            compute_cycles: self.compute_cycles * n,
+            dma_cycles: self.dma_cycles * n,
+            counters: self.counters.scaled(n),
+        }
+    }
+
+    /// Merges another report (sequential composition).
+    pub fn merge(&mut self, other: &RunReport) {
+        self.compute_cycles += other.compute_cycles;
+        self.dma_cycles += other.dma_cycles;
+        self.counters.merge(&other.counters);
+    }
+}

@@ -1,0 +1,179 @@
+//! Software-managed scratchpads (the "namespaces" of paper §4.1).
+
+use crate::error::SimError;
+use tandem_isa::Namespace;
+
+/// One banked scratchpad: `rows × lanes` INT32 words. A row (one word per
+/// bank/lane) is the unit every SIMD access reads or writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scratchpad {
+    ns: Namespace,
+    lanes: usize,
+    rows: usize,
+    data: Vec<i32>,
+}
+
+impl Scratchpad {
+    /// Allocates a zeroed scratchpad.
+    pub fn new(ns: Namespace, rows: usize, lanes: usize) -> Self {
+        Scratchpad {
+            ns,
+            lanes,
+            rows,
+            data: vec![0; rows * lanes],
+        }
+    }
+
+    /// The namespace this scratchpad backs.
+    pub fn namespace(&self) -> Namespace {
+        self.ns
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of lanes (banks).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Capacity in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    fn check(&self, row: i64) -> Result<usize, SimError> {
+        if row < 0 || row as usize >= self.rows {
+            Err(SimError::AddressOutOfRange {
+                ns: self.ns,
+                row,
+                rows: self.rows,
+            })
+        } else {
+            Ok(row as usize)
+        }
+    }
+
+    /// Borrows one row.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AddressOutOfRange`] when `row` is outside the scratchpad.
+    pub fn row(&self, row: i64) -> Result<&[i32], SimError> {
+        let r = self.check(row)?;
+        Ok(&self.data[r * self.lanes..(r + 1) * self.lanes])
+    }
+
+    /// Mutably borrows one row.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AddressOutOfRange`] when `row` is outside the scratchpad.
+    pub fn row_mut(&mut self, row: i64) -> Result<&mut [i32], SimError> {
+        let r = self.check(row)?;
+        Ok(&mut self.data[r * self.lanes..(r + 1) * self.lanes])
+    }
+
+    /// Reads a single element (for the Permute Engine's element-granular
+    /// moves and for tests).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AddressOutOfRange`] on a bad row; lane indices are
+    /// asserted.
+    pub fn element(&self, row: i64, lane: usize) -> Result<i32, SimError> {
+        assert!(lane < self.lanes);
+        Ok(self.row(row)?[lane])
+    }
+
+    /// Writes a single element.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AddressOutOfRange`] on a bad row.
+    pub fn set_element(&mut self, row: i64, lane: usize, value: i32) -> Result<(), SimError> {
+        assert!(lane < self.lanes);
+        self.row_mut(row)?[lane] = value;
+        Ok(())
+    }
+
+    /// Copies `src` into the rows starting at `start_row`, row-major
+    /// (used by the NPU to deposit GEMM output tiles into the Output BUF).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AddressOutOfRange`] if the data does not fit.
+    pub fn load_rows(&mut self, start_row: usize, src: &[i32]) -> Result<(), SimError> {
+        let rows_needed = src.len().div_ceil(self.lanes);
+        if start_row + rows_needed > self.rows {
+            return Err(SimError::AddressOutOfRange {
+                ns: self.ns,
+                row: (start_row + rows_needed) as i64,
+                rows: self.rows,
+            });
+        }
+        let base = start_row * self.lanes;
+        self.data[base..base + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Reads `count` words starting at `start_row`, row-major.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AddressOutOfRange`] if the range exceeds capacity.
+    pub fn dump_rows(&self, start_row: usize, count: usize) -> Result<Vec<i32>, SimError> {
+        let base = start_row * self.lanes;
+        if base + count > self.data.len() {
+            return Err(SimError::AddressOutOfRange {
+                ns: self.ns,
+                row: ((base + count) / self.lanes) as i64,
+                rows: self.rows,
+            });
+        }
+        Ok(self.data[base..base + count].to_vec())
+    }
+
+    /// Zeroes the scratchpad.
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_access_bounds() {
+        let mut sp = Scratchpad::new(Namespace::Interim1, 4, 8);
+        assert!(sp.row(0).is_ok());
+        assert!(sp.row(3).is_ok());
+        assert!(matches!(
+            sp.row(4),
+            Err(SimError::AddressOutOfRange { .. })
+        ));
+        assert!(sp.row(-1).is_err());
+        sp.row_mut(2).unwrap()[5] = 42;
+        assert_eq!(sp.element(2, 5).unwrap(), 42);
+    }
+
+    #[test]
+    fn load_dump_roundtrip() {
+        let mut sp = Scratchpad::new(Namespace::Obuf, 4, 8);
+        let data: Vec<i32> = (0..20).collect();
+        sp.load_rows(1, &data).unwrap();
+        assert_eq!(sp.dump_rows(1, 20).unwrap(), data);
+        assert_eq!(sp.element(1, 0).unwrap(), 0);
+        assert_eq!(sp.element(3, 3).unwrap(), 19);
+    }
+
+    #[test]
+    fn load_rejects_overflow() {
+        let mut sp = Scratchpad::new(Namespace::Interim2, 2, 4);
+        assert!(sp.load_rows(1, &[0; 8]).is_err());
+        assert!(sp.load_rows(0, &[0; 8]).is_ok());
+    }
+}

@@ -1,0 +1,79 @@
+//! GEMM unit configuration (paper Table 3, "Systolic Array" column).
+
+/// Configuration of the systolic-array GEMM unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmConfig {
+    /// PE array rows (the reduction/K dimension flows down rows).
+    pub rows: usize,
+    /// PE array columns (output channels flow across columns).
+    pub cols: usize,
+    /// Input + weight scratchpad capacity in bytes (Table 3: 384 KB).
+    pub scratchpad_bytes: usize,
+    /// Accumulator (Output BUF) capacity in bytes (Table 3: 128 KB).
+    pub accumulator_bytes: usize,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Sustained DRAM bandwidth in bytes per cycle (shared interface with
+    /// the Tandem Processor; 16 GB/s at 1 GHz).
+    pub dram_bytes_per_cycle: f64,
+}
+
+impl GemmConfig {
+    /// The Table 3 configuration.
+    pub fn paper() -> Self {
+        GemmConfig {
+            rows: 32,
+            cols: 32,
+            scratchpad_bytes: 384 * 1024,
+            accumulator_bytes: 128 * 1024,
+            freq_ghz: 1.0,
+            dram_bytes_per_cycle: 16.0,
+        }
+    }
+
+    /// Scales the MAC array by `factor` (keeping it square), used by the
+    /// iso-TOPs A100 study.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let side = ((self.rows * self.cols) as f64 * factor).sqrt().round() as usize;
+        GemmConfig {
+            rows: side,
+            cols: side,
+            scratchpad_bytes: (self.scratchpad_bytes as f64 * factor.sqrt()) as usize,
+            accumulator_bytes: (self.accumulator_bytes as f64 * factor.sqrt()) as usize,
+            dram_bytes_per_cycle: self.dram_bytes_per_cycle * factor.sqrt() * 8.0,
+            ..*self
+        }
+    }
+
+    /// Peak INT8 throughput in TOPS (2 ops per MAC).
+    pub fn peak_tops(&self) -> f64 {
+        (self.rows * self.cols) as f64 * 2.0 * self.freq_ghz / 1000.0
+    }
+}
+
+impl Default for GemmConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config() {
+        let cfg = GemmConfig::paper();
+        assert_eq!(cfg.rows * cfg.cols, 1024);
+        // 32×32 MACs at 1 GHz ≈ 2 TOPS INT8.
+        assert!((cfg.peak_tops() - 2.048).abs() < 0.01);
+    }
+
+    #[test]
+    fn scaling_hits_iso_tops_target() {
+        // 216× scale-up should land near A100's INT8 tensor TOPS (~442 ≈
+        // 2.048 × 216).
+        let scaled = GemmConfig::paper().scaled(216.0);
+        assert!((scaled.peak_tops() / (2.048 * 216.0) - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,51 @@
+//! GEMM unit energy model (paper §7: "we estimate the power of the GEMM
+//! unit using energy reports provided by prior works").
+
+/// Per-event energies for the systolic array, in picojoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmEnergyModel {
+    /// One INT8×INT8+INT32 MAC (logic + local register movement).
+    pub mac_pj: f64,
+    /// One byte of DRAM traffic (~15 pJ/B, matching the Tandem model).
+    pub dram_byte_pj: f64,
+    /// One INT32 accumulator (Output BUF) write.
+    pub acc_write_pj: f64,
+}
+
+impl GemmEnergyModel {
+    /// Calibrated 15 nm model.
+    pub fn paper() -> Self {
+        GemmEnergyModel {
+            mac_pj: 0.45,
+            dram_byte_pj: 15.0,
+            acc_write_pj: 2.2,
+        }
+    }
+
+    /// Energy of a GEMM execution, in nanojoules.
+    pub fn energy_nj(&self, macs: u64, dram_bytes: u64, outputs: u64) -> f64 {
+        (macs as f64 * self.mac_pj
+            + dram_bytes as f64 * self.dram_byte_pj
+            + outputs as f64 * self.acc_write_pj)
+            * 1e-3
+    }
+}
+
+impl Default for GemmEnergyModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_monotone_in_work() {
+        let m = GemmEnergyModel::paper();
+        assert!(m.energy_nj(1000, 100, 10) < m.energy_nj(2000, 100, 10));
+        assert!(m.energy_nj(1000, 100, 10) < m.energy_nj(1000, 200, 10));
+        assert_eq!(m.energy_nj(0, 0, 0), 0.0);
+    }
+}

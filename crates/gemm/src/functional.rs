@@ -1,0 +1,141 @@
+//! Functional INT8×INT8→INT32 kernels: the bit-level behaviour of the
+//! systolic array, used to validate end-to-end NPU execution against
+//! reference software (the validation methodology of paper §7).
+
+/// `C[m][n] = Σ_k A[m][k]·B[k][n]`, INT8 inputs accumulated in INT32.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the given dimensions.
+pub fn matmul_i8(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "A dimensions");
+    assert_eq!(b.len(), k * n, "B dimensions");
+    let mut c = vec![0i32; m * n];
+    for i in 0..m {
+        for l in 0..k {
+            let av = a[i * k + l] as i32;
+            if av == 0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += av * b[l * n + j] as i32;
+            }
+        }
+    }
+    c
+}
+
+/// Direct NCHW convolution (batch 1), "same" padding, square kernel,
+/// INT8 inputs / INT32 accumulation, with per-output-channel INT32 bias.
+///
+/// # Panics
+///
+/// Panics on inconsistent buffer sizes.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_i8(
+    input: &[i8],
+    weight: &[i8],
+    bias: &[i32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+) -> Vec<i32> {
+    assert_eq!(input.len(), in_c * h * w);
+    assert_eq!(weight.len(), out_c * in_c * kernel * kernel);
+    assert_eq!(bias.len(), out_c);
+    let oh = h.div_ceil(stride);
+    let ow = w.div_ceil(stride);
+    let pad = ((oh - 1) * stride + kernel).saturating_sub(h) / 2;
+    let mut out = vec![0i32; out_c * oh * ow];
+    for oc in 0..out_c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias[oc];
+                for ic in 0..in_c {
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                continue;
+                            }
+                            let iv = input[ic * h * w + iy as usize * w + ix as usize] as i32;
+                            let wv = weight
+                                [((oc * in_c + ic) * kernel + ky) * kernel + kx]
+                                as i32;
+                            acc += iv * wv;
+                        }
+                    }
+                }
+                out[oc * oh * ow + oy * ow + ox] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Requantizes INT32 accumulators back to INT8 by an arithmetic right
+/// shift with saturation — the `DATATYPE_CAST` path from the Tandem
+/// Processor back to the GEMM unit.
+pub fn requantize(acc: &[i32], shift: u32) -> Vec<i8> {
+    acc.iter()
+        .map(|&v| (v >> shift).clamp(i8::MIN as i32, i8::MAX as i32) as i8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matmul_identity() {
+        // 3×3 identity times arbitrary B.
+        let a: Vec<i8> = vec![1, 0, 0, 0, 1, 0, 0, 0, 1];
+        let b: Vec<i8> = (1..=9).collect();
+        let c = matmul_i8(&a, &b, 3, 3, 3);
+        assert_eq!(c, (1..=9i32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (m, k, n) = (5, 8, 4);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-128i32..128) as i8).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.gen_range(-128i32..128) as i8).collect();
+        let c = matmul_i8(&a, &b, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let expect: i32 = (0..k).map(|l| a[i * k + l] as i32 * b[l * n + j] as i32).sum();
+                assert_eq!(c[i * n + j], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_1x1_is_per_pixel_matmul() {
+        // 2 in-channels, 2×2 image, 1 out-channel, 1×1 kernel.
+        let input: Vec<i8> = vec![1, 2, 3, 4, 10, 20, 30, 40];
+        let weight: Vec<i8> = vec![2, 3]; // oc0 = 2*c0 + 3*c1
+        let out = conv2d_i8(&input, &weight, &[5], 2, 2, 2, 1, 1, 1);
+        assert_eq!(out, vec![2 + 30 + 5, 4 + 60 + 5, 6 + 90 + 5, 8 + 120 + 5]);
+    }
+
+    #[test]
+    fn conv_stride_two_halves_spatial() {
+        let input = vec![1i8; 4 * 4];
+        let weight = vec![1i8; 1];
+        let out = conv2d_i8(&input, &weight, &[0], 1, 4, 4, 1, 1, 2);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn requantize_saturates() {
+        assert_eq!(requantize(&[1 << 14, -(1 << 14), 256], 4), vec![127, -128, 16]);
+    }
+}

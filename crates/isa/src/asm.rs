@@ -1,0 +1,190 @@
+//! Assembly-text rendering of instructions (the `Display` impl).
+
+use crate::instr::Instruction;
+use crate::opcode::*;
+use std::fmt;
+
+fn alu_mnemonic(func: AluFunc) -> &'static str {
+    match func {
+        AluFunc::Add => "add",
+        AluFunc::Sub => "sub",
+        AluFunc::Mul => "mul",
+        AluFunc::Macc => "macc",
+        AluFunc::Div => "div",
+        AluFunc::Max => "max",
+        AluFunc::Min => "min",
+        AluFunc::Shl => "shl",
+        AluFunc::Shr => "shr",
+        AluFunc::Not => "not",
+        AluFunc::And => "and",
+        AluFunc::Or => "or",
+        AluFunc::Move => "move",
+        AluFunc::CondMove => "cmove",
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Sync(info) => {
+                let unit = match info.unit {
+                    SyncUnit::Gemm => "gemm",
+                    SyncUnit::Simd => "simd",
+                };
+                let edge = match info.edge {
+                    SyncEdge::Start => "start",
+                    SyncEdge::End => "end",
+                };
+                let kind = match info.kind {
+                    SyncKind::Exec => "exec",
+                    SyncKind::Buf => "buf",
+                };
+                write!(f, "sync.{unit}.{edge}.{kind} g{}", info.group)
+            }
+            Instruction::IterConfigBase { ns, index, addr } => {
+                write!(f, "iter.base {ns}[{index}], {addr}")
+            }
+            Instruction::IterConfigStride { ns, index, stride } => {
+                write!(f, "iter.stride {ns}[{index}], {stride}")
+            }
+            Instruction::ImmWriteLow { index, value } => {
+                write!(f, "imm.lo IMM[{index}], {value}")
+            }
+            Instruction::ImmWriteHigh { index, value } => {
+                write!(f, "imm.hi IMM[{index}], {value:#x}")
+            }
+            Instruction::DatatypeConfig { target } => write!(f, "dtype.cfg {target:?}"),
+            Instruction::Alu {
+                func,
+                dst,
+                src1,
+                src2,
+            } => match func {
+                AluFunc::Not | AluFunc::Move => {
+                    write!(f, "{} {dst}, {src1}", alu_mnemonic(func))
+                }
+                _ => write!(f, "{} {dst}, {src1}, {src2}", alu_mnemonic(func)),
+            },
+            Instruction::Calculus { func, dst, src1 } => {
+                let m = match func {
+                    CalculusFunc::Abs => "abs",
+                    CalculusFunc::Sign => "sign",
+                    CalculusFunc::Neg => "neg",
+                };
+                write!(f, "{m} {dst}, {src1}")
+            }
+            Instruction::Comparison {
+                func,
+                dst,
+                src1,
+                src2,
+            } => {
+                let m = match func {
+                    ComparisonFunc::Eq => "cmp.eq",
+                    ComparisonFunc::Ne => "cmp.ne",
+                    ComparisonFunc::Gt => "cmp.gt",
+                    ComparisonFunc::Ge => "cmp.ge",
+                    ComparisonFunc::Lt => "cmp.lt",
+                    ComparisonFunc::Le => "cmp.le",
+                };
+                write!(f, "{m} {dst}, {src1}, {src2}")
+            }
+            Instruction::LoopSetIter { loop_id, count } => {
+                write!(f, "loop.iter L{loop_id}, {count}")
+            }
+            Instruction::LoopSetNumInst { loop_id, count } => {
+                write!(f, "loop.ninst L{loop_id}, {count}")
+            }
+            Instruction::LoopSetIndex { bindings } => {
+                write!(f, "loop.index")?;
+                let mut first = true;
+                for (slot, op) in bindings.iter() {
+                    let name = ["dst", "src1", "src2"][slot];
+                    if first {
+                        write!(f, " {name}={op}")?;
+                        first = false;
+                    } else {
+                        write!(f, ", {name}={op}")?;
+                    }
+                }
+                if first {
+                    write!(f, " (none)")?;
+                }
+                Ok(())
+            }
+            Instruction::PermuteSetBase { is_dst, ns, addr } => {
+                write!(
+                    f,
+                    "perm.base {} {ns}, {addr}",
+                    if is_dst { "dst" } else { "src" }
+                )
+            }
+            Instruction::PermuteSetIter { dim, count } => {
+                write!(f, "perm.iter d{dim}, {count}")
+            }
+            Instruction::PermuteSetStride {
+                is_dst,
+                dim,
+                stride,
+            } => write!(
+                f,
+                "perm.stride {} d{dim}, {stride}",
+                if is_dst { "dst" } else { "src" }
+            ),
+            Instruction::PermuteStart { cross_lane } => {
+                write!(
+                    f,
+                    "perm.start{}",
+                    if cross_lane { " cross_lane" } else { "" }
+                )
+            }
+            Instruction::DatatypeCast { target, dst, src1 } => {
+                write!(f, "cast.{} {dst}, {src1}", target.bits())
+            }
+            Instruction::TileLdSt {
+                dir,
+                func,
+                buf,
+                loop_idx,
+                imm,
+            } => {
+                let d = match dir {
+                    TileDirection::Load => "ld",
+                    TileDirection::Store => "st",
+                };
+                let fname = match func {
+                    TileFunc::ConfigBaseAddr => "base_addr",
+                    TileFunc::ConfigBaseLoopIter => "base_iter",
+                    TileFunc::ConfigBaseLoopStride => "base_stride",
+                    TileFunc::ConfigTileLoopIter => "tile_iter",
+                    TileFunc::ConfigTileLoopStride => "tile_stride",
+                    TileFunc::Start => "start",
+                };
+                let b = match buf {
+                    TileBuffer::Interim1 => "IBUF1",
+                    TileBuffer::Interim2 => "IBUF2",
+                };
+                write!(f, "tile.{d}.{fname} {b}, i{loop_idx}, {imm}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::{Namespace, Operand};
+
+    #[test]
+    fn display_is_never_empty_and_distinct_per_func() {
+        let dst = Operand::new(Namespace::Interim1, 3);
+        let s1 = Operand::new(Namespace::Obuf, 1);
+        let s2 = Operand::new(Namespace::Imm, 7);
+        let mut seen = std::collections::HashSet::new();
+        for func in AluFunc::ALL {
+            let text = Instruction::alu(func, dst, s1, s2).to_string();
+            assert!(!text.is_empty());
+            assert!(seen.insert(text));
+        }
+    }
+}

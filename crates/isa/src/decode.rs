@@ -1,0 +1,184 @@
+//! Binary decoding of 32-bit words into [`Instruction`]s.
+
+use crate::error::DecodeError;
+use crate::instr::{Instruction, LoopBindings, SyncInfo};
+use crate::opcode::*;
+use crate::operand::{Namespace, Operand};
+
+fn field(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1u32 << (hi - lo + 1)) - 1)
+}
+
+fn decode_operand_opt(bits: u32) -> Result<Option<Operand>, DecodeError> {
+    if ((bits >> 5) & 0x7) as u8 == Namespace::NONE_BITS {
+        Ok(None)
+    } else {
+        Operand::from_bits(bits).map(Some)
+    }
+}
+
+impl Instruction {
+    /// Decodes one 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the opcode, a function field, or a
+    /// namespace field holds an unassigned encoding.
+    pub fn decode(word: u32) -> Result<Self, DecodeError> {
+        let opcode = Opcode::from_bits(field(word, 31, 28) as u8)?;
+        let func = field(word, 27, 24) as u8;
+        let imm = field(word, 15, 0) as u16;
+        match opcode {
+            Opcode::Sync => Ok(Instruction::Sync(SyncInfo {
+                unit: if func & 0b1000 != 0 {
+                    SyncUnit::Simd
+                } else {
+                    SyncUnit::Gemm
+                },
+                edge: if func & 0b0100 != 0 {
+                    SyncEdge::End
+                } else {
+                    SyncEdge::Start
+                },
+                kind: if func & 0b0010 != 0 {
+                    SyncKind::Buf
+                } else {
+                    SyncKind::Exec
+                },
+                group: field(word, 20, 16) as u8,
+            })),
+            Opcode::IteratorConfig => {
+                let index = field(word, 20, 16) as u8;
+                match IterConfigFunc::from_bits(func)? {
+                    IterConfigFunc::BaseAddr => Ok(Instruction::IterConfigBase {
+                        ns: Namespace::from_bits(field(word, 23, 21) as u8)?,
+                        index,
+                        addr: imm,
+                    }),
+                    IterConfigFunc::Stride => Ok(Instruction::IterConfigStride {
+                        ns: Namespace::from_bits(field(word, 23, 21) as u8)?,
+                        index,
+                        stride: imm as i16,
+                    }),
+                    IterConfigFunc::ImmBuf => {
+                        if field(word, 23, 21) & 1 == 0 {
+                            Ok(Instruction::ImmWriteLow {
+                                index,
+                                value: imm as i16,
+                            })
+                        } else {
+                            Ok(Instruction::ImmWriteHigh { index, value: imm })
+                        }
+                    }
+                }
+            }
+            Opcode::DatatypeConfig => Ok(Instruction::DatatypeConfig {
+                target: CastTarget::from_bits(func)?,
+            }),
+            Opcode::Alu => Ok(Instruction::Alu {
+                func: AluFunc::from_bits(func)?,
+                dst: Operand::from_bits(field(word, 23, 16))?,
+                src1: Operand::from_bits(field(word, 15, 8))?,
+                src2: Operand::from_bits(field(word, 7, 0))?,
+            }),
+            Opcode::Calculus => Ok(Instruction::Calculus {
+                func: CalculusFunc::from_bits(func)?,
+                dst: Operand::from_bits(field(word, 23, 16))?,
+                src1: Operand::from_bits(field(word, 15, 8))?,
+            }),
+            Opcode::Comparison => Ok(Instruction::Comparison {
+                func: ComparisonFunc::from_bits(func)?,
+                dst: Operand::from_bits(field(word, 23, 16))?,
+                src1: Operand::from_bits(field(word, 15, 8))?,
+                src2: Operand::from_bits(field(word, 7, 0))?,
+            }),
+            Opcode::Loop => match LoopFunc::from_bits(func)? {
+                LoopFunc::SetIter => Ok(Instruction::LoopSetIter {
+                    loop_id: field(word, 23, 21) as u8,
+                    count: imm,
+                }),
+                LoopFunc::SetNumInst => Ok(Instruction::LoopSetNumInst {
+                    loop_id: field(word, 23, 21) as u8,
+                    count: imm,
+                }),
+                LoopFunc::SetIndex => Ok(Instruction::LoopSetIndex {
+                    bindings: LoopBindings {
+                        dst: decode_operand_opt(field(word, 23, 16))?,
+                        src1: decode_operand_opt(field(word, 15, 8))?,
+                        src2: decode_operand_opt(field(word, 7, 0))?,
+                    },
+                }),
+            },
+            Opcode::Permute => match PermuteFunc::from_bits(func)? {
+                PermuteFunc::SetBaseAddr => Ok(Instruction::PermuteSetBase {
+                    is_dst: field(word, 23, 21) & 1 != 0,
+                    ns: Namespace::from_bits((field(word, 20, 16) & 0x7) as u8)?,
+                    addr: imm,
+                }),
+                PermuteFunc::SetLoopIter => Ok(Instruction::PermuteSetIter {
+                    dim: field(word, 20, 16) as u8,
+                    count: imm,
+                }),
+                PermuteFunc::SetLoopStride => Ok(Instruction::PermuteSetStride {
+                    is_dst: field(word, 23, 21) & 1 != 0,
+                    dim: field(word, 20, 16) as u8,
+                    stride: imm as i16,
+                }),
+                PermuteFunc::Start => Ok(Instruction::PermuteStart {
+                    cross_lane: imm & 1 != 0,
+                }),
+            },
+            Opcode::DatatypeCast => Ok(Instruction::DatatypeCast {
+                target: CastTarget::from_bits(func)?,
+                dst: Operand::from_bits(field(word, 23, 16))?,
+                src1: Operand::from_bits(field(word, 15, 8))?,
+            }),
+            Opcode::TileLdSt => Ok(Instruction::TileLdSt {
+                dir: if func & 0b1000 != 0 {
+                    TileDirection::Store
+                } else {
+                    TileDirection::Load
+                },
+                func: TileFunc::from_bits(func & 0b0111)?,
+                buf: TileBuffer::from_bits(field(word, 23, 21) as u8)?,
+                loop_idx: field(word, 20, 16) as u8,
+                imm,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        // Opcodes 0xA..=0xF are unassigned.
+        for op in 0xAu32..=0xF {
+            assert!(matches!(
+                Instruction::decode(op << 28),
+                Err(DecodeError::UnknownOpcode(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_alu_func() {
+        let word = (Opcode::Alu.to_bits() as u32) << 28 | 15 << 24;
+        assert!(matches!(
+            Instruction::decode(word),
+            Err(DecodeError::UnknownFunc(Opcode::Alu, 15))
+        ));
+    }
+
+    #[test]
+    fn rejects_reserved_namespace() {
+        // namespace id 5 is unassigned in a compute dst field
+        let word = (Opcode::Alu.to_bits() as u32) << 28 | (5u32 << 5) << 16;
+        assert!(matches!(
+            Instruction::decode(word),
+            Err(DecodeError::UnknownNamespace(5))
+        ));
+    }
+}

@@ -1,0 +1,161 @@
+//! Binary encoding of instructions into 32-bit words.
+//!
+//! Field layout (bit 31 = MSB), following Figure 12 of the paper:
+//!
+//! ```text
+//! common    : [31:28] opcode, [27:24] func
+//! sync      : [23:21] x,      [20:16] group id, [15:0] x
+//! config    : [23:21] ns id,  [20:16] iter idx, [15:0] immediate
+//! compute   : [23:21] dst ns, [20:16] dst idx,
+//!             [15:13] src1 ns,[12:8]  src1 idx,
+//!             [7:5]   src2 ns,[4:0]   src2 idx
+//! loop      : [23:21] loop id,[20:16] x,        [15:0] immediate
+//! data xfrm : [23:21] src/dst,[20:16] dim idx,  [15:0] immediate
+//! tile ld/st: [27:24] func1,  [23:21] func2,    [20:16] loop idx, [15:0] imm
+//! ```
+
+use crate::instr::{namespace_opt_to_bits, Instruction};
+use crate::opcode::*;
+
+fn word(opcode: Opcode, func: u8, rest: u32) -> u32 {
+    debug_assert!(func < 16);
+    debug_assert!(rest < (1 << 24));
+    ((opcode.to_bits() as u32) << 28) | ((func as u32) << 24) | rest
+}
+
+fn config_rest(ns_bits: u8, idx: u8, imm: u16) -> u32 {
+    debug_assert!(ns_bits < 8);
+    debug_assert!(idx < 32);
+    ((ns_bits as u32) << 21) | ((idx as u32) << 16) | imm as u32
+}
+
+fn compute_rest(dst: u32, src1: u32, src2: u32) -> u32 {
+    (dst << 16) | (src1 << 8) | src2
+}
+
+impl Instruction {
+    /// Encodes the instruction into its 32-bit word.
+    pub fn encode(&self) -> u32 {
+        match *self {
+            Instruction::Sync(info) => {
+                let func = (matches!(info.unit, SyncUnit::Simd) as u8) << 3
+                    | (matches!(info.edge, SyncEdge::End) as u8) << 2
+                    | (matches!(info.kind, SyncKind::Buf) as u8) << 1;
+                word(Opcode::Sync, func, (info.group as u32) << 16)
+            }
+            Instruction::IterConfigBase { ns, index, addr } => word(
+                Opcode::IteratorConfig,
+                IterConfigFunc::BaseAddr as u8,
+                config_rest(ns.to_bits(), index, addr),
+            ),
+            Instruction::IterConfigStride { ns, index, stride } => word(
+                Opcode::IteratorConfig,
+                IterConfigFunc::Stride as u8,
+                config_rest(ns.to_bits(), index, stride as u16),
+            ),
+            Instruction::ImmWriteLow { index, value } => word(
+                Opcode::IteratorConfig,
+                IterConfigFunc::ImmBuf as u8,
+                // IMM BUF writes always target the Imm namespace; the low/high
+                // half is selected by the namespace field's LSB (0 = low).
+                config_rest(0, index, value as u16),
+            ),
+            Instruction::ImmWriteHigh { index, value } => word(
+                Opcode::IteratorConfig,
+                IterConfigFunc::ImmBuf as u8,
+                config_rest(1, index, value),
+            ),
+            Instruction::DatatypeConfig { target } => {
+                word(Opcode::DatatypeConfig, target as u8, 0)
+            }
+            Instruction::Alu {
+                func,
+                dst,
+                src1,
+                src2,
+            } => word(
+                Opcode::Alu,
+                func as u8,
+                compute_rest(dst.to_bits(), src1.to_bits(), src2.to_bits()),
+            ),
+            Instruction::Calculus { func, dst, src1 } => word(
+                Opcode::Calculus,
+                func as u8,
+                // src2 mirrors src1 for unary operations.
+                compute_rest(dst.to_bits(), src1.to_bits(), src1.to_bits()),
+            ),
+            Instruction::Comparison {
+                func,
+                dst,
+                src1,
+                src2,
+            } => word(
+                Opcode::Comparison,
+                func as u8,
+                compute_rest(dst.to_bits(), src1.to_bits(), src2.to_bits()),
+            ),
+            Instruction::LoopSetIter { loop_id, count } => word(
+                Opcode::Loop,
+                LoopFunc::SetIter as u8,
+                ((loop_id as u32) << 21) | count as u32,
+            ),
+            Instruction::LoopSetNumInst { loop_id, count } => word(
+                Opcode::Loop,
+                LoopFunc::SetNumInst as u8,
+                ((loop_id as u32) << 21) | count as u32,
+            ),
+            Instruction::LoopSetIndex { bindings } => word(
+                Opcode::Loop,
+                LoopFunc::SetIndex as u8,
+                compute_rest(
+                    namespace_opt_to_bits(bindings.dst),
+                    namespace_opt_to_bits(bindings.src1),
+                    namespace_opt_to_bits(bindings.src2),
+                ),
+            ),
+            Instruction::PermuteSetBase { is_dst, ns, addr } => word(
+                Opcode::Permute,
+                PermuteFunc::SetBaseAddr as u8,
+                config_rest(is_dst as u8, ns.to_bits(), addr),
+            ),
+            Instruction::PermuteSetIter { dim, count } => word(
+                Opcode::Permute,
+                PermuteFunc::SetLoopIter as u8,
+                config_rest(0, dim, count),
+            ),
+            Instruction::PermuteSetStride {
+                is_dst,
+                dim,
+                stride,
+            } => word(
+                Opcode::Permute,
+                PermuteFunc::SetLoopStride as u8,
+                config_rest(is_dst as u8, dim, stride as u16),
+            ),
+            Instruction::PermuteStart { cross_lane } => word(
+                Opcode::Permute,
+                PermuteFunc::Start as u8,
+                cross_lane as u32,
+            ),
+            Instruction::DatatypeCast { target, dst, src1 } => word(
+                Opcode::DatatypeCast,
+                target as u8,
+                compute_rest(dst.to_bits(), src1.to_bits(), src1.to_bits()),
+            ),
+            Instruction::TileLdSt {
+                dir,
+                func,
+                buf,
+                loop_idx,
+                imm,
+            } => {
+                let func1 = ((matches!(dir, TileDirection::Store) as u8) << 3) | func as u8;
+                word(
+                    Opcode::TileLdSt,
+                    func1,
+                    config_rest(buf as u8, loop_idx, imm),
+                )
+            }
+        }
+    }
+}

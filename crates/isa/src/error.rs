@@ -1,0 +1,41 @@
+//! Decoding errors.
+
+use crate::opcode::Opcode;
+use std::error::Error;
+use std::fmt;
+
+/// An instruction word could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The 4-bit opcode field holds an unassigned encoding.
+    UnknownOpcode(u8),
+    /// The function field holds an encoding unassigned for this opcode.
+    UnknownFunc(Opcode, u8),
+    /// The 3-bit namespace field holds an unassigned encoding.
+    UnknownNamespace(u8),
+    /// A field holds a value outside its architectural range (e.g. a
+    /// permute dimension index beyond the engine's rank limit).
+    FieldOutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The decoded value.
+        value: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(bits) => write!(f, "unknown opcode {bits:#x}"),
+            DecodeError::UnknownFunc(op, bits) => {
+                write!(f, "unknown function {bits:#x} for opcode {op:?}")
+            }
+            DecodeError::UnknownNamespace(bits) => write!(f, "unknown namespace {bits:#x}"),
+            DecodeError::FieldOutOfRange { field, value } => {
+                write!(f, "field `{field}` value {value} out of range")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}

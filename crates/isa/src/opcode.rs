@@ -1,0 +1,416 @@
+//! Opcode and function-field enumerations.
+//!
+//! The top 4 bits of every instruction word hold the [`Opcode`]; the next 4
+//! bits hold an opcode-specific function field (paper Figure 12).
+
+use crate::error::DecodeError;
+
+/// Primary opcode (4-bit field, bits `[31:28]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Synchronization between the GEMM unit and the Tandem Processor.
+    Sync = 0x0,
+    /// Iterator-table / immediate-buffer configuration.
+    IteratorConfig = 0x1,
+    /// Datatype configuration for subsequent casts.
+    DatatypeConfig = 0x2,
+    /// Arithmetic/logic vector compute.
+    Alu = 0x3,
+    /// Mathematical unary compute (absolute value, sign, negate).
+    Calculus = 0x4,
+    /// Logical comparison compute.
+    Comparison = 0x5,
+    /// Code Repeater (nested loop) configuration.
+    Loop = 0x6,
+    /// Permute Engine configuration and launch.
+    Permute = 0x7,
+    /// Fixed-point datatype cast.
+    DatatypeCast = 0x8,
+    /// Tile load/store via the Data Access Engine.
+    TileLdSt = 0x9,
+}
+
+impl Opcode {
+    /// Decodes the 4-bit opcode field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnknownOpcode`] for unassigned encodings.
+    pub fn from_bits(bits: u8) -> Result<Self, DecodeError> {
+        Ok(match bits {
+            0x0 => Self::Sync,
+            0x1 => Self::IteratorConfig,
+            0x2 => Self::DatatypeConfig,
+            0x3 => Self::Alu,
+            0x4 => Self::Calculus,
+            0x5 => Self::Comparison,
+            0x6 => Self::Loop,
+            0x7 => Self::Permute,
+            0x8 => Self::DatatypeCast,
+            0x9 => Self::TileLdSt,
+            other => return Err(DecodeError::UnknownOpcode(other)),
+        })
+    }
+
+    /// The 4-bit encoding of this opcode.
+    pub fn to_bits(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Which unit a [`Sync`](Opcode::Sync) instruction refers to (paper §5:
+/// `GEMM/SIMD` function bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncUnit {
+    /// The systolic-array GEMM unit.
+    Gemm,
+    /// The Tandem Processor SIMD pipeline.
+    Simd,
+}
+
+/// Whether a [`Sync`](Opcode::Sync) instruction marks the start or end of a
+/// region (paper §5: `START/END` function bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncEdge {
+    /// Region start.
+    Start,
+    /// Region end.
+    End,
+}
+
+/// What a [`Sync`](Opcode::Sync) instruction notifies about (paper §5:
+/// `EXEC/BUF` function bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncKind {
+    /// Marks an execution region / signals tile-execution completion.
+    Exec,
+    /// Signals that the Output BUF ownership is released.
+    Buf,
+}
+
+/// Function field of [`Opcode::IteratorConfig`] instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum IterConfigFunc {
+    /// Set the base address (offset) of an iterator-table entry.
+    BaseAddr = 0,
+    /// Set the stride of an iterator-table entry.
+    Stride = 1,
+    /// Write an immediate value into the IMM BUF.
+    ImmBuf = 2,
+}
+
+impl IterConfigFunc {
+    pub(crate) fn from_bits(bits: u8) -> Result<Self, DecodeError> {
+        Ok(match bits {
+            0 => Self::BaseAddr,
+            1 => Self::Stride,
+            2 => Self::ImmBuf,
+            other => return Err(DecodeError::UnknownFunc(Opcode::IteratorConfig, other)),
+        })
+    }
+}
+
+/// Function field of [`Opcode::Alu`] compute instructions (paper §5 lists
+/// `Add, Sub, Mul, MACC, Div, Max, Min, Shift, Not, AND, OR` plus
+/// `MOVE/COND_MOVE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AluFunc {
+    /// `dst = src1 + src2`
+    Add = 0,
+    /// `dst = src1 - src2`
+    Sub = 1,
+    /// `dst = src1 * src2`
+    Mul = 2,
+    /// Multiply-accumulate: `dst = dst + src1 * src2`
+    Macc = 3,
+    /// `dst = src1 / src2` (integer division; division by zero saturates)
+    Div = 4,
+    /// `dst = max(src1, src2)`
+    Max = 5,
+    /// `dst = min(src1, src2)`
+    Min = 6,
+    /// Arithmetic shift left: `dst = src1 << src2`
+    Shl = 7,
+    /// Arithmetic shift right: `dst = src1 >> src2`
+    Shr = 8,
+    /// Bitwise not: `dst = !src1`
+    Not = 9,
+    /// Bitwise and: `dst = src1 & src2`
+    And = 10,
+    /// Bitwise or: `dst = src1 | src2`
+    Or = 11,
+    /// Move: `dst = src1` (scatter/gather building block)
+    Move = 12,
+    /// Conditional move: `dst = src1` where `src2 != 0` (predicated)
+    CondMove = 13,
+}
+
+impl AluFunc {
+    pub(crate) fn from_bits(bits: u8) -> Result<Self, DecodeError> {
+        Ok(match bits {
+            0 => Self::Add,
+            1 => Self::Sub,
+            2 => Self::Mul,
+            3 => Self::Macc,
+            4 => Self::Div,
+            5 => Self::Max,
+            6 => Self::Min,
+            7 => Self::Shl,
+            8 => Self::Shr,
+            9 => Self::Not,
+            10 => Self::And,
+            11 => Self::Or,
+            12 => Self::Move,
+            13 => Self::CondMove,
+            other => return Err(DecodeError::UnknownFunc(Opcode::Alu, other)),
+        })
+    }
+
+    /// All ALU functions, in encoding order.
+    pub const ALL: [AluFunc; 14] = [
+        AluFunc::Add,
+        AluFunc::Sub,
+        AluFunc::Mul,
+        AluFunc::Macc,
+        AluFunc::Div,
+        AluFunc::Max,
+        AluFunc::Min,
+        AluFunc::Shl,
+        AluFunc::Shr,
+        AluFunc::Not,
+        AluFunc::And,
+        AluFunc::Or,
+        AluFunc::Move,
+        AluFunc::CondMove,
+    ];
+}
+
+/// Function field of [`Opcode::Calculus`] instructions (paper §5: "opcode
+/// CALCULUS consists of mathematical operations such as absolute value and
+/// sign").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CalculusFunc {
+    /// `dst = |src1|`
+    Abs = 0,
+    /// `dst = sign(src1)` ∈ {-1, 0, 1}
+    Sign = 1,
+    /// `dst = -src1`
+    Neg = 2,
+}
+
+impl CalculusFunc {
+    pub(crate) fn from_bits(bits: u8) -> Result<Self, DecodeError> {
+        Ok(match bits {
+            0 => Self::Abs,
+            1 => Self::Sign,
+            2 => Self::Neg,
+            other => return Err(DecodeError::UnknownFunc(Opcode::Calculus, other)),
+        })
+    }
+}
+
+/// Function field of [`Opcode::Comparison`] instructions. The result is
+/// an INT32 boolean (`1`/`0`) usable as a [`AluFunc::CondMove`] predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ComparisonFunc {
+    /// `dst = (src1 == src2)`
+    Eq = 0,
+    /// `dst = (src1 != src2)`
+    Ne = 1,
+    /// `dst = (src1 > src2)`
+    Gt = 2,
+    /// `dst = (src1 >= src2)`
+    Ge = 3,
+    /// `dst = (src1 < src2)`
+    Lt = 4,
+    /// `dst = (src1 <= src2)`
+    Le = 5,
+}
+
+impl ComparisonFunc {
+    pub(crate) fn from_bits(bits: u8) -> Result<Self, DecodeError> {
+        Ok(match bits {
+            0 => Self::Eq,
+            1 => Self::Ne,
+            2 => Self::Gt,
+            3 => Self::Ge,
+            4 => Self::Lt,
+            5 => Self::Le,
+            other => return Err(DecodeError::UnknownFunc(Opcode::Comparison, other)),
+        })
+    }
+}
+
+/// Function field of [`Opcode::Loop`] instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum LoopFunc {
+    /// Set the iteration count of the loop identified by `loop id`; also
+    /// makes that loop the *current* level for subsequent
+    /// [`SetIndex`](LoopFunc::SetIndex) instructions. Loops are configured
+    /// outermost-first (paper §4.1).
+    SetIter = 0,
+    /// Set the number of instructions forming the (innermost) loop body.
+    SetNumInst = 1,
+    /// Bind the iterators exercised at the current loop level, one per
+    /// operand slot (paper §5: "the rest of the instruction bits are used to
+    /// set the associated ⟨ns ID, iter idx⟩ for the three operands").
+    SetIndex = 2,
+}
+
+impl LoopFunc {
+    pub(crate) fn from_bits(bits: u8) -> Result<Self, DecodeError> {
+        Ok(match bits {
+            0 => Self::SetIter,
+            1 => Self::SetNumInst,
+            2 => Self::SetIndex,
+            other => return Err(DecodeError::UnknownFunc(Opcode::Loop, other)),
+        })
+    }
+}
+
+/// Function field of [`Opcode::Permute`] instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PermuteFunc {
+    /// Set the base address of the source or destination tensor.
+    SetBaseAddr = 0,
+    /// Set the extent of one dimension of the iteration space.
+    SetLoopIter = 1,
+    /// Set the stride of one dimension for the source or destination.
+    SetLoopStride = 2,
+    /// Start the permutation. Immediate LSB = 1 requests cross-lane
+    /// (scratchpad-bank) shuffling (paper §5).
+    Start = 3,
+}
+
+impl PermuteFunc {
+    pub(crate) fn from_bits(bits: u8) -> Result<Self, DecodeError> {
+        Ok(match bits {
+            0 => Self::SetBaseAddr,
+            1 => Self::SetLoopIter,
+            2 => Self::SetLoopStride,
+            3 => Self::Start,
+            other => return Err(DecodeError::UnknownFunc(Opcode::Permute, other)),
+        })
+    }
+}
+
+/// Target representation of a [`Opcode::DatatypeCast`] instruction (paper
+/// §5: FXP32, FXP16, FXP8, FXP4 "needed by the GEMM unit").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CastTarget {
+    /// 32-bit fixed point (identity width).
+    Fxp32 = 0,
+    /// 16-bit fixed point (saturating).
+    Fxp16 = 1,
+    /// 8-bit fixed point (saturating).
+    Fxp8 = 2,
+    /// 4-bit fixed point (saturating).
+    Fxp4 = 3,
+}
+
+impl CastTarget {
+    pub(crate) fn from_bits(bits: u8) -> Result<Self, DecodeError> {
+        Ok(match bits {
+            0 => Self::Fxp32,
+            1 => Self::Fxp16,
+            2 => Self::Fxp8,
+            3 => Self::Fxp4,
+            other => return Err(DecodeError::UnknownFunc(Opcode::DatatypeCast, other)),
+        })
+    }
+
+    /// Bit width of the target representation.
+    pub fn bits(self) -> u32 {
+        match self {
+            CastTarget::Fxp32 => 32,
+            CastTarget::Fxp16 => 16,
+            CastTarget::Fxp8 => 8,
+            CastTarget::Fxp4 => 4,
+        }
+    }
+
+    /// Inclusive value range representable by the target type.
+    pub fn range(self) -> (i32, i32) {
+        match self {
+            CastTarget::Fxp32 => (i32::MIN, i32::MAX),
+            CastTarget::Fxp16 => (i16::MIN as i32, i16::MAX as i32),
+            CastTarget::Fxp8 => (i8::MIN as i32, i8::MAX as i32),
+            CastTarget::Fxp4 => (-8, 7),
+        }
+    }
+}
+
+/// Transfer direction of a [`Opcode::TileLdSt`] instruction (`LD` populates
+/// an Interim BUF from DRAM, `ST` drains it back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileDirection {
+    /// DRAM → Interim BUF.
+    Load,
+    /// Interim BUF → DRAM.
+    Store,
+}
+
+/// `func1` field of [`Opcode::TileLdSt`] instructions (paper §5). Combined
+/// with [`TileDirection`] these describe the Data Access Engine
+/// configuration sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TileFunc {
+    /// Configure the DRAM base address of the tensor. The 5-bit `loop idx`
+    /// field selects which 16-bit half of the 32-bit address the immediate
+    /// carries (0 = low, 1 = high).
+    ConfigBaseAddr = 0,
+    /// Configure the iteration count of one outer (tile-grid) loop level.
+    ConfigBaseLoopIter = 1,
+    /// Configure the DRAM stride of one outer (tile-grid) loop level.
+    ConfigBaseLoopStride = 2,
+    /// Configure the iteration count of one intra-tile loop level.
+    ConfigTileLoopIter = 3,
+    /// Configure the DRAM stride of one intra-tile loop level.
+    ConfigTileLoopStride = 4,
+    /// Trigger the Data Access Engine to start populating/draining.
+    Start = 5,
+}
+
+impl TileFunc {
+    pub(crate) fn from_bits(bits: u8) -> Result<Self, DecodeError> {
+        Ok(match bits {
+            0 => Self::ConfigBaseAddr,
+            1 => Self::ConfigBaseLoopIter,
+            2 => Self::ConfigBaseLoopStride,
+            3 => Self::ConfigTileLoopIter,
+            4 => Self::ConfigTileLoopStride,
+            5 => Self::Start,
+            other => return Err(DecodeError::UnknownFunc(Opcode::TileLdSt, other)),
+        })
+    }
+}
+
+/// `func2` field of [`Opcode::TileLdSt`]: which on-chip buffer the transfer
+/// targets (paper §5: "identify the target buffer between Interim BUF 1&2").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TileBuffer {
+    /// Interim BUF 1.
+    Interim1 = 0,
+    /// Interim BUF 2.
+    Interim2 = 1,
+}
+
+impl TileBuffer {
+    pub(crate) fn from_bits(bits: u8) -> Result<Self, DecodeError> {
+        Ok(match bits {
+            0 => Self::Interim1,
+            1 => Self::Interim2,
+            other => return Err(DecodeError::UnknownFunc(Opcode::TileLdSt, other)),
+        })
+    }
+}

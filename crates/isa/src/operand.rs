@@ -1,0 +1,151 @@
+//! Operand addressing: namespaces and iterator references.
+
+use crate::error::DecodeError;
+use std::fmt;
+
+/// An on-chip scratchpad namespace of the Tandem Processor (paper §4.1,
+/// Figure 9). There is no register file; these namespaces are the only
+/// operand storage visible to compute instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Namespace {
+    /// Interim BUF 1 — private Tandem scratchpad (tensor operands and
+    /// intermediate results), populated/drained by the Data Access Engine.
+    Interim1 = 0,
+    /// Interim BUF 2 — second private Tandem scratchpad (double buffering).
+    Interim2 = 1,
+    /// IMM BUF — 32-slot immediate-value scratchpad, broadcast across lanes.
+    Imm = 2,
+    /// Output BUF — the GEMM unit's output buffer, over which the Tandem
+    /// Processor takes fluid ownership (paper §3.5).
+    Obuf = 3,
+}
+
+impl Namespace {
+    /// Sentinel encoding used by `LOOP SET_INDEX` for "no binding".
+    pub(crate) const NONE_BITS: u8 = 0b111;
+
+    /// Decodes a 3-bit namespace id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnknownNamespace`] for unassigned encodings.
+    pub fn from_bits(bits: u8) -> Result<Self, DecodeError> {
+        Ok(match bits {
+            0 => Self::Interim1,
+            1 => Self::Interim2,
+            2 => Self::Imm,
+            3 => Self::Obuf,
+            other => return Err(DecodeError::UnknownNamespace(other)),
+        })
+    }
+
+    /// The 3-bit encoding of this namespace.
+    pub fn to_bits(self) -> u8 {
+        self as u8
+    }
+
+    /// All namespaces, in encoding order.
+    pub const ALL: [Namespace; 4] = [
+        Namespace::Interim1,
+        Namespace::Interim2,
+        Namespace::Imm,
+        Namespace::Obuf,
+    ];
+
+    /// Short assembly mnemonic of the namespace.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Namespace::Interim1 => "IBUF1",
+            Namespace::Interim2 => "IBUF2",
+            Namespace::Imm => "IMM",
+            Namespace::Obuf => "OBUF",
+        }
+    }
+}
+
+impl fmt::Display for Namespace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A `⟨namespace id, iterator index⟩` operand reference (paper §3.2,
+/// Figure 7): 3 bits of namespace plus 5 bits of iterator-table index.
+///
+/// For the [`Namespace::Imm`] namespace the index addresses an IMM BUF slot
+/// directly (the value is broadcast across all SIMD lanes); for all other
+/// namespaces it selects an Iterator Table entry whose running offset yields
+/// the scratchpad row address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Operand {
+    ns: Namespace,
+    index: u8,
+}
+
+impl Operand {
+    /// Creates an operand reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32` (the field is 5 bits wide).
+    pub fn new(ns: Namespace, index: u8) -> Self {
+        assert!(index < 32, "iterator index {index} does not fit in 5 bits");
+        Self { ns, index }
+    }
+
+    /// The namespace the operand lives in.
+    pub fn namespace(self) -> Namespace {
+        self.ns
+    }
+
+    /// The iterator-table index (or IMM BUF slot).
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    pub(crate) fn to_bits(self) -> u32 {
+        ((self.ns.to_bits() as u32) << 5) | self.index as u32
+    }
+
+    pub(crate) fn from_bits(bits: u32) -> Result<Self, DecodeError> {
+        let ns = Namespace::from_bits(((bits >> 5) & 0x7) as u8)?;
+        let index = (bits & 0x1f) as u8;
+        Ok(Self { ns, index })
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.ns, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_roundtrip() {
+        for ns in Namespace::ALL {
+            for idx in 0..32u8 {
+                let op = Operand::new(ns, idx);
+                assert_eq!(Operand::from_bits(op.to_bits()).unwrap(), op);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn operand_index_range() {
+        let _ = Operand::new(Namespace::Imm, 32);
+    }
+
+    #[test]
+    fn namespace_bits_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for ns in Namespace::ALL {
+            assert!(seen.insert(ns.to_bits()));
+        }
+    }
+}

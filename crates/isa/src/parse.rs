@@ -1,0 +1,487 @@
+//! Assembly-text parsing — the inverse of the `Display` implementation in
+//! [`crate::asm`], so Tandem programs can be written, versioned, and
+//! diffed as text.
+//!
+//! ```
+//! use tandem_isa::{Instruction, Program};
+//! use std::str::FromStr;
+//!
+//! # fn main() -> Result<(), tandem_isa::ParseError> {
+//! let instr = Instruction::from_str("add IBUF1[0], OBUF[1], IMM[2]")?;
+//! assert_eq!(instr.to_string(), "add IBUF1[0], OBUF[1], IMM[2]");
+//!
+//! let program = Program::parse("
+//!     iter.base IBUF1[0], 0
+//!     iter.stride IBUF1[0], 1
+//!     loop.iter L0, 16
+//!     loop.ninst L0, 1
+//!     add IBUF1[0], IBUF1[0], IBUF1[0]
+//! ")?;
+//! assert_eq!(program.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::instr::{Instruction, LoopBindings};
+use crate::opcode::*;
+use crate::operand::{Namespace, Operand};
+use crate::program::Program;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// An assembly line could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the parsed text (1 for single lines).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err(message: impl Into<String>) -> ParseError {
+    ParseError {
+        line: 1,
+        message: message.into(),
+    }
+}
+
+fn parse_namespace(s: &str) -> Result<Namespace, ParseError> {
+    match s {
+        "IBUF1" => Ok(Namespace::Interim1),
+        "IBUF2" => Ok(Namespace::Interim2),
+        "IMM" => Ok(Namespace::Imm),
+        "OBUF" => Ok(Namespace::Obuf),
+        other => Err(err(format!("unknown namespace `{other}`"))),
+    }
+}
+
+/// Parses `NS[idx]`.
+fn parse_operand(s: &str) -> Result<Operand, ParseError> {
+    let open = s.find('[').ok_or_else(|| err(format!("expected `ns[idx]`, got `{s}`")))?;
+    let close = s
+        .find(']')
+        .ok_or_else(|| err(format!("missing `]` in `{s}`")))?;
+    let ns = parse_namespace(&s[..open])?;
+    let idx: u8 = s[open + 1..close]
+        .parse()
+        .map_err(|_| err(format!("bad index in `{s}`")))?;
+    if idx >= 32 {
+        return Err(err(format!("iterator index {idx} out of range")));
+    }
+    Ok(Operand::new(ns, idx))
+}
+
+fn parse_int<T: FromStr>(s: &str, what: &str) -> Result<T, ParseError> {
+    s.parse()
+        .map_err(|_| err(format!("bad {what} `{s}`")))
+}
+
+fn parse_hex_u16(s: &str) -> Result<u16, ParseError> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u16::from_str_radix(hex, 16).map_err(|_| err(format!("bad hex `{s}`")))
+    } else {
+        parse_int(s, "value")
+    }
+}
+
+/// Splits `body` at commas, trimming whitespace.
+fn args(body: &str) -> Vec<&str> {
+    body.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn alu_func(mnemonic: &str) -> Option<AluFunc> {
+    Some(match mnemonic {
+        "add" => AluFunc::Add,
+        "sub" => AluFunc::Sub,
+        "mul" => AluFunc::Mul,
+        "macc" => AluFunc::Macc,
+        "div" => AluFunc::Div,
+        "max" => AluFunc::Max,
+        "min" => AluFunc::Min,
+        "shl" => AluFunc::Shl,
+        "shr" => AluFunc::Shr,
+        "not" => AluFunc::Not,
+        "and" => AluFunc::And,
+        "or" => AluFunc::Or,
+        "move" => AluFunc::Move,
+        "cmove" => AluFunc::CondMove,
+        _ => return None,
+    })
+}
+
+impl FromStr for Instruction {
+    type Err = ParseError;
+
+    #[allow(clippy::too_many_lines)]
+    fn from_str(line: &str) -> Result<Self, ParseError> {
+        let line = line.trim();
+        let (mnemonic, body) = line
+            .split_once(char::is_whitespace)
+            .unwrap_or((line, ""));
+        let a = args(body);
+        let need = |n: usize| -> Result<(), ParseError> {
+            if a.len() == n {
+                Ok(())
+            } else {
+                Err(err(format!(
+                    "`{mnemonic}` expects {n} operand(s), got {}",
+                    a.len()
+                )))
+            }
+        };
+
+        if let Some(func) = alu_func(mnemonic) {
+            if matches!(func, AluFunc::Not | AluFunc::Move) {
+                need(2)?;
+                let dst = parse_operand(a[0])?;
+                let src = parse_operand(a[1])?;
+                return Ok(Instruction::alu(func, dst, src, src));
+            }
+            need(3)?;
+            return Ok(Instruction::alu(
+                func,
+                parse_operand(a[0])?,
+                parse_operand(a[1])?,
+                parse_operand(a[2])?,
+            ));
+        }
+
+        match mnemonic {
+            "abs" | "sign" | "neg" => {
+                need(2)?;
+                let func = match mnemonic {
+                    "abs" => CalculusFunc::Abs,
+                    "sign" => CalculusFunc::Sign,
+                    _ => CalculusFunc::Neg,
+                };
+                Ok(Instruction::calculus(
+                    func,
+                    parse_operand(a[0])?,
+                    parse_operand(a[1])?,
+                ))
+            }
+            m if m.starts_with("cmp.") => {
+                need(3)?;
+                let func = match &m[4..] {
+                    "eq" => ComparisonFunc::Eq,
+                    "ne" => ComparisonFunc::Ne,
+                    "gt" => ComparisonFunc::Gt,
+                    "ge" => ComparisonFunc::Ge,
+                    "lt" => ComparisonFunc::Lt,
+                    "le" => ComparisonFunc::Le,
+                    other => return Err(err(format!("unknown comparison `{other}`"))),
+                };
+                Ok(Instruction::comparison(
+                    func,
+                    parse_operand(a[0])?,
+                    parse_operand(a[1])?,
+                    parse_operand(a[2])?,
+                ))
+            }
+            m if m.starts_with("cast.") => {
+                need(2)?;
+                let target = match &m[5..] {
+                    "32" => CastTarget::Fxp32,
+                    "16" => CastTarget::Fxp16,
+                    "8" => CastTarget::Fxp8,
+                    "4" => CastTarget::Fxp4,
+                    other => return Err(err(format!("unknown cast width `{other}`"))),
+                };
+                Ok(Instruction::DatatypeCast {
+                    target,
+                    dst: parse_operand(a[0])?,
+                    src1: parse_operand(a[1])?,
+                })
+            }
+            "iter.base" => {
+                need(2)?;
+                let op = parse_operand(a[0])?;
+                Ok(Instruction::IterConfigBase {
+                    ns: op.namespace(),
+                    index: op.index(),
+                    addr: parse_int(a[1], "address")?,
+                })
+            }
+            "iter.stride" => {
+                need(2)?;
+                let op = parse_operand(a[0])?;
+                Ok(Instruction::IterConfigStride {
+                    ns: op.namespace(),
+                    index: op.index(),
+                    stride: parse_int(a[1], "stride")?,
+                })
+            }
+            "imm.lo" => {
+                need(2)?;
+                let op = parse_operand(a[0])?;
+                Ok(Instruction::ImmWriteLow {
+                    index: op.index(),
+                    value: parse_int(a[1], "immediate")?,
+                })
+            }
+            "imm.hi" => {
+                need(2)?;
+                let op = parse_operand(a[0])?;
+                Ok(Instruction::ImmWriteHigh {
+                    index: op.index(),
+                    value: parse_hex_u16(a[1])?,
+                })
+            }
+            "loop.iter" | "loop.ninst" => {
+                need(2)?;
+                let id = a[0]
+                    .strip_prefix('L')
+                    .ok_or_else(|| err(format!("expected loop id `L<n>`, got `{}`", a[0])))?;
+                let loop_id: u8 = parse_int(id, "loop id")?;
+                if loop_id >= 8 {
+                    return Err(err(format!("loop id {loop_id} out of range")));
+                }
+                let count = parse_int(a[1], "count")?;
+                Ok(if mnemonic == "loop.iter" {
+                    Instruction::LoopSetIter { loop_id, count }
+                } else {
+                    Instruction::LoopSetNumInst { loop_id, count }
+                })
+            }
+            "loop.index" => {
+                // `loop.index dst=NS[i], src1=NS[j], src2=NS[k]` with any
+                // subset of slots, or `loop.index (none)`.
+                let mut bindings = LoopBindings::none();
+                if body.trim() != "(none)" {
+                    for part in args(body) {
+                        let (slot, op) = part
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("expected `slot=operand` in `{part}`")))?;
+                        let op = parse_operand(op.trim())?;
+                        match slot.trim() {
+                            "dst" => bindings.dst = Some(op),
+                            "src1" => bindings.src1 = Some(op),
+                            "src2" => bindings.src2 = Some(op),
+                            other => return Err(err(format!("unknown slot `{other}`"))),
+                        }
+                    }
+                }
+                Ok(Instruction::LoopSetIndex { bindings })
+            }
+            m if m.starts_with("sync.") => {
+                let parts: Vec<&str> = m.split('.').collect();
+                if parts.len() != 4 {
+                    return Err(err(format!("expected `sync.unit.edge.kind`, got `{m}`")));
+                }
+                let unit = match parts[1] {
+                    "gemm" => SyncUnit::Gemm,
+                    "simd" => SyncUnit::Simd,
+                    other => return Err(err(format!("unknown sync unit `{other}`"))),
+                };
+                let edge = match parts[2] {
+                    "start" => SyncEdge::Start,
+                    "end" => SyncEdge::End,
+                    other => return Err(err(format!("unknown sync edge `{other}`"))),
+                };
+                let kind = match parts[3] {
+                    "exec" => SyncKind::Exec,
+                    "buf" => SyncKind::Buf,
+                    other => return Err(err(format!("unknown sync kind `{other}`"))),
+                };
+                let group = body
+                    .trim()
+                    .strip_prefix('g')
+                    .ok_or_else(|| err("expected sync group `g<n>`"))?;
+                let group: u8 = parse_int(group, "sync group")?;
+                if group >= 32 {
+                    return Err(err(format!("sync group {group} out of range")));
+                }
+                Ok(Instruction::sync(unit, edge, kind, group))
+            }
+            "dtype.cfg" => {
+                need(1)?;
+                let target = match a[0] {
+                    "Fxp32" => CastTarget::Fxp32,
+                    "Fxp16" => CastTarget::Fxp16,
+                    "Fxp8" => CastTarget::Fxp8,
+                    "Fxp4" => CastTarget::Fxp4,
+                    other => return Err(err(format!("unknown datatype `{other}`"))),
+                };
+                Ok(Instruction::DatatypeConfig { target })
+            }
+            "perm.base" => {
+                // `perm.base src|dst NS, addr`
+                let (side, rest) = body
+                    .trim()
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err("expected `perm.base side NS, addr`"))?;
+                let is_dst = match side {
+                    "src" => false,
+                    "dst" => true,
+                    other => return Err(err(format!("expected src/dst, got `{other}`"))),
+                };
+                let a = args(rest);
+                if a.len() != 2 {
+                    return Err(err("perm.base expects `NS, addr`"));
+                }
+                Ok(Instruction::PermuteSetBase {
+                    is_dst,
+                    ns: parse_namespace(a[0])?,
+                    addr: parse_int(a[1], "address")?,
+                })
+            }
+            "perm.iter" => {
+                need(2)?;
+                let dim = a[0]
+                    .strip_prefix('d')
+                    .ok_or_else(|| err("expected dim `d<n>`"))?;
+                Ok(Instruction::PermuteSetIter {
+                    dim: parse_int(dim, "dimension")?,
+                    count: parse_int(a[1], "count")?,
+                })
+            }
+            "perm.stride" => {
+                // `perm.stride src|dst d<n>, stride`
+                let (side, rest) = body
+                    .trim()
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err("expected `perm.stride side d<n>, stride`"))?;
+                let is_dst = match side {
+                    "src" => false,
+                    "dst" => true,
+                    other => return Err(err(format!("expected src/dst, got `{other}`"))),
+                };
+                let a = args(rest);
+                if a.len() != 2 {
+                    return Err(err("perm.stride expects `d<n>, stride`"));
+                }
+                let dim = a[0]
+                    .strip_prefix('d')
+                    .ok_or_else(|| err("expected dim `d<n>`"))?;
+                Ok(Instruction::PermuteSetStride {
+                    is_dst,
+                    dim: parse_int(dim, "dimension")?,
+                    stride: parse_int(a[1], "stride")?,
+                })
+            }
+            "perm.start" => Ok(Instruction::PermuteStart {
+                cross_lane: body.trim() == "cross_lane",
+            }),
+            m if m.starts_with("tile.") => {
+                // `tile.{ld|st}.{func} BUF, i<n>, imm`
+                let parts: Vec<&str> = m.split('.').collect();
+                if parts.len() != 3 {
+                    return Err(err(format!("expected `tile.dir.func`, got `{m}`")));
+                }
+                let dir = match parts[1] {
+                    "ld" => TileDirection::Load,
+                    "st" => TileDirection::Store,
+                    other => return Err(err(format!("unknown direction `{other}`"))),
+                };
+                let func = match parts[2] {
+                    "base_addr" => TileFunc::ConfigBaseAddr,
+                    "base_iter" => TileFunc::ConfigBaseLoopIter,
+                    "base_stride" => TileFunc::ConfigBaseLoopStride,
+                    "tile_iter" => TileFunc::ConfigTileLoopIter,
+                    "tile_stride" => TileFunc::ConfigTileLoopStride,
+                    "start" => TileFunc::Start,
+                    other => return Err(err(format!("unknown tile func `{other}`"))),
+                };
+                need(3)?;
+                let buf = match a[0] {
+                    "IBUF1" => TileBuffer::Interim1,
+                    "IBUF2" => TileBuffer::Interim2,
+                    other => return Err(err(format!("unknown tile buffer `{other}`"))),
+                };
+                let loop_idx = a[1]
+                    .strip_prefix('i')
+                    .ok_or_else(|| err("expected loop idx `i<n>`"))?;
+                Ok(Instruction::TileLdSt {
+                    dir,
+                    func,
+                    buf,
+                    loop_idx: parse_int(loop_idx, "loop idx")?,
+                    imm: parse_int(a[2], "immediate")?,
+                })
+            }
+            other => Err(err(format!("unknown mnemonic `{other}`"))),
+        }
+    }
+}
+
+impl Program {
+    /// Parses a multi-line assembly listing. Empty lines and `;`/`#`
+    /// comments are skipped; a leading `NNNN:` program-counter prefix
+    /// (as `Display` prints) is accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] carrying the offending line number.
+    pub fn parse(text: &str) -> Result<Program, ParseError> {
+        let mut program = Program::new();
+        for (i, raw) in text.lines().enumerate() {
+            let mut line = raw.trim();
+            if let Some((_, rest)) = line.split_once(';') {
+                let _ = rest;
+            }
+            line = line.split(';').next().unwrap_or("").trim();
+            line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            // strip a `0007: ` pc prefix
+            if let Some((pc, rest)) = line.split_once(':') {
+                if pc.chars().all(|c| c.is_ascii_digit()) {
+                    line = rest.trim();
+                }
+            }
+            let instr = Instruction::from_str(line).map_err(|mut e| {
+                e.line = i + 1;
+                e
+            })?;
+            program.push(instr);
+        }
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_pc_prefixes() {
+        let p = Program::parse(
+            "; a comment\n0000: iter.base IBUF1[3], 10\n# another\nmax OBUF[0], OBUF[0], IMM[1]",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let e = Program::parse("add IBUF1[0], IBUF1[0], IBUF1[0]\nbogus xyz").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_fields() {
+        assert!(Instruction::from_str("add IBUF1[32], IBUF1[0], IBUF1[0]").is_err());
+        assert!(Instruction::from_str("loop.iter L9, 4").is_err());
+        assert!(Instruction::from_str("sync.gemm.start.exec g40").is_err());
+    }
+
+    #[test]
+    fn unary_alu_accepts_two_operands() {
+        let i = Instruction::from_str("move IBUF2[1], OBUF[0]").unwrap();
+        assert_eq!(i.to_string(), "move IBUF2[1], OBUF[0]");
+    }
+}

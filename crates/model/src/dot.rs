@@ -1,0 +1,86 @@
+//! Graphviz DOT export — visualize how non-GEMM operators interweave with
+//! GEMMs (the structure Figure 4 of the paper draws).
+
+use crate::graph::Graph;
+use crate::op::OpClass;
+use std::fmt::Write as _;
+
+impl Graph {
+    /// Renders the graph in Graphviz DOT format. GEMM nodes are boxes,
+    /// non-GEMM nodes are ovals shaded by class — matching the visual
+    /// language of the paper's Figure 4.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {} {{", sanitize(&self.name));
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+        for node in self.nodes() {
+            let (shape, fill) = match node.kind.class() {
+                OpClass::Gemm => ("box", "white"),
+                OpClass::ElementwiseMath => ("oval", "gray90"),
+                OpClass::Activation => ("oval", "gray80"),
+                OpClass::Reduction => ("oval", "gray70"),
+                OpClass::LayoutTransform => ("oval", "gray95"),
+                OpClass::TypeConversion => ("oval", "gray85"),
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\", shape={shape}, style=filled, fillcolor={fill}];",
+                node.id.index(),
+                node.kind
+            );
+        }
+        for node in self.nodes() {
+            for &input in &node.inputs {
+                if let Some(producer) = self.producer(input) {
+                    let _ = writeln!(
+                        out,
+                        "  n{} -> n{};",
+                        producer.id.index(),
+                        node.id.index()
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::op::Padding;
+
+    #[test]
+    fn dot_contains_every_node_and_edge_shape() {
+        let mut b = GraphBuilder::new("dot-test", 2024);
+        let x = b.input("x", [1, 3, 8, 8]);
+        let c = b.conv(x, 4, 3, 1, Padding::Same);
+        let r = b.relu(c);
+        b.output(r);
+        let g = b.finish();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph dot_test {"));
+        assert!(dot.contains("label=\"Conv\", shape=box"));
+        assert!(dot.contains("label=\"Relu\", shape=oval"));
+        // exactly one producer→consumer edge (conv → relu)
+        assert_eq!(dot.matches(" -> ").count(), 1);
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn whole_zoo_exports_nonempty_dot() {
+        for bench in crate::zoo::Benchmark::ALL {
+            let g = bench.graph();
+            let dot = g.to_dot();
+            assert!(dot.matches(" -> ").count() >= g.nodes().len() / 2, "{}", g.name);
+        }
+    }
+}

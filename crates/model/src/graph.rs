@@ -1,0 +1,303 @@
+//! The DNN graph: tensors (values) and operator nodes.
+
+use crate::op::{OpAttrs, OpKind};
+use crate::shape::Shape;
+use crate::stats::GraphStats;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a [`Tensor`] within its [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TensorId(pub(crate) u32);
+
+/// Identifier of a [`Node`] within its [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl TensorId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A value flowing along a graph edge: an activation tensor or a weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Identifier within the graph.
+    pub id: TensorId,
+    /// Human-readable name (unique within the graph).
+    pub name: String,
+    /// Shape of the value.
+    pub shape: Shape,
+    /// `true` for weights/constants known before execution (ONNX
+    /// initializers); `false` for activations.
+    pub is_weight: bool,
+}
+
+impl Tensor {
+    /// Size of the tensor in bytes at the given element width.
+    pub fn bytes(&self, bytes_per_element: usize) -> usize {
+        self.shape.elements() * bytes_per_element
+    }
+}
+
+/// One operator node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Identifier within the graph.
+    pub id: NodeId,
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Human-readable name.
+    pub name: String,
+    /// Input tensors, in operator-defined order (activations first, then
+    /// weights/constants).
+    pub inputs: Vec<TensorId>,
+    /// Output tensors.
+    pub outputs: Vec<TensorId>,
+    /// Typed attributes.
+    pub attrs: OpAttrs,
+}
+
+/// Errors produced by [`Graph::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node references a tensor id that does not exist.
+    DanglingTensor {
+        /// The offending node.
+        node: String,
+        /// The missing id.
+        tensor: u32,
+    },
+    /// A tensor is written by more than one node (graphs are SSA).
+    MultipleWriters {
+        /// The tensor written twice.
+        tensor: String,
+    },
+    /// A non-weight tensor is consumed before any node produces it and it
+    /// is not a graph input.
+    UseBeforeDef {
+        /// The consuming node.
+        node: String,
+        /// The undefined tensor.
+        tensor: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DanglingTensor { node, tensor } => {
+                write!(f, "node `{node}` references unknown tensor id {tensor}")
+            }
+            GraphError::MultipleWriters { tensor } => {
+                write!(f, "tensor `{tensor}` has multiple writers")
+            }
+            GraphError::UseBeforeDef { node, tensor } => {
+                write!(f, "node `{node}` consumes `{tensor}` before definition")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// A directed acyclic operator graph for one DNN at a fixed batch size.
+///
+/// Nodes are stored in a valid topological (execution) order — the
+/// [`GraphBuilder`](crate::GraphBuilder) appends them as the model is
+/// constructed, mirroring how ONNX files serialize their graphs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Graph {
+    /// Model name (e.g. `"resnet50"`).
+    pub name: String,
+    /// Release year of the model, used by the Figure 1 chronology.
+    pub year: u32,
+    tensors: Vec<Tensor>,
+    nodes: Vec<Node>,
+    inputs: Vec<TensorId>,
+    outputs: Vec<TensorId>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>, year: u32) -> Self {
+        Graph {
+            name: name.into(),
+            year,
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn add_tensor(&mut self, name: String, shape: Shape, is_weight: bool) -> TensorId {
+        let id = TensorId(self.tensors.len() as u32);
+        self.tensors.push(Tensor {
+            id,
+            name,
+            shape,
+            is_weight,
+        });
+        id
+    }
+
+    pub(crate) fn add_node(
+        &mut self,
+        kind: OpKind,
+        name: String,
+        inputs: Vec<TensorId>,
+        outputs: Vec<TensorId>,
+        attrs: OpAttrs,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            kind,
+            name,
+            inputs,
+            outputs,
+            attrs,
+        });
+        id
+    }
+
+    pub(crate) fn mark_input(&mut self, t: TensorId) {
+        self.inputs.push(t);
+    }
+
+    pub(crate) fn mark_output(&mut self, t: TensorId) {
+        self.outputs.push(t);
+    }
+
+    /// All tensors.
+    pub fn tensors(&self) -> &[Tensor] {
+        &self.tensors
+    }
+
+    /// All nodes, in execution order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Graph input tensors (the model's activations in).
+    pub fn inputs(&self) -> &[TensorId] {
+        &self.inputs
+    }
+
+    /// Graph output tensors.
+    pub fn outputs(&self) -> &[TensorId] {
+        &self.outputs
+    }
+
+    /// Looks up a tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn tensor(&self, id: TensorId) -> &Tensor {
+        &self.tensors[id.index()]
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The node producing `tensor`, if any (weights and graph inputs have
+    /// no producer).
+    pub fn producer(&self, tensor: TensorId) -> Option<&Node> {
+        self.nodes
+            .iter()
+            .find(|n| n.outputs.contains(&tensor))
+    }
+
+    /// The nodes consuming `tensor`.
+    pub fn consumers(&self, tensor: TensorId) -> Vec<&Node> {
+        self.nodes
+            .iter()
+            .filter(|n| n.inputs.contains(&tensor))
+            .collect()
+    }
+
+    /// Aggregate statistics used by the Figure 1/2 characterization and the
+    /// performance models.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::from_graph(self)
+    }
+
+    /// Checks structural invariants: ids in range, SSA single-writer, and
+    /// definition-before-use in node order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let mut written: HashSet<TensorId> = HashSet::new();
+        let mut defined: HashSet<TensorId> = self.inputs.iter().copied().collect();
+        for t in &self.tensors {
+            if t.is_weight {
+                defined.insert(t.id);
+            }
+        }
+        for node in &self.nodes {
+            for &input in &node.inputs {
+                if input.index() >= self.tensors.len() {
+                    return Err(GraphError::DanglingTensor {
+                        node: node.name.clone(),
+                        tensor: input.0,
+                    });
+                }
+                if !defined.contains(&input) {
+                    return Err(GraphError::UseBeforeDef {
+                        node: node.name.clone(),
+                        tensor: self.tensor(input).name.clone(),
+                    });
+                }
+            }
+            for &output in &node.outputs {
+                if output.index() >= self.tensors.len() {
+                    return Err(GraphError::DanglingTensor {
+                        node: node.name.clone(),
+                        tensor: output.0,
+                    });
+                }
+                if !written.insert(output) {
+                    return Err(GraphError::MultipleWriters {
+                        tensor: self.tensor(output).name.clone(),
+                    });
+                }
+                defined.insert(output);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph {} ({} nodes)", self.name, self.nodes.len())?;
+        for node in &self.nodes {
+            write!(f, "  {} = {}(", self.tensor(node.outputs[0]).name, node.kind)?;
+            for (i, &input) in node.inputs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.tensor(input).name)?;
+            }
+            writeln!(f, ") :: {}", self.tensor(node.outputs[0]).shape)?;
+        }
+        Ok(())
+    }
+}

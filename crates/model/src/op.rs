@@ -1,0 +1,310 @@
+//! Operator kinds and the five-class non-GEMM taxonomy of Table 1.
+
+use std::fmt;
+
+/// Spatial padding mode for convolutions and pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Padding {
+    /// No padding ("valid").
+    #[default]
+    Valid,
+    /// Pad so the output spatial size equals `ceil(input / stride)`
+    /// ("same"), the common case in the zoo models.
+    Same,
+}
+
+/// The operator classes of the paper's Table 1, plus the GEMM class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// GEMM-based operators (Conv, MatMul, fully connected) — executed on
+    /// the systolic array.
+    Gemm,
+    /// Element-wise mathematical operators (Add, Mul, Exp, Sqrt, …).
+    ElementwiseMath,
+    /// Element-wise activation functions (Relu, GeLU, Sigmoid, …).
+    Activation,
+    /// Reduction-based operators (Depth-wise Conv, MaxPool, Softmax, …).
+    Reduction,
+    /// Data-layout transformations (Transpose, Reshape, Concat, …).
+    LayoutTransform,
+    /// Type conversions (Cast, BitShift).
+    TypeConversion,
+}
+
+impl OpClass {
+    /// All classes in display order (GEMM first).
+    pub const ALL: [OpClass; 6] = [
+        OpClass::Gemm,
+        OpClass::ElementwiseMath,
+        OpClass::Activation,
+        OpClass::Reduction,
+        OpClass::LayoutTransform,
+        OpClass::TypeConversion,
+    ];
+
+    /// Whether this class is non-GEMM.
+    pub fn is_non_gemm(self) -> bool {
+        self != OpClass::Gemm
+    }
+
+    /// Human-readable class name matching the paper's Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Gemm => "GEMM",
+            OpClass::ElementwiseMath => "Element-wise math",
+            OpClass::Activation => "Element-wise activation",
+            OpClass::Reduction => "Reduction-based",
+            OpClass::LayoutTransform => "Data layout transformation",
+            OpClass::TypeConversion => "Type conversion",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An ONNX-level operator kind.
+///
+/// The set covers every operator appearing in the seven zoo models plus the
+/// examples called out in Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // variant names mirror their ONNX operators
+pub enum OpKind {
+    // --- GEMM class ---
+    Conv,
+    MatMul,
+    /// Fully connected (`Gemm` in ONNX): `Y = X·Wᵀ + b`.
+    Gemm,
+
+    // --- element-wise math ---
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Exp,
+    Sqrt,
+    Erf,
+    Floor,
+    Ceil,
+    Greater,
+    Equal,
+    Less,
+    Pow,
+    Reciprocal,
+    /// `Where(cond, a, b)` — used for attention masking in GPT-2 exports.
+    Where,
+
+    // --- element-wise activations ---
+    Relu,
+    LeakyRelu,
+    /// `Clip(x, min, max)` — ReLU6 in MobileNetV2 / EfficientNet.
+    Clip,
+    Tanh,
+    Sigmoid,
+    /// Fused GELU (when exporters keep it as one node).
+    Gelu,
+
+    // --- reduction-based ---
+    /// Depth-wise convolution (`Conv` with `group == channels`); the paper
+    /// classifies it as a non-GEMM reduction operator executed on the
+    /// Tandem Processor.
+    DepthwiseConv,
+    MaxPool,
+    AveragePool,
+    GlobalAveragePool,
+    ReduceMean,
+    Softmax,
+
+    // --- data layout transformation ---
+    Transpose,
+    Reshape,
+    Concat,
+    Split,
+    Flatten,
+    Squeeze,
+    Unsqueeze,
+    /// Embedding lookup (`Gather` over a weight matrix).
+    Gather,
+    /// Nearest-neighbour upsampling (`Resize`), used by YOLOv3.
+    Resize,
+    Slice,
+
+    // --- type conversion ---
+    Cast,
+    BitShift,
+}
+
+impl OpKind {
+    /// The taxonomy class of this operator (paper Table 1).
+    pub fn class(self) -> OpClass {
+        use OpKind::*;
+        match self {
+            Conv | MatMul | Gemm => OpClass::Gemm,
+            Add | Sub | Mul | Div | Exp | Sqrt | Erf | Floor | Ceil | Greater | Equal | Less
+            | Pow | Reciprocal | Where => OpClass::ElementwiseMath,
+            Relu | LeakyRelu | Clip | Tanh | Sigmoid | Gelu => OpClass::Activation,
+            DepthwiseConv | MaxPool | AveragePool | GlobalAveragePool | ReduceMean | Softmax => {
+                OpClass::Reduction
+            }
+            Transpose | Reshape | Concat | Split | Flatten | Squeeze | Unsqueeze | Gather
+            | Resize | Slice => OpClass::LayoutTransform,
+            Cast | BitShift => OpClass::TypeConversion,
+        }
+    }
+
+    /// Whether the operator runs on the GEMM unit.
+    pub fn is_gemm(self) -> bool {
+        self.class() == OpClass::Gemm
+    }
+
+    /// Whether the operator is element-wise (one output element per input
+    /// element, no cross-element communication).
+    pub fn is_elementwise(self) -> bool {
+        matches!(
+            self.class(),
+            OpClass::ElementwiseMath | OpClass::Activation | OpClass::TypeConversion
+        )
+    }
+
+    /// The ONNX operator name.
+    pub fn onnx_name(self) -> &'static str {
+        use OpKind::*;
+        match self {
+            Conv => "Conv",
+            MatMul => "MatMul",
+            Gemm => "Gemm",
+            Add => "Add",
+            Sub => "Sub",
+            Mul => "Mul",
+            Div => "Div",
+            Exp => "Exp",
+            Sqrt => "Sqrt",
+            Erf => "Erf",
+            Floor => "Floor",
+            Ceil => "Ceil",
+            Greater => "Greater",
+            Equal => "Equal",
+            Less => "Less",
+            Pow => "Pow",
+            Reciprocal => "Reciprocal",
+            Where => "Where",
+            Relu => "Relu",
+            LeakyRelu => "LeakyRelu",
+            Clip => "Clip",
+            Tanh => "Tanh",
+            Sigmoid => "Sigmoid",
+            Gelu => "Gelu",
+            DepthwiseConv => "DepthwiseConv",
+            MaxPool => "MaxPool",
+            AveragePool => "AveragePool",
+            GlobalAveragePool => "GlobalAveragePool",
+            ReduceMean => "ReduceMean",
+            Softmax => "Softmax",
+            Transpose => "Transpose",
+            Reshape => "Reshape",
+            Concat => "Concat",
+            Split => "Split",
+            Flatten => "Flatten",
+            Squeeze => "Squeeze",
+            Unsqueeze => "Unsqueeze",
+            Gather => "Gather",
+            Resize => "Resize",
+            Slice => "Slice",
+            Cast => "Cast",
+            BitShift => "BitShift",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.onnx_name())
+    }
+}
+
+/// Typed operator attributes. Only the fields relevant to an [`OpKind`] are
+/// meaningful; the rest stay at their defaults.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OpAttrs {
+    /// Convolution / pooling kernel size (square).
+    pub kernel: usize,
+    /// Convolution / pooling stride.
+    pub stride: usize,
+    /// Padding mode.
+    pub padding: Padding,
+    /// Convolution group count (== channels for depthwise).
+    pub groups: usize,
+    /// Axis for Softmax / Concat / Split / Gather / ReduceMean.
+    pub axis: isize,
+    /// Permutation for Transpose.
+    pub perm: Vec<usize>,
+    /// LeakyRelu negative slope / Pow exponent / scale factor (Resize).
+    pub alpha: f64,
+    /// Clip lower bound.
+    pub clip_min: f64,
+    /// Clip upper bound.
+    pub clip_max: f64,
+}
+
+impl OpAttrs {
+    /// Attributes of a (possibly strided) convolution.
+    pub fn conv(kernel: usize, stride: usize, padding: Padding) -> Self {
+        OpAttrs {
+            kernel,
+            stride,
+            padding,
+            groups: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Attributes of a pooling window.
+    pub fn pool(kernel: usize, stride: usize, padding: Padding) -> Self {
+        OpAttrs {
+            kernel,
+            stride,
+            padding,
+            ..Default::default()
+        }
+    }
+
+    /// Attributes carrying only an axis.
+    pub fn axis(axis: isize) -> Self {
+        OpAttrs {
+            axis,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_classification() {
+        // Spot checks against the paper's Table 1.
+        assert_eq!(OpKind::Exp.class(), OpClass::ElementwiseMath);
+        assert_eq!(OpKind::Gelu.class(), OpClass::Activation);
+        assert_eq!(OpKind::DepthwiseConv.class(), OpClass::Reduction);
+        assert_eq!(OpKind::Softmax.class(), OpClass::Reduction);
+        assert_eq!(OpKind::Transpose.class(), OpClass::LayoutTransform);
+        assert_eq!(OpKind::Cast.class(), OpClass::TypeConversion);
+        assert_eq!(OpKind::Conv.class(), OpClass::Gemm);
+        assert!(!OpKind::Conv.class().is_non_gemm());
+        assert!(OpKind::Softmax.class().is_non_gemm());
+    }
+
+    #[test]
+    fn elementwise_predicate() {
+        assert!(OpKind::Add.is_elementwise());
+        assert!(OpKind::Relu.is_elementwise());
+        assert!(OpKind::Cast.is_elementwise());
+        assert!(!OpKind::Softmax.is_elementwise());
+        assert!(!OpKind::Transpose.is_elementwise());
+        assert!(!OpKind::Conv.is_elementwise());
+    }
+}

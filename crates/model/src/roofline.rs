@@ -1,0 +1,141 @@
+//! Roofline characterization of non-GEMM operators (paper Figure 5).
+//!
+//! Arithmetic intensity is computed as primitive INT32 operations per byte
+//! of off-chip traffic assuming a streaming execution (each input element
+//! read once, each output element written once, 4-byte elements) — the
+//! access pattern the Tandem Processor's Data Access Engine produces.
+
+use crate::op::OpKind;
+
+/// One operator's point in the roofline plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Primitive operations per element of output.
+    pub ops_per_element: f64,
+    /// Bytes moved per element of output (inputs + output).
+    pub bytes_per_element: f64,
+    /// Arithmetic intensity, ops/byte.
+    pub intensity: f64,
+    /// Attainable throughput in Gops/s given the machine rooflines.
+    pub attainable_gops: f64,
+    /// Whether the operator is memory-bound under the given rooflines.
+    pub memory_bound: bool,
+}
+
+/// Primitive-operation count per output element for an operator, counting
+/// the integer-only expansions used on the Tandem Processor (paper §3.4:
+/// e.g. GeLU = "five multiplications, three additions, a sign, an absolute,
+/// and a minimum" ≈ 11 primitives).
+pub fn primitive_ops_per_element(kind: OpKind) -> f64 {
+    use OpKind::*;
+    match kind {
+        // simple element-wise: one primitive each
+        Add | Sub | Mul | Floor | Ceil | Greater | Equal | Less | Relu | Cast | BitShift => 1.0,
+        Where => 2.0,
+        Div | Reciprocal => 8.0, // iterative integer reciprocal
+        LeakyRelu => 3.0,        // compare + scale + select
+        Clip => 2.0,             // max + min
+        Pow => 2.0,              // square (mul) or small powers
+        Sqrt => 12.0,            // Newton iterations on integers
+        Exp => 8.0,              // I-BERT i-exp: shift decompose + 2nd order poly
+        Erf => 14.0,             // I-BERT i-erf polynomial + sign handling
+        Sigmoid => 14.0,         // i-exp + reciprocal path
+        Tanh => 15.0,
+        Gelu => 18.0,            // i-erf expansion + gating multiplies
+        Softmax => 20.0,         // max pass + (sub, i-exp) + sum + integer div
+        MaxPool => 9.0,           // 3×3 window of compares
+        AveragePool => 10.0,      // 3×3 adds + scale
+        GlobalAveragePool => 1.0, // one add per input element (streaming)
+        ReduceMean => 1.0,
+        DepthwiseConv => 18.0, // 3×3 MACs per output (2 ops each)
+        Transpose | Reshape | Concat | Split | Flatten | Squeeze | Unsqueeze | Gather | Resize
+        | Slice => 0.0,
+        Conv | MatMul | Gemm => 2.0, // per-MAC (unused by the roofline)
+    }
+}
+
+/// Bytes of streaming off-chip traffic per output element (4-byte INT32),
+/// accounting for operators whose input is larger than their output
+/// (reductions) or that read two inputs (binary element-wise ops).
+fn bytes_per_output_element(kind: OpKind) -> f64 {
+    use OpKind::*;
+    match kind {
+        // binary element-wise: 2 reads + 1 write
+        Add | Sub | Mul | Div | Greater | Equal | Less | Pow | Where => 12.0,
+        // unary element-wise: 1 read + 1 write
+        Exp | Sqrt | Erf | Floor | Ceil | Reciprocal | Relu | LeakyRelu | Clip | Tanh
+        | Sigmoid | Gelu | Cast | BitShift => 8.0,
+        // reductions: dominated by the input stream
+        Softmax => 8.0,             // read + write same size (plus small stats)
+        MaxPool | AveragePool => 8.0 * 4.0, // stride-1 3×3 windows reread ~4× per output
+        GlobalAveragePool | ReduceMean => 4.0 * 49.0, // e.g. 7×7 inputs per output
+        DepthwiseConv => 8.0 * 4.0,
+        // layout: read + write
+        Transpose | Reshape | Concat | Split | Flatten | Squeeze | Unsqueeze | Gather | Resize
+        | Slice => 8.0,
+        Conv | MatMul | Gemm => 8.0,
+    }
+}
+
+/// Computes the roofline point of `kind` on a machine with the given
+/// compute roof (Gops/s) and memory roof (GB/s). For the Tandem Processor
+/// configuration of Table 3: 32 lanes × 1 GHz = 32 Gops/s and ~16 GB/s of
+/// DRAM bandwidth.
+pub fn operator_roofline(kind: OpKind, peak_gops: f64, peak_gbps: f64) -> RooflinePoint {
+    let ops = primitive_ops_per_element(kind);
+    let bytes = bytes_per_output_element(kind);
+    let intensity = ops / bytes;
+    let attainable = (intensity * peak_gbps).min(peak_gops);
+    RooflinePoint {
+        kind,
+        ops_per_element: ops,
+        bytes_per_element: bytes,
+        intensity,
+        attainable_gops: attainable,
+        memory_bound: intensity * peak_gbps < peak_gops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_non_gemm_operators_are_memory_bound() {
+        // Paper Figure 5: "most of the analyzed operators (other than
+        // Softmax and GeLU) fall within the memory-bound region".
+        let peak_gops = 32.0;
+        let peak_gbps = 16.0;
+        for kind in [
+            OpKind::Add,
+            OpKind::Mul,
+            OpKind::Relu,
+            OpKind::Clip,
+            OpKind::Transpose,
+            OpKind::ReduceMean,
+            OpKind::GlobalAveragePool,
+        ] {
+            assert!(
+                operator_roofline(kind, peak_gops, peak_gbps).memory_bound,
+                "{kind} should be memory bound"
+            );
+        }
+        for kind in [OpKind::Softmax, OpKind::Gelu] {
+            assert!(
+                !operator_roofline(kind, peak_gops, peak_gbps).memory_bound,
+                "{kind} should be compute bound"
+            );
+        }
+    }
+
+    #[test]
+    fn attainable_never_exceeds_roofs() {
+        for kind in [OpKind::Add, OpKind::Gelu, OpKind::Softmax, OpKind::MaxPool] {
+            let p = operator_roofline(kind, 32.0, 16.0);
+            assert!(p.attainable_gops <= 32.0 + f64::EPSILON);
+            assert!(p.attainable_gops > 0.0);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Per-node cost accounting and whole-graph statistics (Figures 1 and 2 of
+//! the paper).
+
+use crate::graph::{Graph, Node};
+use crate::op::{OpClass, OpKind};
+use std::collections::BTreeMap;
+
+/// Work and traffic of a single node, in element counts (datatype widths
+/// are applied by the platform models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeCost {
+    /// Multiply-accumulates for GEMM-class nodes (0 otherwise).
+    pub macs: u64,
+    /// Scalar primitive operations for non-GEMM nodes (0 for GEMM nodes;
+    /// one unit ≈ one ALU primitive on one element).
+    pub compute_ops: u64,
+    /// Activation elements read.
+    pub in_elems: u64,
+    /// Weight/constant elements read.
+    pub weight_elems: u64,
+    /// Elements written.
+    pub out_elems: u64,
+}
+
+impl NodeCost {
+    /// Computes the cost of `node` within `graph`.
+    pub fn of(graph: &Graph, node: &Node) -> NodeCost {
+        let out_shape = &graph.tensor(node.outputs[0]).shape;
+        let out_elems: u64 = node
+            .outputs
+            .iter()
+            .map(|&t| graph.tensor(t).shape.elements() as u64)
+            .sum();
+        let mut in_elems = 0u64;
+        let mut weight_elems = 0u64;
+        for &t in &node.inputs {
+            let tensor = graph.tensor(t);
+            if tensor.is_weight {
+                weight_elems += tensor.shape.elements() as u64;
+            } else {
+                in_elems += tensor.shape.elements() as u64;
+            }
+        }
+        let mut cost = NodeCost {
+            macs: 0,
+            compute_ops: 0,
+            in_elems,
+            weight_elems,
+            out_elems,
+        };
+        match node.kind {
+            OpKind::Conv => {
+                let cin_per_group = graph.tensor(node.inputs[0]).shape.dim(1) / node.attrs.groups.max(1);
+                let k = node.attrs.kernel as u64;
+                cost.macs = out_elems * k * k * cin_per_group as u64;
+            }
+            OpKind::MatMul => {
+                let k = graph.tensor(node.inputs[0]).shape.dim(-1) as u64;
+                cost.macs = out_elems * k;
+            }
+            OpKind::Gemm => {
+                let k = graph.tensor(node.inputs[0]).shape.dim(-1) as u64;
+                cost.macs = out_elems * k;
+            }
+            OpKind::DepthwiseConv => {
+                let k = node.attrs.kernel as u64;
+                // MACs per output element = kernel area (one input channel).
+                cost.compute_ops = out_elems * k * k * 2;
+            }
+            OpKind::MaxPool | OpKind::AveragePool => {
+                let k = node.attrs.kernel as u64;
+                cost.compute_ops = out_elems * k * k;
+            }
+            OpKind::GlobalAveragePool => {
+                cost.compute_ops = in_elems + out_elems;
+            }
+            OpKind::ReduceMean => {
+                cost.compute_ops = in_elems + out_elems;
+            }
+            OpKind::Softmax => {
+                // max-pass + subtract&exp + sum + divide ≈ 4 passes.
+                let _ = out_shape;
+                cost.compute_ops = in_elems * 4;
+            }
+            kind if kind.class() == OpClass::LayoutTransform => {
+                // Pure data movement.
+                cost.compute_ops = 0;
+            }
+            _ => {
+                // Element-wise math / activation / type conversion.
+                cost.compute_ops = out_elems;
+            }
+        }
+        cost
+    }
+
+    /// Activation bytes in+out at the given element width.
+    pub fn activation_bytes(&self, bytes_per_element: u64) -> u64 {
+        (self.in_elems + self.out_elems) * bytes_per_element
+    }
+}
+
+/// Whole-graph statistics: node counts per class/kind and aggregate work.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphStats {
+    class_counts: BTreeMap<OpClass, usize>,
+    kind_counts: BTreeMap<OpKind, usize>,
+    total_macs: u64,
+    total_non_gemm_ops: u64,
+    total_activation_elems: u64,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut stats = GraphStats::default();
+        for node in graph.nodes() {
+            *stats.class_counts.entry(node.kind.class()).or_default() += 1;
+            *stats.kind_counts.entry(node.kind).or_default() += 1;
+            let cost = NodeCost::of(graph, node);
+            stats.total_macs += cost.macs;
+            stats.total_non_gemm_ops += cost.compute_ops;
+            stats.total_activation_elems += cost.in_elems + cost.out_elems;
+        }
+        stats
+    }
+
+    /// Number of nodes in a class.
+    pub fn class_count(&self, class: OpClass) -> usize {
+        self.class_counts.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Number of nodes of an exact kind.
+    pub fn kind_count(&self, kind: OpKind) -> usize {
+        self.kind_counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// All `(kind, count)` pairs, ordered by kind.
+    pub fn kind_counts(&self) -> impl Iterator<Item = (OpKind, usize)> + '_ {
+        self.kind_counts.iter().map(|(&k, &c)| (k, c))
+    }
+
+    /// Total node count.
+    pub fn total_nodes(&self) -> usize {
+        self.class_counts.values().sum()
+    }
+
+    /// Number of GEMM-class nodes.
+    pub fn gemm_nodes(&self) -> usize {
+        self.class_count(OpClass::Gemm)
+    }
+
+    /// Number of non-GEMM nodes.
+    pub fn non_gemm_nodes(&self) -> usize {
+        self.total_nodes() - self.gemm_nodes()
+    }
+
+    /// The distinct non-GEMM operator kinds present (Figure 1's y-axis).
+    pub fn non_gemm_kind_variety(&self) -> usize {
+        self.kind_counts
+            .keys()
+            .filter(|k| k.class().is_non_gemm())
+            .count()
+    }
+
+    /// Total GEMM multiply-accumulates.
+    pub fn total_macs(&self) -> u64 {
+        self.total_macs
+    }
+
+    /// Total non-GEMM scalar primitive operations.
+    pub fn total_non_gemm_ops(&self) -> u64 {
+        self.total_non_gemm_ops
+    }
+
+    /// Fraction of nodes that are GEMM-class (the paper: ~15% across the
+    /// whole suite).
+    pub fn gemm_node_fraction(&self) -> f64 {
+        self.gemm_nodes() as f64 / self.total_nodes().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::Padding;
+
+    #[test]
+    fn conv_macs() {
+        let mut b = GraphBuilder::new("t", 2024);
+        let x = b.input("x", [1, 3, 8, 8]);
+        let c = b.conv(x, 16, 3, 1, Padding::Same);
+        b.output(c);
+        let g = b.finish();
+        let cost = NodeCost::of(&g, &g.nodes()[0]);
+        // 16*8*8 outputs × 3*3*3 macs each
+        assert_eq!(cost.macs, 16 * 8 * 8 * 27);
+        assert_eq!(cost.out_elems, 16 * 8 * 8);
+        assert_eq!(cost.in_elems, 3 * 8 * 8);
+        assert_eq!(cost.weight_elems, 16 * 3 * 3 * 3 + 16);
+    }
+
+    #[test]
+    fn depthwise_counts_as_non_gemm_work() {
+        let mut b = GraphBuilder::new("t", 2024);
+        let x = b.input("x", [1, 32, 16, 16]);
+        let d = b.depthwise_conv(x, 3, 1, Padding::Same);
+        b.output(d);
+        let g = b.finish();
+        let cost = NodeCost::of(&g, &g.nodes()[0]);
+        assert_eq!(cost.macs, 0);
+        assert_eq!(cost.compute_ops, (32 * 16 * 16) * 9 * 2);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut b = GraphBuilder::new("t", 2024);
+        let x = b.input("x", [1, 3, 32, 32]);
+        let c = b.conv(x, 8, 3, 1, Padding::Same);
+        let r = b.relu(c);
+        let p = b.max_pool(r, 2, 2);
+        let f = b.flatten(p);
+        let y = b.fc(f, 10);
+        let s = b.softmax(y, -1);
+        b.output(s);
+        let g = b.finish();
+        let stats = g.stats();
+        assert_eq!(stats.total_nodes(), 6);
+        assert_eq!(stats.gemm_nodes(), 2);
+        assert_eq!(stats.non_gemm_nodes(), 4);
+        assert_eq!(stats.kind_count(OpKind::Relu), 1);
+        assert!(stats.total_macs() > 0);
+        assert!(stats.gemm_node_fraction() > 0.0 && stats.gemm_node_fraction() < 1.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! BERT-base (Devlin et al., 2018), encoder-only, sequence length
+//! configurable (the paper uses 128). Built as the ONNX export looks:
+//! LayerNorm decomposed into nine primitive nodes, GELU in erf form (five
+//! nodes), attention with explicit Transpose/Reshape/Div/Add/Softmax — the
+//! paper's Figure 4(c) subgraph.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, TensorId};
+
+const HIDDEN: usize = 768;
+const HEADS: usize = 12;
+const LAYERS: usize = 12;
+const FFN: usize = 3072;
+const VOCAB: usize = 30522;
+
+/// Linear layer with bias as ONNX emits it: `MatMul + Add`.
+fn linear_bias(b: &mut GraphBuilder, x: TensorId, out: usize) -> TensorId {
+    let m = b.linear(x, out);
+    b.add_const(m, [out])
+}
+
+/// One attention head-split: `[1, S, H] → [1, heads, S, H/heads]`.
+fn split_heads(b: &mut GraphBuilder, x: TensorId, seq: usize) -> TensorId {
+    let r = b.reshape(x, [1, seq, HEADS, HIDDEN / HEADS]);
+    b.transpose(r, &[0, 2, 1, 3])
+}
+
+/// One encoder layer.
+fn encoder_layer(b: &mut GraphBuilder, x: TensorId, seq: usize, mask: TensorId) -> TensorId {
+    // --- self-attention ---
+    let q = linear_bias(b, x, HIDDEN);
+    let k = linear_bias(b, x, HIDDEN);
+    let v = linear_bias(b, x, HIDDEN);
+    let qh = split_heads(b, q, seq);
+    let kh = split_heads(b, k, seq);
+    let vh = split_heads(b, v, seq);
+    let kt = b.transpose(kh, &[0, 1, 3, 2]);
+    let scores = b.matmul(qh, kt);
+    let scaled = b.div_const(scores); // 1/sqrt(64)
+    let masked = b.add(scaled, mask);
+    let probs = b.softmax(masked, -1);
+    let ctx = b.matmul(probs, vh);
+    let merged_t = b.transpose(ctx, &[0, 2, 1, 3]);
+    let merged = b.reshape(merged_t, [1, seq, HIDDEN]);
+    let attn_out = linear_bias(b, merged, HIDDEN);
+    let res1 = b.add(attn_out, x);
+    let ln1 = b.layer_norm(res1);
+
+    // --- feed-forward ---
+    let ff1 = linear_bias(b, ln1, FFN);
+    let gelu = b.gelu_erf(ff1);
+    let ff2 = linear_bias(b, gelu, HIDDEN);
+    let res2 = b.add(ff2, ln1);
+    b.layer_norm(res2)
+}
+
+/// Builds BERT-base (12 layers, hidden 768, 12 heads) at the given
+/// sequence length (batch 1), through the pooler.
+pub fn bert_base(seq: usize) -> Graph {
+    let mut b = GraphBuilder::new("bert_base", 2018);
+    let ids = b.input("input_ids", [seq]);
+    let type_ids = b.input("token_type_ids", [seq]);
+    // The additive attention mask, precomputed as in ONNX exports.
+    let mask = b.input("attention_mask", [1, 1, 1, seq]);
+
+    // --- embeddings ---
+    let word_table = b.weight([VOCAB, HIDDEN]);
+    let pos_table = b.weight([512, HIDDEN]);
+    let type_table = b.weight([2, HIDDEN]);
+    let word = b.gather(word_table, ids);
+    let word3 = b.reshape(word, [1, seq, HIDDEN]);
+    let pos_ids = b.weight([seq]);
+    let pos = b.gather(pos_table, pos_ids);
+    let pos3 = b.reshape(pos, [1, seq, HIDDEN]);
+    let typ = b.gather(type_table, type_ids);
+    let typ3 = b.reshape(typ, [1, seq, HIDDEN]);
+    let sum1 = b.add(word3, pos3);
+    let sum2 = b.add(sum1, typ3);
+    let mut h = b.layer_norm(sum2);
+
+    // --- encoder stack ---
+    for _ in 0..LAYERS {
+        h = encoder_layer(&mut b, h, seq, mask);
+    }
+
+    // --- pooler: first token → dense → tanh ---
+    let first = b.slice(h, 1, 0, 1);
+    let flat = b.reshape(first, [1, HIDDEN]);
+    let dense = b.fc(flat, HIDDEN);
+    let pooled = b.tanh(dense);
+    b.output(h);
+    b.output(pooled);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn structure() {
+        let g = bert_base(128);
+        let s = g.stats();
+        // 6 projection/ffn matmuls + 2 attention matmuls per layer, + pooler.
+        assert_eq!(s.kind_count(OpKind::MatMul), LAYERS * 8);
+        assert_eq!(s.kind_count(OpKind::Gemm), 1);
+        assert_eq!(s.kind_count(OpKind::Softmax), LAYERS);
+        // 5 transposes per layer: 3 head splits + K-transpose + merge.
+        assert_eq!(s.kind_count(OpKind::Transpose), LAYERS * 5);
+        // 2 LayerNorms per layer + embeddings LN, each with 2 ReduceMeans.
+        assert_eq!(s.kind_count(OpKind::ReduceMean), (LAYERS * 2 + 1) * 2);
+        assert_eq!(s.kind_count(OpKind::Erf), LAYERS);
+        // GEMM fraction must be small (Figure 2): BERT is non-GEMM heavy.
+        assert!(s.gemm_node_fraction() < 0.20, "{}", s.gemm_node_fraction());
+        // ~11 GMACs for seq 128 (projections dominate).
+        let gmacs = s.total_macs() as f64 / 1e9;
+        assert!((9.0..14.0).contains(&gmacs), "GMACs = {gmacs}");
+    }
+
+    #[test]
+    fn sequence_length_scales_attention() {
+        let short = bert_base(64).stats().total_macs();
+        let long = bert_base(128).stats().total_macs();
+        assert!(long > short * 19 / 10, "{short} vs {long}");
+    }
+}

@@ -1,0 +1,108 @@
+//! EfficientNet-B0 (Tan & Le, 2019) at 224×224. Its MBConv blocks carry
+//! squeeze-and-excitation (GlobalAveragePool → 1×1 convs → Sigmoid → Mul)
+//! and Swish activations (Sigmoid + Mul as ONNX exports them) — the model
+//! where non-GEMM layers consume 81% of Baseline-2 runtime (paper Fig. 3).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, TensorId};
+use crate::op::Padding;
+
+/// Swish as ONNX emits it: `x * sigmoid(x)`.
+fn swish(b: &mut GraphBuilder, x: TensorId) -> TensorId {
+    b.swish(x)
+}
+
+/// Squeeze-and-excitation: pooled gates multiplied back into the feature
+/// map. `se_channels` is derived from the block's *input* channel count.
+fn squeeze_excite(b: &mut GraphBuilder, x: TensorId, se_channels: usize) -> TensorId {
+    let pooled = b.global_avg_pool(x);
+    let reduce = b.conv(pooled, se_channels, 1, 1, Padding::Same);
+    let act = swish(b, reduce);
+    let channels = b.shape(x).dim(1);
+    let expand = b.conv(act, channels, 1, 1, Padding::Same);
+    let gates = b.sigmoid(expand);
+    b.mul(x, gates)
+}
+
+/// One MBConv block.
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    b: &mut GraphBuilder,
+    x: TensorId,
+    expand: usize,
+    out: usize,
+    kernel: usize,
+    stride: usize,
+) -> TensorId {
+    let in_channels = b.shape(x).dim(1);
+    let mut h = x;
+    if expand != 1 {
+        let e = b.conv(h, in_channels * expand, 1, 1, Padding::Same);
+        h = swish(b, e);
+    }
+    let dw = b.depthwise_conv(h, kernel, stride, Padding::Same);
+    let dw_act = swish(b, dw);
+    let se = squeeze_excite(b, dw_act, (in_channels / 4).max(1));
+    let proj = b.conv(se, out, 1, 1, Padding::Same);
+    if stride == 1 && in_channels == out {
+        b.add(proj, x)
+    } else {
+        proj
+    }
+}
+
+/// Builds EfficientNet-B0 for ImageNet inference (batch 1).
+pub fn efficientnet_b0() -> Graph {
+    let mut b = GraphBuilder::new("efficientnet_b0", 2019);
+    let x = b.input("image", [1, 3, 224, 224]);
+
+    let stem = b.conv(x, 32, 3, 2, Padding::Same);
+    let mut h = swish(&mut b, stem);
+
+    // (expansion t, channels c, repeats n, first stride s, kernel k)
+    for &(t, c, n, s, k) in &[
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ] {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            h = mbconv(&mut b, h, t, c, k, stride);
+        }
+    }
+
+    let head = b.conv(h, 1280, 1, 1, Padding::Same);
+    let head_act = swish(&mut b, head);
+    let pooled = b.global_avg_pool(head_act);
+    let flat = b.flatten(pooled);
+    let logits = b.fc(flat, 1000);
+    let probs = b.softmax(logits, -1);
+    b.output(probs);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpClass, OpKind};
+
+    #[test]
+    fn structure() {
+        let g = efficientnet_b0();
+        let s = g.stats();
+        assert_eq!(s.kind_count(OpKind::DepthwiseConv), 16);
+        // 16 SE blocks + stem/head sigmoids from swish.
+        assert!(s.kind_count(OpKind::Sigmoid) >= 16 * 2);
+        assert_eq!(s.kind_count(OpKind::GlobalAveragePool), 17);
+        // Rich non-GEMM mix: Mul from every swish and SE gate.
+        assert!(s.kind_count(OpKind::Mul) > 40);
+        assert!(s.class_count(OpClass::Gemm) > 60);
+        // ~0.4 GMACs for B0 (GEMM class only).
+        let gmacs = s.total_macs() as f64 / 1e9;
+        assert!((0.3..0.55).contains(&gmacs), "GMACs = {gmacs}");
+    }
+}

@@ -1,0 +1,109 @@
+//! GPT-2 (124M; Radford et al., 2019), decoder-only, sequence length
+//! configurable (the paper uses 128, offline/single-stream). Built as the
+//! ONNX export looks: pre-LayerNorm blocks, fused QKV projection followed
+//! by `Split`, causal masking via `Where`, and the tanh-approximation GELU.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, TensorId};
+
+const HIDDEN: usize = 768;
+const HEADS: usize = 12;
+const LAYERS: usize = 12;
+const FFN: usize = 3072;
+const VOCAB: usize = 50257;
+const MAX_POS: usize = 1024;
+
+fn linear_bias(b: &mut GraphBuilder, x: TensorId, out: usize) -> TensorId {
+    let m = b.linear(x, out);
+    b.add_const(m, [out])
+}
+
+fn split_heads(b: &mut GraphBuilder, x: TensorId, seq: usize) -> TensorId {
+    let r = b.reshape(x, [1, seq, HEADS, HIDDEN / HEADS]);
+    b.transpose(r, &[0, 2, 1, 3])
+}
+
+fn decoder_layer(b: &mut GraphBuilder, x: TensorId, seq: usize, causal: TensorId) -> TensorId {
+    // --- attention (pre-LN) ---
+    let ln1 = b.layer_norm(x);
+    let qkv = linear_bias(b, ln1, 3 * HIDDEN);
+    let parts = b.split(qkv, 3, -1);
+    let qh = split_heads(b, parts[0], seq);
+    let kh = split_heads(b, parts[1], seq);
+    let vh = split_heads(b, parts[2], seq);
+    let kt = b.transpose(kh, &[0, 1, 3, 2]);
+    let scores = b.matmul(qh, kt);
+    let scaled = b.div_const(scores);
+    // causal mask: keep lower triangle, else -inf surrogate constant.
+    let neg = b.weight(crate::shape::Shape::scalar());
+    let masked = b.where_op(causal, scaled, neg);
+    let probs = b.softmax(masked, -1);
+    let ctx = b.matmul(probs, vh);
+    let merged_t = b.transpose(ctx, &[0, 2, 1, 3]);
+    let merged = b.reshape(merged_t, [1, seq, HIDDEN]);
+    let attn_out = linear_bias(b, merged, HIDDEN);
+    let res1 = b.add(attn_out, x);
+
+    // --- MLP (pre-LN) ---
+    let ln2 = b.layer_norm(res1);
+    let ff1 = linear_bias(b, ln2, FFN);
+    let gelu = b.gelu_tanh(ff1);
+    let ff2 = linear_bias(b, gelu, HIDDEN);
+    b.add(ff2, res1)
+}
+
+/// Builds GPT-2 124M (12 layers, hidden 768, 12 heads) at the given
+/// sequence length (batch 1), producing next-token logits.
+pub fn gpt2(seq: usize) -> Graph {
+    let mut b = GraphBuilder::new("gpt2", 2019);
+    let ids = b.input("input_ids", [seq]);
+
+    // --- embeddings ---
+    let wte = b.weight([VOCAB, HIDDEN]);
+    let wpe = b.weight([MAX_POS, HIDDEN]);
+    let tok = b.gather(wte, ids);
+    let tok3 = b.reshape(tok, [1, seq, HIDDEN]);
+    let pos_ids = b.weight([seq]);
+    let pos = b.gather(wpe, pos_ids);
+    let pos3 = b.reshape(pos, [1, seq, HIDDEN]);
+    let mut h = b.add(tok3, pos3);
+
+    // Causal mask constant, shared by all layers.
+    let causal = b.weight([1, 1, seq, seq]);
+
+    for _ in 0..LAYERS {
+        h = decoder_layer(&mut b, h, seq, causal);
+    }
+
+    // --- final LN + tied LM head ---
+    let ln_f = b.layer_norm(h);
+    let lm_w = b.weight([HIDDEN, VOCAB]);
+    let logits = b.matmul(ln_f, lm_w);
+    b.output(logits);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn structure() {
+        let g = gpt2(128);
+        let s = g.stats();
+        // qkv + attn-out + 2 ffn projections + 2 attention matmuls per
+        // layer, + LM head.
+        assert_eq!(s.kind_count(OpKind::MatMul), LAYERS * 6 + 1);
+        assert_eq!(s.kind_count(OpKind::Split), LAYERS);
+        assert_eq!(s.kind_count(OpKind::Where), LAYERS);
+        assert_eq!(s.kind_count(OpKind::Tanh), LAYERS);
+        assert_eq!(s.kind_count(OpKind::Softmax), LAYERS);
+        // Pre-LN: 2 per layer + final (each 2 ReduceMeans).
+        assert_eq!(s.kind_count(OpKind::ReduceMean), (LAYERS * 2 + 1) * 2);
+        assert!(s.gemm_node_fraction() < 0.20);
+        // LM head over 50k vocab dominates: ~16 GMACs at seq 128.
+        let gmacs = s.total_macs() as f64 / 1e9;
+        assert!((12.0..20.0).contains(&gmacs), "GMACs = {gmacs}");
+    }
+}

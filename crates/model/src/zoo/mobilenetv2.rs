@@ -1,0 +1,90 @@
+//! MobileNetV2 (Sandler et al., 2018) at 224×224 — the paper's Figure 4(b)
+//! subgraph: `Conv → Clip → DWConv → Clip → Conv → Add`. Its 17 depth-wise
+//! convolutions are the non-GEMM reduction operators that dominate Gemmini's
+//! runtime (Figure 17) and where the Tandem Processor shines (5.9× speedup,
+//! Figure 14).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, TensorId};
+use crate::op::Padding;
+
+/// One inverted-residual block: optional 1×1 expand (+ReLU6), depth-wise
+/// 3×3 (+ReLU6), 1×1 linear projection, residual add when shapes allow.
+fn inverted_residual(
+    b: &mut GraphBuilder,
+    x: TensorId,
+    expand: usize,
+    out: usize,
+    stride: usize,
+) -> TensorId {
+    let in_channels = b.shape(x).dim(1);
+    let mut h = x;
+    if expand != 1 {
+        let e = b.conv(h, in_channels * expand, 1, 1, Padding::Same);
+        h = b.clip(e, 0.0, 6.0);
+    }
+    let dw = b.depthwise_conv(h, 3, stride, Padding::Same);
+    let dw_act = b.clip(dw, 0.0, 6.0);
+    let proj = b.conv(dw_act, out, 1, 1, Padding::Same);
+    if stride == 1 && in_channels == out {
+        b.add(proj, x)
+    } else {
+        proj
+    }
+}
+
+/// Builds MobileNetV2 (width 1.0) for ImageNet inference (batch 1).
+pub fn mobilenetv2() -> Graph {
+    let mut b = GraphBuilder::new("mobilenetv2", 2018);
+    let x = b.input("image", [1, 3, 224, 224]);
+
+    let stem = b.conv(x, 32, 3, 2, Padding::Same);
+    let mut h = b.clip(stem, 0.0, 6.0);
+
+    // (expansion t, output channels c, repeats n, first stride s)
+    for &(t, c, n, s) in &[
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ] {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            h = inverted_residual(&mut b, h, t, c, stride);
+        }
+    }
+
+    let head = b.conv(h, 1280, 1, 1, Padding::Same);
+    let head_act = b.clip(head, 0.0, 6.0);
+    let pooled = b.global_avg_pool(head_act);
+    let flat = b.flatten(pooled);
+    let logits = b.fc(flat, 1000);
+    let probs = b.softmax(logits, -1);
+    b.output(probs);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn structure() {
+        let g = mobilenetv2();
+        let s = g.stats();
+        assert_eq!(s.kind_count(OpKind::DepthwiseConv), 17);
+        // stem + 16 expand convs (all but block 1) + 17 project + head = 35.
+        assert_eq!(s.kind_count(OpKind::Conv), 35);
+        // ReLU6 after stem, each expand, each depthwise, and head.
+        assert_eq!(s.kind_count(OpKind::Clip), 1 + 16 + 17 + 1);
+        // Residual adds where stride 1 and channels match: 10.
+        assert_eq!(s.kind_count(OpKind::Add), 10);
+        // ~0.3 GMACs (GEMM-class only; depthwise excluded by design).
+        let gmacs = s.total_macs() as f64 / 1e9;
+        assert!((0.25..0.40).contains(&gmacs), "GMACs = {gmacs}");
+    }
+}

@@ -1,0 +1,98 @@
+//! ResNet-50 (He et al., 2015) at 224×224, inference form (batch-norm
+//! folded into the convolutions) — the paper's Figure 4(a) subgraph:
+//! `Conv → Relu → Conv → Relu → Conv → (+residual) → Relu`.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, TensorId};
+use crate::op::Padding;
+
+/// One bottleneck block: 1×1 reduce, 3×3, 1×1 expand, with identity or
+/// projection shortcut.
+fn bottleneck(
+    b: &mut GraphBuilder,
+    x: TensorId,
+    mid: usize,
+    out: usize,
+    stride: usize,
+    project: bool,
+) -> TensorId {
+    let c1 = b.conv(x, mid, 1, 1, Padding::Same);
+    let r1 = b.relu(c1);
+    let c2 = b.conv(r1, mid, 3, stride, Padding::Same);
+    let r2 = b.relu(c2);
+    let c3 = b.conv(r2, out, 1, 1, Padding::Same);
+    let shortcut = if project {
+        b.conv(x, out, 1, stride, Padding::Same)
+    } else {
+        x
+    };
+    let sum = b.add(c3, shortcut);
+    b.relu(sum)
+}
+
+/// Builds ResNet-50 for ImageNet inference (batch 1).
+pub fn resnet50() -> Graph {
+    let mut b = GraphBuilder::new("resnet50", 2015);
+    let x = b.input("image", [1, 3, 224, 224]);
+
+    // Stem.
+    let stem = b.conv(x, 64, 7, 2, Padding::Same);
+    let stem_r = b.relu(stem);
+    let mut h = b.max_pool(stem_r, 3, 2);
+
+    // Stages: (mid channels, out channels, blocks, first stride).
+    for &(mid, out, blocks, stride) in &[
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ] {
+        for i in 0..blocks {
+            let s = if i == 0 { stride } else { 1 };
+            h = bottleneck(&mut b, h, mid, out, s, i == 0);
+        }
+    }
+
+    // Head: the 7×7 GlobalAveragePool the paper calls out as Gemmini's
+    // ResNet bottleneck (§8).
+    let pooled = b.global_avg_pool(h);
+    let flat = b.flatten(pooled);
+    let logits = b.fc(flat, 1000);
+    let probs = b.softmax(logits, -1);
+    b.output(probs);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn structure() {
+        let g = resnet50();
+        let s = g.stats();
+        // 1 stem + 16 blocks × 3 + 4 projections = 53 convs, 1 FC.
+        assert_eq!(s.kind_count(OpKind::Conv), 53);
+        assert_eq!(s.kind_count(OpKind::Gemm), 1);
+        // 1 stem + 16 × 3 relus.
+        assert_eq!(s.kind_count(OpKind::Relu), 49);
+        assert_eq!(s.kind_count(OpKind::Add), 16);
+        assert_eq!(s.kind_count(OpKind::GlobalAveragePool), 1);
+        // ~4.1 GMACs.
+        let gmacs = s.total_macs() as f64 / 1e9;
+        assert!((3.5..4.8).contains(&gmacs), "GMACs = {gmacs}");
+    }
+
+    #[test]
+    fn final_feature_map_is_7x7() {
+        let g = resnet50();
+        let gap = g
+            .nodes()
+            .iter()
+            .find(|n| n.kind == OpKind::GlobalAveragePool)
+            .unwrap();
+        let input = g.tensor(gap.inputs[0]);
+        assert_eq!(input.shape.dims(), &[1, 2048, 7, 7]);
+    }
+}

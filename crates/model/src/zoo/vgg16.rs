@@ -1,0 +1,64 @@
+//! VGG-16 (Simonyan & Zisserman, 2014) at 224×224 — the paper's example of
+//! a first-generation DNN with only a handful of non-GEMM operator types
+//! (ReLU, MaxPool, Softmax).
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::op::Padding;
+use crate::graph::TensorId;
+
+fn conv_relu(b: &mut GraphBuilder, x: TensorId, channels: usize) -> TensorId {
+    let c = b.conv(x, channels, 3, 1, Padding::Same);
+    b.relu(c)
+}
+
+/// Builds VGG-16 for ImageNet inference (batch 1).
+pub fn vgg16() -> Graph {
+    let mut b = GraphBuilder::new("vgg16", 2014);
+    let mut x = b.input("image", [1, 3, 224, 224]);
+
+    // Five convolutional stages: (channels, conv count).
+    for &(channels, convs) in &[(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)] {
+        for _ in 0..convs {
+            x = conv_relu(&mut b, x, channels);
+        }
+        x = b.max_pool(x, 2, 2);
+    }
+
+    // Classifier head.
+    let flat = b.flatten(x);
+    let fc1 = b.fc(flat, 4096);
+    let r1 = b.relu(fc1);
+    let fc2 = b.fc(r1, 4096);
+    let r2 = b.relu(fc2);
+    let fc3 = b.fc(r2, 1000);
+    let probs = b.softmax(fc3, -1);
+    b.output(probs);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpClass, OpKind};
+    use crate::shape::Shape;
+
+    #[test]
+    fn structure() {
+        let g = vgg16();
+        let s = g.stats();
+        assert_eq!(s.kind_count(OpKind::Conv), 13);
+        assert_eq!(s.kind_count(OpKind::Gemm), 3);
+        assert_eq!(s.kind_count(OpKind::Relu), 15);
+        assert_eq!(s.kind_count(OpKind::MaxPool), 5);
+        assert_eq!(s.kind_count(OpKind::Softmax), 1);
+        assert_eq!(s.gemm_nodes(), 16);
+        // ~15.5 GMACs for VGG-16 at 224×224
+        let gmacs = s.total_macs() as f64 / 1e9;
+        assert!((14.0..17.0).contains(&gmacs), "GMACs = {gmacs}");
+        assert_eq!(s.class_count(OpClass::Gemm), 16);
+        // output is the 1000-class distribution
+        let out = g.tensor(g.outputs()[0]);
+        assert_eq!(out.shape, Shape::from([1, 1000]));
+    }
+}

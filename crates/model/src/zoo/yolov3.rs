@@ -1,0 +1,117 @@
+//! YOLOv3 (Redmon & Farhadi, 2018) at 416×416: the Darknet-53 backbone and
+//! three detection heads with feature-pyramid upsampling (Resize) and
+//! Concat — the zoo's source of LeakyRelu, Resize, and Concat operators.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, TensorId};
+use crate::op::Padding;
+
+const SLOPE: f64 = 0.1;
+
+fn conv_lrelu(
+    b: &mut GraphBuilder,
+    x: TensorId,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+) -> TensorId {
+    let c = b.conv(x, channels, kernel, stride, Padding::Same);
+    b.leaky_relu(c, SLOPE)
+}
+
+/// Darknet residual block: 1×1 reduce, 3×3 expand, add.
+fn residual(b: &mut GraphBuilder, x: TensorId, channels: usize) -> TensorId {
+    let r = conv_lrelu(b, x, channels / 2, 1, 1);
+    let e = conv_lrelu(b, r, channels, 3, 1);
+    b.add(e, x)
+}
+
+/// Five-conv detection neck at `channels`.
+fn neck(b: &mut GraphBuilder, x: TensorId, channels: usize) -> TensorId {
+    let mut h = x;
+    for i in 0..5 {
+        let (c, k) = if i % 2 == 0 {
+            (channels, 1)
+        } else {
+            (channels * 2, 3)
+        };
+        h = conv_lrelu(b, h, c, k, 1);
+    }
+    h
+}
+
+/// Detection head: 3×3 conv then the 1×1 255-channel prediction conv
+/// (no activation).
+fn head(b: &mut GraphBuilder, x: TensorId, channels: usize) -> TensorId {
+    let h = conv_lrelu(b, x, channels, 3, 1);
+    b.conv(h, 255, 1, 1, Padding::Same)
+}
+
+/// Builds YOLOv3 for COCO inference (batch 1, 416×416).
+pub fn yolov3() -> Graph {
+    let mut b = GraphBuilder::new("yolov3", 2018);
+    let x = b.input("image", [1, 3, 416, 416]);
+
+    // --- Darknet-53 backbone ---
+    let mut h = conv_lrelu(&mut b, x, 32, 3, 1);
+    let mut route_36 = None; // 52×52×256 feature map
+    let mut route_61 = None; // 26×26×512 feature map
+    for &(channels, blocks) in &[(64, 1), (128, 2), (256, 8), (512, 8), (1024, 4)] {
+        h = conv_lrelu(&mut b, h, channels, 3, 2);
+        for _ in 0..blocks {
+            h = residual(&mut b, h, channels);
+        }
+        if channels == 256 {
+            route_36 = Some(h);
+        }
+        if channels == 512 {
+            route_61 = Some(h);
+        }
+    }
+
+    // --- scale 1 (13×13) ---
+    let n1 = neck(&mut b, h, 512);
+    let det1 = head(&mut b, n1, 1024);
+    b.output(det1);
+
+    // --- scale 2 (26×26) ---
+    let up1_conv = conv_lrelu(&mut b, n1, 256, 1, 1);
+    let up1 = b.resize(up1_conv, 2);
+    let cat1 = b.concat(&[up1, route_61.expect("route 61")], 1);
+    let n2 = neck(&mut b, cat1, 256);
+    let det2 = head(&mut b, n2, 512);
+    b.output(det2);
+
+    // --- scale 3 (52×52) ---
+    let up2_conv = conv_lrelu(&mut b, n2, 128, 1, 1);
+    let up2 = b.resize(up2_conv, 2);
+    let cat2 = b.concat(&[up2, route_36.expect("route 36")], 1);
+    let n3 = neck(&mut b, cat2, 128);
+    let det3 = head(&mut b, n3, 256);
+    b.output(det3);
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn structure() {
+        let g = yolov3();
+        let s = g.stats();
+        // Darknet-53 (52 convs) + necks/heads/upsample convs = 75.
+        assert_eq!(s.kind_count(OpKind::Conv), 75);
+        // Every conv except the 3 detection convs has LeakyRelu.
+        assert_eq!(s.kind_count(OpKind::LeakyRelu), 72);
+        assert_eq!(s.kind_count(OpKind::Add), 23);
+        assert_eq!(s.kind_count(OpKind::Resize), 2);
+        assert_eq!(s.kind_count(OpKind::Concat), 2);
+        // ~32.5 GMACs for YOLOv3 at 416.
+        let gmacs = s.total_macs() as f64 / 1e9;
+        assert!((28.0..36.0).contains(&gmacs), "GMACs = {gmacs}");
+        assert_eq!(g.outputs().len(), 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! Reference-interpreter tests: the f32 executor must match hand
+//! computations and known identities on real graph structures.
+
+use std::collections::HashMap;
+use tandem_model::interp::{run, TensorData};
+use tandem_model::{GraphBuilder, Padding, Shape};
+
+fn inputs_of(
+    pairs: Vec<(tandem_model::TensorId, TensorData)>,
+) -> HashMap<tandem_model::TensorId, TensorData> {
+    pairs.into_iter().collect()
+}
+
+#[test]
+fn elementwise_chain_matches_hand_computation() {
+    let mut b = GraphBuilder::new("t", 2026);
+    let x = b.input("x", [1, 4]);
+    let r = b.relu(x);
+    let s = b.sigmoid(r);
+    b.output(s);
+    let g = b.finish();
+    let env = run(
+        &g,
+        &inputs_of(vec![(
+            x,
+            TensorData::new(Shape::from([1, 4]), vec![-1.0, 0.0, 1.0, 2.0]),
+        )]),
+    )
+    .unwrap();
+    let out = &env[&g.outputs()[0]];
+    let want: Vec<f32> = [-1.0f32, 0.0, 1.0, 2.0]
+        .iter()
+        .map(|&v| 1.0 / (1.0 + (-v.max(0.0)).exp()))
+        .collect();
+    for (a, b) in out.data.iter().zip(want.iter()) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn softmax_rows_sum_to_one_and_match_reference() {
+    let mut b = GraphBuilder::new("t", 2026);
+    let x = b.input("x", [2, 5]);
+    let y = b.softmax(x, -1);
+    b.output(y);
+    let g = b.finish();
+    let data: Vec<f32> = (0..10).map(|i| i as f32 * 0.3 - 1.0).collect();
+    let env = run(
+        &g,
+        &inputs_of(vec![(x, TensorData::new(Shape::from([2, 5]), data))]),
+    )
+    .unwrap();
+    let out = &env[&g.outputs()[0]];
+    for row in out.data.chunks(5) {
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(row.windows(2).all(|w| w[0] < w[1]), "monotone inputs");
+    }
+}
+
+#[test]
+fn layernorm_decomposition_equals_direct_layernorm() {
+    // The builder's 9-node LayerNorm chain, interpreted, must equal the
+    // closed-form computation (with the graph's own random gamma/beta).
+    let mut b = GraphBuilder::new("t", 2026);
+    let x = b.input("x", [1, 3, 8]);
+    let y = b.layer_norm(x);
+    b.output(y);
+    let g = b.finish();
+    let data: Vec<f32> = (0..24).map(|i| ((i * 7) % 11) as f32 * 0.5 - 2.0).collect();
+    let env = run(
+        &g,
+        &inputs_of(vec![(
+            x,
+            TensorData::new(Shape::from([1, 3, 8]), data.clone()),
+        )]),
+    )
+    .unwrap();
+    let out = &env[&g.outputs()[0]];
+
+    // recover the generated eps/gamma/beta from the env; layer_norm
+    // allocates weights in order: Pow-exponent placeholder (unused by the
+    // interpreter — it reads attrs.alpha), eps scalar, gamma[8], beta[8].
+    let weights: Vec<&tandem_model::Tensor> =
+        g.tensors().iter().filter(|t| t.is_weight).collect();
+    let eps = env[&weights[1].id].data[0];
+    let gamma = &env[&weights[2].id].data;
+    let beta = &env[&weights[3].id].data;
+
+    for (row_i, row) in data.chunks(8).enumerate() {
+        let mean: f32 = row.iter().sum::<f32>() / 8.0;
+        let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 8.0;
+        for (c, &v) in row.iter().enumerate() {
+            let want = (v - mean) / (var + eps).sqrt() * gamma[c] + beta[c];
+            let got = out.data[row_i * 8 + c];
+            assert!(
+                (got - want).abs() < 1e-4,
+                "row {row_i} col {c}: want {want}, got {got}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conv_identity_kernel_with_transpose_roundtrip() {
+    // A 1×1 depthwise-free path: conv with generated weights is hard to
+    // predict, so check structure through Transpose instead: transposing
+    // twice restores the input.
+    let mut b = GraphBuilder::new("t", 2026);
+    let x = b.input("x", [1, 2, 3, 4]);
+    let t1 = b.transpose(x, &[0, 3, 1, 2]);
+    let t2 = b.transpose(t1, &[0, 2, 3, 1]);
+    b.output(t2);
+    let g = b.finish();
+    let data: Vec<f32> = (0..24).map(|i| i as f32).collect();
+    let env = run(
+        &g,
+        &inputs_of(vec![(
+            x,
+            TensorData::new(Shape::from([1, 2, 3, 4]), data.clone()),
+        )]),
+    )
+    .unwrap();
+    assert_eq!(env[&g.outputs()[0]].data, data);
+}
+
+#[test]
+fn maxpool_matches_naive_window_max() {
+    let mut b = GraphBuilder::new("t", 2026);
+    let x = b.input("x", [1, 1, 4, 4]);
+    let y = b.max_pool(x, 2, 2);
+    b.output(y);
+    let g = b.finish();
+    let data: Vec<f32> = (0..16).map(|i| ((i * 5) % 16) as f32).collect();
+    let env = run(
+        &g,
+        &inputs_of(vec![(
+            x,
+            TensorData::new(Shape::from([1, 1, 4, 4]), data.clone()),
+        )]),
+    )
+    .unwrap();
+    let out = &env[&g.outputs()[0]];
+    for oy in 0..2usize {
+        for ox in 0..2usize {
+            let mut want = f32::NEG_INFINITY;
+            for ky in 0..2 {
+                for kx in 0..2 {
+                    want = want.max(data[(oy * 2 + ky) * 4 + ox * 2 + kx]);
+                }
+            }
+            assert_eq!(out.data[oy * 2 + ox], want);
+        }
+    }
+}
+
+#[test]
+fn gemm_matmul_agree_on_2d() {
+    // X·Wᵀ+0 via Gemm vs the same math through MatMul on Wᵀ.
+    let mut b = GraphBuilder::new("t", 2026);
+    let x = b.input("x", [2, 3]);
+    let y = b.fc(x, 4);
+    b.output(y);
+    let g = b.finish();
+    let data = vec![1.0, 2.0, 3.0, -1.0, 0.5, 2.0];
+    let env = run(
+        &g,
+        &inputs_of(vec![(x, TensorData::new(Shape::from([2, 3]), data.clone()))]),
+    )
+    .unwrap();
+    let weights: Vec<&tandem_model::Tensor> =
+        g.tensors().iter().filter(|t| t.is_weight).collect();
+    let w = &env[&weights[0].id].data; // [4,3]
+    let bias = &env[&weights[1].id].data;
+    let out = &env[&g.outputs()[0]];
+    for i in 0..2 {
+        for j in 0..4 {
+            let want: f32 =
+                bias[j] + (0..3).map(|l| data[i * 3 + l] * w[j * 3 + l]).sum::<f32>();
+            assert!((out.data[i * 4 + j] - want).abs() < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn small_cnn_runs_end_to_end_with_generated_weights() {
+    let mut b = GraphBuilder::new("t", 2026);
+    let x = b.input("x", [1, 3, 8, 8]);
+    let c1 = b.conv(x, 4, 3, 1, Padding::Same);
+    let r1 = b.relu(c1);
+    let p = b.max_pool(r1, 2, 2);
+    let d = b.depthwise_conv(p, 3, 1, Padding::Same);
+    let gap = b.global_avg_pool(d);
+    let f = b.flatten(gap);
+    let logits = b.fc(f, 3);
+    let probs = b.softmax(logits, -1);
+    b.output(probs);
+    let g = b.finish();
+    let env = run(
+        &g,
+        &inputs_of(vec![(
+            x,
+            TensorData::new(Shape::from([1, 3, 8, 8]), vec![0.1; 192]),
+        )]),
+    )
+    .unwrap();
+    let out = &env[&g.outputs()[0]];
+    let sum: f32 = out.data.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-5, "softmax output sums to 1, got {sum}");
+    assert!(out.data.iter().all(|v| v.is_finite() && *v >= 0.0));
+}
+
+#[test]
+fn missing_input_is_reported() {
+    let mut b = GraphBuilder::new("t", 2026);
+    let x = b.input("x", [1, 4]);
+    let y = b.relu(x);
+    b.output(y);
+    let g = b.finish();
+    let err = run(&g, &HashMap::new()).unwrap_err();
+    assert!(err.to_string().contains('x'));
+}

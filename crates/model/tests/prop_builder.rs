@@ -1,0 +1,117 @@
+//! Property tests over randomly constructed graphs: the builder's shape
+//! inference, validation, and statistics must be self-consistent for any
+//! MLP/CNN the strategy produces.
+
+use proptest::prelude::*;
+use tandem_model::{GraphBuilder, OpClass, OpKind, Padding, Shape};
+
+#[derive(Debug, Clone)]
+enum Layer {
+    Conv { channels: usize, kernel: usize, stride: usize },
+    Relu,
+    Clip,
+    Sigmoid,
+    Add,     // residual to the previous layer input when shapes allow
+    MaxPool, // 2×2/2
+    Dw,      // depthwise 3×3/1
+}
+
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    prop_oneof![
+        (1usize..=16, prop::sample::select(vec![1usize, 3]), 1usize..=2)
+            .prop_map(|(c, k, s)| Layer::Conv {
+                channels: c * 4,
+                kernel: k,
+                stride: s
+            }),
+        Just(Layer::Relu),
+        Just(Layer::Clip),
+        Just(Layer::Sigmoid),
+        Just(Layer::Add),
+        Just(Layer::MaxPool),
+        Just(Layer::Dw),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_cnns_validate_and_count_consistently(
+        layers in prop::collection::vec(arb_layer(), 1..12),
+    ) {
+        let mut b = GraphBuilder::new("prop-cnn", 2026);
+        let mut h = b.input("x", [1, 8, 32, 32]);
+        #[allow(unused_assignments)]
+        let mut prev = h;
+        for layer in &layers {
+            // spatial size can shrink below pool/conv windows; guard
+            let spatial = b.shape(h).dim(2);
+            prev = h;
+            h = match layer {
+                Layer::Conv { channels, kernel, stride } if spatial >= *kernel => {
+                    b.conv(h, *channels, *kernel, *stride, Padding::Same)
+                }
+                Layer::Relu => b.relu(h),
+                Layer::Clip => b.clip(h, 0.0, 6.0),
+                Layer::Sigmoid => b.sigmoid(h),
+                Layer::Add => {
+                    if b.shape(h) == b.shape(prev) && h != prev {
+                        b.add(h, prev)
+                    } else {
+                        h
+                    }
+                }
+                Layer::MaxPool if spatial >= 2 => b.max_pool(h, 2, 2),
+                Layer::Dw if spatial >= 3 => b.depthwise_conv(h, 3, 1, Padding::Same),
+                _ => h,
+            };
+        }
+        b.output(h);
+        let g = b.finish();
+
+        // (finish() already validates; check the invariants hold anyway)
+        prop_assert!(g.validate().is_ok());
+        let stats = g.stats();
+        prop_assert_eq!(stats.total_nodes(), g.nodes().len());
+        prop_assert_eq!(
+            stats.gemm_nodes() + stats.non_gemm_nodes(),
+            stats.total_nodes()
+        );
+        // every activation tensor's element count is positive
+        for t in g.tensors() {
+            prop_assert!(t.shape.elements() > 0, "empty tensor {}", t.name);
+        }
+        // graph output is produced by some node or is the input
+        let out = g.outputs()[0];
+        prop_assert!(g.producer(out).is_some() || g.inputs().contains(&out));
+    }
+
+    #[test]
+    fn broadcast_shapes_agree_with_numpy_rules(
+        dims in prop::collection::vec(1usize..5, 1..4),
+    ) {
+        let a = Shape::new(dims.clone());
+        let ones = Shape::new(vec![1usize; dims.len()]);
+        prop_assert!(a.broadcastable_with(&ones));
+        prop_assert_eq!(a.broadcast(&ones), a.clone());
+        prop_assert_eq!(ones.broadcast(&a), a.clone());
+        let scalar = Shape::scalar();
+        prop_assert_eq!(a.broadcast(&scalar), a);
+    }
+
+    #[test]
+    fn node_costs_are_monotone_in_scale(scale in 1usize..4) {
+        let elems = 1024 * scale;
+        let mut b = GraphBuilder::new("t", 2026);
+        let x = b.input("x", [1, elems]);
+        let y = b.sigmoid(x);
+        b.output(y);
+        let g = b.finish();
+        let node = g.nodes().iter().find(|n| n.kind == OpKind::Sigmoid).unwrap();
+        let cost = tandem_model::NodeCost::of(&g, node);
+        prop_assert_eq!(cost.out_elems, elems as u64);
+        prop_assert_eq!(cost.in_elems, elems as u64);
+        prop_assert_eq!(node.kind.class(), OpClass::Activation);
+    }
+}

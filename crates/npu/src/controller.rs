@@ -1,0 +1,232 @@
+//! The execution-controller FSM (paper Figure 11).
+//!
+//! The controller orchestrates one execution block: after instruction
+//! dispatch it enters the state matching the block topology, hands tiles
+//! between the GEMM unit and the Tandem Processor on
+//! `GEMM_tile_done` handshakes, tracks Output-BUF ownership through the
+//! `OBUF_done` release, and loops until all tiles complete.
+
+use tandem_compiler::BlockKind;
+
+/// FSM states (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControllerState {
+    /// A block has been selected; instructions are being loaded.
+    BlockStart,
+    /// The Inst. Dispatch unit is walking the block's instructions.
+    InstDispatch,
+    /// GEMM-only block executing.
+    Gemm,
+    /// Non-GEMM-only block executing on the Tandem Processor.
+    Tandem,
+    /// Fused block: GEMM producing tiles, Tandem consuming them.
+    GemmTandem,
+    /// All tiles of the block have completed.
+    BlockDone,
+}
+
+/// Handshake events driving the FSM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControllerEvent {
+    /// Dispatch finished; the block topology is known.
+    DispatchDone(BlockKind),
+    /// The GEMM unit finished a tile (raises `GEMM_tile_done`).
+    GemmTileDone,
+    /// The Tandem Processor released the Output BUF (`OBUF_done`).
+    ObufReleased,
+    /// The Tandem Processor finished the non-GEMM program of the current
+    /// tile (`Tandem_done`).
+    TandemDone,
+}
+
+/// The execution controller for one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionController {
+    state: ControllerState,
+    tiles_total: u32,
+    gemm_tiles_done: u32,
+    tandem_tiles_done: u32,
+    /// Whether the Tandem Processor currently owns the Output BUF.
+    tandem_owns_obuf: bool,
+    /// A produced tile waiting for the Tandem Processor.
+    tile_pending: bool,
+}
+
+impl ExecutionController {
+    /// Creates a controller for a block of `tiles_total` tiles.
+    pub fn new(tiles_total: u32) -> Self {
+        ExecutionController {
+            state: ControllerState::BlockStart,
+            tiles_total,
+            gemm_tiles_done: 0,
+            tandem_tiles_done: 0,
+            tandem_owns_obuf: false,
+            tile_pending: false,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ControllerState {
+        self.state
+    }
+
+    /// Whether the Tandem Processor holds Output-BUF ownership.
+    pub fn tandem_owns_obuf(&self) -> bool {
+        self.tandem_owns_obuf
+    }
+
+    /// Begins instruction dispatch.
+    pub fn start_dispatch(&mut self) {
+        assert_eq!(self.state, ControllerState::BlockStart);
+        self.state = ControllerState::InstDispatch;
+    }
+
+    /// Whether the GEMM unit may start its next tile: its previous output
+    /// must have been released by the Tandem Processor (double buffering
+    /// permits one produced-but-unconsumed tile).
+    pub fn gemm_may_proceed(&self) -> bool {
+        !self.tile_pending && self.gemm_tiles_done < self.tiles_total
+    }
+
+    /// Feeds one event, advancing the FSM.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol violations (an event impossible in the current
+    /// state) — these would be hardware bugs.
+    pub fn on_event(&mut self, event: ControllerEvent) {
+        use ControllerEvent::*;
+        use ControllerState::*;
+        match (self.state, event) {
+            (InstDispatch, DispatchDone(kind)) => {
+                self.state = match kind {
+                    BlockKind::GemmOnly => Gemm,
+                    BlockKind::NonGemmOnly => Tandem,
+                    BlockKind::Fused => GemmTandem,
+                };
+            }
+            (Gemm, GemmTileDone) => {
+                self.gemm_tiles_done += 1;
+                if self.gemm_tiles_done == self.tiles_total {
+                    self.state = BlockDone;
+                }
+            }
+            (GemmTandem, GemmTileDone) => {
+                assert!(!self.tile_pending, "GEMM overran the Output BUF");
+                self.gemm_tiles_done += 1;
+                self.tile_pending = true;
+                // If the Tandem Processor is idle it takes ownership now.
+                if !self.tandem_owns_obuf {
+                    self.tandem_owns_obuf = true;
+                    self.tile_pending = false;
+                }
+            }
+            (GemmTandem, ObufReleased) | (Tandem, ObufReleased) => {
+                assert!(self.tandem_owns_obuf, "release without ownership");
+                self.tandem_owns_obuf = false;
+                if self.tile_pending {
+                    self.tandem_owns_obuf = true;
+                    self.tile_pending = false;
+                }
+            }
+            (GemmTandem, TandemDone) => {
+                self.tandem_tiles_done += 1;
+                if self.tandem_tiles_done == self.tiles_total {
+                    self.state = BlockDone;
+                }
+            }
+            (Tandem, TandemDone) => {
+                self.tandem_tiles_done += 1;
+                if self.tandem_tiles_done == self.tiles_total {
+                    self.state = BlockDone;
+                }
+            }
+            (state, event) => panic!("protocol violation: {event:?} in {state:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fused(tiles: u32) -> ExecutionController {
+        let mut c = ExecutionController::new(tiles);
+        c.start_dispatch();
+        c.on_event(ControllerEvent::DispatchDone(BlockKind::Fused));
+        c
+    }
+
+    #[test]
+    fn fused_block_walks_all_tiles() {
+        let mut c = fused(3);
+        assert_eq!(c.state(), ControllerState::GemmTandem);
+        for _ in 0..3 {
+            assert!(c.gemm_may_proceed());
+            c.on_event(ControllerEvent::GemmTileDone);
+            assert!(c.tandem_owns_obuf());
+            c.on_event(ControllerEvent::ObufReleased);
+            c.on_event(ControllerEvent::TandemDone);
+        }
+        assert_eq!(c.state(), ControllerState::BlockDone);
+    }
+
+    #[test]
+    fn double_buffering_allows_one_outstanding_tile() {
+        let mut c = fused(2);
+        c.on_event(ControllerEvent::GemmTileDone);
+        assert!(c.tandem_owns_obuf());
+        // GEMM may start tile 2 while Tandem consumes tile 1 …
+        assert!(c.gemm_may_proceed());
+        c.on_event(ControllerEvent::GemmTileDone);
+        // … but now a tile is pending and GEMM must stall.
+        assert!(!c.gemm_may_proceed());
+        // Releasing the OBUF hands the pending tile over.
+        c.on_event(ControllerEvent::ObufReleased);
+        assert!(c.tandem_owns_obuf());
+        c.on_event(ControllerEvent::TandemDone);
+        c.on_event(ControllerEvent::ObufReleased);
+        c.on_event(ControllerEvent::TandemDone);
+        assert_eq!(c.state(), ControllerState::BlockDone);
+    }
+
+    #[test]
+    fn gemm_only_block() {
+        let mut c = ExecutionController::new(2);
+        c.start_dispatch();
+        c.on_event(ControllerEvent::DispatchDone(BlockKind::GemmOnly));
+        assert_eq!(c.state(), ControllerState::Gemm);
+        c.on_event(ControllerEvent::GemmTileDone);
+        c.on_event(ControllerEvent::GemmTileDone);
+        assert_eq!(c.state(), ControllerState::BlockDone);
+    }
+
+    #[test]
+    fn tandem_only_block() {
+        let mut c = ExecutionController::new(1);
+        c.start_dispatch();
+        c.on_event(ControllerEvent::DispatchDone(BlockKind::NonGemmOnly));
+        assert_eq!(c.state(), ControllerState::Tandem);
+        c.on_event(ControllerEvent::TandemDone);
+        assert_eq!(c.state(), ControllerState::BlockDone);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol violation")]
+    fn tandem_done_in_gemm_only_block_is_a_violation() {
+        let mut c = ExecutionController::new(1);
+        c.start_dispatch();
+        c.on_event(ControllerEvent::DispatchDone(BlockKind::GemmOnly));
+        c.on_event(ControllerEvent::TandemDone);
+    }
+
+    #[test]
+    #[should_panic(expected = "overran")]
+    fn gemm_overrun_detected() {
+        let mut c = fused(3);
+        c.on_event(ControllerEvent::GemmTileDone);
+        c.on_event(ControllerEvent::GemmTileDone);
+        // third completion without any OBUF release would clobber data
+        c.on_event(ControllerEvent::GemmTileDone);
+    }
+}

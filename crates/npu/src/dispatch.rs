@@ -1,0 +1,113 @@
+//! Instruction dispatch (paper §4.2 Step 1): a lightweight decode pass
+//! over a block's combined instruction stream that uses the
+//! synchronization markers to route GEMM-region instructions to the GEMM
+//! unit's configuration path and write the non-GEMM instructions back to
+//! the Inst. BUF for the Tandem Processor.
+
+use tandem_isa::{Instruction, Program, SyncEdge, SyncKind, SyncUnit};
+
+/// The result of dispatching one block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DispatchedBlock {
+    /// Instructions belonging to the GEMM unit's configuration region.
+    pub gemm_config: Program,
+    /// Instructions left in the Inst. BUF for the Tandem Processor.
+    pub tandem: Program,
+    /// Whether a GEMM region was present.
+    pub has_gemm: bool,
+    /// Whether a Tandem (SIMD) region was present.
+    pub has_tandem: bool,
+}
+
+/// Splits `block` at its `sync.{gemm,simd}.{start,end}.exec` markers.
+/// Instructions outside any region are treated as Tandem instructions
+/// (the controller's own sync/buffer handshakes stay in the stream).
+pub fn dispatch_block(block: &Program) -> DispatchedBlock {
+    let mut out = DispatchedBlock::default();
+    let mut region: Option<SyncUnit> = None;
+    for &instr in block {
+        if let Instruction::Sync(info) = instr {
+            if info.kind == SyncKind::Exec {
+                match info.edge {
+                    SyncEdge::Start => {
+                        region = Some(info.unit);
+                        match info.unit {
+                            SyncUnit::Gemm => out.has_gemm = true,
+                            SyncUnit::Simd => out.has_tandem = true,
+                        }
+                    }
+                    SyncEdge::End => region = None,
+                }
+                // Region markers for the SIMD side stay visible to the
+                // Tandem Processor (it uses END.EXEC to signal
+                // Tandem_done).
+                if matches!(region, Some(SyncUnit::Simd)) || info.unit == SyncUnit::Simd {
+                    out.tandem.push(instr);
+                }
+                continue;
+            }
+        }
+        match region {
+            Some(SyncUnit::Gemm) => out.gemm_config.push(instr),
+            _ => out.tandem.push(instr),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tandem_isa::{AluFunc, Namespace, Operand};
+
+    fn sync(unit: SyncUnit, edge: SyncEdge) -> Instruction {
+        Instruction::sync(unit, edge, SyncKind::Exec, 0)
+    }
+
+    #[test]
+    fn fused_block_splits_into_regions() {
+        let a = Operand::new(Namespace::Interim1, 0);
+        let mut p = Program::new();
+        p.push(sync(SyncUnit::Gemm, SyncEdge::Start));
+        // (stand-in GEMM macro-config instructions)
+        p.push(Instruction::DatatypeConfig {
+            target: tandem_isa::CastTarget::Fxp8,
+        });
+        p.push(sync(SyncUnit::Gemm, SyncEdge::End));
+        p.push(sync(SyncUnit::Simd, SyncEdge::Start));
+        p.push(Instruction::alu(AluFunc::Add, a, a, a));
+        p.push(sync(SyncUnit::Simd, SyncEdge::End));
+
+        let d = dispatch_block(&p);
+        assert!(d.has_gemm && d.has_tandem);
+        assert_eq!(d.gemm_config.len(), 1);
+        // SIMD region markers + the compute instruction
+        assert_eq!(d.tandem.compute_count(), 1);
+    }
+
+    #[test]
+    fn non_gemm_only_block() {
+        let a = Operand::new(Namespace::Interim1, 0);
+        let mut p = Program::new();
+        p.push(sync(SyncUnit::Simd, SyncEdge::Start));
+        p.push(Instruction::alu(AluFunc::Mul, a, a, a));
+        p.push(sync(SyncUnit::Simd, SyncEdge::End));
+        let d = dispatch_block(&p);
+        assert!(!d.has_gemm);
+        assert!(d.has_tandem);
+        assert!(d.gemm_config.is_empty());
+    }
+
+    #[test]
+    fn buffer_release_syncs_stay_with_tandem() {
+        let mut p = Program::new();
+        p.push(Instruction::sync(
+            SyncUnit::Simd,
+            SyncEdge::End,
+            SyncKind::Buf,
+            3,
+        ));
+        let d = dispatch_block(&p);
+        assert_eq!(d.tandem.len(), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Design-space exploration — the "GeneSys" side of the paper (§10: the
+//! Tandem Processor is "the heart of our open-source GeneSys project, a
+//! parametrizable NPU *generator* … for applications ranging from
+//! high-end datacenters to ultra-low-power brain-implantable devices").
+//!
+//! [`DesignPoint`] parameterizes the generator; [`sweep`] evaluates a
+//! family of points over a workload, reporting latency, area, and energy
+//! so downstream users can pick a Pareto-optimal configuration.
+
+use crate::executor::{Npu, NpuConfig};
+use gemm_sim::GemmConfig;
+use tandem_core::{AreaModel, TandemConfig};
+use tandem_model::Graph;
+
+/// One generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// Tandem SIMD lanes.
+    pub lanes: usize,
+    /// Rows per Interim BUF.
+    pub interim_rows: usize,
+    /// Systolic array side (rows = cols).
+    pub gemm_side: usize,
+}
+
+impl DesignPoint {
+    /// The paper's Table 3 point.
+    pub fn paper() -> Self {
+        DesignPoint {
+            lanes: 32,
+            interim_rows: 512,
+            gemm_side: 32,
+        }
+    }
+
+    /// An ultra-low-power point (implantable-class).
+    pub fn tiny() -> Self {
+        DesignPoint {
+            lanes: 8,
+            interim_rows: 128,
+            gemm_side: 8,
+        }
+    }
+
+    /// A datacenter-class point.
+    pub fn large() -> Self {
+        DesignPoint {
+            lanes: 128,
+            interim_rows: 1024,
+            gemm_side: 128,
+        }
+    }
+
+    /// Materializes the NPU configuration for this point.
+    pub fn npu_config(&self) -> NpuConfig {
+        let mut tandem = TandemConfig::paper();
+        tandem.lanes = self.lanes;
+        tandem.interim_rows = self.interim_rows;
+        let mut gemm = GemmConfig::paper();
+        gemm.rows = self.gemm_side;
+        gemm.cols = self.gemm_side;
+        let mut cfg = NpuConfig::paper();
+        // Static power tracks the silicon brought up.
+        cfg.static_power_w = 2.0 * (self.gemm_side * self.gemm_side) as f64 / 1024.0;
+        cfg.tandem = tandem;
+        cfg.gemm = gemm;
+        cfg
+    }
+}
+
+/// The evaluation of one design point on one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseResult {
+    /// The point evaluated.
+    pub point: DesignPoint,
+    /// End-to-end latency in milliseconds.
+    pub latency_ms: f64,
+    /// Tandem Processor area in mm² (65 nm model).
+    pub tandem_area_mm2: f64,
+    /// Energy per inference in millijoules.
+    pub energy_mj: f64,
+}
+
+impl DseResult {
+    /// `true` if `other` is at least as good on every axis and better on
+    /// one (Pareto dominance).
+    pub fn dominated_by(&self, other: &DseResult) -> bool {
+        let le = other.latency_ms <= self.latency_ms
+            && other.tandem_area_mm2 <= self.tandem_area_mm2
+            && other.energy_mj <= self.energy_mj;
+        let lt = other.latency_ms < self.latency_ms
+            || other.tandem_area_mm2 < self.tandem_area_mm2
+            || other.energy_mj < self.energy_mj;
+        le && lt
+    }
+}
+
+/// Evaluates every design point on `graph`.
+pub fn sweep(points: &[DesignPoint], graph: &Graph) -> Vec<DseResult> {
+    points
+        .iter()
+        .map(|&point| {
+            let cfg = point.npu_config();
+            let area = AreaModel::paper().breakdown(&cfg.tandem);
+            let report = Npu::new(cfg).run(graph);
+            DseResult {
+                point,
+                latency_ms: report.seconds() * 1e3,
+                tandem_area_mm2: area.total_mm2(),
+                energy_mj: report.total_energy_nj() * 1e-6,
+            }
+        })
+        .collect()
+}
+
+/// Filters a sweep down to its Pareto frontier (latency × area × energy).
+pub fn pareto_frontier(results: &[DseResult]) -> Vec<DseResult> {
+    results
+        .iter()
+        .filter(|r| !results.iter().any(|o| r.dominated_by(o)))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tandem_model::zoo;
+
+    #[test]
+    fn bigger_machines_are_faster_and_larger() {
+        let graph = zoo::mobilenetv2();
+        let results = sweep(
+            &[DesignPoint::tiny(), DesignPoint::paper(), DesignPoint::large()],
+            &graph,
+        );
+        assert!(results[0].latency_ms > results[1].latency_ms);
+        assert!(results[1].latency_ms > results[2].latency_ms);
+        assert!(results[0].tandem_area_mm2 < results[1].tandem_area_mm2);
+        assert!(results[1].tandem_area_mm2 < results[2].tandem_area_mm2);
+    }
+
+    #[test]
+    fn pareto_frontier_is_nonempty_and_minimal() {
+        let graph = zoo::vgg16();
+        let points: Vec<DesignPoint> = [8usize, 16, 32, 64]
+            .iter()
+            .flat_map(|&lanes| {
+                [(256usize, 16usize), (512, 32)]
+                    .iter()
+                    .map(move |&(rows, side)| DesignPoint {
+                        lanes,
+                        interim_rows: rows,
+                        gemm_side: side,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let results = sweep(&points, &graph);
+        let frontier = pareto_frontier(&results);
+        assert!(!frontier.is_empty());
+        assert!(frontier.len() <= results.len());
+        // nothing on the frontier dominates anything else on it
+        for a in &frontier {
+            for b in &frontier {
+                assert!(!a.dominated_by(b) || a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_relation_is_sane() {
+        let p = DesignPoint::paper();
+        let better = DseResult {
+            point: p,
+            latency_ms: 1.0,
+            tandem_area_mm2: 1.0,
+            energy_mj: 1.0,
+        };
+        let worse = DseResult {
+            point: p,
+            latency_ms: 2.0,
+            tandem_area_mm2: 1.0,
+            energy_mj: 1.5,
+        };
+        assert!(worse.dominated_by(&better));
+        assert!(!better.dominated_by(&worse));
+        assert!(!better.dominated_by(&better));
+    }
+}

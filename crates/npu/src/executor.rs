@@ -1,0 +1,406 @@
+//! The end-to-end executor: graph → execution blocks → per-tile GEMM /
+//! Tandem co-simulation with double-buffered overlap (paper Figure 10).
+
+use crate::knobs::Despecialization;
+use crate::report::NpuReport;
+use gemm_sim::{GemmConfig, GemmUnit, GemmWorkload};
+use std::collections::HashSet;
+use tandem_compiler::{ExecutionBlock, OpLowering, Partitioner};
+use tandem_core::{Dram, EnergyModel, Mode, RunReport, TandemConfig, TandemProcessor};
+use tandem_model::{Graph, Node, TensorId};
+
+/// Coordination granularity between the GEMM unit and the Tandem
+/// Processor (paper §3.5 and Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TileGranularity {
+    /// Tile-granularity software pipelining with fluid Output-BUF
+    /// ownership — the proposed design.
+    #[default]
+    Tile,
+    /// Whole-layer handoff: units run serially and intermediate layer
+    /// outputs spill to DRAM (the Figure 8 baseline).
+    Layer,
+}
+
+/// Full NPU-Tandem configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NpuConfig {
+    /// Tandem Processor configuration (Table 3 right column).
+    pub tandem: TandemConfig,
+    /// GEMM unit configuration (Table 3 left column).
+    pub gemm: GemmConfig,
+    /// De-specialization ablation knobs (all off = proposed design).
+    pub knobs: Despecialization,
+    /// GEMM↔Tandem coordination granularity.
+    pub granularity: TileGranularity,
+    /// Static/background power of the whole NPU (clock tree, SRAM leakage,
+    /// DRAM PHY), watts — the paper compares at a ~2.7 W system (§8).
+    pub static_power_w: f64,
+}
+
+impl NpuConfig {
+    /// The Table 3 configuration with all specializations enabled.
+    pub fn paper() -> Self {
+        NpuConfig {
+            tandem: TandemConfig::paper(),
+            gemm: GemmConfig::paper(),
+            knobs: Despecialization::none(),
+            granularity: TileGranularity::Tile,
+            static_power_w: 2.0,
+        }
+    }
+
+    /// The iso-TOPs scale-up used against the A100 (§7: 216×).
+    pub fn iso_a100() -> Self {
+        let mut cfg = Self::paper();
+        cfg.tandem = cfg.tandem.scaled(216.0);
+        cfg.gemm = cfg.gemm.scaled(216.0);
+        cfg
+    }
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The NPU-Tandem end-to-end model runner.
+#[derive(Debug, Clone)]
+pub struct Npu {
+    cfg: NpuConfig,
+    gemm: GemmUnit,
+    lowering: OpLowering,
+}
+
+impl Npu {
+    /// Creates an NPU with the given configuration.
+    pub fn new(cfg: NpuConfig) -> Self {
+        let gemm = GemmUnit::new(cfg.gemm.clone());
+        let lowering = OpLowering::new(cfg.tandem.lanes, cfg.tandem.interim_rows);
+        Npu { cfg, gemm, lowering }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NpuConfig {
+        &self.cfg
+    }
+
+    /// Runs `graph` end-to-end (batch 1 inference) and reports latency,
+    /// energy, utilization and the per-operator breakdown.
+    pub fn run(&self, graph: &Graph) -> NpuReport {
+        let blocks = Partitioner::new().partition(graph);
+        let mut report = NpuReport {
+            gemm_mac_slots: (self.cfg.gemm.rows * self.cfg.gemm.cols) as u64,
+            tandem_lanes: self.cfg.tandem.lanes as u64,
+            freq_ghz: self.cfg.tandem.freq_ghz,
+            ..Default::default()
+        };
+        // One performance-mode processor serves every node's programs
+        // (state is overwritten by each program's configuration section).
+        let mut proc = TandemProcessor::with_mode(self.cfg.tandem.clone(), Mode::Performance);
+        let mut dram = Dram::new(16);
+        for block in &blocks {
+            self.run_block(graph, block, &mut proc, &mut dram, &mut report);
+        }
+        let energy_model = EnergyModel::paper(self.cfg.tandem.lanes);
+        report.tandem_energy = energy_model.energy(&report.counters);
+        report.static_nj = self.cfg.static_power_w * report.seconds() * 1e9;
+        report
+    }
+
+    /// Simulates one non-GEMM node's compiled programs in performance
+    /// mode, returning its (knob-adjusted) aggregate report.
+    fn tandem_node_report(
+        &self,
+        graph: &Graph,
+        node: &Node,
+        proc: &mut TandemProcessor,
+        dram: &mut Dram,
+    ) -> RunReport {
+        let compiled = match self.lowering.lower_node(graph, node) {
+            Ok(c) => c,
+            Err(_) => return RunReport::default(), // metadata-only ops
+        };
+        let mut total = RunReport::default();
+        for (prog, reps) in &compiled.tiles {
+            let one = proc
+                .run(prog, dram)
+                .expect("compiled tile program must simulate");
+            total.merge(&one.scaled(*reps));
+        }
+        // De-specialization penalties and special-function credits.
+        let extra = self.cfg.knobs.extra_cycles(&total.counters);
+        total.compute_cycles += extra;
+        let factor = self.cfg.knobs.special_fn_factor(node.kind);
+        if factor < 1.0 {
+            total.compute_cycles = ((total.compute_cycles as f64) * factor).ceil() as u64;
+        }
+        total
+    }
+
+    /// The single-pass DATATYPE_CAST stream over `elems` elements.
+    fn cast_stream_report(&self, elems: u64) -> RunReport {
+        let lanes = self.cfg.tandem.lanes as u64;
+        let rows = elems.div_ceil(lanes);
+        let mut r = RunReport {
+            compute_cycles: rows + self.cfg.tandem.pipeline_depth,
+            ..Default::default()
+        };
+        r.counters.instructions = rows;
+        r.counters.compute_issues = rows;
+        r.counters.alu_lane_ops = rows * lanes;
+        r.counters.spad_row_reads = rows;
+        r.counters.spad_row_writes = rows;
+        r.counters.addr_calcs = rows * 2;
+        r.counters.loop_steps = rows;
+        r.compute_cycles += self.cfg.knobs.extra_cycles(&r.counters);
+        r
+    }
+
+    /// GEMM workload of a GEMM-class node.
+    fn gemm_workload(&self, graph: &Graph, node: &Node) -> GemmWorkload {
+        use tandem_model::OpKind::*;
+        match node.kind {
+            Conv => {
+                let out = &graph.tensor(node.outputs[0]).shape;
+                let cin = graph.tensor(node.inputs[0]).shape.dim(1);
+                GemmWorkload::from_conv(
+                    out.dim(2) as u64,
+                    out.dim(3) as u64,
+                    cin as u64,
+                    out.dim(1) as u64,
+                    node.attrs.kernel as u64,
+                )
+            }
+            MatMul => {
+                let out = &graph.tensor(node.outputs[0]).shape;
+                let k = graph.tensor(node.inputs[0]).shape.dim(-1) as u64;
+                let n = out.dim(-1) as u64;
+                let m = out.elements() as u64 / n;
+                GemmWorkload::new(m, k, n)
+            }
+            Gemm => {
+                let out = &graph.tensor(node.outputs[0]).shape;
+                let k = graph.tensor(node.inputs[0]).shape.dim(-1) as u64;
+                GemmWorkload::new(out.dim(0) as u64, k, out.dim(-1) as u64)
+            }
+            other => unreachable!("{other} is not a GEMM operator"),
+        }
+    }
+
+    /// DRAM traffic of the Tandem side for a block: activations entering
+    /// from outside the block (except the GEMM output, which arrives via
+    /// the Output BUF) and activations leaving it (INT32 words).
+    fn block_tandem_dram_bytes(&self, graph: &Graph, block: &ExecutionBlock) -> u64 {
+        let in_block: HashSet<TensorId> = block
+            .non_gemm
+            .iter()
+            .flat_map(|&id| graph.node(id).outputs.iter().copied())
+            .collect();
+        let gemm_out: HashSet<TensorId> = block
+            .gemm
+            .iter()
+            .flat_map(|&id| graph.node(id).outputs.iter().copied())
+            .collect();
+        // Activations live in DRAM as INT8 (the cast stream converts at
+        // the boundary), so cross-block traffic is one byte per element.
+        let mut bytes = 0u64;
+        for &id in &block.non_gemm {
+            let node = graph.node(id);
+            for &input in &node.inputs {
+                let t = graph.tensor(input);
+                if !t.is_weight && !in_block.contains(&input) && !gemm_out.contains(&input) {
+                    bytes += t.shape.elements() as u64;
+                }
+            }
+            for &output in &node.outputs {
+                let consumed_outside = graph
+                    .consumers(output)
+                    .iter()
+                    .any(|n| !block.non_gemm.contains(&n.id))
+                    || graph.outputs().contains(&output);
+                if consumed_outside {
+                    bytes += graph.tensor(output).shape.elements() as u64;
+                }
+            }
+        }
+        bytes
+    }
+
+    fn run_block(
+        &self,
+        graph: &Graph,
+        block: &ExecutionBlock,
+        proc: &mut TandemProcessor,
+        dram: &mut Dram,
+        report: &mut NpuReport,
+    ) {
+        // --- Tandem side: compile + simulate each non-GEMM node ---
+        let mut tandem_total = RunReport::default();
+        for &id in &block.non_gemm {
+            let node = graph.node(id);
+            let r = self.tandem_node_report(graph, node, proc, dram);
+            *report.per_kind_cycles.entry(node.kind).or_default() += r.compute_cycles;
+            tandem_total.merge(&r);
+        }
+        // Datatype cast stream back to the GEMM unit's INT8 domain for the
+        // block's output activations (paper §3.4: "a datatype casting
+        // instruction is required when activations move from non-GEMM to
+        // GEMM unit").
+        if !block.non_gemm.is_empty() {
+            let last = graph.node(*block.non_gemm.last().expect("non-empty"));
+            let out_elems = graph.tensor(last.outputs[0]).shape.elements() as u64;
+            let cast = self.cast_stream_report(out_elems);
+            *report
+                .per_kind_cycles
+                .entry(tandem_model::OpKind::Cast)
+                .or_default() += cast.compute_cycles;
+            tandem_total.merge(&cast);
+        }
+        let tandem_dram_bytes = self.block_tandem_dram_bytes(graph, block);
+        let dma_cycles = (tandem_dram_bytes as f64
+            / (self.cfg.tandem.dram_words_per_cycle * 4.0))
+            .ceil() as u64;
+        tandem_total.dma_cycles += dma_cycles;
+        tandem_total.counters.dram_words += tandem_dram_bytes / 4;
+        report.tandem_dram_bytes += tandem_dram_bytes;
+
+        // --- GEMM side ---
+        let (gemm_total_cycles, gemm_tile_cycles, tiles) = match block.gemm {
+            Some(id) => {
+                let node = graph.node(id);
+                let w = self.gemm_workload(graph, node);
+                let tile_rows = self.gemm.max_tile_rows(w.n).min(w.m.max(1));
+                let tiles = w.m.div_ceil(tile_rows.max(1)).max(1);
+                let tile = self.gemm.tile_report(w, tile_rows.min(w.m));
+                let whole = self.gemm.layer_report(w);
+                report.gemm_macs += whole.macs;
+                report.gemm_dram_bytes += whole.dram_bytes;
+                report.gemm_energy_nj += whole.energy_nj;
+                *report.per_kind_cycles.entry(node.kind).or_default() +=
+                    whole.overlapped_cycles();
+                report.busy.gemm_cycles += whole.compute_cycles;
+                (whole.overlapped_cycles(), tile.overlapped_cycles(), tiles)
+            }
+            None => (0, 0, 1),
+        };
+
+        report.busy.tandem_cycles += tandem_total.compute_cycles;
+        report.counters.merge(&tandem_total.counters);
+
+        // --- compose block latency ---
+        let fifo = self
+            .cfg
+            .knobs
+            .fifo_cycles(self.cfg.tandem.obuf_rows as u64)
+            * tiles;
+        let tandem_cycles = tandem_total.compute_cycles.max(tandem_total.dma_cycles) + fifo;
+        let block_cycles = match (block.gemm.is_some(), block.non_gemm.is_empty()) {
+            (true, true) => gemm_total_cycles,
+            (false, _) => tandem_cycles,
+            (true, false) => match self.cfg.granularity {
+                TileGranularity::Tile => {
+                    // Fill with the first GEMM tile, then steady-state
+                    // max(gemm, tandem) per tile, then drain the last
+                    // Tandem tile.
+                    let t_tile = tandem_cycles / tiles.max(1);
+                    gemm_tile_cycles
+                        + (tiles - 1) * gemm_tile_cycles.max(t_tile)
+                        + t_tile
+                }
+                TileGranularity::Layer => {
+                    // Serial handoff through DRAM: the whole GEMM output
+                    // spills and re-loads.
+                    let spill_bytes = block
+                        .gemm
+                        .map(|id| {
+                            graph
+                                .tensor(graph.node(id).outputs[0])
+                                .shape
+                                .elements() as u64
+                                * 4
+                                * 2
+                        })
+                        .unwrap_or(0);
+                    let spill = (spill_bytes as f64
+                        / (self.cfg.tandem.dram_words_per_cycle * 4.0))
+                        .ceil() as u64;
+                    gemm_total_cycles + tandem_cycles + spill
+                }
+            },
+        };
+        report.total_cycles += block_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tandem_model::zoo;
+
+    #[test]
+    fn vgg_runs_and_is_gemm_dominated() {
+        let npu = Npu::new(NpuConfig::paper());
+        let r = npu.run(&zoo::vgg16());
+        assert!(r.total_cycles > 0);
+        // VGG-16 is the classic GEMM-heavy model (paper Fig. 24).
+        assert!(
+            r.non_gemm_fraction() < 0.5,
+            "non-GEMM fraction {}",
+            r.non_gemm_fraction()
+        );
+        assert!(r.gemm_utilization() > 0.1, "{}", r.gemm_utilization());
+    }
+
+    #[test]
+    fn tile_granularity_beats_layer_granularity() {
+        let tile = Npu::new(NpuConfig::paper()).run(&zoo::resnet50());
+        let mut cfg = NpuConfig::paper();
+        cfg.granularity = TileGranularity::Layer;
+        let layer = Npu::new(cfg).run(&zoo::resnet50());
+        assert!(
+            layer.total_cycles > tile.total_cycles,
+            "layer {} vs tile {}",
+            layer.total_cycles,
+            tile.total_cycles
+        );
+        assert!(layer.gemm_utilization() < tile.gemm_utilization());
+    }
+
+    #[test]
+    fn despecialization_knobs_slow_the_machine_down() {
+        let base = Npu::new(NpuConfig::paper()).run(&zoo::mobilenetv2());
+        for knobs in [
+            Despecialization {
+                regfile_ldst: true,
+                ..Default::default()
+            },
+            Despecialization {
+                branch_loops: true,
+                ..Default::default()
+            },
+            Despecialization {
+                sw_addr_calc: true,
+                ..Default::default()
+            },
+        ] {
+            let mut cfg = NpuConfig::paper();
+            cfg.knobs = knobs;
+            let slow = Npu::new(cfg).run(&zoo::mobilenetv2());
+            assert!(
+                slow.total_cycles > base.total_cycles,
+                "{knobs:?} did not slow down"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_and_power_are_sane() {
+        let r = Npu::new(NpuConfig::paper()).run(&zoo::resnet50());
+        assert!(r.total_energy_nj() > 0.0);
+        let w = r.average_power_w();
+        // An edge NPU burns single-digit watts, not milliwatts or kW.
+        assert!((0.05..50.0).contains(&w), "power {w} W");
+    }
+}

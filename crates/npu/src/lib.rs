@@ -1,0 +1,46 @@
+//! # tandem-npu
+//!
+//! The integrated **NPU-Tandem** (paper §4.2, Figures 10–11): a systolic
+//! GEMM unit and the Tandem Processor sharing the Output BUF under an
+//! execution-controller FSM, with the compiler weaving synchronization
+//! instructions between their instruction regions.
+//!
+//! The crate provides:
+//! * [`ExecutionController`] — the controller FSM of Figure 11 (Block
+//!   Start → Inst. Dispatch → {GEMM | Tandem | GEMM-Tandem} → Block Done),
+//!   driven by tile-completion and OBUF-release handshakes;
+//! * [`dispatch_block`] — the Inst. Dispatch step that splits a block's
+//!   instruction stream at the synchronization markers;
+//! * [`Npu`] — the end-to-end runner: partitions a model into execution
+//!   blocks, compiles the non-GEMM bundles, simulates the GEMM unit and
+//!   Tandem Processor per tile, and overlaps them with double buffering,
+//!   producing runtime/energy/utilization reports per layer class;
+//! * [`Despecialization`] — ablation knobs that *undo* each of the Tandem
+//!   Processor's specializations (vector-register-file load/stores,
+//!   branch-based loops, software address calculation, FIFO coupling,
+//!   special-function units), generating Figures 6, 8, 18 and 19.
+//!
+//! ```
+//! use tandem_npu::{Npu, NpuConfig};
+//!
+//! let npu = Npu::new(NpuConfig::paper());
+//! let report = npu.run(&tandem_model::zoo::vgg16());
+//! assert!(report.total_cycles > 0);
+//! assert!(report.gemm_utilization() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod controller;
+mod dispatch;
+pub mod dse;
+mod executor;
+mod knobs;
+mod report;
+
+pub use controller::{ControllerEvent, ControllerState, ExecutionController};
+pub use dispatch::{dispatch_block, DispatchedBlock};
+pub use dse::{pareto_frontier, DesignPoint, DseResult};
+pub use executor::{Npu, NpuConfig, TileGranularity};
+pub use knobs::Despecialization;
+pub use report::{NpuReport, UnitBusy};

@@ -1,0 +1,154 @@
+//! End-to-end execution reports.
+
+use std::collections::BTreeMap;
+use tandem_core::{EnergyBreakdown, EventCounters};
+use tandem_model::OpKind;
+
+/// Busy-cycle totals per unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnitBusy {
+    /// Cycles the GEMM unit spent computing.
+    pub gemm_cycles: u64,
+    /// Cycles the Tandem Processor spent computing.
+    pub tandem_cycles: u64,
+}
+
+/// The result of running one model end-to-end on the NPU-Tandem.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NpuReport {
+    /// End-to-end latency in cycles (tile-pipelined blocks summed).
+    pub total_cycles: u64,
+    /// Per-unit busy cycles.
+    pub busy: UnitBusy,
+    /// Tandem cycles attributed to each operator kind (GEMM kinds carry
+    /// the GEMM unit's cycles) — the Figure 24 breakdown.
+    pub per_kind_cycles: BTreeMap<OpKind, u64>,
+    /// Bytes moved to/from DRAM by the Tandem side.
+    pub tandem_dram_bytes: u64,
+    /// Bytes moved to/from DRAM by the GEMM unit.
+    pub gemm_dram_bytes: u64,
+    /// Tandem Processor energy breakdown (Figure 25 categories).
+    pub tandem_energy: EnergyBreakdown,
+    /// GEMM unit energy in nanojoules.
+    pub gemm_energy_nj: f64,
+    /// Static/background energy of the whole NPU in nanojoules.
+    pub static_nj: f64,
+    /// Aggregate Tandem event counters.
+    pub counters: EventCounters,
+    /// Total GEMM multiply-accumulates executed.
+    pub gemm_macs: u64,
+    /// Peak MAC slots per cycle of the GEMM unit.
+    pub gemm_mac_slots: u64,
+    /// SIMD lanes of the Tandem Processor.
+    pub tandem_lanes: u64,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+}
+
+impl NpuReport {
+    /// End-to-end wall-clock seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Total energy (GEMM + Tandem + static) in nanojoules.
+    pub fn total_energy_nj(&self) -> f64 {
+        self.gemm_energy_nj + self.tandem_energy.total_nj() + self.static_nj
+    }
+
+    /// Average power in watts.
+    pub fn average_power_w(&self) -> f64 {
+        self.total_energy_nj() * 1e-9 / self.seconds().max(1e-12)
+    }
+
+    /// GEMM-unit compute utilization: achieved MACs over peak MAC slots
+    /// across the whole run (the Figure 8 metric).
+    pub fn gemm_utilization(&self) -> f64 {
+        let peak = self.total_cycles as f64 * self.gemm_mac_slots as f64;
+        if peak == 0.0 {
+            0.0
+        } else {
+            self.gemm_macs as f64 / peak
+        }
+    }
+
+    /// Tandem Processor utilization: ALU lane-ops over peak lane slots.
+    pub fn tandem_utilization(&self) -> f64 {
+        let peak = self.total_cycles as f64 * self.tandem_lanes as f64;
+        if peak == 0.0 {
+            0.0
+        } else {
+            self.counters.alu_lane_ops as f64 / peak
+        }
+    }
+
+    /// Cycles attributed to GEMM-class operators.
+    pub fn gemm_kind_cycles(&self) -> u64 {
+        self.per_kind_cycles
+            .iter()
+            .filter(|(k, _)| k.class() == tandem_model::OpClass::Gemm)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Cycles attributed to non-GEMM operators.
+    pub fn non_gemm_kind_cycles(&self) -> u64 {
+        self.per_kind_cycles
+            .iter()
+            .filter(|(k, _)| k.class().is_non_gemm())
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Fraction of attributed cycles spent on non-GEMM operators.
+    pub fn non_gemm_fraction(&self) -> f64 {
+        let total = (self.gemm_kind_cycles() + self.non_gemm_kind_cycles()).max(1);
+        self.non_gemm_kind_cycles() as f64 / total as f64
+    }
+}
+
+impl std::fmt::Display for NpuReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "latency {:.3} ms | energy {:.3} mJ | power {:.2} W",
+            self.seconds() * 1e3,
+            self.total_energy_nj() * 1e-6,
+            self.average_power_w()
+        )?;
+        write!(
+            f,
+            "gemm util {:.1}% | tandem util {:.1}% | non-GEMM share {:.1}%",
+            self.gemm_utilization() * 100.0,
+            self.tandem_utilization() * 100.0,
+            self.non_gemm_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_never_empty_and_carries_units() {
+        let r = NpuReport {
+            total_cycles: 1_000_000,
+            freq_ghz: 1.0,
+            gemm_mac_slots: 1024,
+            tandem_lanes: 32,
+            ..Default::default()
+        };
+        let text = r.to_string();
+        assert!(text.contains("ms"));
+        assert!(text.contains("util"));
+    }
+
+    #[test]
+    fn utilization_is_zero_without_cycles() {
+        let r = NpuReport::default();
+        assert_eq!(r.gemm_utilization(), 0.0);
+        assert_eq!(r.tandem_utilization(), 0.0);
+        assert_eq!(r.non_gemm_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Golden end-to-end numbers: per-model latency, utilization, and energy
+//! of the Table 3 NPU-Tandem, pinned within ±25%. These protect the
+//! calibration behind every figure — an accidental cost-model change that
+//! shifts a model by more than a quarter shows up here first, with a
+//! message saying which knob moved.
+
+use tandem_npu::{Npu, NpuConfig};
+
+/// (model, latency_ms, gemm_util, tandem_util, energy_mJ) captured from
+/// the calibrated build. Bounds are deliberately loose (±25%) so
+/// legitimate refinements don't thrash the suite.
+const GOLDEN: &[(&str, f64, f64, f64, f64)] = &[
+    ("vgg16", 32.152, 0.470, 0.030, 76.4),
+    ("resnet50", 7.532, 0.530, 0.112, 18.1),
+    ("yolov3", 51.593, 0.623, 0.150, 124.6),
+    ("mobilenetv2", 1.890, 0.145, 0.702, 4.4),
+    ("efficientnet_b0", 7.224, 0.047, 0.870, 16.2),
+    ("bert_base", 27.705, 0.394, 0.237, 63.7),
+    ("gpt2", 35.960, 0.438, 0.280, 83.6),
+];
+
+fn graph_for(name: &str) -> tandem_model::Graph {
+    use tandem_model::zoo::*;
+    match name {
+        "vgg16" => vgg16(),
+        "resnet50" => resnet50(),
+        "yolov3" => yolov3(),
+        "mobilenetv2" => mobilenetv2(),
+        "efficientnet_b0" => efficientnet_b0(),
+        "bert_base" => bert_base(128),
+        "gpt2" => gpt2(128),
+        _ => unreachable!(),
+    }
+}
+
+fn within(name: &str, what: &str, got: f64, want: f64, tol: f64) {
+    let rel = (got - want).abs() / want;
+    assert!(
+        rel <= tol,
+        "{name}: {what} drifted {:.1}% (golden {want:.4}, measured {got:.4})",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn per_model_latency_utilization_and_energy_hold() {
+    let npu = Npu::new(NpuConfig::paper());
+    for &(name, latency_ms, gemm_util, tandem_util, energy_mj) in GOLDEN {
+        let graph = graph_for(name);
+        let r = npu.run(&graph);
+        within(name, "latency", r.seconds() * 1e3, latency_ms, 0.25);
+        within(name, "gemm_util", r.gemm_utilization(), gemm_util, 0.25);
+        within(name, "tandem_util", r.tandem_utilization(), tandem_util, 0.25);
+        within(name, "energy", r.total_energy_nj() * 1e-6, energy_mj, 0.25);
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let npu = Npu::new(NpuConfig::paper());
+    let graph = graph_for("resnet50");
+    let a = npu.run(&graph);
+    let b = npu.run(&graph);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn iso_a100_scaleup_accelerates_every_model() {
+    // The 216× machine must be dramatically faster in absolute terms.
+    let base = Npu::new(NpuConfig::paper());
+    let scaled = Npu::new(NpuConfig::iso_a100());
+    for name in ["resnet50", "bert_base", "mobilenetv2"] {
+        let graph = graph_for(name);
+        let t_base = base.run(&graph).seconds();
+        let t_scaled = scaled.run(&graph).seconds();
+        // Sub-linear scaling is expected — array fill/drain skew grows
+        // with the machine and depthwise convolution parallelism is
+        // channel-limited (the paper notes the same for MobileNetV2 and
+        // GPT-2 in Figure 23) — but the 216× part must still win big.
+        let floor = if name == "mobilenetv2" { 5.0 } else { 10.0 };
+        assert!(
+            t_scaled < t_base / floor,
+            "{name}: scaled {t_scaled} vs base {t_base}"
+        );
+    }
+}
+
+#[test]
+fn utilization_stays_in_unit_range_everywhere() {
+    let npu = Npu::new(NpuConfig::paper());
+    for &(name, ..) in GOLDEN {
+        let r = npu.run(&graph_for(name));
+        for (what, v) in [
+            ("gemm_util", r.gemm_utilization()),
+            ("tandem_util", r.tandem_utilization()),
+            ("non_gemm_fraction", r.non_gemm_fraction()),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name}: {what} = {v}");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build a small CNN, run it end-to-end on the NPU-Tandem,
+//! and read the report.
+//!
+//! ```text
+//! cargo run -p tandem-npu --release --example quickstart
+//! ```
+
+use tandem_model::{GraphBuilder, Padding};
+use tandem_npu::{Npu, NpuConfig};
+
+fn main() {
+    // 1. Describe the model the way an ONNX export looks: GEMM layers
+    //    (Conv/Gemm) interleaved with the non-GEMM operators the Tandem
+    //    Processor exists for.
+    let mut b = GraphBuilder::new("quickstart_cnn", 2026);
+    let image = b.input("image", [1, 3, 64, 64]);
+    let c1 = b.conv(image, 32, 3, 1, Padding::Same);
+    let r1 = b.relu(c1);
+    let p1 = b.max_pool(r1, 2, 2);
+    let c2 = b.conv(p1, 64, 3, 1, Padding::Same);
+    let r2 = b.relu(c2);
+    let skip = b.conv(p1, 64, 1, 1, Padding::Same);
+    let sum = b.add(r2, skip); // residual: a non-GEMM op between GEMMs
+    let pooled = b.global_avg_pool(sum);
+    let flat = b.flatten(pooled);
+    let logits = b.fc(flat, 10);
+    let probs = b.softmax(logits, -1);
+    b.output(probs);
+    let graph = b.finish();
+
+    // 2. Run it on the paper's Table 3 configuration: a 32×32 systolic
+    //    array + the 32-lane Tandem Processor, coordinated at tile
+    //    granularity with fluid Output-BUF ownership.
+    let npu = Npu::new(NpuConfig::paper());
+    let report = npu.run(&graph);
+
+    // 3. Inspect the result.
+    println!("model: {} ({} nodes)", graph.name, graph.nodes().len());
+    println!("latency        : {:.3} ms", report.seconds() * 1e3);
+    println!("energy         : {:.3} mJ", report.total_energy_nj() * 1e-6);
+    println!("GEMM util      : {:.1}%", report.gemm_utilization() * 100.0);
+    println!("Tandem util    : {:.1}%", report.tandem_utilization() * 100.0);
+    println!(
+        "non-GEMM share : {:.1}%",
+        report.non_gemm_fraction() * 100.0
+    );
+    println!("\nper-operator cycles:");
+    for (kind, cycles) in &report.per_kind_cycles {
+        println!("  {kind:<20} {cycles}");
+    }
+}

@@ -1,0 +1,63 @@
+//! ResNet-50 end-to-end on the NPU-Tandem: tile-granularity in-tandem
+//! execution vs whole-layer handoff (the paper's Figure 8 experiment), and
+//! the runtime breakdown across layer families (Figure 24).
+//!
+//! ```text
+//! cargo run -p tandem-npu --release --example resnet_pipeline
+//! ```
+
+use tandem_model::zoo;
+use tandem_model::OpClass;
+use tandem_npu::{Npu, NpuConfig, TileGranularity};
+
+fn main() {
+    let graph = zoo::resnet50();
+    println!(
+        "ResNet-50: {} nodes ({} GEMM, {} non-GEMM)\n",
+        graph.nodes().len(),
+        graph.stats().gemm_nodes(),
+        graph.stats().non_gemm_nodes()
+    );
+
+    // Tile-granularity software pipelining (the proposed design) …
+    let tile = Npu::new(NpuConfig::paper()).run(&graph);
+    // … versus whole-layer handoff through DRAM.
+    let mut layer_cfg = NpuConfig::paper();
+    layer_cfg.granularity = TileGranularity::Layer;
+    let layer = Npu::new(layer_cfg).run(&graph);
+
+    println!("granularity      tile        layer");
+    println!(
+        "latency      {:>8.3} ms {:>8.3} ms",
+        tile.seconds() * 1e3,
+        layer.seconds() * 1e3
+    );
+    println!(
+        "GEMM util    {:>9.1}% {:>9.1}%",
+        tile.gemm_utilization() * 100.0,
+        layer.gemm_utilization() * 100.0
+    );
+    println!(
+        "Tandem util  {:>9.1}% {:>9.1}%",
+        tile.tandem_utilization() * 100.0,
+        layer.tandem_utilization() * 100.0
+    );
+    println!(
+        "\nin-tandem execution is {:.2}x faster\n",
+        layer.seconds() / tile.seconds()
+    );
+
+    println!("runtime breakdown (tile granularity):");
+    let total: u64 = tile.per_kind_cycles.values().sum();
+    let mut by_class = std::collections::BTreeMap::<OpClass, u64>::new();
+    for (kind, cycles) in &tile.per_kind_cycles {
+        *by_class.entry(kind.class()).or_default() += cycles;
+    }
+    for (class, cycles) in by_class {
+        println!(
+            "  {:<28} {:>5.1}%",
+            class.name(),
+            100.0 * cycles as f64 / total as f64
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! A full attention head, functionally, across the whole stack: the
+//! score matmul runs on the GEMM unit's functional kernel, the integer
+//! softmax runs as a *compiled program* on the Tandem pipeline reading the
+//! Output BUF (fluid ownership), and the context matmul consumes the
+//! requantized probabilities — validated end to end against an f64
+//! attention reference.
+
+use gemm_sim::functional::matmul_i8;
+use tandem_compiler::{kernels, OpLowering, TileProgramBuilder, View};
+use tandem_core::{Dram, TandemConfig, TandemProcessor};
+use tandem_isa::{CastTarget, Instruction, Namespace};
+
+const SEQ: usize = 8; // query/key positions (= lanes)
+const DK: usize = 16; // head dimension
+const Q: u32 = 14;
+
+#[test]
+fn attention_head_matches_f64_reference() {
+    let mut cfg = TandemConfig::tiny(); // 8 lanes
+    cfg.interim_rows = 128;
+    let lanes = cfg.lanes;
+    assert_eq!(lanes, SEQ);
+
+    // --- INT8 Q, K, V ---
+    let q8: Vec<i8> = (0..SEQ * DK).map(|i| ((i * 5) % 15) as i8 - 7).collect();
+    let k8: Vec<i8> = (0..SEQ * DK).map(|i| ((i * 11) % 13) as i8 - 6).collect();
+    let v8: Vec<i8> = (0..SEQ * DK).map(|i| ((i * 3) % 9) as i8 - 4).collect();
+
+    // --- scores = Q·Kᵀ on the GEMM unit (INT32 accumulators) ---
+    let mut kt = vec![0i8; DK * SEQ];
+    for r in 0..SEQ {
+        for c in 0..DK {
+            kt[c * SEQ + r] = k8[r * DK + c];
+        }
+    }
+    let scores = matmul_i8(&q8, &kt, SEQ, DK, SEQ); // [SEQ][SEQ] INT32
+
+    // Scale raw scores into Q14 "logits" (per-tensor power-of-two scale:
+    // 1/√dk ≈ 1/4 → >> 2, then align to Q14 given INT8·INT8 products).
+    let logit = |s: i32| -> i32 { (s << 6) >> 2 };
+
+    // --- deposit the score tile in the Output BUF: query rows across
+    //     lanes, key positions along rows ---
+    let mut proc = TandemProcessor::new(cfg);
+    let mut obuf = vec![0i32; SEQ * lanes];
+    for qi in 0..SEQ {
+        for ki in 0..SEQ {
+            obuf[ki * lanes + qi] = logit(scores[qi * SEQ + ki]);
+        }
+    }
+    proc.scratchpad_mut(Namespace::Obuf)
+        .load_rows(0, &obuf)
+        .unwrap();
+
+    // --- compiled softmax over the Output BUF ---
+    let low = OpLowering::new(lanes, 128);
+    let x = View {
+        ns: Namespace::Obuf,
+        base: 0,
+        rows: SEQ as u16,
+    };
+    let y = View {
+        ns: Namespace::Interim1,
+        base: 0,
+        rows: SEQ as u16,
+    };
+    let softmax = low.softmax_tile(1, SEQ as u16, x, y).unwrap();
+    let mut dram = Dram::new(64);
+    proc.run(&softmax, &mut dram).unwrap();
+
+    // --- requantize probabilities to INT8 (Q7) via a compiled cast ---
+    let mut b = TileProgramBuilder::new(lanes, 128);
+    let src = b.iter(Namespace::Interim1, 0, 1).unwrap();
+    let dst = b.iter(Namespace::Interim1, SEQ as u16, 1).unwrap();
+    let shift = b.imm((Q - 7) as i32).unwrap();
+    b.nest(
+        &[tandem_compiler::NestLevel {
+            count: SEQ as u16,
+            dst: Some(dst),
+            src1: Some(src),
+            src2: Some(src),
+        }],
+        &[
+            Instruction::alu(tandem_isa::AluFunc::Shr, dst, src, shift),
+            Instruction::DatatypeCast {
+                target: CastTarget::Fxp8,
+                dst,
+                src1: dst,
+            },
+        ],
+    )
+    .unwrap();
+    proc.run(&b.finish(), &mut dram).unwrap();
+    let probs_q7 = proc
+        .scratchpad(Namespace::Interim1)
+        .dump_rows(SEQ, SEQ * lanes)
+        .unwrap();
+
+    // --- context = P·V back on the GEMM unit ---
+    let mut p8 = vec![0i8; SEQ * SEQ];
+    for qi in 0..SEQ {
+        for ki in 0..SEQ {
+            p8[qi * SEQ + ki] = probs_q7[ki * lanes + qi] as i8;
+        }
+    }
+    let ctx = matmul_i8(&p8, &v8, SEQ, SEQ, DK); // INT32, scale Q7
+
+    // --- f64 reference ---
+    for qi in 0..SEQ {
+        let logits: Vec<f64> = (0..SEQ)
+            .map(|ki| kernels::from_fixed(logit(scores[qi * SEQ + ki]), Q))
+            .collect();
+        let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|l| (l - m).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        for c in 0..DK {
+            let want: f64 = (0..SEQ)
+                .map(|ki| exps[ki] / z * v8[ki * DK + c] as f64)
+                .sum();
+            let got = ctx[qi * DK + c] as f64 / (1 << 7) as f64;
+            // Q7 probability quantization bounds the error at ~Σ|v|/256.
+            let bound = 0.15 + 0.02 * SEQ as f64;
+            assert!(
+                (got - want).abs() < bound,
+                "query {qi} dim {c}: want {want:.3}, got {got:.3}"
+            );
+        }
+    }
+}

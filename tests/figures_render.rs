@@ -1,0 +1,50 @@
+//! Every table/figure reproduction must render with all seven benchmarks
+//! present and non-degenerate values.
+
+use tandem_bench::figures::*;
+use tandem_bench::Suite;
+
+#[test]
+fn every_figure_renders_with_all_models() {
+    let suite = Suite::load();
+    let per_model_tables = [
+        ("fig01", fig01_operator_types(&suite)),
+        ("fig02", fig02_cumulative_ops(&suite)),
+        ("fig03", fig03_runtime_breakdown(&suite)),
+        ("fig06", fig06_specialization_overheads(&suite)),
+        ("fig08", fig08_utilization(&suite)),
+        ("fig14", fig14_speedup_baselines(&suite)),
+        ("fig15", fig15_energy_baselines(&suite)),
+        ("fig16", fig16_gemmini(&suite)),
+        ("fig17", fig17_gemmini_breakdown(&suite)),
+        ("fig18", fig18_vpu_speedup(&suite)),
+        ("fig19", fig19_vpu_energy(&suite)),
+        ("fig20", fig20_perf_per_watt(&suite)),
+        ("fig21", fig21_a100(&suite)),
+        ("fig22", fig22_a100_breakdown(&suite)),
+        ("fig23", fig23_nongemm_speedup(&suite)),
+        ("fig24", fig24_tandem_breakdown(&suite)),
+        ("fig25", fig25_energy_breakdown(&suite)),
+    ];
+    for (name, table) in &per_model_tables {
+        let text = table.render();
+        for model in ["VGG-16", "ResNet-50", "YOLOv3", "MobileNetV2", "EfficientNet", "BERT", "GPT-2"]
+        {
+            assert!(text.contains(model), "{name} missing {model}:\n{text}");
+        }
+        assert!(!text.contains("NaN"), "{name} produced NaN:\n{text}");
+        assert!(!text.contains("inf"), "{name} produced inf:\n{text}");
+    }
+
+    for (name, table) in [
+        ("table1", table1_operator_classes(&suite)),
+        ("table2", table2_design_classes(&suite)),
+        ("table3", table3_config(&suite)),
+        ("fig05", fig05_roofline(&suite)),
+        ("fig26", fig26_area(&suite)),
+    ] {
+        let text = table.render();
+        assert!(text.lines().count() > 4, "{name} too short:\n{text}");
+        assert!(!text.contains("NaN"), "{name} produced NaN");
+    }
+}

@@ -1,0 +1,190 @@
+//! Bit-exact end-to-end functional test across crates: a convolution runs
+//! on the GEMM unit's functional kernel, its INT32 accumulators land in
+//! the Output BUF, the Tandem Processor takes ownership and executes a
+//! *compiled* ReLU + saturating cast over them, and the result must match
+//! a pure-software reference — the validation loop of paper §7.
+
+use gemm_sim::functional::{conv2d_i8, requantize};
+use tandem_compiler::{OpLowering, View};
+use tandem_core::{Dram, TandemConfig, TandemProcessor};
+use tandem_isa::{CastTarget, Instruction, Namespace, Operand};
+use tandem_model::OpKind;
+
+#[test]
+fn conv_relu_cast_through_the_output_buf() {
+    let mut cfg = TandemConfig::tiny(); // 8 lanes
+    cfg.interim_rows = 128;
+    let lanes = cfg.lanes;
+
+    // --- GEMM side: an 8-channel 6×6 conv, 3×3 kernel, "same" padding ---
+    let (in_c, h, w, out_c, k) = (3usize, 6usize, 6usize, 8usize, 3usize);
+    let input: Vec<i8> = (0..in_c * h * w).map(|i| ((i * 7) % 11) as i8 - 5).collect();
+    let weight: Vec<i8> = (0..out_c * in_c * k * k)
+        .map(|i| ((i * 5) % 7) as i8 - 3)
+        .collect();
+    let bias: Vec<i32> = (0..out_c).map(|i| i as i32 * 3 - 8).collect();
+    let acc = conv2d_i8(&input, &weight, &bias, in_c, h, w, out_c, k, 1);
+    assert_eq!(acc.len(), out_c * h * w);
+
+    // --- deposit the INT32 accumulators in the Output BUF, channel across
+    // lanes (out_c == lanes), spatial along rows — the layout the
+    // compiler's templates expect ---
+    let mut proc = TandemProcessor::new(cfg.clone());
+    let rows = h * w;
+    let mut obuf_data = vec![0i32; rows * lanes];
+    for c in 0..out_c {
+        for p in 0..rows {
+            obuf_data[p * lanes + c] = acc[c * rows + p];
+        }
+    }
+    proc.scratchpad_mut(Namespace::Obuf)
+        .load_rows(0, &obuf_data)
+        .unwrap();
+
+    // --- Tandem side: compiled ReLU reading the Output BUF directly
+    // (fluid ownership), then a saturating FXP8 cast for the next GEMM ---
+    let lowering = OpLowering::new(lanes, cfg.interim_rows);
+    let relu = lowering
+        .elementwise_tile(
+            OpKind::Relu,
+            0.0,
+            (0.0, 0.0),
+            rows as u16,
+            View {
+                ns: Namespace::Obuf,
+                base: 0,
+                rows: rows as u16,
+            },
+            None,
+            View {
+                ns: Namespace::Interim1,
+                base: 0,
+                rows: rows as u16,
+            },
+        )
+        .unwrap();
+    let mut dram = Dram::new(256);
+    proc.run(&relu, &mut dram).unwrap();
+
+    // cast pass: one DATATYPE_CAST nest over the ReLU output
+    let mut cast_prog = tandem_isa::Program::new();
+    cast_prog.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 0,
+    });
+    cast_prog.push(Instruction::IterConfigStride {
+        ns: Namespace::Interim1,
+        index: 0,
+        stride: 1,
+    });
+    cast_prog.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 1,
+        addr: rows as u16,
+    });
+    cast_prog.push(Instruction::IterConfigStride {
+        ns: Namespace::Interim1,
+        index: 1,
+        stride: 1,
+    });
+    let src = Operand::new(Namespace::Interim1, 0);
+    let dst = Operand::new(Namespace::Interim1, 1);
+    cast_prog.push(Instruction::LoopSetIter {
+        loop_id: 0,
+        count: rows as u16,
+    });
+    cast_prog.push(Instruction::LoopSetIndex {
+        bindings: tandem_isa::LoopBindings {
+            dst: Some(dst),
+            src1: Some(src),
+            src2: Some(src),
+        },
+    });
+    cast_prog.push(Instruction::LoopSetNumInst {
+        loop_id: 0,
+        count: 1,
+    });
+    cast_prog.push(Instruction::DatatypeCast {
+        target: CastTarget::Fxp8,
+        dst,
+        src1: src,
+    });
+    proc.run(&cast_prog, &mut dram).unwrap();
+
+    // --- compare against the software reference ---
+    let got = proc
+        .scratchpad(Namespace::Interim1)
+        .dump_rows(rows, rows * lanes)
+        .unwrap();
+    let reference: Vec<i8> = requantize(
+        &acc.iter().map(|&v| v.max(0)).collect::<Vec<i32>>(),
+        0,
+    );
+    for c in 0..out_c {
+        for p in 0..rows {
+            let want = reference[c * rows + p] as i32;
+            let have = got[p * lanes + c];
+            assert_eq!(have, want, "channel {c}, position {p}");
+        }
+    }
+}
+
+#[test]
+fn requantized_activations_round_trip_through_dram() {
+    // Store the cast activations to DRAM with the Data Access Engine and
+    // load them back — the tile boundary of a non-fused block.
+    let cfg = TandemConfig::tiny();
+    let lanes = cfg.lanes;
+    let mut proc = TandemProcessor::new(cfg.clone());
+    let mut dram = Dram::new(4096);
+    let data: Vec<i32> = (0..8 * lanes).map(|i| (i as i32 % 251) - 125).collect();
+    proc.scratchpad_mut(Namespace::Interim1)
+        .load_rows(0, &data)
+        .unwrap();
+
+    use tandem_isa::{TileBuffer, TileDirection, TileFunc};
+    let mut prog = tandem_isa::Program::new();
+    for (dir, addr) in [(TileDirection::Store, 100u16), (TileDirection::Load, 100u16)] {
+        prog.push(Instruction::TileLdSt {
+            dir,
+            func: TileFunc::ConfigBaseAddr,
+            buf: if dir == TileDirection::Store {
+                TileBuffer::Interim1
+            } else {
+                TileBuffer::Interim2
+            },
+            loop_idx: 0,
+            imm: addr,
+        });
+        prog.push(Instruction::TileLdSt {
+            dir,
+            func: TileFunc::ConfigTileLoopIter,
+            buf: TileBuffer::Interim1,
+            loop_idx: 0,
+            imm: 8,
+        });
+        prog.push(Instruction::TileLdSt {
+            dir,
+            func: TileFunc::ConfigTileLoopStride,
+            buf: TileBuffer::Interim1,
+            loop_idx: 0,
+            imm: lanes as u16,
+        });
+        prog.push(Instruction::TileLdSt {
+            dir,
+            func: TileFunc::Start,
+            buf: TileBuffer::Interim1,
+            loop_idx: 0,
+            imm: 0,
+        });
+    }
+    let report = proc.run(&prog, &mut dram).unwrap();
+    assert_eq!(report.counters.dma_bursts, 2);
+    assert_eq!(
+        proc.scratchpad(Namespace::Interim2)
+            .dump_rows(0, data.len())
+            .unwrap(),
+        data
+    );
+}

@@ -1,0 +1,110 @@
+//! Protocol-level integration: the compiler's scheduled block programs
+//! drive the NPU's Inst. Dispatch unit and the execution-controller FSM
+//! exactly as Figure 10/11 describe — sync markers route regions, OBUF
+//! releases unblock the GEMM unit, and every block reaches `BlockDone`.
+
+use tandem_compiler::{schedule_graph, BlockKind, OpLowering};
+use tandem_isa::{Instruction, SyncEdge, SyncKind, SyncUnit};
+use tandem_npu::{dispatch_block, ControllerEvent, ControllerState, ExecutionController};
+
+/// Walks one scheduled block through dispatch + FSM, emulating the
+/// per-tile handshakes its sync instructions define.
+fn drive_block(sb: &tandem_compiler::ScheduledBlock) {
+    let dispatched = dispatch_block(&sb.program);
+    match sb.kind {
+        BlockKind::GemmOnly => assert!(dispatched.has_gemm && !dispatched.has_tandem),
+        BlockKind::NonGemmOnly => assert!(!dispatched.has_gemm && dispatched.has_tandem),
+        BlockKind::Fused => assert!(dispatched.has_gemm && dispatched.has_tandem),
+    }
+
+    let tiles = sb.tiles.min(4) as u32; // bound the walk for huge blocks
+    let mut fsm = ExecutionController::new(tiles);
+    fsm.start_dispatch();
+    fsm.on_event(ControllerEvent::DispatchDone(sb.kind));
+
+    for _ in 0..tiles {
+        if matches!(sb.kind, BlockKind::GemmOnly | BlockKind::Fused) {
+            assert!(fsm.gemm_may_proceed());
+            fsm.on_event(ControllerEvent::GemmTileDone);
+        }
+        if matches!(sb.kind, BlockKind::NonGemmOnly | BlockKind::Fused) {
+            // replay the Tandem region's sync markers for this tile
+            for instr in &dispatched.tandem {
+                let Instruction::Sync(info) = instr else {
+                    continue;
+                };
+                match (info.unit, info.edge, info.kind, sb.kind) {
+                    (SyncUnit::Simd, SyncEdge::End, SyncKind::Buf, BlockKind::Fused) => {
+                        fsm.on_event(ControllerEvent::ObufReleased);
+                    }
+                    (SyncUnit::Simd, SyncEdge::End, SyncKind::Exec, _) => {
+                        fsm.on_event(ControllerEvent::TandemDone);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert_eq!(
+        fsm.state(),
+        ControllerState::BlockDone,
+        "block did not complete"
+    );
+}
+
+#[test]
+fn every_scheduled_block_of_the_suite_completes_the_protocol() {
+    let lowering = OpLowering::new(32, 512);
+    for bench in tandem_model::zoo::Benchmark::ALL {
+        let graph = bench.graph();
+        let blocks = schedule_graph(&lowering, &graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+        for sb in &blocks {
+            if sb.program.is_empty() {
+                continue; // blocks of pure-metadata ops schedule to nothing
+            }
+            drive_block(sb);
+        }
+    }
+}
+
+#[test]
+fn fused_blocks_release_the_output_buf_exactly_once_per_tile() {
+    let lowering = OpLowering::new(32, 512);
+    let graph = tandem_model::zoo::resnet50();
+    let blocks = schedule_graph(&lowering, &graph).unwrap();
+    let mut fused_seen = 0;
+    for sb in blocks.iter().filter(|b| b.kind == BlockKind::Fused) {
+        fused_seen += 1;
+        let releases = sb
+            .program
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instruction::Sync(s)
+                        if s.unit == SyncUnit::Simd
+                            && s.edge == SyncEdge::End
+                            && s.kind == SyncKind::Buf
+                )
+            })
+            .count();
+        assert_eq!(releases, 1, "block has {releases} OBUF releases");
+    }
+    assert!(fused_seen > 30, "only {fused_seen} fused blocks in ResNet-50");
+}
+
+#[test]
+fn dispatch_preserves_every_compute_instruction() {
+    // Nothing the compiler emits for the Tandem Processor may be lost or
+    // duplicated by the dispatch pass.
+    let lowering = OpLowering::new(32, 512);
+    let graph = tandem_model::zoo::bert_base(64);
+    for sb in schedule_graph(&lowering, &graph).unwrap() {
+        let d = dispatch_block(&sb.program);
+        assert_eq!(
+            d.tandem.compute_count() + d.gemm_config.compute_count(),
+            sb.program.compute_count()
+        );
+    }
+}
