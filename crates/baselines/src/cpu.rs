@@ -38,8 +38,7 @@ impl CpuModel {
     pub fn node_seconds(&self, graph: &Graph, node: &Node) -> f64 {
         let cost = NodeCost::of(graph, node);
         let bytes = cost.activation_bytes(4) as f64;
-        let ops_per_element =
-            tandem_model::operator_roofline(node.kind, 1.0, 1.0).ops_per_element;
+        let ops_per_element = tandem_model::operator_roofline(node.kind, 1.0, 1.0).ops_per_element;
         let ops = cost.out_elems as f64 * ops_per_element;
         let stream_s = bytes / (self.eff_gbps * 1e9);
         let compute_s = ops / (self.eff_gops * 1e9);

@@ -136,11 +136,7 @@ impl CpuFallback {
             gemm_s,
             non_gemm_s,
             comm_s,
-            energy_j: gemm_e
-                + cpu_e
-                + pcie_e
-                + self.gemm_power_w * gemm_s
-                + host_idle_w * total_s,
+            energy_j: gemm_e + cpu_e + pcie_e + self.gemm_power_w * gemm_s + host_idle_w * total_s,
         }
     }
 }

@@ -107,11 +107,9 @@ impl Gemmini {
                 }
                 k => {
                     // scalar expansion of the complex operator
-                    let expansion =
-                        tandem_model::operator_roofline(k, 1.0, 1.0).ops_per_element;
-                    let cycles = cost.out_elems as f64
-                        * expansion.max(1.0)
-                        * SCALAR_CYCLES_PER_ELEMENT_OP;
+                    let expansion = tandem_model::operator_roofline(k, 1.0, 1.0).ops_per_element;
+                    let cycles =
+                        cost.out_elems as f64 * expansion.max(1.0) * SCALAR_CYCLES_PER_ELEMENT_OP;
                     b.riscv_s += cycles / (self.core_ghz * 1e9 * self.cores as f64);
                 }
             }

@@ -110,8 +110,7 @@ impl GpuModel {
             let cost = NodeCost::of(graph, node);
             if node.kind.class() == OpClass::Gemm {
                 let compute = 2.0 * cost.macs as f64 / (self.int8_tops * self.tensor_eff * 1e12);
-                let bytes =
-                    (cost.activation_bytes(1) + cost.weight_elems) as f64; // INT8 weights/acts
+                let bytes = (cost.activation_bytes(1) + cost.weight_elems) as f64; // INT8 weights/acts
                 let mem = bytes / (self.mem_gbps * self.mem_eff * 1e9);
                 gemm_s += compute.max(mem) + self.launch_s;
             } else {

@@ -4,8 +4,8 @@
 //! coupling, but gains hardware special-function instructions — modelled
 //! per Google's VPU patent as the paper describes.
 
-use tandem_npu::{Despecialization, Npu, NpuConfig, NpuReport};
 use tandem_model::Graph;
+use tandem_npu::{Despecialization, Npu, NpuConfig, NpuReport};
 
 /// The cumulative ablation steps of Figure 18, in the order the paper
 /// reports its four bars.

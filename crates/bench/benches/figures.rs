@@ -40,5 +40,8 @@ fn main() {
     ] {
         println!("{table}");
     }
-    println!("all figures regenerated in {:.2} s", t0.elapsed().as_secs_f64());
+    println!(
+        "all figures regenerated in {:.2} s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -1,14 +1,29 @@
-//! Criterion microbenchmarks of the simulator stack: ISA decode, the
-//! functional pipeline, compiled-kernel throughput, and end-to-end model
-//! evaluation speed.
+//! Microbenchmarks of the simulator stack: ISA decode, the functional
+//! pipeline, compiled-kernel throughput, and end-to-end model evaluation
+//! speed. Uses a plain `Instant`-based harness so the workspace builds
+//! with no external crates (this repo must compile offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
 use tandem_compiler::{OpLowering, View};
 use tandem_core::{Dram, Mode, TandemConfig, TandemProcessor};
 use tandem_isa::{AluFunc, Instruction, Namespace, Operand, Program};
 use tandem_npu::{Npu, NpuConfig};
 
-fn bench_isa(c: &mut Criterion) {
+/// Times `iters` runs of `f` and prints ns/op and ops/s (after one
+/// untimed warmup call).
+fn bench<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let elapsed = t0.elapsed();
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    let per_s = 1e9 / ns.max(1e-3);
+    println!("{name:<40} {ns:>12.1} ns/op {per_s:>14.0} op/s");
+}
+
+fn bench_isa() {
     let instr = Instruction::alu(
         AluFunc::Macc,
         Operand::new(Namespace::Interim1, 3),
@@ -16,13 +31,12 @@ fn bench_isa(c: &mut Criterion) {
         Operand::new(Namespace::Imm, 7),
     );
     let word = instr.encode();
-    let mut g = c.benchmark_group("isa");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("encode", |b| b.iter(|| std::hint::black_box(instr).encode()));
-    g.bench_function("decode", |b| {
-        b.iter(|| Instruction::decode(std::hint::black_box(word)).unwrap())
+    bench("isa/encode", 1_000_000, || {
+        std::hint::black_box(instr).encode()
     });
-    g.finish();
+    bench("isa/decode", 1_000_000, || {
+        Instruction::decode(std::hint::black_box(word)).unwrap()
+    });
 }
 
 fn relu_program(rows: u16) -> Program {
@@ -47,69 +61,52 @@ fn relu_program(rows: u16) -> Program {
     .unwrap()
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline");
+fn bench_pipeline() {
     for &rows in &[16u16, 128, 256] {
         let prog = relu_program(rows);
-        let elems = rows as u64 * 32;
-        g.throughput(Throughput::Elements(elems));
-        g.bench_with_input(
-            BenchmarkId::new("functional_relu", rows),
-            &prog,
-            |b, prog| {
-                let mut proc =
-                    TandemProcessor::with_mode(TandemConfig::paper(), Mode::Functional);
-                let mut dram = Dram::new(64);
-                b.iter(|| proc.run(prog, &mut dram).unwrap());
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("performance_relu", rows),
-            &prog,
-            |b, prog| {
-                let mut proc =
-                    TandemProcessor::with_mode(TandemConfig::paper(), Mode::Performance);
-                let mut dram = Dram::new(64);
-                b.iter(|| proc.run(prog, &mut dram).unwrap());
-            },
-        );
+        let mut func = TandemProcessor::with_mode(TandemConfig::paper(), Mode::Functional);
+        let mut perf = TandemProcessor::with_mode(TandemConfig::paper(), Mode::Performance);
+        let mut dram = Dram::new(64);
+        bench(&format!("pipeline/functional_relu/{rows}"), 2_000, || {
+            func.run(&prog, &mut dram).unwrap()
+        });
+        bench(&format!("pipeline/performance_relu/{rows}"), 2_000, || {
+            perf.run(&prog, &mut dram).unwrap()
+        });
     }
-    g.finish();
 }
 
-fn bench_kernels(c: &mut Criterion) {
+fn bench_kernels() {
     use tandem_compiler::kernels;
-    let mut g = c.benchmark_group("kernels");
     let xs: Vec<i32> = (0..1024).map(|i| (i - 512) * 37).collect();
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("i_exp_1k", |b| {
-        b.iter(|| {
-            xs.iter()
-                .map(|&x| kernels::i_exp(std::hint::black_box(x), 14))
-                .sum::<i32>()
-        })
+    bench("kernels/i_exp_1k", 10_000, || {
+        xs.iter()
+            .map(|&x| kernels::i_exp(std::hint::black_box(x), 14))
+            .sum::<i32>()
     });
-    g.bench_function("i_softmax_1k", |b| {
-        b.iter(|| kernels::i_softmax(std::hint::black_box(&xs), 14))
+    bench("kernels/i_softmax_1k", 10_000, || {
+        kernels::i_softmax(std::hint::black_box(&xs), 14)
     });
-    g.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
+fn bench_end_to_end() {
     let npu = Npu::new(NpuConfig::paper());
-    for bench in [
+    for bench_model in [
         tandem_model::zoo::Benchmark::Resnet50,
         tandem_model::zoo::Benchmark::Bert,
     ] {
-        let graph = bench.graph();
-        g.bench_function(BenchmarkId::new("npu_run", bench.name()), |b| {
-            b.iter(|| npu.run(std::hint::black_box(&graph)))
-        });
+        let graph = bench_model.graph();
+        bench(
+            &format!("end_to_end/npu_run/{}", bench_model.name()),
+            10,
+            || npu.run(std::hint::black_box(&graph)),
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_isa, bench_pipeline, bench_kernels, bench_end_to_end);
-criterion_main!(benches);
+fn main() {
+    bench_isa();
+    bench_pipeline();
+    bench_kernels();
+    bench_end_to_end();
+}

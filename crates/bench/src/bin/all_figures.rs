@@ -1,10 +1,19 @@
 //! Prints every reproduced table and figure in paper order.
 
+use std::time::Instant;
 use tandem_bench::figures::*;
 use tandem_bench::Suite;
 
 fn main() {
+    let t0 = Instant::now();
     let suite = Suite::load();
+    eprintln!(
+        "suite loaded in {:.2}s ({} models in parallel, cache hit rate {:.1}%)",
+        t0.elapsed().as_secs_f64(),
+        suite.models.len(),
+        suite.tandem.iter().map(|r| r.stats.hit_rate()).sum::<f64>() / suite.tandem.len() as f64
+            * 100.0
+    );
     for table in [
         table1_operator_classes(&suite),
         fig01_operator_types(&suite),

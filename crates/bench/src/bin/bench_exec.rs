@@ -1,0 +1,149 @@
+//! Executor performance benchmark: cold/uncached vs cached wall-times.
+//!
+//! For every zoo model this runs three configurations of the same
+//! `NpuConfig::paper()` machine:
+//!
+//! * **uncached** — `Npu::uncached`: every node recompiled and
+//!   resimulated (the pre-cache executor);
+//! * **cold** — a fresh `Npu::new`: first run, caches filling;
+//! * **warm** — the same NPU again (best of three): caches fully hot.
+//!
+//! It asserts the three produce bit-identical reports, prints the
+//! speedups and cache hit rates, and writes the numbers to a JSON
+//! baseline (first CLI argument, default `BENCH_EXEC.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use tandem_model::zoo::Benchmark;
+use tandem_npu::{Npu, NpuConfig, NpuReport};
+
+struct Row {
+    name: &'static str,
+    uncached_ms: f64,
+    cold_ms: f64,
+    warm_ms: f64,
+    warm_hit_rate: f64,
+    cold_sim_misses: u64,
+    cold_sim_lookups: u64,
+    total_cycles: u64,
+}
+
+fn measure(bench: Benchmark) -> Row {
+    let graph = bench.graph();
+    let uncached = Npu::uncached(NpuConfig::paper()).run(&graph);
+    let npu = Npu::new(NpuConfig::paper());
+    let cold = npu.run(&graph);
+    let warm = (0..3)
+        .map(|_| npu.run(&graph))
+        .min_by(|a, b| a.stats.wall_s.total_cmp(&b.stats.wall_s))
+        .expect("three warm runs");
+    for (what, r) in [("cold", &cold), ("warm", &warm)] {
+        assert_eq!(
+            r,
+            &uncached,
+            "{}: {what} cached report differs from the uncached reference",
+            bench.name()
+        );
+    }
+    Row {
+        name: bench.name(),
+        uncached_ms: uncached.stats.wall_s * 1e3,
+        cold_ms: cold.stats.wall_s * 1e3,
+        warm_ms: warm.stats.wall_s * 1e3,
+        warm_hit_rate: warm.stats.hit_rate(),
+        cold_sim_misses: cold.stats.sim_misses,
+        cold_sim_lookups: cold.stats.sim_hits + cold.stats.sim_misses,
+        total_cycles: uncached.total_cycles,
+    }
+}
+
+fn suite_ms() -> (f64, f64, f64) {
+    let graphs: Vec<tandem_model::Graph> = Benchmark::ALL.iter().map(|b| b.graph()).collect();
+    let refs: Vec<&tandem_model::Graph> = graphs.iter().collect();
+    let serial_npu = Npu::uncached(NpuConfig::paper());
+    let t0 = Instant::now();
+    let serial: Vec<NpuReport> = refs.iter().map(|g| serial_npu.run(g)).collect();
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let npu = Npu::new(NpuConfig::paper());
+    let t0 = Instant::now();
+    let cold = npu.run_many(&refs);
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let warm = npu.run_many(&refs);
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold, serial, "run_many diverged from the serial path");
+    assert_eq!(warm, serial, "warm run_many diverged from the serial path");
+    (serial_ms, cold_ms, warm_ms)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_EXEC.json".to_string());
+    println!(
+        "{:<14} {:>11} {:>9} {:>9} {:>8} {:>9} {:>9}",
+        "model", "uncached ms", "cold ms", "warm ms", "speedup", "hit rate", "sim miss"
+    );
+    let rows: Vec<Row> = Benchmark::ALL.iter().map(|&b| measure(b)).collect();
+    for r in &rows {
+        println!(
+            "{:<14} {:>11.2} {:>9.2} {:>9.2} {:>7.1}x {:>8.1}% {:>4}/{:<4}",
+            r.name,
+            r.uncached_ms,
+            r.cold_ms,
+            r.warm_ms,
+            r.uncached_ms / r.warm_ms.max(1e-6),
+            r.warm_hit_rate * 100.0,
+            r.cold_sim_misses,
+            r.cold_sim_lookups,
+        );
+    }
+    let (serial_ms, cold_ms, warm_ms) = suite_ms();
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "\nfull suite ({workers} core{}): serial uncached {serial_ms:.2} ms, run_many cold \
+         {cold_ms:.2} ms, run_many warm {warm_ms:.2} ms ({:.1}x vs uncached)",
+        if workers == 1 { "" } else { "s" },
+        serial_ms / warm_ms.max(1e-6)
+    );
+
+    let mut json = String::from("{\n  \"config\": \"paper\",\n  \"models\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"uncached_ms\": {:.3}, \"cold_ms\": {:.3}, \
+             \"warm_ms\": {:.3}, \"speedup\": {:.2}, \"warm_hit_rate\": {:.4}, \
+             \"total_cycles\": {}}}{}",
+            r.name,
+            r.uncached_ms,
+            r.cold_ms,
+            r.warm_ms,
+            r.uncached_ms / r.warm_ms.max(1e-6),
+            r.warm_hit_rate,
+            r.total_cycles,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"workers\": {workers},\n  \"suite_serial_uncached_ms\": {serial_ms:.3},\n  \
+         \"suite_run_many_cold_ms\": {cold_ms:.3},\n  \
+         \"suite_run_many_warm_ms\": {warm_ms:.3}\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write baseline");
+    println!("baseline written to {out_path}");
+
+    // The acceptance bar of this change: a warm cached run of the two
+    // flagship models is at least twice as fast as the uncached path.
+    for r in &rows {
+        if matches!(r.name, "ResNet-50" | "BERT") {
+            assert!(
+                r.uncached_ms >= 2.0 * r.warm_ms,
+                "{}: warm {:.2} ms not 2x faster than uncached {:.2} ms",
+                r.name,
+                r.warm_ms,
+                r.uncached_ms
+            );
+        }
+    }
+}

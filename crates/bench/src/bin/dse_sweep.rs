@@ -35,7 +35,14 @@ fn main() {
                 sorted.len(),
                 results.len()
             ),
-            &["lanes", "interim rows", "GEMM side", "latency ms", "area mm^2", "energy mJ"],
+            &[
+                "lanes",
+                "interim rows",
+                "GEMM side",
+                "latency ms",
+                "area mm^2",
+                "energy mJ",
+            ],
         );
         for r in &sorted {
             t.row(vec![

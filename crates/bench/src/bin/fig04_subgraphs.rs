@@ -22,8 +22,7 @@ fn main() {
             for &id in &block.non_gemm {
                 let node = graph.node(id);
                 if node.kind.class() == OpClass::LayoutTransform
-                    && graph.tensor(node.outputs[0]).shape
-                        == graph.tensor(node.inputs[0]).shape
+                    && graph.tensor(node.outputs[0]).shape == graph.tensor(node.inputs[0]).shape
                 {
                     continue; // pure-metadata reshapes clutter the signature
                 }

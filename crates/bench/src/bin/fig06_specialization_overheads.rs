@@ -2,5 +2,8 @@
 
 fn main() {
     let suite = tandem_bench::Suite::load();
-    println!("{}", tandem_bench::figures::fig06_specialization_overheads(&suite));
+    println!(
+        "{}",
+        tandem_bench::figures::fig06_specialization_overheads(&suite)
+    );
 }

@@ -6,19 +6,33 @@ use tandem_bench::table::{pct, Table};
 use tandem_model::zoo;
 use tandem_npu::{Npu, NpuConfig};
 
+const SEQS: [usize; 5] = [32, 64, 128, 256, 512];
+
 fn main() {
     let npu = Npu::new(NpuConfig::paper());
     for (name, build) in [
-        ("BERT-base", zoo::bert_base as fn(usize) -> tandem_model::Graph),
+        (
+            "BERT-base",
+            zoo::bert_base as fn(usize) -> tandem_model::Graph,
+        ),
         ("GPT-2", zoo::gpt2 as fn(usize) -> tandem_model::Graph),
     ] {
+        // Build every sequence length up front and sweep them in parallel
+        // on the shared-cache NPU.
+        let graphs: Vec<tandem_model::Graph> = SEQS.iter().map(|&seq| build(seq)).collect();
+        let refs: Vec<&tandem_model::Graph> = graphs.iter().collect();
+        let reports = npu.run_many(&refs);
         let mut t = Table::new(
             format!("{name}: sequence-length scaling on the NPU-Tandem"),
-            &["seq", "latency ms", "non-GEMM share", "GEMM util", "Tandem util"],
+            &[
+                "seq",
+                "latency ms",
+                "non-GEMM share",
+                "GEMM util",
+                "Tandem util",
+            ],
         );
-        for seq in [32usize, 64, 128, 256, 512] {
-            let graph = build(seq);
-            let r = npu.run(&graph);
+        for (seq, r) in SEQS.iter().zip(&reports) {
             t.row(vec![
                 seq.to_string(),
                 format!("{:.3}", r.seconds() * 1e3),

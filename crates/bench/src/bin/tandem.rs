@@ -74,7 +74,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
             }
             "--knobs" => {
                 i += 1;
-                let Some(spec) = args.get(i) else { return usage() };
+                let Some(spec) = args.get(i) else {
+                    return usage();
+                };
                 match parse_knobs(spec) {
                     Ok(k) => cfg.knobs = k,
                     Err(e) => {
@@ -103,7 +105,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
 
     let report = Npu::new(cfg.clone()).run(&graph);
-    println!("model          : {} ({} nodes)", graph.name, graph.nodes().len());
+    println!(
+        "model          : {} ({} nodes)",
+        graph.name,
+        graph.nodes().len()
+    );
     println!(
         "machine        : {}x{} GEMM + {}-lane Tandem{}",
         cfg.gemm.rows,
@@ -119,11 +125,19 @@ fn cmd_run(args: &[String]) -> ExitCode {
     println!("energy         : {:.4} mJ", report.total_energy_nj() * 1e-6);
     println!("avg power      : {:.3} W", report.average_power_w());
     println!("GEMM util      : {:.1}%", report.gemm_utilization() * 100.0);
-    println!("Tandem util    : {:.1}%", report.tandem_utilization() * 100.0);
-    println!("non-GEMM share : {:.1}%", report.non_gemm_fraction() * 100.0);
-    println!("DRAM traffic   : {:.2} MB (Tandem) + {:.2} MB (GEMM)",
+    println!(
+        "Tandem util    : {:.1}%",
+        report.tandem_utilization() * 100.0
+    );
+    println!(
+        "non-GEMM share : {:.1}%",
+        report.non_gemm_fraction() * 100.0
+    );
+    println!(
+        "DRAM traffic   : {:.2} MB (Tandem) + {:.2} MB (GEMM)",
         report.tandem_dram_bytes as f64 / 1e6,
-        report.gemm_dram_bytes as f64 / 1e6);
+        report.gemm_dram_bytes as f64 / 1e6
+    );
     println!("\ncycles by operator:");
     let mut kinds: Vec<_> = report.per_kind_cycles.iter().collect();
     kinds.sort_by_key(|(_, &c)| std::cmp::Reverse(c));
@@ -134,7 +148,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
 }
 
 fn cmd_asm(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else { return usage() };
+    let Some(path) = args.first() else {
+        return usage();
+    };
     let trace = args.iter().any(|a| a == "--trace");
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -173,8 +189,10 @@ fn cmd_asm(args: &[String]) -> ExitCode {
             println!("compute cycles : {}", report.compute_cycles);
             println!("DMA cycles     : {}", report.dma_cycles);
             println!("ALU lane-ops   : {}", report.counters.alu_lane_ops);
-            println!("scratchpad R/W : {} / {}",
-                report.counters.spad_row_reads, report.counters.spad_row_writes);
+            println!(
+                "scratchpad R/W : {} / {}",
+                report.counters.spad_row_reads, report.counters.spad_row_writes
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

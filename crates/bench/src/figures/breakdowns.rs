@@ -67,7 +67,14 @@ pub fn fig24_tandem_breakdown(suite: &Suite) -> Table {
 pub fn fig25_energy_breakdown(suite: &Suite) -> Table {
     let mut t = Table::new(
         "Figure 25 — Tandem Processor energy breakdown",
-        &["model", "off-chip DRAM", "on-chip SRAM", "ALU", "loop+addr", "other"],
+        &[
+            "model",
+            "off-chip DRAM",
+            "on-chip SRAM",
+            "ALU",
+            "loop+addr",
+            "other",
+        ],
     );
     let mut sums = [0.0f64; 5];
     for (i, name) in suite.names().iter().enumerate() {
@@ -106,7 +113,11 @@ pub fn fig26_area(_suite: &Suite) -> Table {
         "Figure 26 — Tandem Processor area breakdown (GF 65 nm)",
         &["component", "mm^2", "share"],
     );
-    t.row(vec!["ALU lanes".into(), format!("{:.3}", area.alu_mm2), pct(alu)]);
+    t.row(vec![
+        "ALU lanes".into(),
+        format!("{:.3}", area.alu_mm2),
+        pct(alu),
+    ]);
     t.row(vec![
         "Interim BUF 1&2".into(),
         format!("{:.3}", area.interim_mm2),

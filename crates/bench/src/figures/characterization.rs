@@ -29,7 +29,11 @@ pub fn table1_operator_classes(suite: &Suite) -> Table {
                 models.push(bench.name());
             }
         }
-        t.row(vec![class.name().to_string(), ops.join(", "), models.join(", ")]);
+        t.row(vec![
+            class.name().to_string(),
+            ops.join(", "),
+            models.join(", "),
+        ]);
     }
     t
 }
@@ -64,7 +68,12 @@ pub fn fig01_operator_types(suite: &Suite) -> Table {
 pub fn fig02_cumulative_ops(suite: &Suite) -> Table {
     let mut t = Table::new(
         "Figure 2 — cumulative operator counts",
-        &["through model", "GEMM nodes", "non-GEMM nodes", "GEMM share"],
+        &[
+            "through model",
+            "GEMM nodes",
+            "non-GEMM nodes",
+            "GEMM share",
+        ],
     );
     let mut gemm = 0usize;
     let mut non_gemm = 0usize;
@@ -89,14 +98,7 @@ pub fn fig03_runtime_breakdown(suite: &Suite) -> Table {
     let mut t = Table::new(
         "Figure 3 — runtime breakdown across platforms",
         &[
-            "model",
-            "B1 GEMM",
-            "B1 nonG",
-            "B1 PCIe",
-            "B2 GEMM",
-            "B2 nonG",
-            "B2 PCIe",
-            "GPU GEMM",
+            "model", "B1 GEMM", "B1 nonG", "B1 PCIe", "B2 GEMM", "B2 nonG", "B2 PCIe", "GPU GEMM",
             "GPU nonG",
         ],
     );
@@ -125,7 +127,14 @@ pub fn fig03_runtime_breakdown(suite: &Suite) -> Table {
 pub fn fig05_roofline(_suite: &Suite) -> Table {
     let mut t = Table::new(
         "Figure 5 — non-GEMM operator roofline (32 Gops/s, 16 GB/s)",
-        &["operator", "ops/elem", "bytes/elem", "intensity", "attainable Gops", "bound"],
+        &[
+            "operator",
+            "ops/elem",
+            "bytes/elem",
+            "intensity",
+            "attainable Gops",
+            "bound",
+        ],
     );
     for kind in [
         OpKind::Add,
@@ -163,7 +172,13 @@ pub fn fig05_roofline(_suite: &Suite) -> Table {
 pub fn table2_design_classes(_suite: &Suite) -> Table {
     let mut t = Table::new(
         "Table 2 — design classes for non-GEMM support",
-        &["class", "in tandem", "specialized", "programmable", "exec control"],
+        &[
+            "class",
+            "in tandem",
+            "specialized",
+            "programmable",
+            "exec control",
+        ],
     );
     for row in tandem_baselines::design_class_matrix() {
         t.row(vec![

@@ -115,8 +115,7 @@ pub fn fig23_nongemm_speedup(suite: &Suite) -> Table {
     );
     let mut col = Vec::new();
     for (i, name) in suite.names().iter().enumerate() {
-        let tandem_ng_s =
-            scaled[i].non_gemm_kind_cycles() as f64 / (scaled[i].freq_ghz * 1e9);
+        let tandem_ng_s = scaled[i].non_gemm_kind_cycles() as f64 / (scaled[i].freq_ghz * 1e9);
         let v = suite.a100_cuda[i].non_gemm_s / tandem_ng_s.max(1e-12);
         col.push(v);
         t.row(vec![name.to_string(), ratio(v)]);

@@ -1,9 +1,9 @@
 //! Figures 14–17: the headline comparisons against Baselines (1)/(2) and
 //! Gemmini.
 
+use crate::geomean;
 use crate::suite::Suite;
 use crate::table::{pct, ratio, Table};
-use crate::geomean;
 
 /// Figure 14: end-to-end speedup of the NPU-Tandem over Baseline (1)
 /// (off-chip CPU fallback) and Baseline (2) (dedicated units).

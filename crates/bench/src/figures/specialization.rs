@@ -49,8 +49,7 @@ pub fn fig06_specialization_overheads(suite: &Suite) -> Table {
         let mut cells = vec![name.to_string()];
         for (j, run) in runs.iter().enumerate() {
             let knob = &run[i];
-            let ng = 1.0
-                - base.busy.tandem_cycles as f64 / knob.busy.tandem_cycles.max(1) as f64;
+            let ng = 1.0 - base.busy.tandem_cycles as f64 / knob.busy.tandem_cycles.max(1) as f64;
             let e2e = 1.0 - base.total_cycles as f64 / knob.total_cycles.max(1) as f64;
             sums[j][0] += ng;
             sums[j][1] += e2e;

@@ -14,7 +14,13 @@ const BAR_NAMES: [&str; 4] = ["+regfile", "+loops/addr", "+FIFO", "+special fns 
 pub fn fig18_vpu_speedup(suite: &Suite) -> Table {
     let mut t = Table::new(
         "Figure 18 — speedup over TPU+VPU, per design decision",
-        &["model", BAR_NAMES[0], BAR_NAMES[1], BAR_NAMES[2], BAR_NAMES[3]],
+        &[
+            "model",
+            BAR_NAMES[0],
+            BAR_NAMES[1],
+            BAR_NAMES[2],
+            BAR_NAMES[3],
+        ],
     );
     let mut cols: [Vec<f64>; 4] = Default::default();
     for (i, (bench, graph)) in suite.models.iter().enumerate() {
@@ -70,7 +76,13 @@ pub fn vpu_energy_nj(report: &tandem_npu::NpuReport, abl: VpuAblation) -> f64 {
 pub fn fig19_vpu_energy(suite: &Suite) -> Table {
     let mut t = Table::new(
         "Figure 19 — energy reduction over TPU+VPU, per design decision",
-        &["model", BAR_NAMES[0], BAR_NAMES[1], BAR_NAMES[2], BAR_NAMES[3]],
+        &[
+            "model",
+            BAR_NAMES[0],
+            BAR_NAMES[1],
+            BAR_NAMES[2],
+            BAR_NAMES[3],
+        ],
     );
     let mut cols: [Vec<f64>; 4] = Default::default();
     for (i, (bench, graph)) in suite.models.iter().enumerate() {

@@ -1,6 +1,8 @@
 //! The shared benchmark suite: the seven models plus cached platform runs.
 
-use tandem_baselines::{CpuFallback, DedicatedUnits, Gemmini, GpuExecution, GpuModel, Platform, PlatformReport};
+use tandem_baselines::{
+    CpuFallback, DedicatedUnits, Gemmini, GpuExecution, GpuModel, Platform, PlatformReport,
+};
 use tandem_model::zoo::Benchmark;
 use tandem_model::Graph;
 use tandem_npu::{Npu, NpuConfig, NpuReport};
@@ -35,16 +37,15 @@ pub struct Suite {
 impl Suite {
     /// Builds the suite and runs every cached platform.
     pub fn load() -> Self {
-        let models: Vec<(Benchmark, Graph)> = Benchmark::ALL
-            .iter()
-            .map(|&b| (b, b.graph()))
-            .collect();
+        let models: Vec<(Benchmark, Graph)> =
+            Benchmark::ALL.iter().map(|&b| (b, b.graph())).collect();
         let npu = Npu::new(NpuConfig::paper());
+        let graphs: Vec<&Graph> = models.iter().map(|(_, g)| g).collect();
         let run_all = |p: &dyn Platform| -> Vec<PlatformReport> {
             models.iter().map(|(_, g)| p.run(g)).collect()
         };
         Suite {
-            tandem: models.iter().map(|(_, g)| npu.run(g)).collect(),
+            tandem: npu.run_many(&graphs),
             baseline1: run_all(&CpuFallback::new()),
             baseline2: run_all(&DedicatedUnits::new()),
             gemmini1: run_all(&Gemmini::new()),

@@ -5,8 +5,8 @@
 use crate::lower::CompileError;
 use std::collections::HashMap;
 use tandem_isa::{
-    Instruction, LoopBindings, Namespace, Operand, Program, IMM_BUF_SLOTS,
-    ITERATOR_TABLE_ENTRIES, MAX_LOOP_LEVELS,
+    Instruction, LoopBindings, Namespace, Operand, Program, IMM_BUF_SLOTS, ITERATOR_TABLE_ENTRIES,
+    MAX_LOOP_LEVELS,
 };
 
 /// A power-of-two fixed-point format: values represent `v / 2^q`.
@@ -223,11 +223,7 @@ impl TileProgramBuilder {
     /// # Panics
     ///
     /// Panics if `body` contains a non-compute instruction.
-    pub fn nest(
-        &mut self,
-        levels: &[NestLevel],
-        body: &[Instruction],
-    ) -> Result<(), CompileError> {
+    pub fn nest(&mut self, levels: &[NestLevel], body: &[Instruction]) -> Result<(), CompileError> {
         if levels.len() > MAX_LOOP_LEVELS {
             return Err(CompileError::TooDeep {
                 levels: levels.len(),
@@ -341,7 +337,15 @@ mod tests {
     fn nest_depth_limit() {
         let mut b = TileProgramBuilder::new(8, 64);
         let x = b.iter(Namespace::Interim1, 0, 1).unwrap();
-        let levels = vec![NestLevel { count: 2, dst: Some(x), src1: Some(x), src2: Some(x) }; 9];
+        let levels = vec![
+            NestLevel {
+                count: 2,
+                dst: Some(x),
+                src1: Some(x),
+                src2: Some(x)
+            };
+            9
+        ];
         let body = [Instruction::alu(AluFunc::Add, x, x, x)];
         assert!(matches!(
             b.nest(&levels, &body),

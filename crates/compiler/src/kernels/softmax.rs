@@ -50,7 +50,9 @@ mod tests {
 
     #[test]
     fn sums_to_one() {
-        let xs: Vec<i32> = (0..128).map(|i| to_fixed((i % 13) as f64 * 0.3 - 2.0, Q)).collect();
+        let xs: Vec<i32> = (0..128)
+            .map(|i| to_fixed((i % 13) as f64 * 0.3 - 2.0, Q))
+            .collect();
         let got = i_softmax(&xs, Q);
         let total: i64 = got.iter().map(|&v| v as i64).sum();
         let err = (total - (1 << Q)).abs() as f64 / (1 << Q) as f64;

@@ -26,10 +26,12 @@ mod codegen;
 mod lower;
 pub mod passes;
 mod schedule;
+mod signature;
 mod tiling;
 
 pub use blocks::{BlockKind, ExecutionBlock, Partitioner};
 pub use codegen::{BuilderMark, Fixed, NestLevel, TileProgramBuilder, View};
 pub use lower::{CompileError, CompiledOp, OpLowering};
 pub use schedule::{schedule_block, schedule_graph, ScheduledBlock};
+pub use signature::{CompileCache, NodeSignature};
 pub use tiling::{TilePlan, Tiler};

@@ -120,6 +120,16 @@ impl OpLowering {
         TileProgramBuilder::new(self.lanes, self.interim_rows)
     }
 
+    /// SIMD lanes of the target machine.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Rows per Interim BUF of the target machine.
+    pub fn interim_rows(&self) -> usize {
+        self.interim_rows
+    }
+
     // =====================================================================
     // element-wise templates (single 1-level nest over `rows`)
     // =====================================================================
@@ -900,10 +910,7 @@ impl OpLowering {
         // AveragePool's src1 is the input window (macc y,x,1) — the
         // per-slot level bindings differ accordingly.
         let (s1, s2): ([Operand; 4], [Operand; 4]) = match kind {
-            OpKind::MaxPool => (
-                [y_oy, y_ox, y_frozen, y_frozen],
-                [x_oy, x_ox, x_ky, x_kx],
-            ),
+            OpKind::MaxPool => ([y_oy, y_ox, y_frozen, y_frozen], [x_oy, x_ox, x_ky, x_kx]),
             _ => ([x_oy, x_ox, x_ky, x_kx], [x_oy, x_ox, x_ky, x_kx]),
         };
         b.nest(

@@ -153,7 +153,13 @@ pub fn optimize(nests: Vec<NestIr>) -> (Vec<NestIr>, PassStats) {
 mod tests {
     use super::*;
 
-    fn stmt(name: &str, dst: &[i32], src1: Option<&[i32]>, src2: Option<&[i32]>, acc: bool) -> StmtStrides {
+    fn stmt(
+        name: &str,
+        dst: &[i32],
+        src1: Option<&[i32]>,
+        src2: Option<&[i32]>,
+        acc: bool,
+    ) -> StmtStrides {
         StmtStrides {
             name: name.into(),
             dst: dst.to_vec(),
@@ -186,7 +192,13 @@ mod tests {
         let nest = NestIr {
             extents: vec![4, 16],
             stmts: vec![
-                stmt("sub_broadcast", &[4, 1], Some(&[4, 1]), Some(&[1, 0]), false),
+                stmt(
+                    "sub_broadcast",
+                    &[4, 1],
+                    Some(&[4, 1]),
+                    Some(&[1, 0]),
+                    false,
+                ),
                 stmt("exp_chain", &[4, 1], Some(&[4, 1]), Some(&[4, 1]), false),
             ],
         };

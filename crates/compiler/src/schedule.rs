@@ -169,7 +169,10 @@ mod tests {
         assert!(text.contains("sync.gemm.start.exec"));
         assert!(text.contains("sync.gemm.end.exec"));
         assert!(text.contains("sync.simd.start.exec"));
-        assert!(text.contains("sync.simd.end.buf"), "missing OBUF release:\n{text}");
+        assert!(
+            text.contains("sync.simd.end.buf"),
+            "missing OBUF release:\n{text}"
+        );
         assert!(text.contains("sync.simd.end.exec"));
         // buf release must come after the first consumer's instructions
         // and before the final end marker

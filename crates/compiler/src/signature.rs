@@ -1,0 +1,246 @@
+//! Block signatures and the compilation cache.
+//!
+//! The paper's own characterization (Figure 4) shows the benchmark zoo is
+//! dominated by *repeated* subgraphs — ResNet-50's 16 bottlenecks,
+//! BERT/GPT-2's 12 identical encoder layers. Lowering is a pure function
+//! of the operator and the machine shape, so identical nodes compile to
+//! identical tile programs. [`NodeSignature`] captures exactly the inputs
+//! of that function — operator kind, input/output shapes, the relevant
+//! attributes, and the lanes/interim-rows/fixed-point configuration — and
+//! [`CompileCache`] memoizes [`OpLowering::lower_node`] on it, so each
+//! distinct block shape compiles once per process instead of once per
+//! node per run.
+
+use crate::lower::{CompileError, CompiledOp, OpLowering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tandem_model::{Graph, Node, OpAttrs, Padding};
+
+/// Hashable image of [`OpAttrs`]: float attributes are keyed by their IEEE
+/// bit patterns, which is exact (two nodes share a lowering iff the bits
+/// agree — the compiler materializes constants from these exact values).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AttrsKey {
+    kernel: usize,
+    stride: usize,
+    padding: Padding,
+    groups: usize,
+    axis: isize,
+    perm: Vec<usize>,
+    alpha_bits: u64,
+    clip_min_bits: u64,
+    clip_max_bits: u64,
+}
+
+impl AttrsKey {
+    fn of(attrs: &OpAttrs) -> Self {
+        AttrsKey {
+            kernel: attrs.kernel,
+            stride: attrs.stride,
+            padding: attrs.padding,
+            groups: attrs.groups,
+            axis: attrs.axis,
+            perm: attrs.perm.clone(),
+            alpha_bits: attrs.alpha.to_bits(),
+            clip_min_bits: attrs.clip_min.to_bits(),
+            clip_max_bits: attrs.clip_max.to_bits(),
+        }
+    }
+}
+
+/// Everything [`OpLowering::lower_node`] can observe about a node: the
+/// memoization key of the compilation (and downstream simulation) caches.
+///
+/// Two nodes with equal signatures lower to identical `(program,
+/// repetitions)` pairs, so their performance-mode simulation reports are
+/// identical too.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeSignature {
+    /// Operator kind.
+    kind: tandem_model::OpKind,
+    /// Per-input `(dims, is_weight)` — tiling reads input shapes and the
+    /// executor's DRAM-traffic model distinguishes weights.
+    inputs: Vec<(Vec<usize>, bool)>,
+    /// Output dims.
+    outputs: Vec<Vec<usize>>,
+    /// Relevant attributes.
+    attrs: AttrsKey,
+    /// SIMD lanes of the target machine.
+    lanes: usize,
+    /// Rows per Interim BUF of the target machine.
+    interim_rows: usize,
+    /// Fixed-point fractional bits of the activation format.
+    q: u32,
+}
+
+impl NodeSignature {
+    /// Computes the signature of `node` for a machine with `lanes` lanes,
+    /// `interim_rows` scratchpad rows, and `q` fractional bits.
+    pub fn of(graph: &Graph, node: &Node, lanes: usize, interim_rows: usize, q: u32) -> Self {
+        NodeSignature {
+            kind: node.kind,
+            inputs: node
+                .inputs
+                .iter()
+                .map(|&id| {
+                    let t = graph.tensor(id);
+                    (t.shape.dims().to_vec(), t.is_weight)
+                })
+                .collect(),
+            outputs: node
+                .outputs
+                .iter()
+                .map(|&id| graph.tensor(id).shape.dims().to_vec())
+                .collect(),
+            attrs: AttrsKey::of(&node.attrs),
+            lanes,
+            interim_rows,
+            q,
+        }
+    }
+
+    /// The signature of `node` under `lowering`'s machine shape.
+    pub fn for_lowering(lowering: &OpLowering, graph: &Graph, node: &Node) -> Self {
+        Self::of(
+            graph,
+            node,
+            lowering.lanes(),
+            lowering.interim_rows(),
+            lowering.fixed.q,
+        )
+    }
+}
+
+/// A thread-safe memoization table for [`OpLowering::lower_node`].
+///
+/// Compilation errors are cached alongside successes (`Unsupported` for
+/// metadata-only operators is the common case), so the executor's
+/// error path is memoized too. The cache is keyed on [`NodeSignature`],
+/// which embeds the machine shape — one cache can safely serve several
+/// lowering configurations, though in practice each NPU owns one.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    map: Mutex<HashMap<NodeSignature, Arc<Result<CompiledOp, CompileError>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompileCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`OpLowering::lower_node`]: returns the cached lowering
+    /// for `node`'s signature, compiling on first sight.
+    pub fn lower_node(
+        &self,
+        lowering: &OpLowering,
+        graph: &Graph,
+        node: &Node,
+    ) -> Arc<Result<CompiledOp, CompileError>> {
+        let sig = NodeSignature::for_lowering(lowering, graph, node);
+        if let Some(hit) = self.map.lock().unwrap().get(&sig) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Compile outside the lock: concurrent misses on the same
+        // signature may compile twice, but lowering is deterministic so
+        // either result is the same value.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(lowering.lower_node(graph, node));
+        self.map
+            .lock()
+            .unwrap()
+            .entry(sig)
+            .or_insert_with(|| Arc::clone(&compiled));
+        compiled
+    }
+
+    /// Number of distinct signatures compiled.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// `true` when nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= compilations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops all cached lowerings and resets the counters.
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tandem_model::zoo;
+
+    #[test]
+    fn identical_nodes_share_one_signature() {
+        let g = zoo::bert_base(64);
+        let lowering = OpLowering::new(32, 512);
+        let mut sigs = std::collections::HashSet::new();
+        let mut non_gemm = 0usize;
+        for node in g.nodes() {
+            if node.kind.class().is_non_gemm() {
+                non_gemm += 1;
+                sigs.insert(NodeSignature::for_lowering(&lowering, &g, node));
+            }
+        }
+        // 12 identical encoder layers → far fewer signatures than nodes.
+        assert!(
+            sigs.len() * 4 < non_gemm,
+            "{} signatures for {non_gemm} non-GEMM nodes",
+            sigs.len()
+        );
+    }
+
+    #[test]
+    fn cache_compiles_each_signature_once() {
+        let g = zoo::resnet50();
+        let lowering = OpLowering::new(32, 512);
+        let cache = CompileCache::new();
+        for node in g.nodes() {
+            let cached = cache.lower_node(&lowering, &g, node);
+            let fresh = lowering.lower_node(&g, node);
+            assert_eq!(*cached, fresh, "node {}", node.name);
+        }
+        assert_eq!(cache.hits() + cache.misses(), g.nodes().len() as u64);
+        assert_eq!(cache.misses(), cache.len() as u64);
+        assert!(cache.hits() > cache.misses(), "ResNet repeats its blocks");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn machine_shape_is_part_of_the_key() {
+        let g = zoo::mobilenetv2();
+        let node = g
+            .nodes()
+            .iter()
+            .find(|n| n.kind.class().is_non_gemm())
+            .unwrap();
+        let a = NodeSignature::of(&g, node, 32, 512, 14);
+        let b = NodeSignature::of(&g, node, 64, 512, 14);
+        let c = NodeSignature::of(&g, node, 32, 256, 14);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

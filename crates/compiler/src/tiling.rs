@@ -101,9 +101,12 @@ impl Tiler {
             OpKind::Softmax | OpKind::ReduceMean => {
                 let d = out_shapes_last_input_axis(graph, node) as u64;
                 let instances = (input_elems(graph, node) / d.max(1)).max(1);
-                let groups_total = self.rows_for(instances * self.lanes as u64 / self.lanes as u64)
+                let groups_total = self
+                    .rows_for(instances * self.lanes as u64 / self.lanes as u64)
                     .max(1);
-                let groups_total = instances.div_ceil(self.lanes as u64).max(groups_total.min(1));
+                let groups_total = instances
+                    .div_ceil(self.lanes as u64)
+                    .max(groups_total.min(1));
                 // Chunk oversized reduction extents. Softmax keeps the
                 // shifted row, the exponentials and the three i-exp temps
                 // resident in Interim BUF 2 (≈5 rows per reduce row);
@@ -168,8 +171,7 @@ impl Tiler {
                     base: x.rows,
                     rows: g as u16,
                 };
-                let prog =
-                    lowering.reduce_mean_tile(g as u16, d_chunk as u16, d as i32, x, y)?;
+                let prog = lowering.reduce_mean_tile(g as u16, d_chunk as u16, d as i32, x, y)?;
                 vec![(prog, g_tiles * d_tiles)]
             }
 
@@ -205,7 +207,11 @@ impl Tiler {
                     base: 0,
                     rows: in_rows,
                 };
-                let ow_t = if w_tiles == 1 { ow } else { (w_t / stride).max(1) };
+                let ow_t = if w_tiles == 1 {
+                    ow
+                } else {
+                    (w_t / stride).max(1)
+                };
                 let y = View {
                     ns: Namespace::Interim1,
                     base: in_rows,
@@ -238,10 +244,7 @@ impl Tiler {
                     bv,
                     y,
                 )?;
-                vec![(
-                    prog,
-                    (ch_tiles * strips * w_tiles).div_ceil(spatial_fold),
-                )]
+                vec![(prog, (ch_tiles * strips * w_tiles).div_ceil(spatial_fold))]
             }
 
             // layout movement through the Permute Engine
@@ -270,7 +273,10 @@ impl Tiler {
                     dst,
                     &[words, self.lanes as u16],
                     &[self.lanes as i16, 1],
-                    &[if cross { 1 } else { self.lanes as i16 }, if cross { words as i16 } else { 1 }],
+                    &[
+                        if cross { 1 } else { self.lanes as i16 },
+                        if cross { words as i16 } else { 1 },
+                    ],
                     cross,
                 )?;
                 vec![(prog, plan.tiles)]

@@ -168,10 +168,7 @@ fn compiled_tanh_tracks_kernel() {
     let y = run_elementwise(OpKind::Tanh, 0.0, (0.0, 0.0), &x, None);
     for (&xi, &yi) in x.iter().zip(y.iter()) {
         let want = kernels::i_tanh(xi, Q);
-        assert!(
-            (yi - want).abs() <= 2,
-            "tanh({xi}) = {want}, compiled {yi}"
-        );
+        assert!((yi - want).abs() <= 2, "tanh({xi}) = {want}, compiled {yi}");
     }
 }
 
@@ -251,7 +248,13 @@ fn compiled_reduce_mean_matches_naive() {
         .load_rows(0, &x)
         .unwrap();
     let prog = low
-        .reduce_mean_tile(groups, d, d as i32, view(0, rows as u16), view(rows as u16, groups))
+        .reduce_mean_tile(
+            groups,
+            d,
+            d as i32,
+            view(0, rows as u16),
+            view(rows as u16, groups),
+        )
         .unwrap();
     proc.run(&prog, &mut dram).unwrap();
     let y = proc
@@ -393,7 +396,9 @@ fn compiled_broadcast_add_matches_naive() {
     let d = 5u16;
     let rows = (groups * d) as usize;
     let x: Vec<i32> = (0..rows * LANES).map(|i| i as i32).collect();
-    let c: Vec<i32> = (0..groups as usize * LANES).map(|i| 1000 * i as i32).collect();
+    let c: Vec<i32> = (0..groups as usize * LANES)
+        .map(|i| 1000 * i as i32)
+        .collect();
     proc.scratchpad_mut(Namespace::Interim1)
         .load_rows(0, &x)
         .unwrap();
@@ -465,9 +470,7 @@ fn compiled_transpose_matches_naive() {
 #[test]
 fn performance_mode_agrees_with_functional_on_compiled_softmax() {
     let low = OpLowering::new(LANES, INTERIM_ROWS);
-    let prog = low
-        .softmax_tile(2, 8, view(0, 16), view(16, 16))
-        .unwrap();
+    let prog = low.softmax_tile(2, 8, view(0, 16), view(16, 16)).unwrap();
     let mut cfg = TandemConfig::tiny();
     cfg.lanes = LANES;
     cfg.interim_rows = INTERIM_ROWS;
@@ -540,7 +543,12 @@ fn compiled_gelu_tanh_chain_tracks_f64() {
     let c2 = kernels::to_fixed((2.0 / std::f64::consts::PI).sqrt(), Q);
     let half = kernels::to_fixed(0.5, Q);
     let one = 1 << Q;
-    for (row, v) in [(5 * rows, c1), (6 * rows, c2), (7 * rows, half), (8 * rows, one)] {
+    for (row, v) in [
+        (5 * rows, c1),
+        (6 * rows, c2),
+        (7 * rows, half),
+        (8 * rows, one),
+    ] {
         proc.scratchpad_mut(Namespace::Interim1)
             .load_rows(row as usize, &[v; LANES])
             .unwrap();
@@ -548,28 +556,88 @@ fn compiled_gelu_tanh_chain_tracks_f64() {
     let v = |base: u16, r: u16| view(base, r);
     let steps = [
         // x3 = x^3
-        low.elementwise_tile(OpKind::Pow, 3.0, (0.0, 0.0), rows, v(0, rows), None, v(rows, rows))
-            .unwrap(),
+        low.elementwise_tile(
+            OpKind::Pow,
+            3.0,
+            (0.0, 0.0),
+            rows,
+            v(0, rows),
+            None,
+            v(rows, rows),
+        )
+        .unwrap(),
         // t = x3 * 0.044715 (broadcast row)
-        low.broadcast_binary_tile(OpKind::Mul, 1, rows, v(rows, rows), v(5 * rows, 1), v(2 * rows, rows))
-            .unwrap(),
+        low.broadcast_binary_tile(
+            OpKind::Mul,
+            1,
+            rows,
+            v(rows, rows),
+            v(5 * rows, 1),
+            v(2 * rows, rows),
+        )
+        .unwrap(),
         // t = x + t
-        low.elementwise_tile(OpKind::Add, 0.0, (0.0, 0.0), rows, v(0, rows), Some(v(2 * rows, rows)), v(2 * rows, rows))
-            .unwrap(),
+        low.elementwise_tile(
+            OpKind::Add,
+            0.0,
+            (0.0, 0.0),
+            rows,
+            v(0, rows),
+            Some(v(2 * rows, rows)),
+            v(2 * rows, rows),
+        )
+        .unwrap(),
         // t = t * sqrt(2/pi)
-        low.broadcast_binary_tile(OpKind::Mul, 1, rows, v(2 * rows, rows), v(6 * rows, 1), v(2 * rows, rows))
-            .unwrap(),
+        low.broadcast_binary_tile(
+            OpKind::Mul,
+            1,
+            rows,
+            v(2 * rows, rows),
+            v(6 * rows, 1),
+            v(2 * rows, rows),
+        )
+        .unwrap(),
         // t = tanh(t)
-        low.elementwise_tile(OpKind::Tanh, 0.0, (0.0, 0.0), rows, v(2 * rows, rows), None, v(3 * rows, rows))
-            .unwrap(),
+        low.elementwise_tile(
+            OpKind::Tanh,
+            0.0,
+            (0.0, 0.0),
+            rows,
+            v(2 * rows, rows),
+            None,
+            v(3 * rows, rows),
+        )
+        .unwrap(),
         // t = t + 1
-        low.broadcast_binary_tile(OpKind::Add, 1, rows, v(3 * rows, rows), v(8 * rows, 1), v(3 * rows, rows))
-            .unwrap(),
+        low.broadcast_binary_tile(
+            OpKind::Add,
+            1,
+            rows,
+            v(3 * rows, rows),
+            v(8 * rows, 1),
+            v(3 * rows, rows),
+        )
+        .unwrap(),
         // y = x * t ; y = y * 0.5
-        low.elementwise_tile(OpKind::Mul, 0.0, (0.0, 0.0), rows, v(0, rows), Some(v(3 * rows, rows)), v(4 * rows, rows))
-            .unwrap(),
-        low.broadcast_binary_tile(OpKind::Mul, 1, rows, v(4 * rows, rows), v(7 * rows, 1), v(4 * rows, rows))
-            .unwrap(),
+        low.elementwise_tile(
+            OpKind::Mul,
+            0.0,
+            (0.0, 0.0),
+            rows,
+            v(0, rows),
+            Some(v(3 * rows, rows)),
+            v(4 * rows, rows),
+        )
+        .unwrap(),
+        low.broadcast_binary_tile(
+            OpKind::Mul,
+            1,
+            rows,
+            v(4 * rows, rows),
+            v(7 * rows, 1),
+            v(4 * rows, rows),
+        )
+        .unwrap(),
     ];
     for p in &steps {
         proc.run(p, &mut dram).unwrap();

@@ -22,7 +22,10 @@ fn compiled(kind: OpKind, alpha: f64, clip: (f64, f64), xs_f: &[f32]) -> Vec<f64
     cfg.interim_rows = 128;
     let low = OpLowering::new(LANES, 128);
     let rows = xs_f.len().div_ceil(LANES) as u16;
-    let x_q: Vec<i32> = xs_f.iter().map(|&v| kernels::to_fixed(v as f64, Q)).collect();
+    let x_q: Vec<i32> = xs_f
+        .iter()
+        .map(|&v| kernels::to_fixed(v as f64, Q))
+        .collect();
     let mut proc = TandemProcessor::new(cfg);
     proc.scratchpad_mut(Namespace::Interim1)
         .load_rows(0, &x_q)

@@ -85,14 +85,30 @@ fn compiled_layernorm_chain_matches_f64() {
         low.elementwise_tile(OpKind::Pow, 2.0, (0.0, 0.0), D, centred, None, sq)
             .unwrap(),
         low.reduce_mean_tile(1, D, D as i32, sq, var).unwrap(),
-        low.elementwise_tile(OpKind::Add, 0.0, (0.0, 0.0), 1, var, Some(eps), view(4 * D + 1, 1))
-            .unwrap(),
+        low.elementwise_tile(
+            OpKind::Add,
+            0.0,
+            (0.0, 0.0),
+            1,
+            var,
+            Some(eps),
+            view(4 * D + 1, 1),
+        )
+        .unwrap(),
         low.elementwise_tile(OpKind::Sqrt, 0.0, (0.0, 0.0), 1, var, None, std)
             .unwrap(),
         low.broadcast_binary_tile(OpKind::Div, 1, D, centred, std, norm)
             .unwrap(),
-        low.elementwise_tile(OpKind::Mul, 0.0, (0.0, 0.0), D, norm, Some(gamma), view(3 * D, D))
-            .unwrap(),
+        low.elementwise_tile(
+            OpKind::Mul,
+            0.0,
+            (0.0, 0.0),
+            D,
+            norm,
+            Some(gamma),
+            view(3 * D, D),
+        )
+        .unwrap(),
         low.elementwise_tile(OpKind::Add, 0.0, (0.0, 0.0), D, norm, Some(beta), y)
             .unwrap(),
     ];
@@ -108,8 +124,7 @@ fn compiled_layernorm_chain_matches_f64() {
     for token in 0..LANES {
         let vals: Vec<f64> = (0..D as usize).map(|r| xs[r * LANES + token]).collect();
         let mean_f: f64 = vals.iter().sum::<f64>() / D as f64;
-        let var_f: f64 =
-            vals.iter().map(|v| (v - mean_f).powi(2)).sum::<f64>() / D as f64;
+        let var_f: f64 = vals.iter().map(|v| (v - mean_f).powi(2)).sum::<f64>() / D as f64;
         let std_f = (var_f + eps_f).sqrt();
         for r in 0..D as usize {
             let want = (vals[r] - mean_f) / std_f * gamma_f[r] + beta_f[r];
@@ -156,6 +171,9 @@ fn layernorm_chain_is_shift_invariant() {
     let base = run(0.0);
     let shifted = run(1.5);
     for (i, (a, b)) in base.iter().zip(shifted.iter()).enumerate() {
-        assert!((a - b).abs() <= 1, "centred value differs at {i}: {a} vs {b}");
+        assert!(
+            (a - b).abs() <= 1,
+            "centred value differs at {i}: {a} vs {b}"
+        );
     }
 }

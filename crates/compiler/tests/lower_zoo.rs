@@ -65,11 +65,7 @@ fn lowered_work_scales_with_tensor_size() {
         let y = b.relu(x);
         b.output(y);
         let g = b.finish();
-        let node = g
-            .nodes()
-            .iter()
-            .find(|n| n.kind == OpKind::Relu)
-            .unwrap();
+        let node = g.nodes().iter().find(|n| n.kind == OpKind::Relu).unwrap();
         let compiled = lowering.lower_node(&g, node).unwrap();
         let mut proc = TandemProcessor::with_mode(cfg.clone(), Mode::Performance);
         let mut dram = Dram::new(1024);

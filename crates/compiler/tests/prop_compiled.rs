@@ -1,8 +1,7 @@
-//! Property tests: compiled element-wise programs agree with their scalar
-//! references over random inputs, random shapes, and random operator
+//! Randomized tests: compiled element-wise programs agree with their
+//! scalar references over seeded-random inputs, shapes, and operator
 //! choices.
 
-use proptest::prelude::*;
 use tandem_compiler::{kernels, OpLowering, View};
 use tandem_core::{Dram, TandemConfig, TandemProcessor};
 use tandem_isa::Namespace;
@@ -11,6 +10,38 @@ use tandem_model::OpKind;
 const LANES: usize = 8;
 const INTERIM_ROWS: usize = 128;
 const Q: u32 = 14;
+
+/// xorshift64* — deterministic, dependency-free randomness for tests.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + self.below((hi - lo) as u64) as i32
+    }
+
+    /// Values in roughly ±4.0 at Q14 — the activation magnitudes real
+    /// quantized networks feed these operators.
+    fn activation(&mut self) -> i32 {
+        self.range_i32(-(4 << Q), 4 << Q)
+    }
+}
 
 fn run_op(kind: OpKind, alpha: f64, x: &[i32], x2: Option<&[i32]>) -> Vec<i32> {
     let mut cfg = TandemConfig::tiny();
@@ -70,85 +101,88 @@ fn reference(kind: OpKind, a: i32, b: i32) -> i32 {
     }
 }
 
-fn arb_unary_kind() -> impl Strategy<Value = OpKind> {
-    prop::sample::select(vec![
-        OpKind::Relu,
-        OpKind::Clip,
-        OpKind::Exp,
-        OpKind::Erf,
-        OpKind::Sigmoid,
-        OpKind::Sqrt,
-    ])
-}
+const UNARY_KINDS: [OpKind; 6] = [
+    OpKind::Relu,
+    OpKind::Clip,
+    OpKind::Exp,
+    OpKind::Erf,
+    OpKind::Sigmoid,
+    OpKind::Sqrt,
+];
 
-fn arb_binary_kind() -> impl Strategy<Value = OpKind> {
-    prop::sample::select(vec![
-        OpKind::Add,
-        OpKind::Sub,
-        OpKind::Mul,
-        OpKind::Greater,
-        OpKind::Less,
-        OpKind::Equal,
-    ])
-}
+const BINARY_KINDS: [OpKind; 6] = [
+    OpKind::Add,
+    OpKind::Sub,
+    OpKind::Mul,
+    OpKind::Greater,
+    OpKind::Less,
+    OpKind::Equal,
+];
 
-/// Values in roughly ±4.0 at Q14 — the activation magnitudes real
-/// quantized networks feed these operators.
-fn arb_activation() -> impl Strategy<Value = i32> {
-    -(4 << Q)..(4 << Q)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn compiled_unary_matches_reference(
-        kind in arb_unary_kind(),
-        xs in prop::collection::vec(arb_activation(), 8..96),
-    ) {
+#[test]
+fn compiled_unary_matches_reference() {
+    let mut rng = Rng::new(0x11AA);
+    for _ in 0..48 {
+        let kind = UNARY_KINDS[rng.below(UNARY_KINDS.len() as u64) as usize];
+        let len = 8 + rng.below(88) as usize;
+        let xs: Vec<i32> = (0..len).map(|_| rng.activation()).collect();
         let got = run_op(kind, 0.0, &xs, None);
         for (i, (&x, &g)) in xs.iter().zip(got.iter()).enumerate() {
-            prop_assert_eq!(g, reference(kind, x, 0), "{} at {}", kind, i);
+            assert_eq!(g, reference(kind, x, 0), "{kind} at {i}");
         }
     }
+}
 
-    #[test]
-    fn compiled_binary_matches_reference(
-        kind in arb_binary_kind(),
-        pairs in prop::collection::vec((arb_activation(), arb_activation()), 8..96),
-    ) {
-        let (xs, ys): (Vec<i32>, Vec<i32>) = pairs.into_iter().unzip();
+#[test]
+fn compiled_binary_matches_reference() {
+    let mut rng = Rng::new(0x22BB);
+    for _ in 0..48 {
+        let kind = BINARY_KINDS[rng.below(BINARY_KINDS.len() as u64) as usize];
+        let len = 8 + rng.below(88) as usize;
+        let xs: Vec<i32> = (0..len).map(|_| rng.activation()).collect();
+        let ys: Vec<i32> = (0..len).map(|_| rng.activation()).collect();
         let got = run_op(kind, 0.0, &xs, Some(&ys));
         for i in 0..xs.len() {
-            prop_assert_eq!(got[i], reference(kind, xs[i], ys[i]), "{} at {}", kind, i);
+            assert_eq!(got[i], reference(kind, xs[i], ys[i]), "{kind} at {i}");
         }
     }
+}
 
-    #[test]
-    fn compiled_reciprocal_matches_reference(
-        xs in prop::collection::vec(1..(4 << Q), 8..64),
-    ) {
+#[test]
+fn compiled_reciprocal_matches_reference() {
+    let mut rng = Rng::new(0x33CC);
+    for _ in 0..48 {
+        let len = 8 + rng.below(56) as usize;
+        let xs: Vec<i32> = (0..len).map(|_| rng.range_i32(1, 4 << Q)).collect();
         let got = run_op(OpKind::Reciprocal, 0.0, &xs, None);
         for (i, (&x, &g)) in xs.iter().zip(got.iter()).enumerate() {
-            prop_assert_eq!(g, reference(OpKind::Reciprocal, x, 0), "at {}", i);
+            assert_eq!(g, reference(OpKind::Reciprocal, x, 0), "at {i}");
         }
     }
+}
 
-    /// Sigmoid is bounded, monotone, and symmetric — invariants that must
-    /// survive compilation regardless of input.
-    #[test]
-    fn compiled_sigmoid_invariants(xs in prop::collection::vec(arb_activation(), 8..64)) {
+/// Sigmoid is bounded, monotone, and symmetric — invariants that must
+/// survive compilation regardless of input.
+#[test]
+fn compiled_sigmoid_invariants() {
+    let mut rng = Rng::new(0x44DD);
+    for _ in 0..24 {
+        let len = 8 + rng.below(56) as usize;
+        let xs: Vec<i32> = (0..len).map(|_| rng.activation()).collect();
         let got = run_op(OpKind::Sigmoid, 0.0, &xs, None);
         for &g in &got {
-            prop_assert!((0..=(1 << Q) + 1).contains(&g), "out of [0,1]: {}", g);
+            assert!((0..=(1 << Q) + 1).contains(&g), "out of [0,1]: {g}");
         }
     }
+}
 
-    /// Softmax outputs are a distribution for any input row.
-    #[test]
-    fn compiled_softmax_is_a_distribution(
-        row in prop::collection::vec(arb_activation(), 4..16),
-    ) {
+/// Softmax outputs are a distribution for any input row.
+#[test]
+fn compiled_softmax_is_a_distribution() {
+    let mut rng = Rng::new(0x55EE);
+    for _ in 0..24 {
+        let d = 4 + rng.below(12) as usize;
+        let row: Vec<i32> = (0..d).map(|_| rng.activation()).collect();
         let d = row.len() as u16;
         let mut cfg = TandemConfig::tiny();
         cfg.lanes = LANES;
@@ -160,13 +194,23 @@ proptest! {
             data.extend(std::iter::repeat_n(v, LANES));
         }
         let mut proc = TandemProcessor::new(cfg);
-        proc.scratchpad_mut(Namespace::Interim1).load_rows(0, &data).unwrap();
+        proc.scratchpad_mut(Namespace::Interim1)
+            .load_rows(0, &data)
+            .unwrap();
         let prog = low
             .softmax_tile(
                 1,
                 d,
-                View { ns: Namespace::Interim1, base: 0, rows: d },
-                View { ns: Namespace::Interim1, base: d, rows: d },
+                View {
+                    ns: Namespace::Interim1,
+                    base: 0,
+                    rows: d,
+                },
+                View {
+                    ns: Namespace::Interim1,
+                    base: d,
+                    rows: d,
+                },
             )
             .unwrap();
         let mut dram = Dram::new(64);
@@ -176,8 +220,8 @@ proptest! {
             .dump_rows(d as usize, row.len() * LANES)
             .unwrap();
         let sum: i64 = (0..row.len()).map(|r| out[r * LANES] as i64).sum();
-        prop_assert!(out.iter().all(|&v| v >= 0), "negative probability");
+        assert!(out.iter().all(|&v| v >= 0), "negative probability");
         let err = (sum - (1 << Q)).abs() as f64 / (1 << Q) as f64;
-        prop_assert!(err < 0.05, "sum {} err {}", sum, err);
+        assert!(err < 0.05, "sum {sum} err {err}");
     }
 }

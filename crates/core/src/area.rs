@@ -80,7 +80,11 @@ mod tests {
     #[test]
     fn paper_config_reproduces_figure_26() {
         let area = AreaModel::paper().breakdown(&TandemConfig::paper());
-        assert!((area.total_mm2() - 1.02).abs() < 0.01, "{}", area.total_mm2());
+        assert!(
+            (area.total_mm2() - 1.02).abs() < 0.01,
+            "{}",
+            area.total_mm2()
+        );
         let (alu, interim, permute, _other) = area.fractions();
         assert!((alu - 0.566).abs() < 0.01, "alu {alu}");
         assert!((interim - 0.292).abs() < 0.01, "interim {interim}");

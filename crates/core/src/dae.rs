@@ -384,14 +384,18 @@ mod tests {
         let cfg = cfg();
         let mut dram = Dram::new(1024);
         let mut spad = Scratchpad::new(Namespace::Interim2, 64, cfg.lanes);
-        spad.load_rows(0, &(100..116).collect::<Vec<i32>>()).unwrap();
+        spad.load_rows(0, &(100..116).collect::<Vec<i32>>())
+            .unwrap();
         let mut dae = DataAccessEngine::new();
         dae.config_base_addr(TileDirection::Store, 0, 512);
         dae.config_loop(TileDirection::Store, true, false, 0, 2);
         dae.config_loop(TileDirection::Store, true, true, 0, 8);
         dae.start(TileDirection::Store, &cfg, &mut dram, &mut spad, true)
             .unwrap();
-        assert_eq!(dram.dump(512, 16).unwrap(), (100..116).collect::<Vec<i32>>());
+        assert_eq!(
+            dram.dump(512, 16).unwrap(),
+            (100..116).collect::<Vec<i32>>()
+        );
     }
 
     #[test]

@@ -191,7 +191,7 @@ mod tests {
         let (words, cycles) = pe.start(true, lanes, &mut sp, true).unwrap();
         assert_eq!(words, 32);
         assert_eq!(cycles, 8); // 4 rows × 2 for cross-lane
-        // dst[c][r] = src[r][c] with dst as 8×4
+                               // dst[c][r] = src[r][c] with dst as 8×4
         for r in 0..4 {
             for c in 0..8 {
                 let flat = (c * 4 + r) as i64;
@@ -236,6 +236,9 @@ mod tests {
         let (words, cycles) = pe.start(false, lanes, &mut sp, true).unwrap();
         assert_eq!(words, 16);
         assert_eq!(cycles, 2);
-        assert_eq!(sp[0].dump_rows(0, 16).unwrap(), (0..16).collect::<Vec<i32>>());
+        assert_eq!(
+            sp[0].dump_rows(0, 16).unwrap(),
+            (0..16).collect::<Vec<i32>>()
+        );
     }
 }

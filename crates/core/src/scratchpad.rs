@@ -151,10 +151,7 @@ mod tests {
         let mut sp = Scratchpad::new(Namespace::Interim1, 4, 8);
         assert!(sp.row(0).is_ok());
         assert!(sp.row(3).is_ok());
-        assert!(matches!(
-            sp.row(4),
-            Err(SimError::AddressOutOfRange { .. })
-        ));
+        assert!(matches!(sp.row(4), Err(SimError::AddressOutOfRange { .. })));
         assert!(sp.row(-1).is_err());
         sp.row_mut(2).unwrap()[5] = 42;
         assert_eq!(sp.element(2, 5).unwrap(), 42);

@@ -18,7 +18,8 @@ fn base_address_spans_32_bits() {
     let (cfg, mut dram, mut spad) = setup();
     // base = 0x0013_0008 = 1_245_192 words — needs both halves.
     let base: i64 = 0x13_0008;
-    dram.load(base as usize, &(0..8).collect::<Vec<i32>>()).unwrap();
+    dram.load(base as usize, &(0..8).collect::<Vec<i32>>())
+        .unwrap();
     let mut dae = DataAccessEngine::new();
     dae.config_base_addr(TileDirection::Load, 0, 0x0008);
     dae.config_base_addr(TileDirection::Load, 1, 0x0013);

@@ -63,9 +63,7 @@ pub fn conv2d_i8(
                                 continue;
                             }
                             let iv = input[ic * h * w + iy as usize * w + ix as usize] as i32;
-                            let wv = weight
-                                [((oc * in_c + ic) * kernel + ky) * kernel + kx]
-                                as i32;
+                            let wv = weight[((oc * in_c + ic) * kernel + ky) * kernel + kx] as i32;
                             acc += iv * wv;
                         }
                     }
@@ -89,8 +87,20 @@ pub fn requantize(acc: &[i32], shift: u32) -> Vec<i8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+
+    /// xorshift64* — deterministic, dependency-free randomness for tests.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next_i8(&mut self) -> i8 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D) as i8
+        }
+    }
 
     #[test]
     fn matmul_identity() {
@@ -103,14 +113,16 @@ mod tests {
 
     #[test]
     fn matmul_matches_naive_on_random_inputs() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng(7);
         let (m, k, n) = (5, 8, 4);
-        let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-128i32..128) as i8).collect();
-        let b: Vec<i8> = (0..k * n).map(|_| rng.gen_range(-128i32..128) as i8).collect();
+        let a: Vec<i8> = (0..m * k).map(|_| rng.next_i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
         let c = matmul_i8(&a, &b, m, k, n);
         for i in 0..m {
             for j in 0..n {
-                let expect: i32 = (0..k).map(|l| a[i * k + l] as i32 * b[l * n + j] as i32).sum();
+                let expect: i32 = (0..k)
+                    .map(|l| a[i * k + l] as i32 * b[l * n + j] as i32)
+                    .sum();
                 assert_eq!(c[i * n + j], expect);
             }
         }
@@ -136,6 +148,9 @@ mod tests {
 
     #[test]
     fn requantize_saturates() {
-        assert_eq!(requantize(&[1 << 14, -(1 << 14), 256], 4), vec![127, -128, 16]);
+        assert_eq!(
+            requantize(&[1 << 14, -(1 << 14), 256], 4),
+            vec![127, -128, 16]
+        );
     }
 }

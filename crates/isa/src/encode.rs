@@ -65,9 +65,7 @@ impl Instruction {
                 IterConfigFunc::ImmBuf as u8,
                 config_rest(1, index, value),
             ),
-            Instruction::DatatypeConfig { target } => {
-                word(Opcode::DatatypeConfig, target as u8, 0)
-            }
+            Instruction::DatatypeConfig { target } => word(Opcode::DatatypeConfig, target as u8, 0),
             Instruction::Alu {
                 func,
                 dst,
@@ -132,11 +130,9 @@ impl Instruction {
                 PermuteFunc::SetLoopStride as u8,
                 config_rest(is_dst as u8, dim, stride as u16),
             ),
-            Instruction::PermuteStart { cross_lane } => word(
-                Opcode::Permute,
-                PermuteFunc::Start as u8,
-                cross_lane as u32,
-            ),
+            Instruction::PermuteStart { cross_lane } => {
+                word(Opcode::Permute, PermuteFunc::Start as u8, cross_lane as u32)
+            }
             Instruction::DatatypeCast { target, dst, src1 } => word(
                 Opcode::DatatypeCast,
                 target as u8,

@@ -54,13 +54,13 @@ mod parse;
 mod program;
 
 pub use error::DecodeError;
-pub use parse::ParseError;
 pub use instr::{Instruction, LoopBindings, SyncInfo};
 pub use opcode::{
     AluFunc, CalculusFunc, CastTarget, ComparisonFunc, IterConfigFunc, LoopFunc, Opcode,
     PermuteFunc, SyncEdge, SyncKind, SyncUnit, TileBuffer, TileDirection, TileFunc,
 };
 pub use operand::{Namespace, Operand};
+pub use parse::ParseError;
 pub use program::Program;
 
 /// Number of bits in an instruction word.

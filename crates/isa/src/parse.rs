@@ -66,7 +66,9 @@ fn parse_namespace(s: &str) -> Result<Namespace, ParseError> {
 
 /// Parses `NS[idx]`.
 fn parse_operand(s: &str) -> Result<Operand, ParseError> {
-    let open = s.find('[').ok_or_else(|| err(format!("expected `ns[idx]`, got `{s}`")))?;
+    let open = s
+        .find('[')
+        .ok_or_else(|| err(format!("expected `ns[idx]`, got `{s}`")))?;
     let close = s
         .find(']')
         .ok_or_else(|| err(format!("missing `]` in `{s}`")))?;
@@ -81,8 +83,7 @@ fn parse_operand(s: &str) -> Result<Operand, ParseError> {
 }
 
 fn parse_int<T: FromStr>(s: &str, what: &str) -> Result<T, ParseError> {
-    s.parse()
-        .map_err(|_| err(format!("bad {what} `{s}`")))
+    s.parse().map_err(|_| err(format!("bad {what} `{s}`")))
 }
 
 fn parse_hex_u16(s: &str) -> Result<u16, ParseError> {
@@ -127,9 +128,7 @@ impl FromStr for Instruction {
     #[allow(clippy::too_many_lines)]
     fn from_str(line: &str) -> Result<Self, ParseError> {
         let line = line.trim();
-        let (mnemonic, body) = line
-            .split_once(char::is_whitespace)
-            .unwrap_or((line, ""));
+        let (mnemonic, body) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
         let a = args(body);
         let need = |n: usize| -> Result<(), ParseError> {
             if a.len() == n {

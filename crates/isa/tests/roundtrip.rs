@@ -1,208 +1,284 @@
-//! Property tests: every representable instruction survives an
+//! Randomized round-trip tests: every representable instruction survives an
 //! encode → decode round trip, and every decodable word re-encodes to
 //! itself (up to don't-care bits, which our encoder always emits as zero).
+//!
+//! The generators are driven by a seeded xorshift PRNG so the suite is
+//! deterministic and needs no external crates (this repo builds offline).
 
-use proptest::prelude::*;
 use tandem_isa::*;
 
-fn arb_namespace() -> impl Strategy<Value = Namespace> {
-    prop_oneof![
-        Just(Namespace::Interim1),
-        Just(Namespace::Interim2),
-        Just(Namespace::Imm),
-        Just(Namespace::Obuf),
-    ]
+/// xorshift64* — deterministic, dependency-free randomness for tests.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn u8_below(&mut self, n: u8) -> u8 {
+        self.below(n as u64) as u8
+    }
+
+    fn u16(&mut self) -> u16 {
+        self.next_u64() as u16
+    }
+
+    fn i16(&mut self) -> i16 {
+        self.next_u64() as i16
+    }
+
+    fn u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
 }
 
-fn arb_operand() -> impl Strategy<Value = Operand> {
-    (arb_namespace(), 0u8..32).prop_map(|(ns, idx)| Operand::new(ns, idx))
+fn arb_namespace(rng: &mut Rng) -> Namespace {
+    Namespace::ALL[rng.below(4) as usize]
 }
 
-fn arb_operand_opt() -> impl Strategy<Value = Option<Operand>> {
-    prop_oneof![Just(None), arb_operand().prop_map(Some)]
+fn arb_operand(rng: &mut Rng) -> Operand {
+    Operand::new(arb_namespace(rng), rng.u8_below(32))
 }
 
-fn arb_alu_func() -> impl Strategy<Value = AluFunc> {
-    prop::sample::select(AluFunc::ALL.to_vec())
+fn arb_operand_opt(rng: &mut Rng) -> Option<Operand> {
+    if rng.bool() {
+        Some(arb_operand(rng))
+    } else {
+        None
+    }
 }
 
-fn arb_cast_target() -> impl Strategy<Value = CastTarget> {
-    prop_oneof![
-        Just(CastTarget::Fxp32),
-        Just(CastTarget::Fxp16),
-        Just(CastTarget::Fxp8),
-        Just(CastTarget::Fxp4),
-    ]
+fn arb_cast_target(rng: &mut Rng) -> CastTarget {
+    [
+        CastTarget::Fxp32,
+        CastTarget::Fxp16,
+        CastTarget::Fxp8,
+        CastTarget::Fxp4,
+    ][rng.below(4) as usize]
 }
 
-fn arb_tile_func() -> impl Strategy<Value = TileFunc> {
-    prop_oneof![
-        Just(TileFunc::ConfigBaseAddr),
-        Just(TileFunc::ConfigBaseLoopIter),
-        Just(TileFunc::ConfigBaseLoopStride),
-        Just(TileFunc::ConfigTileLoopIter),
-        Just(TileFunc::ConfigTileLoopStride),
-        Just(TileFunc::Start),
-    ]
+fn arb_tile_func(rng: &mut Rng) -> TileFunc {
+    [
+        TileFunc::ConfigBaseAddr,
+        TileFunc::ConfigBaseLoopIter,
+        TileFunc::ConfigBaseLoopStride,
+        TileFunc::ConfigTileLoopIter,
+        TileFunc::ConfigTileLoopStride,
+        TileFunc::Start,
+    ][rng.below(6) as usize]
 }
 
-fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        (
-            prop::bool::ANY,
-            prop::bool::ANY,
-            prop::bool::ANY,
-            0u8..32
-        )
-            .prop_map(|(simd, end, buf, group)| {
-                Instruction::sync(
-                    if simd { SyncUnit::Simd } else { SyncUnit::Gemm },
-                    if end { SyncEdge::End } else { SyncEdge::Start },
-                    if buf { SyncKind::Buf } else { SyncKind::Exec },
-                    group,
-                )
-            }),
-        (arb_namespace(), 0u8..32, any::<u16>())
-            .prop_map(|(ns, index, addr)| Instruction::IterConfigBase { ns, index, addr }),
-        (arb_namespace(), 0u8..32, any::<i16>())
-            .prop_map(|(ns, index, stride)| Instruction::IterConfigStride { ns, index, stride }),
-        (0u8..32, any::<i16>()).prop_map(|(index, value)| Instruction::ImmWriteLow {
-            index,
-            value
-        }),
-        (0u8..32, any::<u16>()).prop_map(|(index, value)| Instruction::ImmWriteHigh {
-            index,
-            value
-        }),
-        arb_cast_target().prop_map(|target| Instruction::DatatypeConfig { target }),
-        (arb_alu_func(), arb_operand(), arb_operand(), arb_operand()).prop_map(
-            |(func, dst, src1, src2)| {
-                // src2 is architecturally a don't-care for unary ALU ops;
-                // canonicalize it the way the encoder does.
-                let src2 = if matches!(func, AluFunc::Not | AluFunc::Move) {
-                    src1
-                } else {
-                    src2
-                };
-                Instruction::alu(func, dst, src1, src2)
-            }
+fn arb_instruction(rng: &mut Rng) -> Instruction {
+    match rng.below(16) {
+        0 => Instruction::sync(
+            if rng.bool() {
+                SyncUnit::Simd
+            } else {
+                SyncUnit::Gemm
+            },
+            if rng.bool() {
+                SyncEdge::End
+            } else {
+                SyncEdge::Start
+            },
+            if rng.bool() {
+                SyncKind::Buf
+            } else {
+                SyncKind::Exec
+            },
+            rng.u8_below(32),
         ),
-        (
-            prop_oneof![
-                Just(CalculusFunc::Abs),
-                Just(CalculusFunc::Sign),
-                Just(CalculusFunc::Neg)
-            ],
-            arb_operand(),
-            arb_operand()
-        )
-            .prop_map(|(func, dst, src1)| Instruction::calculus(func, dst, src1)),
-        (
-            prop_oneof![
-                Just(ComparisonFunc::Eq),
-                Just(ComparisonFunc::Ne),
-                Just(ComparisonFunc::Gt),
-                Just(ComparisonFunc::Ge),
-                Just(ComparisonFunc::Lt),
-                Just(ComparisonFunc::Le)
-            ],
-            arb_operand(),
-            arb_operand(),
-            arb_operand()
-        )
-            .prop_map(|(func, dst, src1, src2)| Instruction::comparison(func, dst, src1, src2)),
-        (0u8..8, any::<u16>())
-            .prop_map(|(loop_id, count)| Instruction::LoopSetIter { loop_id, count }),
-        (0u8..8, any::<u16>())
-            .prop_map(|(loop_id, count)| Instruction::LoopSetNumInst { loop_id, count }),
-        (arb_operand_opt(), arb_operand_opt(), arb_operand_opt()).prop_map(
-            |(dst, src1, src2)| Instruction::LoopSetIndex {
-                bindings: LoopBindings { dst, src1, src2 }
+        1 => Instruction::IterConfigBase {
+            ns: arb_namespace(rng),
+            index: rng.u8_below(32),
+            addr: rng.u16(),
+        },
+        2 => Instruction::IterConfigStride {
+            ns: arb_namespace(rng),
+            index: rng.u8_below(32),
+            stride: rng.i16(),
+        },
+        3 => Instruction::ImmWriteLow {
+            index: rng.u8_below(32),
+            value: rng.i16(),
+        },
+        4 => Instruction::ImmWriteHigh {
+            index: rng.u8_below(32),
+            value: rng.u16(),
+        },
+        5 => Instruction::DatatypeConfig {
+            target: arb_cast_target(rng),
+        },
+        6 => {
+            let func = AluFunc::ALL[rng.below(AluFunc::ALL.len() as u64) as usize];
+            let dst = arb_operand(rng);
+            let src1 = arb_operand(rng);
+            // src2 is architecturally a don't-care for unary ALU ops;
+            // canonicalize it the way the encoder does.
+            let src2 = if matches!(func, AluFunc::Not | AluFunc::Move) {
+                src1
+            } else {
+                arb_operand(rng)
+            };
+            Instruction::alu(func, dst, src1, src2)
+        }
+        7 => {
+            let func =
+                [CalculusFunc::Abs, CalculusFunc::Sign, CalculusFunc::Neg][rng.below(3) as usize];
+            Instruction::calculus(func, arb_operand(rng), arb_operand(rng))
+        }
+        8 => {
+            let func = [
+                ComparisonFunc::Eq,
+                ComparisonFunc::Ne,
+                ComparisonFunc::Gt,
+                ComparisonFunc::Ge,
+                ComparisonFunc::Lt,
+                ComparisonFunc::Le,
+            ][rng.below(6) as usize];
+            Instruction::comparison(func, arb_operand(rng), arb_operand(rng), arb_operand(rng))
+        }
+        9 => Instruction::LoopSetIter {
+            loop_id: rng.u8_below(8),
+            count: rng.u16(),
+        },
+        10 => Instruction::LoopSetNumInst {
+            loop_id: rng.u8_below(8),
+            count: rng.u16(),
+        },
+        11 => Instruction::LoopSetIndex {
+            bindings: LoopBindings {
+                dst: arb_operand_opt(rng),
+                src1: arb_operand_opt(rng),
+                src2: arb_operand_opt(rng),
+            },
+        },
+        12 => Instruction::PermuteSetBase {
+            is_dst: rng.bool(),
+            ns: arb_namespace(rng),
+            addr: rng.u16(),
+        },
+        13 => {
+            if rng.bool() {
+                Instruction::PermuteSetIter {
+                    dim: rng.u8_below(32),
+                    count: rng.u16(),
+                }
+            } else {
+                Instruction::PermuteSetStride {
+                    is_dst: rng.bool(),
+                    dim: rng.u8_below(32),
+                    stride: rng.i16(),
+                }
             }
-        ),
-        (prop::bool::ANY, arb_namespace(), any::<u16>())
-            .prop_map(|(is_dst, ns, addr)| Instruction::PermuteSetBase { is_dst, ns, addr }),
-        (0u8..32, any::<u16>()).prop_map(|(dim, count)| Instruction::PermuteSetIter {
-            dim,
-            count
-        }),
-        (prop::bool::ANY, 0u8..32, any::<i16>()).prop_map(|(is_dst, dim, stride)| {
-            Instruction::PermuteSetStride {
-                is_dst,
-                dim,
-                stride,
+        }
+        14 => Instruction::PermuteStart {
+            cross_lane: rng.bool(),
+        },
+        _ => {
+            if rng.bool() {
+                Instruction::DatatypeCast {
+                    target: arb_cast_target(rng),
+                    dst: arb_operand(rng),
+                    src1: arb_operand(rng),
+                }
+            } else {
+                Instruction::TileLdSt {
+                    dir: if rng.bool() {
+                        TileDirection::Store
+                    } else {
+                        TileDirection::Load
+                    },
+                    func: arb_tile_func(rng),
+                    buf: if rng.bool() {
+                        TileBuffer::Interim2
+                    } else {
+                        TileBuffer::Interim1
+                    },
+                    loop_idx: rng.u8_below(32),
+                    imm: rng.u16(),
+                }
             }
-        }),
-        prop::bool::ANY.prop_map(|cross_lane| Instruction::PermuteStart { cross_lane }),
-        (arb_cast_target(), arb_operand(), arb_operand()).prop_map(|(target, dst, src1)| {
-            Instruction::DatatypeCast { target, dst, src1 }
-        }),
-        (
-            prop::bool::ANY,
-            arb_tile_func(),
-            prop::bool::ANY,
-            0u8..32,
-            any::<u16>()
-        )
-            .prop_map(|(store, func, buf2, loop_idx, imm)| Instruction::TileLdSt {
-                dir: if store {
-                    TileDirection::Store
-                } else {
-                    TileDirection::Load
-                },
-                func,
-                buf: if buf2 {
-                    TileBuffer::Interim2
-                } else {
-                    TileBuffer::Interim1
-                },
-                loop_idx,
-                imm,
-            }),
-    ]
+        }
+    }
 }
 
-proptest! {
-    /// Assembly text printed by `Display` must parse back to the same
-    /// instruction (immediate-materialization is the one intentionally
-    /// lossy direction and uses dedicated mnemonics, so it round-trips
-    /// too).
-    #[test]
-    fn display_parse_roundtrip(instr in arb_instruction()) {
-        use std::str::FromStr;
+/// Assembly text printed by `Display` must parse back to the same
+/// instruction (immediate-materialization is the one intentionally lossy
+/// direction and uses dedicated mnemonics, so it round-trips too).
+#[test]
+fn display_parse_roundtrip() {
+    use std::str::FromStr;
+    let mut rng = Rng::new(0xDEC0DE);
+    for _ in 0..4000 {
+        let instr = arb_instruction(&mut rng);
         let text = instr.to_string();
         let back = Instruction::from_str(&text)
             .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
-        prop_assert_eq!(back, instr, "text was `{}`", text);
+        assert_eq!(back, instr, "text was `{text}`");
     }
+}
 
-    #[test]
-    fn program_text_roundtrip(instrs in prop::collection::vec(arb_instruction(), 0..20)) {
-        let program: Program = instrs.into_iter().collect();
+#[test]
+fn program_text_roundtrip() {
+    let mut rng = Rng::new(0x50A11);
+    for _ in 0..400 {
+        let len = rng.below(20) as usize;
+        let program: Program = (0..len).map(|_| arb_instruction(&mut rng)).collect();
         let text = program.to_string();
         let back = Program::parse(&text).expect("listing parses");
-        prop_assert_eq!(back, program);
+        assert_eq!(back, program);
     }
+}
 
-    #[test]
-    fn encode_decode_roundtrip(instr in arb_instruction()) {
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = Rng::new(0xE2C0DE);
+    for _ in 0..4000 {
+        let instr = arb_instruction(&mut rng);
         let word = instr.encode();
         let back = Instruction::decode(word).expect("decode");
-        prop_assert_eq!(back, instr);
+        assert_eq!(back, instr);
     }
+}
 
-    #[test]
-    fn decode_reencode_fixpoint(word in any::<u32>()) {
-        // Any word that decodes must re-encode to a word that decodes to the
-        // same instruction (don't-care bits normalize to zero).
+#[test]
+fn decode_reencode_fixpoint() {
+    // Any word that decodes must re-encode to a word that decodes to the
+    // same instruction (don't-care bits normalize to zero).
+    let mut rng = Rng::new(0xF1F0);
+    for _ in 0..40_000 {
+        let word = rng.u32();
         if let Ok(instr) = Instruction::decode(word) {
             let normalized = instr.encode();
-            prop_assert_eq!(Instruction::decode(normalized).unwrap(), instr);
+            assert_eq!(Instruction::decode(normalized).unwrap(), instr);
         }
     }
+}
 
-    #[test]
-    fn imm_write_materializes_value(value in any::<i32>(), index in 0u8..32) {
+#[test]
+fn imm_write_materializes_value() {
+    let mut rng = Rng::new(0x1111);
+    for _ in 0..4000 {
+        let value = rng.u32() as i32;
+        let index = rng.u8_below(32);
         // Reconstruct the 32-bit value the simulator would assemble.
         let seq = Instruction::imm_write(index, value);
         let mut slot: i32 = 0;
@@ -215,8 +291,8 @@ proptest! {
                 _ => unreachable!(),
             }
         }
-        prop_assert_eq!(slot, value);
-        prop_assert!(seq.len() <= 2);
+        assert_eq!(slot, value);
+        assert!(seq.len() <= 2);
     }
 }
 

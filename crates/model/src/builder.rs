@@ -90,7 +90,8 @@ impl GraphBuilder {
         let out_name = self.fresh_name(&kind.onnx_name().to_lowercase());
         let out = self.graph.add_tensor(out_name, out_shape, false);
         let node_name = self.fresh_name(&format!("n_{}", kind.onnx_name().to_lowercase()));
-        self.graph.add_node(kind, node_name, inputs, vec![out], attrs);
+        self.graph
+            .add_node(kind, node_name, inputs, vec![out], attrs);
         out
     }
 
@@ -216,7 +217,12 @@ impl GraphBuilder {
         let rank = dims.len();
         dims[rank - 2] = sa.dim(-2);
         dims[rank - 1] = sb.dim(-1);
-        self.emit(OpKind::MatMul, vec![a, b], Shape::from(dims), OpAttrs::default())
+        self.emit(
+            OpKind::MatMul,
+            vec![a, b],
+            Shape::from(dims),
+            OpAttrs::default(),
+        )
     }
 
     /// Projection by a weight matrix: `x · W` with `W: [in, out]`
@@ -569,7 +575,12 @@ impl GraphBuilder {
         assert!(start + len <= s.dims()[ax]);
         let mut dims = s.dims().to_vec();
         dims[ax] = len;
-        self.emit(OpKind::Slice, vec![x], Shape::from(dims), OpAttrs::axis(axis))
+        self.emit(
+            OpKind::Slice,
+            vec![x],
+            Shape::from(dims),
+            OpAttrs::axis(axis),
+        )
     }
 
     // ----- type conversion -----

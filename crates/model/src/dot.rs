@@ -33,12 +33,7 @@ impl Graph {
         for node in self.nodes() {
             for &input in &node.inputs {
                 if let Some(producer) = self.producer(input) {
-                    let _ = writeln!(
-                        out,
-                        "  n{} -> n{};",
-                        producer.id.index(),
-                        node.id.index()
-                    );
+                    let _ = writeln!(out, "  n{} -> n{};", producer.id.index(), node.id.index());
                 }
             }
         }
@@ -80,7 +75,11 @@ mod tests {
         for bench in crate::zoo::Benchmark::ALL {
             let g = bench.graph();
             let dot = g.to_dot();
-            assert!(dot.matches(" -> ").count() >= g.nodes().len() / 2, "{}", g.name);
+            assert!(
+                dot.matches(" -> ").count() >= g.nodes().len() / 2,
+                "{}",
+                g.name
+            );
         }
     }
 }

@@ -218,17 +218,60 @@ impl Graph {
     /// The node producing `tensor`, if any (weights and graph inputs have
     /// no producer).
     pub fn producer(&self, tensor: TensorId) -> Option<&Node> {
-        self.nodes
-            .iter()
-            .find(|n| n.outputs.contains(&tensor))
+        self.nodes.iter().find(|n| n.outputs.contains(&tensor))
     }
 
     /// The nodes consuming `tensor`.
+    ///
+    /// Scans every node — when querying many tensors, build a
+    /// [`Graph::consumer_index`] once instead.
     pub fn consumers(&self, tensor: TensorId) -> Vec<&Node> {
         self.nodes
             .iter()
             .filter(|n| n.inputs.contains(&tensor))
             .collect()
+    }
+
+    /// Consumers of every tensor at once, indexed by [`TensorId::index`]:
+    /// one O(edges) pass instead of an O(nodes) scan per tensor.
+    pub fn consumer_index(&self) -> Vec<Vec<NodeId>> {
+        let mut index = vec![Vec::new(); self.tensors.len()];
+        for node in &self.nodes {
+            for input in &node.inputs {
+                index[input.index()].push(node.id);
+            }
+        }
+        index
+    }
+
+    /// A structural digest of the graph: two graphs with equal hashes
+    /// compute the same thing (same tensors, operators, attributes, and
+    /// topology), regardless of display names or release year. Stable
+    /// within a process run — used as a memoization key by the NPU
+    /// executor's graph-level report cache.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.tensors.len().hash(&mut h);
+        for t in &self.tensors {
+            t.shape.hash(&mut h);
+            t.is_weight.hash(&mut h);
+        }
+        self.nodes.len().hash(&mut h);
+        for n in &self.nodes {
+            n.kind.hash(&mut h);
+            n.inputs.hash(&mut h);
+            n.outputs.hash(&mut h);
+            let a = &n.attrs;
+            (a.kernel, a.stride, a.padding, a.groups, a.axis).hash(&mut h);
+            a.perm.hash(&mut h);
+            a.alpha.to_bits().hash(&mut h);
+            a.clip_min.to_bits().hash(&mut h);
+            a.clip_max.to_bits().hash(&mut h);
+        }
+        self.inputs.hash(&mut h);
+        self.outputs.hash(&mut h);
+        h.finish()
     }
 
     /// Aggregate statistics used by the Figure 1/2 characterization and the
@@ -289,7 +332,12 @@ impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "graph {} ({} nodes)", self.name, self.nodes.len())?;
         for node in &self.nodes {
-            write!(f, "  {} = {}(", self.tensor(node.outputs[0]).name, node.kind)?;
+            write!(
+                f,
+                "  {} = {}(",
+                self.tensor(node.outputs[0]).name,
+                node.kind
+            )?;
             for (i, &input) in node.inputs.iter().enumerate() {
                 if i > 0 {
                     write!(f, ", ")?;

@@ -316,8 +316,7 @@ fn eval(
             } else {
                 node.attrs.axis as usize
             };
-            let parts: Vec<&TensorData> =
-                node.inputs.iter().map(|&id| arg(env, id)).collect();
+            let parts: Vec<&TensorData> = node.inputs.iter().map(|&id| arg(env, id)).collect();
             let outer: usize = out_shape.dims()[..ax].iter().product();
             let mut data = Vec::with_capacity(out_shape.elements());
             for o in 0..outer {
@@ -467,8 +466,7 @@ fn pool(x: &TensorData, out_shape: &Shape, node: &Node) -> TensorData {
                         }
                     }
                 }
-                data[ch * oh * ow + oy * ow + ox] =
-                    if max { acc } else { acc / (k * k) as f32 };
+                data[ch * oh * ow + oy * ow + ox] = if max { acc } else { acc / (k * k) as f32 };
             }
         }
     }

@@ -43,8 +43,8 @@ pub fn primitive_ops_per_element(kind: OpKind) -> f64 {
         Erf => 14.0,             // I-BERT i-erf polynomial + sign handling
         Sigmoid => 14.0,         // i-exp + reciprocal path
         Tanh => 15.0,
-        Gelu => 18.0,            // i-erf expansion + gating multiplies
-        Softmax => 20.0,         // max pass + (sub, i-exp) + sum + integer div
+        Gelu => 18.0,             // i-erf expansion + gating multiplies
+        Softmax => 20.0,          // max pass + (sub, i-exp) + sum + integer div
         MaxPool => 9.0,           // 3×3 window of compares
         AveragePool => 10.0,      // 3×3 adds + scale
         GlobalAveragePool => 1.0, // one add per input element (streaming)
@@ -65,10 +65,10 @@ fn bytes_per_output_element(kind: OpKind) -> f64 {
         // binary element-wise: 2 reads + 1 write
         Add | Sub | Mul | Div | Greater | Equal | Less | Pow | Where => 12.0,
         // unary element-wise: 1 read + 1 write
-        Exp | Sqrt | Erf | Floor | Ceil | Reciprocal | Relu | LeakyRelu | Clip | Tanh
-        | Sigmoid | Gelu | Cast | BitShift => 8.0,
+        Exp | Sqrt | Erf | Floor | Ceil | Reciprocal | Relu | LeakyRelu | Clip | Tanh | Sigmoid
+        | Gelu | Cast | BitShift => 8.0,
         // reductions: dominated by the input stream
-        Softmax => 8.0,             // read + write same size (plus small stats)
+        Softmax => 8.0, // read + write same size (plus small stats)
         MaxPool | AveragePool => 8.0 * 4.0, // stride-1 3×3 windows reread ~4× per output
         GlobalAveragePool | ReduceMean => 4.0 * 49.0, // e.g. 7×7 inputs per output
         DepthwiseConv => 8.0 * 4.0,

@@ -50,7 +50,8 @@ impl NodeCost {
         };
         match node.kind {
             OpKind::Conv => {
-                let cin_per_group = graph.tensor(node.inputs[0]).shape.dim(1) / node.attrs.groups.max(1);
+                let cin_per_group =
+                    graph.tensor(node.inputs[0]).shape.dim(1) / node.attrs.groups.max(1);
                 let k = node.attrs.kernel as u64;
                 cost.macs = out_elems * k * k * cin_per_group as u64;
             }

@@ -4,8 +4,8 @@
 
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
-use crate::op::Padding;
 use crate::graph::TensorId;
+use crate::op::Padding;
 
 fn conv_relu(b: &mut GraphBuilder, x: TensorId, channels: usize) -> TensorId {
     let c = b.conv(x, channels, 3, 1, Padding::Same);

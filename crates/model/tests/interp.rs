@@ -81,8 +81,7 @@ fn layernorm_decomposition_equals_direct_layernorm() {
     // recover the generated eps/gamma/beta from the env; layer_norm
     // allocates weights in order: Pow-exponent placeholder (unused by the
     // interpreter — it reads attrs.alpha), eps scalar, gamma[8], beta[8].
-    let weights: Vec<&tandem_model::Tensor> =
-        g.tensors().iter().filter(|t| t.is_weight).collect();
+    let weights: Vec<&tandem_model::Tensor> = g.tensors().iter().filter(|t| t.is_weight).collect();
     let eps = env[&weights[1].id].data[0];
     let gamma = &env[&weights[2].id].data;
     let beta = &env[&weights[3].id].data;
@@ -165,18 +164,19 @@ fn gemm_matmul_agree_on_2d() {
     let data = vec![1.0, 2.0, 3.0, -1.0, 0.5, 2.0];
     let env = run(
         &g,
-        &inputs_of(vec![(x, TensorData::new(Shape::from([2, 3]), data.clone()))]),
+        &inputs_of(vec![(
+            x,
+            TensorData::new(Shape::from([2, 3]), data.clone()),
+        )]),
     )
     .unwrap();
-    let weights: Vec<&tandem_model::Tensor> =
-        g.tensors().iter().filter(|t| t.is_weight).collect();
+    let weights: Vec<&tandem_model::Tensor> = g.tensors().iter().filter(|t| t.is_weight).collect();
     let w = &env[&weights[0].id].data; // [4,3]
     let bias = &env[&weights[1].id].data;
     let out = &env[&g.outputs()[0]];
     for i in 0..2 {
         for j in 0..4 {
-            let want: f32 =
-                bias[j] + (0..3).map(|l| data[i * 3 + l] * w[j * 3 + l]).sum::<f32>();
+            let want: f32 = bias[j] + (0..3).map(|l| data[i * 3 + l] * w[j * 3 + l]).sum::<f32>();
             assert!((out.data[i * 4 + j] - want).abs() < 1e-5);
         }
     }
@@ -206,7 +206,10 @@ fn small_cnn_runs_end_to_end_with_generated_weights() {
     .unwrap();
     let out = &env[&g.outputs()[0]];
     let sum: f32 = out.data.iter().sum();
-    assert!((sum - 1.0).abs() < 1e-5, "softmax output sums to 1, got {sum}");
+    assert!(
+        (sum - 1.0).abs() < 1e-5,
+        "softmax output sums to 1, got {sum}"
+    );
     assert!(out.data.iter().all(|v| v.is_finite() && *v >= 0.0));
 }
 

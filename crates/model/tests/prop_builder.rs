@@ -1,13 +1,42 @@
-//! Property tests over randomly constructed graphs: the builder's shape
+//! Randomized tests over constructed graphs: the builder's shape
 //! inference, validation, and statistics must be self-consistent for any
-//! MLP/CNN the strategy produces.
+//! MLP/CNN the seeded generator produces.
 
-use proptest::prelude::*;
 use tandem_model::{GraphBuilder, OpClass, OpKind, Padding, Shape};
+
+/// xorshift64* — deterministic, dependency-free randomness for tests.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Layer {
-    Conv { channels: usize, kernel: usize, stride: usize },
+    Conv {
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+    },
     Relu,
     Clip,
     Sigmoid,
@@ -16,30 +45,29 @@ enum Layer {
     Dw,      // depthwise 3×3/1
 }
 
-fn arb_layer() -> impl Strategy<Value = Layer> {
-    prop_oneof![
-        (1usize..=16, prop::sample::select(vec![1usize, 3]), 1usize..=2)
-            .prop_map(|(c, k, s)| Layer::Conv {
-                channels: c * 4,
-                kernel: k,
-                stride: s
-            }),
-        Just(Layer::Relu),
-        Just(Layer::Clip),
-        Just(Layer::Sigmoid),
-        Just(Layer::Add),
-        Just(Layer::MaxPool),
-        Just(Layer::Dw),
-    ]
+fn arb_layer(rng: &mut Rng) -> Layer {
+    match rng.below(7) {
+        0 => Layer::Conv {
+            channels: rng.range(1, 17) as usize * 4,
+            kernel: [1usize, 3][rng.below(2) as usize],
+            stride: rng.range(1, 3) as usize,
+        },
+        1 => Layer::Relu,
+        2 => Layer::Clip,
+        3 => Layer::Sigmoid,
+        4 => Layer::Add,
+        5 => Layer::MaxPool,
+        _ => Layer::Dw,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn random_cnns_validate_and_count_consistently() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for case in 0..64 {
+        let n_layers = rng.range(1, 12) as usize;
+        let layers: Vec<Layer> = (0..n_layers).map(|_| arb_layer(&mut rng)).collect();
 
-    #[test]
-    fn random_cnns_validate_and_count_consistently(
-        layers in prop::collection::vec(arb_layer(), 1..12),
-    ) {
         let mut b = GraphBuilder::new("prop-cnn", 2026);
         let mut h = b.input("x", [1, 8, 32, 32]);
         #[allow(unused_assignments)]
@@ -49,9 +77,11 @@ proptest! {
             let spatial = b.shape(h).dim(2);
             prev = h;
             h = match layer {
-                Layer::Conv { channels, kernel, stride } if spatial >= *kernel => {
-                    b.conv(h, *channels, *kernel, *stride, Padding::Same)
-                }
+                Layer::Conv {
+                    channels,
+                    kernel,
+                    stride,
+                } if spatial >= *kernel => b.conv(h, *channels, *kernel, *stride, Padding::Same),
                 Layer::Relu => b.relu(h),
                 Layer::Clip => b.clip(h, 0.0, 6.0),
                 Layer::Sigmoid => b.sigmoid(h),
@@ -71,47 +101,56 @@ proptest! {
         let g = b.finish();
 
         // (finish() already validates; check the invariants hold anyway)
-        prop_assert!(g.validate().is_ok());
+        assert!(g.validate().is_ok(), "case {case}");
         let stats = g.stats();
-        prop_assert_eq!(stats.total_nodes(), g.nodes().len());
-        prop_assert_eq!(
+        assert_eq!(stats.total_nodes(), g.nodes().len());
+        assert_eq!(
             stats.gemm_nodes() + stats.non_gemm_nodes(),
             stats.total_nodes()
         );
         // every activation tensor's element count is positive
         for t in g.tensors() {
-            prop_assert!(t.shape.elements() > 0, "empty tensor {}", t.name);
+            assert!(t.shape.elements() > 0, "empty tensor {}", t.name);
         }
         // graph output is produced by some node or is the input
         let out = g.outputs()[0];
-        prop_assert!(g.producer(out).is_some() || g.inputs().contains(&out));
+        assert!(g.producer(out).is_some() || g.inputs().contains(&out));
     }
+}
 
-    #[test]
-    fn broadcast_shapes_agree_with_numpy_rules(
-        dims in prop::collection::vec(1usize..5, 1..4),
-    ) {
+#[test]
+fn broadcast_shapes_agree_with_numpy_rules() {
+    let mut rng = Rng::new(0xB0A5);
+    for _ in 0..64 {
+        let rank = rng.range(1, 4) as usize;
+        let dims: Vec<usize> = (0..rank).map(|_| rng.range(1, 5) as usize).collect();
         let a = Shape::new(dims.clone());
         let ones = Shape::new(vec![1usize; dims.len()]);
-        prop_assert!(a.broadcastable_with(&ones));
-        prop_assert_eq!(a.broadcast(&ones), a.clone());
-        prop_assert_eq!(ones.broadcast(&a), a.clone());
+        assert!(a.broadcastable_with(&ones));
+        assert_eq!(a.broadcast(&ones), a.clone());
+        assert_eq!(ones.broadcast(&a), a.clone());
         let scalar = Shape::scalar();
-        prop_assert_eq!(a.broadcast(&scalar), a);
+        assert_eq!(a.broadcast(&scalar), a);
     }
+}
 
-    #[test]
-    fn node_costs_are_monotone_in_scale(scale in 1usize..4) {
+#[test]
+fn node_costs_are_monotone_in_scale() {
+    for scale in 1usize..4 {
         let elems = 1024 * scale;
         let mut b = GraphBuilder::new("t", 2026);
         let x = b.input("x", [1, elems]);
         let y = b.sigmoid(x);
         b.output(y);
         let g = b.finish();
-        let node = g.nodes().iter().find(|n| n.kind == OpKind::Sigmoid).unwrap();
+        let node = g
+            .nodes()
+            .iter()
+            .find(|n| n.kind == OpKind::Sigmoid)
+            .unwrap();
         let cost = tandem_model::NodeCost::of(&g, node);
-        prop_assert_eq!(cost.out_elems, elems as u64);
-        prop_assert_eq!(cost.in_elems, elems as u64);
-        prop_assert_eq!(node.kind.class(), OpClass::Activation);
+        assert_eq!(cost.out_elems, elems as u64);
+        assert_eq!(cost.in_elems, elems as u64);
+        assert_eq!(node.kind.class(), OpClass::Activation);
     }
 }

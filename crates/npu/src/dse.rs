@@ -7,7 +7,7 @@
 //! family of points over a workload, reporting latency, area, and energy
 //! so downstream users can pick a Pareto-optimal configuration.
 
-use crate::executor::{Npu, NpuConfig};
+use crate::executor::NpuConfig;
 use gemm_sim::GemmConfig;
 use tandem_core::{AreaModel, TandemConfig};
 use tandem_model::Graph;
@@ -95,14 +95,19 @@ impl DseResult {
     }
 }
 
-/// Evaluates every design point on `graph`.
+/// Evaluates every design point on `graph`, spreading the points across
+/// the available cores (see [`crate::run_matrix`]).
 pub fn sweep(points: &[DesignPoint], graph: &Graph) -> Vec<DseResult> {
+    let jobs: Vec<(NpuConfig, &Graph)> = points
+        .iter()
+        .map(|point| (point.npu_config(), graph))
+        .collect();
+    let reports = crate::executor::run_matrix(&jobs);
     points
         .iter()
-        .map(|&point| {
-            let cfg = point.npu_config();
+        .zip(jobs.iter().zip(reports))
+        .map(|(&point, ((cfg, _), report))| {
             let area = AreaModel::paper().breakdown(&cfg.tandem);
-            let report = Npu::new(cfg).run(graph);
             DseResult {
                 point,
                 latency_ms: report.seconds() * 1e3,
@@ -131,7 +136,11 @@ mod tests {
     fn bigger_machines_are_faster_and_larger() {
         let graph = zoo::mobilenetv2();
         let results = sweep(
-            &[DesignPoint::tiny(), DesignPoint::paper(), DesignPoint::large()],
+            &[
+                DesignPoint::tiny(),
+                DesignPoint::paper(),
+                DesignPoint::large(),
+            ],
             &graph,
         );
         assert!(results[0].latency_ms > results[1].latency_ms);

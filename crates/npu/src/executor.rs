@@ -2,16 +2,19 @@
 //! Tandem co-simulation with double-buffered overlap (paper Figure 10).
 
 use crate::knobs::Despecialization;
-use crate::report::NpuReport;
-use gemm_sim::{GemmConfig, GemmUnit, GemmWorkload};
-use std::collections::HashSet;
-use tandem_compiler::{ExecutionBlock, OpLowering, Partitioner};
+use crate::report::{ExecStats, NpuReport};
+use gemm_sim::{GemmConfig, GemmReport, GemmReportCache, GemmUnit, GemmWorkload};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tandem_compiler::{CompileCache, ExecutionBlock, NodeSignature, OpLowering, Partitioner};
 use tandem_core::{Dram, EnergyModel, Mode, RunReport, TandemConfig, TandemProcessor};
-use tandem_model::{Graph, Node, TensorId};
+use tandem_model::{Graph, Node, NodeId, TensorId};
 
 /// Coordination granularity between the GEMM unit and the Tandem
 /// Processor (paper §3.5 and Figure 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TileGranularity {
     /// Tile-granularity software pipelining with fluid Output-BUF
     /// ownership — the proposed design.
@@ -65,12 +68,54 @@ impl Default for NpuConfig {
     }
 }
 
+/// Memoization key of a node's (knob-adjusted) simulation report: the
+/// node's compile-level signature plus every executor setting that feeds
+/// into the report.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SimKey {
+    sig: NodeSignature,
+    knobs: Despecialization,
+    granularity: TileGranularity,
+}
+
+/// The memoization state shared by every clone of an [`Npu`] (and by all
+/// [`Npu::run_many`] workers): compiled lowerings, per-node simulation
+/// reports, and GEMM cycle-model reports.
+///
+/// Caching is sound because every cached value is a pure function of its
+/// key: lowering depends only on the [`NodeSignature`], performance-mode
+/// simulation produces identical [`RunReport`]s for the same program, the
+/// knob adjustments are deterministic arithmetic on that report, and the
+/// GEMM cycle model is closed-form in `(workload, tile)`.
+/// Memoization key of a whole-graph report: the graph's structural
+/// digest, hardened against (already astronomically unlikely) hash
+/// collisions by the graph's node and tensor counts.
+type GraphKey = (u64, usize, usize);
+
+#[derive(Debug, Default)]
+struct NpuCaches {
+    compile: CompileCache,
+    sim: Mutex<HashMap<SimKey, RunReport>>,
+    sim_hits: AtomicU64,
+    sim_misses: AtomicU64,
+    gemm: GemmReportCache,
+    graph: Mutex<HashMap<GraphKey, NpuReport>>,
+    graph_hits: AtomicU64,
+    graph_misses: AtomicU64,
+}
+
 /// The NPU-Tandem end-to-end model runner.
+///
+/// Cloning is cheap and shares the internal compilation/simulation caches
+/// (they live behind an [`Arc`]); [`Npu::uncached`] builds a runner that
+/// bypasses them entirely, recompiling and resimulating every node.
 #[derive(Debug, Clone)]
 pub struct Npu {
     cfg: NpuConfig,
     gemm: GemmUnit,
     lowering: OpLowering,
+    caches: Arc<NpuCaches>,
+    cache_enabled: bool,
 }
 
 impl Npu {
@@ -78,7 +123,24 @@ impl Npu {
     pub fn new(cfg: NpuConfig) -> Self {
         let gemm = GemmUnit::new(cfg.gemm.clone());
         let lowering = OpLowering::new(cfg.tandem.lanes, cfg.tandem.interim_rows);
-        Npu { cfg, gemm, lowering }
+        Npu {
+            cfg,
+            gemm,
+            lowering,
+            caches: Arc::new(NpuCaches::default()),
+            cache_enabled: true,
+        }
+    }
+
+    /// Creates an NPU whose runs bypass the compilation and simulation
+    /// caches — every node is recompiled and resimulated. Reports are
+    /// identical to the cached path; only wall-time differs. Used by the
+    /// benchmarks and the determinism tests as the reference path.
+    pub fn uncached(cfg: NpuConfig) -> Self {
+        Npu {
+            cache_enabled: false,
+            ..Self::new(cfg)
+        }
     }
 
     /// The configuration.
@@ -86,10 +148,78 @@ impl Npu {
         &self.cfg
     }
 
+    /// `[compile hits, compile misses, sim hits, sim misses, gemm hits,
+    /// gemm misses, graph hits, graph misses]`, cumulative over the
+    /// caches' lifetime.
+    fn cache_counters(&self) -> [u64; 8] {
+        [
+            self.caches.compile.hits(),
+            self.caches.compile.misses(),
+            self.caches.sim_hits.load(Ordering::Relaxed),
+            self.caches.sim_misses.load(Ordering::Relaxed),
+            self.caches.gemm.hits(),
+            self.caches.gemm.misses(),
+            self.caches.graph_hits.load(Ordering::Relaxed),
+            self.caches.graph_misses.load(Ordering::Relaxed),
+        ]
+    }
+
     /// Runs `graph` end-to-end (batch 1 inference) and reports latency,
     /// energy, utilization and the per-operator breakdown.
+    ///
+    /// A graph already run on this NPU (any clone, any `run_many` worker)
+    /// is answered from the graph-level report cache in O(graph) hash
+    /// time; a new graph runs block-by-block against the node-level
+    /// caches.
     pub fn run(&self, graph: &Graph) -> NpuReport {
+        let t0 = Instant::now();
+        let before = self.cache_counters();
+        let mut report = if self.cache_enabled {
+            let key: GraphKey = (
+                graph.content_hash(),
+                graph.nodes().len(),
+                graph.tensors().len(),
+            );
+            let cached = self.caches.graph.lock().unwrap().get(&key).cloned();
+            match cached {
+                Some(hit) => {
+                    self.caches.graph_hits.fetch_add(1, Ordering::Relaxed);
+                    hit
+                }
+                None => {
+                    self.caches.graph_misses.fetch_add(1, Ordering::Relaxed);
+                    let fresh = self.run_core(graph);
+                    self.caches
+                        .graph
+                        .lock()
+                        .unwrap()
+                        .entry(key)
+                        .or_insert_with(|| fresh.clone());
+                    fresh
+                }
+            }
+        } else {
+            self.run_core(graph)
+        };
+        let after = self.cache_counters();
+        report.stats = ExecStats {
+            wall_s: t0.elapsed().as_secs_f64(),
+            compile_hits: after[0] - before[0],
+            compile_misses: after[1] - before[1],
+            sim_hits: after[2] - before[2],
+            sim_misses: after[3] - before[3],
+            gemm_hits: after[4] - before[4],
+            gemm_misses: after[5] - before[5],
+            graph_hits: after[6] - before[6],
+            graph_misses: after[7] - before[7],
+        };
+        report
+    }
+
+    /// The uncached whole-graph execution body.
+    fn run_core(&self, graph: &Graph) -> NpuReport {
         let blocks = Partitioner::new().partition(graph);
+        let consumers = graph.consumer_index();
         let mut report = NpuReport {
             gemm_mac_slots: (self.cfg.gemm.rows * self.cfg.gemm.cols) as u64,
             tandem_lanes: self.cfg.tandem.lanes as u64,
@@ -101,7 +231,7 @@ impl Npu {
         let mut proc = TandemProcessor::with_mode(self.cfg.tandem.clone(), Mode::Performance);
         let mut dram = Dram::new(16);
         for block in &blocks {
-            self.run_block(graph, block, &mut proc, &mut dram, &mut report);
+            self.run_block(graph, block, &consumers, &mut proc, &mut dram, &mut report);
         }
         let energy_model = EnergyModel::paper(self.cfg.tandem.lanes);
         report.tandem_energy = energy_model.energy(&report.counters);
@@ -109,8 +239,19 @@ impl Npu {
         report
     }
 
+    /// Runs every graph, spreading the work across the available cores
+    /// (scoped threads, no work for a missing thread pool to do). All
+    /// runs share this NPU's caches, so repeated shapes across models
+    /// simulate once. Reports come back in input order and are identical
+    /// to `graphs.iter().map(|g| self.run(g))`.
+    pub fn run_many(&self, graphs: &[&Graph]) -> Vec<NpuReport> {
+        run_indexed(graphs.len(), |i| self.run(graphs[i]))
+    }
+
     /// Simulates one non-GEMM node's compiled programs in performance
-    /// mode, returning its (knob-adjusted) aggregate report.
+    /// mode, returning its (knob-adjusted) aggregate report. Memoized on
+    /// the node's [`NodeSignature`] (plus the executor knobs) unless this
+    /// NPU is [`Npu::uncached`].
     fn tandem_node_report(
         &self,
         graph: &Graph,
@@ -118,7 +259,38 @@ impl Npu {
         proc: &mut TandemProcessor,
         dram: &mut Dram,
     ) -> RunReport {
-        let compiled = match self.lowering.lower_node(graph, node) {
+        if !self.cache_enabled {
+            return self.tandem_node_report_uncached(graph, node, proc, dram);
+        }
+        let key = SimKey {
+            sig: NodeSignature::for_lowering(&self.lowering, graph, node),
+            knobs: self.cfg.knobs,
+            granularity: self.cfg.granularity,
+        };
+        if let Some(&hit) = self.caches.sim.lock().unwrap().get(&key) {
+            self.caches.sim_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.caches.sim_misses.fetch_add(1, Ordering::Relaxed);
+        let report = self.tandem_node_report_uncached(graph, node, proc, dram);
+        self.caches.sim.lock().unwrap().insert(key, report);
+        report
+    }
+
+    /// The uncached body of [`Npu::tandem_node_report`].
+    fn tandem_node_report_uncached(
+        &self,
+        graph: &Graph,
+        node: &Node,
+        proc: &mut TandemProcessor,
+        dram: &mut Dram,
+    ) -> RunReport {
+        let compiled = if self.cache_enabled {
+            self.caches.compile.lower_node(&self.lowering, graph, node)
+        } else {
+            Arc::new(self.lowering.lower_node(graph, node))
+        };
+        let compiled = match compiled.as_ref() {
             Ok(c) => c,
             Err(_) => return RunReport::default(), // metadata-only ops
         };
@@ -137,6 +309,20 @@ impl Npu {
             total.compute_cycles = ((total.compute_cycles as f64) * factor).ceil() as u64;
         }
         total
+    }
+
+    /// [`GemmUnit::tile_report`], memoized unless this NPU is uncached.
+    fn gemm_tile_report(&self, w: GemmWorkload, m_tile: u64) -> GemmReport {
+        if self.cache_enabled {
+            self.caches.gemm.tile_report(&self.gemm, w, m_tile)
+        } else {
+            self.gemm.tile_report(w, m_tile)
+        }
+    }
+
+    /// [`GemmUnit::layer_report`], memoized unless this NPU is uncached.
+    fn gemm_layer_report(&self, w: GemmWorkload) -> GemmReport {
+        self.gemm_tile_report(w, w.m)
     }
 
     /// The single-pass DATATYPE_CAST stream over `elems` elements.
@@ -192,7 +378,13 @@ impl Npu {
     /// DRAM traffic of the Tandem side for a block: activations entering
     /// from outside the block (except the GEMM output, which arrives via
     /// the Output BUF) and activations leaving it (INT32 words).
-    fn block_tandem_dram_bytes(&self, graph: &Graph, block: &ExecutionBlock) -> u64 {
+    /// `consumers` is the whole-graph [`Graph::consumer_index`].
+    fn block_tandem_dram_bytes(
+        &self,
+        graph: &Graph,
+        block: &ExecutionBlock,
+        consumers: &[Vec<NodeId>],
+    ) -> u64 {
         let in_block: HashSet<TensorId> = block
             .non_gemm
             .iter()
@@ -215,10 +407,9 @@ impl Npu {
                 }
             }
             for &output in &node.outputs {
-                let consumed_outside = graph
-                    .consumers(output)
+                let consumed_outside = consumers[output.index()]
                     .iter()
-                    .any(|n| !block.non_gemm.contains(&n.id))
+                    .any(|id| !block.non_gemm.contains(id))
                     || graph.outputs().contains(&output);
                 if consumed_outside {
                     bytes += graph.tensor(output).shape.elements() as u64;
@@ -232,6 +423,7 @@ impl Npu {
         &self,
         graph: &Graph,
         block: &ExecutionBlock,
+        consumers: &[Vec<NodeId>],
         proc: &mut TandemProcessor,
         dram: &mut Dram,
         report: &mut NpuReport,
@@ -258,10 +450,9 @@ impl Npu {
                 .or_default() += cast.compute_cycles;
             tandem_total.merge(&cast);
         }
-        let tandem_dram_bytes = self.block_tandem_dram_bytes(graph, block);
-        let dma_cycles = (tandem_dram_bytes as f64
-            / (self.cfg.tandem.dram_words_per_cycle * 4.0))
-            .ceil() as u64;
+        let tandem_dram_bytes = self.block_tandem_dram_bytes(graph, block, consumers);
+        let dma_cycles =
+            (tandem_dram_bytes as f64 / (self.cfg.tandem.dram_words_per_cycle * 4.0)).ceil() as u64;
         tandem_total.dma_cycles += dma_cycles;
         tandem_total.counters.dram_words += tandem_dram_bytes / 4;
         report.tandem_dram_bytes += tandem_dram_bytes;
@@ -273,13 +464,12 @@ impl Npu {
                 let w = self.gemm_workload(graph, node);
                 let tile_rows = self.gemm.max_tile_rows(w.n).min(w.m.max(1));
                 let tiles = w.m.div_ceil(tile_rows.max(1)).max(1);
-                let tile = self.gemm.tile_report(w, tile_rows.min(w.m));
-                let whole = self.gemm.layer_report(w);
+                let tile = self.gemm_tile_report(w, tile_rows.min(w.m));
+                let whole = self.gemm_layer_report(w);
                 report.gemm_macs += whole.macs;
                 report.gemm_dram_bytes += whole.dram_bytes;
                 report.gemm_energy_nj += whole.energy_nj;
-                *report.per_kind_cycles.entry(node.kind).or_default() +=
-                    whole.overlapped_cycles();
+                *report.per_kind_cycles.entry(node.kind).or_default() += whole.overlapped_cycles();
                 report.busy.gemm_cycles += whole.compute_cycles;
                 (whole.overlapped_cycles(), tile.overlapped_cycles(), tiles)
             }
@@ -290,11 +480,7 @@ impl Npu {
         report.counters.merge(&tandem_total.counters);
 
         // --- compose block latency ---
-        let fifo = self
-            .cfg
-            .knobs
-            .fifo_cycles(self.cfg.tandem.obuf_rows as u64)
-            * tiles;
+        let fifo = self.cfg.knobs.fifo_cycles(self.cfg.tandem.obuf_rows as u64) * tiles;
         let tandem_cycles = tandem_total.compute_cycles.max(tandem_total.dma_cycles) + fifo;
         let block_cycles = match (block.gemm.is_some(), block.non_gemm.is_empty()) {
             (true, true) => gemm_total_cycles,
@@ -305,9 +491,7 @@ impl Npu {
                     // max(gemm, tandem) per tile, then drain the last
                     // Tandem tile.
                     let t_tile = tandem_cycles / tiles.max(1);
-                    gemm_tile_cycles
-                        + (tiles - 1) * gemm_tile_cycles.max(t_tile)
-                        + t_tile
+                    gemm_tile_cycles + (tiles - 1) * gemm_tile_cycles.max(t_tile) + t_tile
                 }
                 TileGranularity::Layer => {
                     // Serial handoff through DRAM: the whole GEMM output
@@ -315,16 +499,10 @@ impl Npu {
                     let spill_bytes = block
                         .gemm
                         .map(|id| {
-                            graph
-                                .tensor(graph.node(id).outputs[0])
-                                .shape
-                                .elements() as u64
-                                * 4
-                                * 2
+                            graph.tensor(graph.node(id).outputs[0]).shape.elements() as u64 * 4 * 2
                         })
                         .unwrap_or(0);
-                    let spill = (spill_bytes as f64
-                        / (self.cfg.tandem.dram_words_per_cycle * 4.0))
+                    let spill = (spill_bytes as f64 / (self.cfg.tandem.dram_words_per_cycle * 4.0))
                         .ceil() as u64;
                     gemm_total_cycles + tandem_cycles + spill
                 }
@@ -332,6 +510,59 @@ impl Npu {
         };
         report.total_cycles += block_cycles;
     }
+}
+
+/// Runs `n` jobs across the available cores with scoped threads and a
+/// shared claim counter, collecting results in job order. Falls back to a
+/// serial loop when only one worker is warranted.
+fn run_indexed<F>(n: usize, run: F) -> Vec<NpuReport>
+where
+    F: Fn(usize) -> NpuReport + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return (0..n).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<NpuReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock().unwrap() = Some(run(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every job index was claimed by a worker")
+        })
+        .collect()
+}
+
+/// Runs a heterogeneous `(configuration, graph)` job matrix in parallel,
+/// returning reports in job order. Jobs with equal configurations share
+/// one NPU (and therefore its caches), so a sweep that varies only the
+/// model — or repeats configurations — pays each distinct block shape
+/// once.
+pub fn run_matrix(jobs: &[(NpuConfig, &Graph)]) -> Vec<NpuReport> {
+    let mut npus: Vec<Npu> = Vec::with_capacity(jobs.len());
+    for (cfg, _) in jobs {
+        match npus.iter().find(|n| n.config() == cfg) {
+            Some(prev) => npus.push(prev.clone()),
+            None => npus.push(Npu::new(cfg.clone())),
+        }
+    }
+    run_indexed(jobs.len(), |i| npus[i].run(jobs[i].1))
 }
 
 #[cfg(test)]

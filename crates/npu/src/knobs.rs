@@ -7,7 +7,7 @@ use tandem_model::OpKind;
 
 /// Which specializations to *disable* (all `false` = the Tandem
 /// Processor as proposed).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Despecialization {
     /// Route every vector operand through a vector register file: two
     /// vector loads plus one store per compute instruction (paper §3.1 /
@@ -116,10 +116,7 @@ mod tests {
         };
         assert_eq!(Despecialization::none().extra_cycles(&c), 0);
         assert_eq!(Despecialization::none().fifo_cycles(512), 0);
-        assert_eq!(
-            Despecialization::none().special_fn_factor(OpKind::Exp),
-            1.0
-        );
+        assert_eq!(Despecialization::none().special_fn_factor(OpKind::Exp), 1.0);
     }
 
     #[test]

@@ -18,7 +18,12 @@
 //! * [`Despecialization`] — ablation knobs that *undo* each of the Tandem
 //!   Processor's specializations (vector-register-file load/stores,
 //!   branch-based loops, software address calculation, FIFO coupling,
-//!   special-function units), generating Figures 6, 8, 18 and 19.
+//!   special-function units), generating Figures 6, 8, 18 and 19;
+//! * signature-keyed compilation/simulation caches and scoped-thread
+//!   parallel sweeps ([`Npu::run_many`], [`run_matrix`]) that keep the
+//!   figure harness fast while staying bit-identical to the serial
+//!   uncached path ([`Npu::uncached`]); per-run wall-time and hit/miss
+//!   counters surface in [`ExecStats`].
 //!
 //! ```
 //! use tandem_npu::{Npu, NpuConfig};
@@ -41,6 +46,6 @@ mod report;
 pub use controller::{ControllerEvent, ControllerState, ExecutionController};
 pub use dispatch::{dispatch_block, DispatchedBlock};
 pub use dse::{pareto_frontier, DesignPoint, DseResult};
-pub use executor::{Npu, NpuConfig, TileGranularity};
+pub use executor::{run_matrix, Npu, NpuConfig, TileGranularity};
 pub use knobs::Despecialization;
-pub use report::{NpuReport, UnitBusy};
+pub use report::{ExecStats, NpuReport, UnitBusy};

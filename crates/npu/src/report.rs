@@ -13,8 +13,63 @@ pub struct UnitBusy {
     pub tandem_cycles: u64,
 }
 
+/// Host-side execution statistics for one `Npu::run` call: wall-clock
+/// time and hit/miss counts of the compilation, node-simulation, and
+/// GEMM-report caches.
+///
+/// Deliberately **excluded** from [`NpuReport`] equality — a cached and
+/// an uncached run of the same model compare equal even though their
+/// wall-times and hit counts differ.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecStats {
+    /// Host wall-clock seconds the run took.
+    pub wall_s: f64,
+    /// Compilation-cache hits during this run.
+    pub compile_hits: u64,
+    /// Compilation-cache misses (nodes actually lowered) during this run.
+    pub compile_misses: u64,
+    /// Node-simulation-cache hits during this run.
+    pub sim_hits: u64,
+    /// Node-simulation-cache misses (nodes actually simulated).
+    pub sim_misses: u64,
+    /// GEMM-report-cache hits during this run.
+    pub gemm_hits: u64,
+    /// GEMM-report-cache misses (cycle-model evaluations).
+    pub gemm_misses: u64,
+    /// Graph-level report-cache hits (whole run answered from cache).
+    pub graph_hits: u64,
+    /// Graph-level report-cache misses (graphs executed block-by-block).
+    pub graph_misses: u64,
+}
+
+impl ExecStats {
+    /// Total cache lookups across all four caches.
+    pub fn lookups(&self) -> u64 {
+        self.compile_hits
+            + self.compile_misses
+            + self.sim_hits
+            + self.sim_misses
+            + self.gemm_hits
+            + self.gemm_misses
+            + self.graph_hits
+            + self.graph_misses
+    }
+
+    /// Overall hit rate in `[0, 1]` (zero when no lookups happened,
+    /// e.g. on an uncached run).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.compile_hits + self.sim_hits + self.gemm_hits + self.graph_hits) as f64
+                / lookups as f64
+        }
+    }
+}
+
 /// The result of running one model end-to-end on the NPU-Tandem.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct NpuReport {
     /// End-to-end latency in cycles (tile-pipelined blocks summed).
     pub total_cycles: u64,
@@ -43,6 +98,28 @@ pub struct NpuReport {
     pub tandem_lanes: u64,
     /// Clock frequency in GHz.
     pub freq_ghz: f64,
+    /// Host-side wall-time and cache statistics (not part of equality).
+    pub stats: ExecStats,
+}
+
+/// Equality over the *modeled* execution only: every architectural field
+/// participates, `stats` (host wall-time, cache hit counts) does not.
+impl PartialEq for NpuReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cycles == other.total_cycles
+            && self.busy == other.busy
+            && self.per_kind_cycles == other.per_kind_cycles
+            && self.tandem_dram_bytes == other.tandem_dram_bytes
+            && self.gemm_dram_bytes == other.gemm_dram_bytes
+            && self.tandem_energy == other.tandem_energy
+            && self.gemm_energy_nj == other.gemm_energy_nj
+            && self.static_nj == other.static_nj
+            && self.counters == other.counters
+            && self.gemm_macs == other.gemm_macs
+            && self.gemm_mac_slots == other.gemm_mac_slots
+            && self.tandem_lanes == other.tandem_lanes
+            && self.freq_ghz == other.freq_ghz
+    }
 }
 
 impl NpuReport {

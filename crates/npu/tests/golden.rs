@@ -50,7 +50,13 @@ fn per_model_latency_utilization_and_energy_hold() {
         let r = npu.run(&graph);
         within(name, "latency", r.seconds() * 1e3, latency_ms, 0.25);
         within(name, "gemm_util", r.gemm_utilization(), gemm_util, 0.25);
-        within(name, "tandem_util", r.tandem_utilization(), tandem_util, 0.25);
+        within(
+            name,
+            "tandem_util",
+            r.tandem_utilization(),
+            tandem_util,
+            0.25,
+        );
         within(name, "energy", r.total_energy_nj() * 1e-6, energy_mj, 0.25);
     }
 }

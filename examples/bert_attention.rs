@@ -73,7 +73,9 @@ fn main() {
         .expect("dump");
     let mut checked = 0;
     for lane in 0..lanes {
-        let column: Vec<i32> = (0..seq as usize).map(|r| scores[r * lanes + lane]).collect();
+        let column: Vec<i32> = (0..seq as usize)
+            .map(|r| scores[r * lanes + lane])
+            .collect();
         let want = kernels::i_softmax(&column, Q);
         for (r, &w) in want.iter().enumerate() {
             assert_eq!(out[r * lanes + lane], w, "lane {lane} row {r}");

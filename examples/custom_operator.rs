@@ -52,7 +52,10 @@ fn main() {
     )
     .expect("nest");
     let program = b.finish();
-    println!("hand-written HardSwish: {} instructions total", program.len());
+    println!(
+        "hand-written HardSwish: {} instructions total",
+        program.len()
+    );
     println!("{program}");
 
     // --- run it ----------------------------------------------------------

@@ -39,7 +39,10 @@ fn main() {
     println!("latency        : {:.3} ms", report.seconds() * 1e3);
     println!("energy         : {:.3} mJ", report.total_energy_nj() * 1e-6);
     println!("GEMM util      : {:.1}%", report.gemm_utilization() * 100.0);
-    println!("Tandem util    : {:.1}%", report.tandem_utilization() * 100.0);
+    println!(
+        "Tandem util    : {:.1}%",
+        report.tandem_utilization() * 100.0
+    );
     println!(
         "non-GEMM share : {:.1}%",
         report.non_gemm_fraction() * 100.0

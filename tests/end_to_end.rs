@@ -16,8 +16,12 @@ fn suite() -> &'static Suite {
 fn fig14_tandem_beats_both_baselines() {
     let s = suite();
     let tandem = s.tandem_seconds();
-    let v1: Vec<f64> = (0..7).map(|i| s.baseline1[i].total_s() / tandem[i]).collect();
-    let v2: Vec<f64> = (0..7).map(|i| s.baseline2[i].total_s() / tandem[i]).collect();
+    let v1: Vec<f64> = (0..7)
+        .map(|i| s.baseline1[i].total_s() / tandem[i])
+        .collect();
+    let v2: Vec<f64> = (0..7)
+        .map(|i| s.baseline2[i].total_s() / tandem[i])
+        .collect();
     let g1 = geomean(&v1);
     let g2 = geomean(&v2);
     // paper: 3.5x and 2.7x
@@ -26,7 +30,11 @@ fn fig14_tandem_beats_both_baselines() {
     assert!(g1 > g2, "dedicated units must narrow the gap");
     // MobileNetV2 (index 3) shows the largest baseline-1 speedup among
     // CNNs (paper: 5.9x) — depthwise conv is the differentiator.
-    assert!(v1[3] > g1, "MobileNetV2 {} should beat the mean {g1}", v1[3]);
+    assert!(
+        v1[3] > g1,
+        "MobileNetV2 {} should beat the mean {g1}",
+        v1[3]
+    );
 }
 
 #[test]
@@ -50,8 +58,12 @@ fn fig15_energy_reduction_is_an_order_of_magnitude() {
 fn fig16_gemmini_comparison_shape() {
     let s = suite();
     let tandem = s.tandem_seconds();
-    let v1: Vec<f64> = (0..7).map(|i| s.gemmini1[i].total_s() / tandem[i]).collect();
-    let v32: Vec<f64> = (0..7).map(|i| s.gemmini32[i].total_s() / tandem[i]).collect();
+    let v1: Vec<f64> = (0..7)
+        .map(|i| s.gemmini1[i].total_s() / tandem[i])
+        .collect();
+    let v32: Vec<f64> = (0..7)
+        .map(|i| s.gemmini32[i].total_s() / tandem[i])
+        .collect();
     // paper: 47.8x over 1 core, 5.9x over 32 cores, min ~0.9x on VGG-16
     let g1 = geomean(&v1);
     let g32 = geomean(&v32);
@@ -82,7 +94,12 @@ fn fig18_vpu_comparison_shape() {
     assert!((1.2..4.0).contains(&g), "final VPU speedup {g}");
     // MobileNetV2/EfficientNet benefit most (5-deep depthwise loops);
     // VGG-16 least (paper's ordering).
-    assert!(finals[3] > finals[0], "MobileNetV2 {} vs VGG {}", finals[3], finals[0]);
+    assert!(
+        finals[3] > finals[0],
+        "MobileNetV2 {} vs VGG {}",
+        finals[3],
+        finals[0]
+    );
 }
 
 #[test]

@@ -28,8 +28,15 @@ fn every_figure_renders_with_all_models() {
     ];
     for (name, table) in &per_model_tables {
         let text = table.render();
-        for model in ["VGG-16", "ResNet-50", "YOLOv3", "MobileNetV2", "EfficientNet", "BERT", "GPT-2"]
-        {
+        for model in [
+            "VGG-16",
+            "ResNet-50",
+            "YOLOv3",
+            "MobileNetV2",
+            "EfficientNet",
+            "BERT",
+            "GPT-2",
+        ] {
             assert!(text.contains(model), "{name} missing {model}:\n{text}");
         }
         assert!(!text.contains("NaN"), "{name} produced NaN:\n{text}");

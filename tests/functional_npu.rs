@@ -18,7 +18,9 @@ fn conv_relu_cast_through_the_output_buf() {
 
     // --- GEMM side: an 8-channel 6×6 conv, 3×3 kernel, "same" padding ---
     let (in_c, h, w, out_c, k) = (3usize, 6usize, 6usize, 8usize, 3usize);
-    let input: Vec<i8> = (0..in_c * h * w).map(|i| ((i * 7) % 11) as i8 - 5).collect();
+    let input: Vec<i8> = (0..in_c * h * w)
+        .map(|i| ((i * 7) % 11) as i8 - 5)
+        .collect();
     let weight: Vec<i8> = (0..out_c * in_c * k * k)
         .map(|i| ((i * 5) % 7) as i8 - 3)
         .collect();
@@ -117,10 +119,7 @@ fn conv_relu_cast_through_the_output_buf() {
         .scratchpad(Namespace::Interim1)
         .dump_rows(rows, rows * lanes)
         .unwrap();
-    let reference: Vec<i8> = requantize(
-        &acc.iter().map(|&v| v.max(0)).collect::<Vec<i32>>(),
-        0,
-    );
+    let reference: Vec<i8> = requantize(&acc.iter().map(|&v| v.max(0)).collect::<Vec<i32>>(), 0);
     for c in 0..out_c {
         for p in 0..rows {
             let want = reference[c * rows + p] as i32;
@@ -145,7 +144,10 @@ fn requantized_activations_round_trip_through_dram() {
 
     use tandem_isa::{TileBuffer, TileDirection, TileFunc};
     let mut prog = tandem_isa::Program::new();
-    for (dir, addr) in [(TileDirection::Store, 100u16), (TileDirection::Load, 100u16)] {
+    for (dir, addr) in [
+        (TileDirection::Store, 100u16),
+        (TileDirection::Load, 100u16),
+    ] {
         prog.push(Instruction::TileLdSt {
             dir,
             func: TileFunc::ConfigBaseAddr,

@@ -57,8 +57,8 @@ fn every_scheduled_block_of_the_suite_completes_the_protocol() {
     let lowering = OpLowering::new(32, 512);
     for bench in tandem_model::zoo::Benchmark::ALL {
         let graph = bench.graph();
-        let blocks = schedule_graph(&lowering, &graph)
-            .unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+        let blocks =
+            schedule_graph(&lowering, &graph).unwrap_or_else(|e| panic!("{}: {e}", graph.name));
         for sb in &blocks {
             if sb.program.is_empty() {
                 continue; // blocks of pure-metadata ops schedule to nothing
@@ -91,7 +91,10 @@ fn fused_blocks_release_the_output_buf_exactly_once_per_tile() {
             .count();
         assert_eq!(releases, 1, "block has {releases} OBUF releases");
     }
-    assert!(fused_seen > 30, "only {fused_seen} fused blocks in ResNet-50");
+    assert!(
+        fused_seen > 30,
+        "only {fused_seen} fused blocks in ResNet-50"
+    );
 }
 
 #[test]
