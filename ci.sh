@@ -16,4 +16,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> tandem-lint (static verification of the model zoo)"
+cargo run --release -q --bin tandem_lint -- TANDEM_LINT.json
+
 echo "CI OK"

@@ -1,0 +1,127 @@
+//! `tandem-lint`: static verification of every compiled program in the
+//! 7-model zoo.
+//!
+//! Compiles each benchmark with the paper-machine lowering, weaves the
+//! sync-delimited block programs, and runs the `tandem-verify` dataflow
+//! pass over every block: sync pairing, scratchpad bounds, IMM-BUF
+//! initialization, loop discipline, and encode/decode closure. Prints a
+//! per-model table, writes a JSON report (first CLI argument, default
+//! `TANDEM_LINT.json`) for CI artifact upload, and exits non-zero when
+//! any error-severity finding survives — the regression gate that keeps
+//! the compiler honest.
+
+use std::fmt::Write as _;
+use tandem_compiler::{schedule_graph_opts, CompileOptions, OpLowering};
+use tandem_model::zoo::Benchmark;
+use tandem_verify::{Severity, Verifier, VerifyConfig};
+
+struct ModelOutcome {
+    name: String,
+    blocks: usize,
+    instructions: usize,
+    warnings: usize,
+    errors: usize,
+    findings: Vec<String>,
+}
+
+fn lint_model(lowering: &OpLowering, verifier: &Verifier, bench: Benchmark) -> ModelOutcome {
+    let graph = bench.graph();
+    // Schedule without the built-in verify gate: the linter wants every
+    // finding across every block, not the first failing block.
+    let no_verify = CompileOptions { verify: false };
+    let blocks = schedule_graph_opts(lowering, &graph, &no_verify)
+        .unwrap_or_else(|e| panic!("{}: scheduling failed: {e}", graph.name));
+    let mut outcome = ModelOutcome {
+        name: graph.name.clone(),
+        blocks: blocks.len(),
+        instructions: 0,
+        warnings: 0,
+        errors: 0,
+        findings: Vec::new(),
+    };
+    for (bi, sb) in blocks.iter().enumerate() {
+        outcome.instructions += sb.program.len();
+        let report = verifier.verify(&sb.program);
+        for d in &report.diagnostics {
+            match d.severity() {
+                Severity::Warning => outcome.warnings += 1,
+                Severity::Error => outcome.errors += 1,
+            }
+            outcome.findings.push(format!("block {bi} {d}"));
+        }
+    }
+    outcome
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "TANDEM_LINT.json".to_string());
+    let (lanes, interim_rows) = (32usize, 512usize);
+    let lowering = OpLowering::new(lanes, interim_rows);
+    let verifier = Verifier::new(VerifyConfig::for_lowering(lanes, interim_rows));
+
+    println!(
+        "{:<14} {:>7} {:>13} {:>9} {:>7}  status",
+        "model", "blocks", "instructions", "warnings", "errors"
+    );
+    let outcomes: Vec<ModelOutcome> = Benchmark::ALL
+        .iter()
+        .map(|&b| lint_model(&lowering, &verifier, b))
+        .collect();
+    for o in &outcomes {
+        println!(
+            "{:<14} {:>7} {:>13} {:>9} {:>7}  {}",
+            o.name,
+            o.blocks,
+            o.instructions,
+            o.warnings,
+            o.errors,
+            if o.errors == 0 { "ok" } else { "FAIL" }
+        );
+        for f in &o.findings {
+            println!("    {f}");
+        }
+    }
+
+    let mut json = format!(
+        "{{\n  \"machine\": {{\"lanes\": {lanes}, \"interim_rows\": {interim_rows}}},\n  \
+         \"models\": [\n"
+    );
+    for (i, o) in outcomes.iter().enumerate() {
+        let findings: Vec<String> = o
+            .findings
+            .iter()
+            .map(|f| format!("\"{}\"", f.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"blocks\": {}, \"instructions\": {}, \
+             \"warnings\": {}, \"errors\": {}, \"findings\": [{}]}}{}",
+            o.name,
+            o.blocks,
+            o.instructions,
+            o.warnings,
+            o.errors,
+            findings.join(", "),
+            if i + 1 < outcomes.len() { "," } else { "" },
+        );
+    }
+    let total_errors: usize = outcomes.iter().map(|o| o.errors).sum();
+    let total_warnings: usize = outcomes.iter().map(|o| o.warnings).sum();
+    let _ = write!(
+        json,
+        "  ],\n  \"total_warnings\": {total_warnings},\n  \"total_errors\": {total_errors}\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write lint report");
+
+    println!(
+        "\n{} model(s), {} warning(s), {} error(s) — report written to {out_path}",
+        outcomes.len(),
+        total_warnings,
+        total_errors
+    );
+    if total_errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -32,6 +32,8 @@ mod tiling;
 pub use blocks::{BlockKind, ExecutionBlock, Partitioner};
 pub use codegen::{BuilderMark, Fixed, NestLevel, TileProgramBuilder, View};
 pub use lower::{CompileError, CompiledOp, OpLowering};
-pub use schedule::{schedule_block, schedule_graph, ScheduledBlock};
+pub use schedule::{
+    schedule_block, schedule_graph, schedule_graph_opts, CompileOptions, ScheduledBlock,
+};
 pub use signature::{CompileCache, NodeSignature};
 pub use tiling::{TilePlan, Tiler};

@@ -49,6 +49,14 @@ pub enum CompileError {
         /// The operator.
         kind: OpKind,
     },
+    /// A scheduled block failed the `tandem-verify` static dataflow pass
+    /// (sync pairing, scratchpad bounds, loop discipline, binary closure).
+    Verification {
+        /// Index of the offending block in schedule order.
+        block: usize,
+        /// The verifier's findings.
+        report: tandem_verify::VerifyReport,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -71,6 +79,13 @@ impl fmt::Display for CompileError {
             }
             CompileError::Unsupported { kind } => {
                 write!(f, "operator {kind} has no Tandem lowering")
+            }
+            CompileError::Verification { block, report } => {
+                write!(
+                    f,
+                    "block {block} failed static verification ({} finding(s)):\n{report}",
+                    report.diagnostics.len()
+                )
             }
         }
     }

@@ -8,6 +8,25 @@ use crate::blocks::{BlockKind, ExecutionBlock};
 use crate::lower::{CompileError, OpLowering};
 use tandem_isa::{CastTarget, Instruction, Program, SyncEdge, SyncKind, SyncUnit};
 use tandem_model::{Graph, OpClass};
+use tandem_verify::{Verifier, VerifyConfig};
+
+/// Options controlling graph compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Run the `tandem-verify` static dataflow pass over every scheduled
+    /// block and fail compilation on any error-severity finding. Defaults
+    /// to on in debug builds (so every test exercises it) and off in
+    /// release builds, where it is opt-in.
+    pub verify: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            verify: cfg!(debug_assertions),
+        }
+    }
+}
 
 /// A fully scheduled execution block: the combined instruction stream of
 /// Figure 10 plus its tile count.
@@ -131,12 +150,42 @@ pub fn schedule_graph(
     lowering: &OpLowering,
     graph: &Graph,
 ) -> Result<Vec<ScheduledBlock>, CompileError> {
-    crate::blocks::Partitioner::new()
+    schedule_graph_opts(lowering, graph, &CompileOptions::default())
+}
+
+/// [`schedule_graph`] with explicit [`CompileOptions`]. With
+/// `opts.verify` set, every assembled block runs through the
+/// `tandem-verify` static pass (sync pairing, scratchpad bounds, loop
+/// discipline, encode/decode closure) before the schedule is returned.
+///
+/// # Errors
+///
+/// Propagates the first [`CompileError`]; a block with error-severity
+/// verifier findings yields [`CompileError::Verification`].
+pub fn schedule_graph_opts(
+    lowering: &OpLowering,
+    graph: &Graph,
+    opts: &CompileOptions,
+) -> Result<Vec<ScheduledBlock>, CompileError> {
+    let blocks: Vec<ScheduledBlock> = crate::blocks::Partitioner::new()
         .partition(graph)
         .iter()
         .enumerate()
         .map(|(i, b)| schedule_block(lowering, graph, b, (i % 32) as u8))
-        .collect()
+        .collect::<Result<_, _>>()?;
+    if opts.verify {
+        let verifier = Verifier::new(VerifyConfig::for_lowering(
+            lowering.lanes(),
+            lowering.interim_rows(),
+        ));
+        for (i, sb) in blocks.iter().enumerate() {
+            let report = verifier.verify(&sb.program);
+            if !report.is_clean() {
+                return Err(CompileError::Verification { block: i, report });
+            }
+        }
+    }
+    Ok(blocks)
 }
 
 #[cfg(test)]

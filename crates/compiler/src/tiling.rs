@@ -188,34 +188,57 @@ impl Tiler {
                 // iso-TOPs scale-up), the compiler folds output columns
                 // into the spare lanes.
                 let spatial_fold = (self.lanes as u64 / c.max(1)).clamp(1, ow);
-                // Output strip height fitting the input halo on chip.
-                let budget = ir.max(k * w + 1);
-                let oh_t = (((budget / w.max(1)).saturating_sub(k)) / stride + 1)
-                    .clamp(1, oh)
-                    .min(u16::MAX as u64);
-                let strips = oh.div_ceil(oh_t);
-                // Width split only when even one image row spills.
-                let (w_t, w_tiles) = if k * w <= ir {
-                    (w, 1)
-                } else {
-                    let wt = (ir / k).max(1);
-                    (wt, w.div_ceil(wt))
+                // A strip of `oh_t` output rows keeps the input halo AND
+                // the output strip resident together (the output lives
+                // right after the input rows), and the innermost window
+                // walk runs up to `k − 1` input rows plus
+                // `(ow_t − 1)·stride + k − 1` columns past the strip
+                // origin. `tandem-verify` bounds exactly these two
+                // address walks against the Interim capacity, so the fit
+                // predicate mirrors them.
+                let fits = |oh_t: u64, w_t: u64, ow_t: u64| -> bool {
+                    let in_rows = ((oh_t - 1) * stride + k) * w_t;
+                    let y_max = in_rows + oh_t * ow_t - 1;
+                    let x_max =
+                        (oh_t - 1) * stride * w_t + (ow_t - 1) * stride + (k - 1) * w_t + (k - 1);
+                    y_max < ir && x_max < ir
                 };
-                let in_rows = (((oh_t - 1) * stride + k) * w_t).min(ir) as u16;
+                // Width split only when even a one-row output strip
+                // spills.
+                let (w_t, ow_t, w_tiles) = if fits(1, w, ow) {
+                    (w, ow, 1)
+                } else {
+                    let mut wt = (ir / (k + 1)).clamp(1, w);
+                    loop {
+                        let owt = (wt / stride).max(1);
+                        if wt == 1 || fits(1, wt, owt) {
+                            break (wt, owt, w.div_ceil(wt));
+                        }
+                        wt -= 1;
+                    }
+                };
+                if !fits(1, w_t, ow_t) {
+                    return Err(CompileError::OutOfScratchpad {
+                        ns: Namespace::Interim1,
+                        requested: (k * w_t + ow_t) as usize,
+                        available: ir as usize,
+                    });
+                }
+                let mut oh_t = 1u64;
+                while oh_t < oh.min(u16::MAX as u64) && fits(oh_t + 1, w_t, ow_t) {
+                    oh_t += 1;
+                }
+                let strips = oh.div_ceil(oh_t);
+                let in_rows = (((oh_t - 1) * stride + k) * w_t) as u16;
                 let x = View {
                     ns: Namespace::Interim1,
                     base: 0,
                     rows: in_rows,
                 };
-                let ow_t = if w_tiles == 1 {
-                    ow
-                } else {
-                    (w_t / stride).max(1)
-                };
                 let y = View {
                     ns: Namespace::Interim1,
                     base: in_rows,
-                    rows: (oh_t * ow_t).min(ir - in_rows as u64).max(1) as u16,
+                    rows: (oh_t * ow_t) as u16,
                 };
                 let (wv, bv) = if kind == OpKind::DepthwiseConv {
                     let wv = View {

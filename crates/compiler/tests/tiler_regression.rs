@@ -1,0 +1,71 @@
+//! Regression tests for window-operator tiling: the tiler used to clamp
+//! the output strip's *view* (`rows: … .min(ir - in_rows)`) while the
+//! emitted loop nest still walked the full `oh_t × ow_t` rows past the
+//! input halo — an out-of-bounds scratchpad walk the `tandem-verify`
+//! dataflow pass flagged on the model zoo. These are the offending
+//! shapes, pinned.
+
+use tandem_compiler::{schedule_graph_opts, CompileOptions, OpLowering};
+use tandem_model::{Graph, GraphBuilder, Padding};
+use tandem_verify::{Verifier, VerifyConfig};
+
+const VERIFY: CompileOptions = CompileOptions { verify: true };
+
+fn assert_clean(graph: &Graph, lanes: usize, interim_rows: usize) {
+    let lowering = OpLowering::new(lanes, interim_rows);
+    let blocks = schedule_graph_opts(&lowering, graph, &VERIFY)
+        .unwrap_or_else(|e| panic!("{} on {lanes}×{interim_rows}: {e}", graph.name));
+    // Belt and braces: re-verify explicitly so the assertion stands even
+    // if the default pass wiring changes.
+    let verifier = Verifier::new(VerifyConfig::for_lowering(lanes, interim_rows));
+    for (bi, sb) in blocks.iter().enumerate() {
+        let report = verifier.verify(&sb.program);
+        assert!(
+            report.is_clean(),
+            "{} block {bi} on {lanes}×{interim_rows}:\n{report}",
+            graph.name
+        );
+    }
+}
+
+/// VGG-16's first pool: 2×2/2 over 224×224×64. With 512 Interim rows the
+/// halo for one output row is 448 input rows, and the old tiler placed a
+/// 112-row output strip at base 448 — rows [448, 559] of a 512-row BUF.
+#[test]
+fn vgg16_first_maxpool_stays_in_bounds() {
+    let mut b = GraphBuilder::new("vgg16-pool1", 2014);
+    let x = b.input("x", [1, 64, 224, 224]);
+    let y = b.max_pool(x, 2, 2);
+    b.output(y);
+    assert_clean(&b.finish(), 32, 512);
+}
+
+/// MobileNetV2's stem depthwise conv, 3×3/1 Same over 112×112×32. On the
+/// 64-row unit-test machine the halo read used to touch row 64 — exactly
+/// the Interim capacity.
+#[test]
+fn mobilenet_depthwise_conv_stays_in_bounds_on_tiny_machine() {
+    let mut b = GraphBuilder::new("mnv2-dw", 2018);
+    let x = b.input("x", [1, 32, 112, 112]);
+    let y = b.depthwise_conv(x, 3, 1, Padding::Same);
+    b.output(y);
+    assert_clean(&b.finish(), 8, 64);
+    // and on the paper machine
+    let mut b = GraphBuilder::new("mnv2-dw", 2018);
+    let x = b.input("x", [1, 32, 112, 112]);
+    let y = b.depthwise_conv(x, 3, 1, Padding::Same);
+    b.output(y);
+    assert_clean(&b.finish(), 32, 512);
+}
+
+/// Strided average pool (3×3/2), the third window template.
+#[test]
+fn strided_average_pool_stays_in_bounds() {
+    for (lanes, rows) in [(32usize, 512usize), (8, 64)] {
+        let mut b = GraphBuilder::new("avgpool", 2024);
+        let x = b.input("x", [1, 64, 56, 56]);
+        let y = b.avg_pool(x, 3, 2);
+        b.output(y);
+        assert_clean(&b.finish(), lanes, rows);
+    }
+}

@@ -1,5 +1,7 @@
 //! Microarchitectural configuration (paper Table 3).
 
+use tandem_isa::Namespace;
+
 /// Configuration of one Tandem Processor instance.
 ///
 /// The default values ([`TandemConfig::paper`]) reproduce Table 3 of the
@@ -83,6 +85,16 @@ impl TandemConfig {
     /// Capacity of one Interim BUF in bytes.
     pub fn interim_bytes(&self) -> usize {
         self.interim_rows * self.lanes * 4
+    }
+
+    /// Addressable rows (slots, for the IMM BUF) of a namespace — the
+    /// capacity an in-bounds scratchpad access must stay under.
+    pub fn namespace_rows(&self, ns: Namespace) -> usize {
+        match ns {
+            Namespace::Interim1 | Namespace::Interim2 => self.interim_rows,
+            Namespace::Imm => self.imm_slots,
+            Namespace::Obuf => self.obuf_rows,
+        }
     }
 }
 

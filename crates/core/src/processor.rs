@@ -399,7 +399,7 @@ impl TandemProcessor {
                     addr_calcs += 1;
                 }
             }
-            if reads_destination(instr) {
+            if instr.reads_destination() {
                 spad_reads += 1;
             }
         }
@@ -496,7 +496,7 @@ impl TandemProcessor {
                 } else {
                     self.read_operand(src2, 2, levels, counters)?
                 };
-                let d = if reads_destination(instr) {
+                let d = if instr.reads_destination() {
                     self.spads[dst.namespace() as usize].row(dst_row)?.to_vec()
                 } else {
                     vec![0; lanes]
@@ -527,15 +527,4 @@ impl TandemProcessor {
             .copy_from_slice(&result);
         Ok(())
     }
-}
-
-/// `true` for compute functions with read-modify-write destinations.
-fn reads_destination(instr: &Instruction) -> bool {
-    matches!(
-        instr,
-        Instruction::Alu {
-            func: tandem_isa::AluFunc::Macc | tandem_isa::AluFunc::CondMove,
-            ..
-        }
-    )
 }

@@ -47,6 +47,17 @@ impl LoopBindings {
             .enumerate()
             .filter_map(|(slot, op)| op.map(|o| (slot, o)))
     }
+
+    /// The binding of operand slot `slot` (`0 = dst`, `1 = src1`,
+    /// `2 = src2`); `None` for absent bindings and out-of-range slots.
+    pub fn slot(&self, slot: usize) -> Option<Operand> {
+        match slot {
+            0 => self.dst,
+            1 => self.src1,
+            2 => self.src2,
+            _ => None,
+        }
+    }
 }
 
 /// One 32-bit Tandem Processor instruction.
@@ -346,6 +357,29 @@ impl Instruction {
             | Instruction::Comparison { dst, .. }
             | Instruction::DatatypeCast { dst, .. } => Some(dst),
             _ => None,
+        }
+    }
+
+    /// `true` for compute instructions whose destination is
+    /// read-modify-write (`MACC` accumulates, `COND_MOVE` preserves
+    /// unselected lanes).
+    pub fn reads_destination(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Alu {
+                func: AluFunc::Macc | AluFunc::CondMove,
+                ..
+            }
+        )
+    }
+
+    /// Slot-indexed operand view `[dst, src1, src2]` of a compute
+    /// instruction — the indices match [`LoopBindings::slot`]. All three
+    /// entries are `None` for non-compute instructions.
+    pub fn operands(&self) -> [Option<Operand>; 3] {
+        match self.sources() {
+            Some((src1, src2)) => [self.destination(), Some(src1), src2],
+            None => [None, None, None],
         }
     }
 }

@@ -1,0 +1,346 @@
+//! Property tests for encode/decode closure, with shrinking.
+//!
+//! This is a hand-rolled property-testing harness rather than the
+//! `proptest` crate: the repository builds fully offline with zero
+//! external dependencies, so the harness provides the two things we
+//! actually need from proptest — seeded random case generation and
+//! counterexample *shrinking* — in ~60 lines. On failure it reports the
+//! minimal failing instruction and the seed to reproduce it.
+//!
+//! The property under test is the same one `tandem-verify` enforces on
+//! every compiled program (encode/decode closure): an instruction's
+//! 32-bit binary form must decode back to the identical instruction, and
+//! whole programs must round-trip word-for-word.
+
+use tandem_isa::*;
+
+/// xorshift64* — deterministic, dependency-free randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Runs `prop` over `cases` generated instructions; on failure, shrinks
+/// to a minimal counterexample before panicking.
+fn forall_instructions(seed: u64, cases: usize, prop: impl Fn(&Instruction) -> bool) {
+    let mut rng = Rng::new(seed);
+    for case in 0..cases {
+        let instr = arb_instruction(&mut rng);
+        if prop(&instr) {
+            continue;
+        }
+        // Shrink: repeatedly replace the failing instruction with any
+        // simpler variant that still fails, until none does.
+        let mut minimal = instr;
+        'shrinking: loop {
+            for candidate in shrink(&minimal) {
+                if !prop(&candidate) {
+                    minimal = candidate;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+        panic!(
+            "property failed (seed {seed}, case {case})\n  original: {instr:?}\n  \
+             minimal:  {minimal:?}"
+        );
+    }
+}
+
+/// Simpler variants of an instruction: every numeric field pulled toward
+/// zero (halved and zeroed), optional operands dropped. Candidates are
+/// strictly "smaller", so shrinking terminates.
+fn shrink(instr: &Instruction) -> Vec<Instruction> {
+    fn nums(v: u16) -> Vec<u16> {
+        if v == 0 {
+            Vec::new()
+        } else {
+            vec![0, v / 2]
+        }
+    }
+    fn ops(op: Operand) -> Vec<Operand> {
+        if op.index() == 0 {
+            Vec::new()
+        } else {
+            vec![
+                Operand::new(op.namespace(), 0),
+                Operand::new(op.namespace(), op.index() / 2),
+            ]
+        }
+    }
+    let mut out = Vec::new();
+    match *instr {
+        Instruction::IterConfigBase { ns, index, addr } => {
+            for a in nums(addr) {
+                out.push(Instruction::IterConfigBase { ns, index, addr: a });
+            }
+            for i in nums(index as u16) {
+                out.push(Instruction::IterConfigBase {
+                    ns,
+                    index: i as u8,
+                    addr,
+                });
+            }
+        }
+        Instruction::IterConfigStride { ns, index, stride } => {
+            for s in nums(stride.unsigned_abs()) {
+                out.push(Instruction::IterConfigStride {
+                    ns,
+                    index,
+                    stride: s as i16,
+                });
+            }
+        }
+        Instruction::ImmWriteLow { index, value } => {
+            for v in nums(value.unsigned_abs()) {
+                out.push(Instruction::ImmWriteLow {
+                    index,
+                    value: v as i16,
+                });
+            }
+        }
+        Instruction::Alu {
+            func,
+            dst,
+            src1,
+            src2,
+        } => {
+            for d in ops(dst) {
+                out.push(Instruction::Alu {
+                    func,
+                    dst: d,
+                    src1,
+                    src2,
+                });
+            }
+            for s in ops(src1) {
+                out.push(Instruction::Alu {
+                    func,
+                    dst,
+                    src1: s,
+                    src2,
+                });
+            }
+        }
+        Instruction::LoopSetIter { loop_id, count } => {
+            for c in nums(count) {
+                out.push(Instruction::LoopSetIter { loop_id, count: c });
+            }
+            if loop_id > 0 {
+                out.push(Instruction::LoopSetIter {
+                    loop_id: loop_id / 2,
+                    count,
+                });
+            }
+        }
+        Instruction::LoopSetIndex { bindings } => {
+            for cleared in [
+                LoopBindings {
+                    dst: None,
+                    ..bindings
+                },
+                LoopBindings {
+                    src1: None,
+                    ..bindings
+                },
+                LoopBindings {
+                    src2: None,
+                    ..bindings
+                },
+            ] {
+                if cleared != bindings {
+                    out.push(Instruction::LoopSetIndex { bindings: cleared });
+                }
+            }
+        }
+        Instruction::PermuteSetBase { is_dst, ns, addr } => {
+            for a in nums(addr) {
+                out.push(Instruction::PermuteSetBase {
+                    is_dst,
+                    ns,
+                    addr: a,
+                });
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+fn arb_namespace(rng: &mut Rng) -> Namespace {
+    Namespace::ALL[rng.below(4) as usize]
+}
+
+fn arb_operand(rng: &mut Rng) -> Operand {
+    Operand::new(arb_namespace(rng), rng.below(32) as u8)
+}
+
+fn arb_instruction(rng: &mut Rng) -> Instruction {
+    match rng.below(12) {
+        0 => Instruction::sync(
+            if rng.bool() {
+                SyncUnit::Simd
+            } else {
+                SyncUnit::Gemm
+            },
+            if rng.bool() {
+                SyncEdge::End
+            } else {
+                SyncEdge::Start
+            },
+            if rng.bool() {
+                SyncKind::Buf
+            } else {
+                SyncKind::Exec
+            },
+            rng.below(32) as u8,
+        ),
+        1 => Instruction::IterConfigBase {
+            ns: arb_namespace(rng),
+            index: rng.below(32) as u8,
+            addr: rng.next_u64() as u16,
+        },
+        2 => Instruction::IterConfigStride {
+            ns: arb_namespace(rng),
+            index: rng.below(32) as u8,
+            stride: rng.next_u64() as i16,
+        },
+        3 => Instruction::ImmWriteLow {
+            index: rng.below(32) as u8,
+            value: rng.next_u64() as i16,
+        },
+        4 => Instruction::ImmWriteHigh {
+            index: rng.below(32) as u8,
+            value: rng.next_u64() as u16,
+        },
+        5 => {
+            let func = AluFunc::ALL[rng.below(AluFunc::ALL.len() as u64) as usize];
+            let dst = arb_operand(rng);
+            let src1 = arb_operand(rng);
+            let src2 = if matches!(func, AluFunc::Not | AluFunc::Move) {
+                src1
+            } else {
+                arb_operand(rng)
+            };
+            Instruction::alu(func, dst, src1, src2)
+        }
+        6 => Instruction::LoopSetIter {
+            loop_id: rng.below(8) as u8,
+            count: rng.next_u64() as u16,
+        },
+        7 => Instruction::LoopSetNumInst {
+            loop_id: rng.below(8) as u8,
+            count: rng.next_u64() as u16,
+        },
+        8 => Instruction::LoopSetIndex {
+            bindings: LoopBindings {
+                dst: rng.bool().then(|| arb_operand(rng)),
+                src1: rng.bool().then(|| arb_operand(rng)),
+                src2: rng.bool().then(|| arb_operand(rng)),
+            },
+        },
+        9 => Instruction::PermuteSetBase {
+            is_dst: rng.bool(),
+            ns: arb_namespace(rng),
+            addr: rng.next_u64() as u16,
+        },
+        10 => Instruction::PermuteSetIter {
+            dim: rng.below(32) as u8,
+            count: rng.next_u64() as u16,
+        },
+        _ => Instruction::PermuteStart {
+            cross_lane: rng.bool(),
+        },
+    }
+}
+
+fn round_trips(instr: &Instruction) -> bool {
+    let mut p = Program::new();
+    p.push(*instr);
+    match Program::decode(&p.encode()) {
+        Ok(d) => d.len() == 1 && d.as_slice()[0] == *instr,
+        Err(_) => false,
+    }
+}
+
+#[test]
+fn every_instruction_round_trips_bit_identically() {
+    forall_instructions(0xC0FFEE, 20_000, round_trips);
+}
+
+#[test]
+fn whole_programs_round_trip_word_for_word() {
+    let mut rng = Rng::new(0xBEEF);
+    for _ in 0..200 {
+        let mut p = Program::new();
+        for _ in 0..rng.below(64) {
+            p.push(arb_instruction(&mut rng));
+        }
+        let words = p.encode();
+        let decoded = Program::decode(&words).expect("well-formed words decode");
+        assert_eq!(decoded, p);
+        // and the decoded program re-encodes to the identical words
+        assert_eq!(decoded.encode(), words);
+    }
+}
+
+/// Field-corner sweep: the extremes of every bit field, exhaustively —
+/// randomness alone rarely lands on all-ones/all-zeros boundaries.
+#[test]
+fn field_corners_round_trip() {
+    let corners_u16 = [0u16, 1, 0x7FFF, 0x8000, 0xFFFF];
+    let corners_i16 = [i16::MIN, -1, 0, 1, i16::MAX];
+    for ns in Namespace::ALL {
+        for index in [0u8, 1, 31] {
+            for &addr in &corners_u16 {
+                assert!(round_trips(&Instruction::IterConfigBase {
+                    ns,
+                    index,
+                    addr
+                }));
+            }
+            for &stride in &corners_i16 {
+                assert!(round_trips(&Instruction::IterConfigStride {
+                    ns,
+                    index,
+                    stride
+                }));
+            }
+        }
+    }
+    for index in [0u8, 31] {
+        for &value in &corners_i16 {
+            assert!(round_trips(&Instruction::ImmWriteLow { index, value }));
+        }
+        for &value in &corners_u16 {
+            assert!(round_trips(&Instruction::ImmWriteHigh { index, value }));
+        }
+    }
+    for loop_id in [0u8, 7] {
+        for &count in &corners_u16 {
+            assert!(round_trips(&Instruction::LoopSetIter { loop_id, count }));
+            assert!(round_trips(&Instruction::LoopSetNumInst { loop_id, count }));
+        }
+    }
+}

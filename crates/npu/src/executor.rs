@@ -11,6 +11,7 @@ use std::time::Instant;
 use tandem_compiler::{CompileCache, ExecutionBlock, NodeSignature, OpLowering, Partitioner};
 use tandem_core::{Dram, EnergyModel, Mode, RunReport, TandemConfig, TandemProcessor};
 use tandem_model::{Graph, Node, NodeId, TensorId};
+use tandem_verify::{Verifier, VerifyConfig};
 
 /// Coordination granularity between the GEMM unit and the Tandem
 /// Processor (paper §3.5 and Figure 8).
@@ -39,6 +40,10 @@ pub struct NpuConfig {
     /// Static/background power of the whole NPU (clock tree, SRAM leakage,
     /// DRAM PHY), watts — the paper compares at a ~2.7 W system (§8).
     pub static_power_w: f64,
+    /// Run the `tandem-verify` static pass over every compiled tile
+    /// program and record the outcome in [`NpuReport::verify`]. Defaults
+    /// to on in debug builds, off (opt-in) in release builds.
+    pub verify: bool,
 }
 
 impl NpuConfig {
@@ -50,6 +55,7 @@ impl NpuConfig {
             knobs: Despecialization::none(),
             granularity: TileGranularity::Tile,
             static_power_w: 2.0,
+            verify: cfg!(debug_assertions),
         }
     }
 
@@ -92,9 +98,15 @@ struct SimKey {
 /// collisions by the graph's node and tensor counts.
 type GraphKey = (u64, usize, usize);
 
+/// Memoized static-verification outcome of one node's compiled tile
+/// programs: `(programs checked, findings)`. Node-name-free so the value
+/// is reusable across structurally identical nodes.
+type VerifyOutcome = Arc<(u64, Vec<String>)>;
+
 #[derive(Debug, Default)]
 struct NpuCaches {
     compile: CompileCache,
+    verify: Mutex<HashMap<NodeSignature, VerifyOutcome>>,
     sim: Mutex<HashMap<SimKey, RunReport>>,
     sim_hits: AtomicU64,
     sim_misses: AtomicU64,
@@ -231,6 +243,9 @@ impl Npu {
         let mut proc = TandemProcessor::with_mode(self.cfg.tandem.clone(), Mode::Performance);
         let mut dram = Dram::new(16);
         for block in &blocks {
+            if self.cfg.verify {
+                self.verify_block(graph, block, &mut report);
+            }
             self.run_block(graph, block, &consumers, &mut proc, &mut dram, &mut report);
         }
         let energy_model = EnergyModel::paper(self.cfg.tandem.lanes);
@@ -246,6 +261,60 @@ impl Npu {
     /// to `graphs.iter().map(|g| self.run(g))`.
     pub fn run_many(&self, graphs: &[&Graph]) -> Vec<NpuReport> {
         run_indexed(graphs.len(), |i| self.run(graphs[i]))
+    }
+
+    /// Statically verifies the compiled tile programs of one block's
+    /// non-GEMM nodes, accumulating the outcome into
+    /// [`NpuReport::verify`]. The summary is a pure function of the graph
+    /// and machine shape, so cached and uncached runs report identically.
+    fn verify_block(&self, graph: &Graph, block: &ExecutionBlock, report: &mut NpuReport) {
+        for &id in &block.non_gemm {
+            let node = graph.node(id);
+            let (programs, diags) = &*self.node_verify_outcome(graph, node);
+            report.verify.programs += programs;
+            report
+                .verify
+                .diagnostics
+                .extend(diags.iter().map(|d| format!("{}: {d}", node.name)));
+        }
+    }
+
+    /// The per-node body of [`Npu::verify_block`], memoized on the node's
+    /// [`NodeSignature`] unless this NPU is [`Npu::uncached`].
+    fn node_verify_outcome(&self, graph: &Graph, node: &Node) -> VerifyOutcome {
+        let compute = || -> VerifyOutcome {
+            let verifier = Verifier::new(VerifyConfig::from(&self.cfg.tandem));
+            let compiled = if self.cache_enabled {
+                self.caches.compile.lower_node(&self.lowering, graph, node)
+            } else {
+                Arc::new(self.lowering.lower_node(graph, node))
+            };
+            let mut programs = 0u64;
+            let mut diags = Vec::new();
+            if let Ok(c) = compiled.as_ref() {
+                for (prog, _) in &c.tiles {
+                    programs += 1;
+                    let rep = verifier.verify(prog);
+                    diags.extend(rep.diagnostics.iter().map(|d| d.to_string()));
+                }
+            }
+            Arc::new((programs, diags))
+        };
+        if !self.cache_enabled {
+            return compute();
+        }
+        let key = NodeSignature::for_lowering(&self.lowering, graph, node);
+        if let Some(hit) = self.caches.verify.lock().unwrap().get(&key) {
+            return hit.clone();
+        }
+        let outcome = compute();
+        self.caches
+            .verify
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| outcome.clone());
+        outcome
     }
 
     /// Simulates one non-GEMM node's compiled programs in performance
@@ -624,6 +693,32 @@ mod tests {
                 "{knobs:?} did not slow down"
             );
         }
+    }
+
+    #[test]
+    fn verify_summary_is_clean_and_deterministic() {
+        let mut cfg = NpuConfig::paper();
+        cfg.verify = true;
+        let cached = Npu::new(cfg.clone()).run(&zoo::mobilenetv2());
+        assert!(cached.verify.programs > 0, "no programs verified");
+        assert!(
+            cached.verify.is_clean(),
+            "compiler emitted unverifiable programs:\n{}",
+            cached.verify.diagnostics.join("\n")
+        );
+        // The summary is part of report equality and must not depend on
+        // cache state.
+        let uncached = Npu::uncached(cfg).run(&zoo::mobilenetv2());
+        assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    fn verify_flag_off_leaves_an_empty_summary() {
+        let mut cfg = NpuConfig::paper();
+        cfg.verify = false;
+        let r = Npu::new(cfg).run(&zoo::vgg16());
+        assert_eq!(r.verify.programs, 0);
+        assert!(r.verify.is_clean());
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub use dispatch::{dispatch_block, DispatchedBlock};
 pub use dse::{pareto_frontier, DesignPoint, DseResult};
 pub use executor::{run_matrix, Npu, NpuConfig, TileGranularity};
 pub use knobs::Despecialization;
-pub use report::{ExecStats, NpuReport, UnitBusy};
+pub use report::{ExecStats, NpuReport, UnitBusy, VerifySummary};

@@ -68,6 +68,30 @@ impl ExecStats {
     }
 }
 
+/// Outcome of the `tandem-verify` static pass over the tile programs a
+/// run compiled (populated when `NpuConfig::verify` is on, i.e. by
+/// default in debug builds).
+///
+/// The summary is a pure function of the graph and machine shape —
+/// cached and uncached runs of the same model produce identical
+/// summaries — so unlike [`ExecStats`] it **participates** in
+/// [`NpuReport`] equality.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VerifySummary {
+    /// Tile programs the pass checked.
+    pub programs: u64,
+    /// Findings, formatted as `"node-name: pc: severity [rule] message"`,
+    /// in block/node/program order. Empty for a healthy compiler.
+    pub diagnostics: Vec<String>,
+}
+
+impl VerifySummary {
+    /// `true` when no findings were reported.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
 /// The result of running one model end-to-end on the NPU-Tandem.
 #[derive(Debug, Clone, Default)]
 pub struct NpuReport {
@@ -98,6 +122,8 @@ pub struct NpuReport {
     pub tandem_lanes: u64,
     /// Clock frequency in GHz.
     pub freq_ghz: f64,
+    /// Static-verification outcome over the run's compiled tile programs.
+    pub verify: VerifySummary,
     /// Host-side wall-time and cache statistics (not part of equality).
     pub stats: ExecStats,
 }
@@ -119,6 +145,7 @@ impl PartialEq for NpuReport {
             && self.gemm_mac_slots == other.gemm_mac_slots
             && self.tandem_lanes == other.tandem_lanes
             && self.freq_ghz == other.freq_ghz
+            && self.verify == other.verify
     }
 }
 

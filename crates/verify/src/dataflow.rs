@@ -1,0 +1,497 @@
+//! Abstract interpretation of the configuration + loop + compute stream:
+//! iterator tables, IMM BUF, Code Repeater and Permute Engine state are
+//! tracked symbolically, and every loop nest's address streams are
+//! bounded with interval arithmetic against the namespace capacities.
+//!
+//! The abstraction mirrors `tandem_core::TandemProcessor::run` exactly:
+//! the address of operand slot `s` at loop counters `c` is
+//! `offset(op) + Σ_L c[L] × stride(binding[L][s])` — the base offset
+//! comes from the operand's own iterator-table entry, the per-level
+//! stride from the entry named by that level's `SET_INDEX` binding.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::VerifyConfig;
+use tandem_isa::{
+    Instruction, LoopBindings, Namespace, Operand, Program, IMM_BUF_SLOTS, ITERATOR_TABLE_ENTRIES,
+    MAX_LOOP_LEVELS,
+};
+
+/// Abstract iterator-table entry: the configured values plus whether
+/// each half has been configured at all.
+#[derive(Debug, Clone, Copy, Default)]
+struct IterEntry {
+    offset: u16,
+    stride: i16,
+    offset_set: bool,
+    stride_set: bool,
+}
+
+/// One configured Code Repeater level.
+#[derive(Debug, Clone, Copy)]
+struct Level {
+    count: u32,
+    bindings: LoopBindings,
+}
+
+/// Symbolic address stream of one operand slot across a nest: a base row
+/// plus one effective stride per loop level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Stream {
+    base: i64,
+    strides: Vec<i64>,
+}
+
+impl Stream {
+    /// Smallest and largest row the stream touches over the iteration
+    /// space (`counter[L]` ranges over `0..count[L]`).
+    fn interval(&self, levels: &[Level]) -> (i64, i64) {
+        let (mut lo, mut hi) = (self.base, self.base);
+        for (level, &stride) in levels.iter().zip(&self.strides) {
+            let span = (level.count.max(1) as i64 - 1) * stride;
+            lo += span.min(0);
+            hi += span.max(0);
+        }
+        (lo, hi)
+    }
+}
+
+/// Mirror of `tandem_core::PermuteEngine`'s configuration state.
+#[derive(Debug, Clone)]
+struct PermuteState {
+    src_ns: Namespace,
+    dst_ns: Namespace,
+    src_base: i64,
+    dst_base: i64,
+    extents: [u32; 8],
+    src_strides: [i64; 8],
+    dst_strides: [i64; 8],
+    configured: bool,
+}
+
+impl Default for PermuteState {
+    fn default() -> Self {
+        PermuteState {
+            src_ns: Namespace::Interim1,
+            dst_ns: Namespace::Interim2,
+            src_base: 0,
+            dst_base: 0,
+            extents: [1; 8],
+            src_strides: [0; 8],
+            dst_strides: [0; 8],
+            configured: false,
+        }
+    }
+}
+
+impl PermuteState {
+    /// `[lo, hi]` word interval of one side's walk.
+    fn interval(&self, is_dst: bool) -> (i64, i64) {
+        let (base, strides) = if is_dst {
+            (self.dst_base, &self.dst_strides)
+        } else {
+            (self.src_base, &self.src_strides)
+        };
+        let (mut lo, mut hi) = (base, base);
+        for (&e, &s) in self.extents.iter().zip(strides) {
+            let span = (e.max(1) as i64 - 1) * s;
+            lo += span.min(0);
+            hi += span.max(0);
+        }
+        (lo, hi)
+    }
+}
+
+pub(crate) struct Dataflow<'a> {
+    cfg: &'a VerifyConfig,
+    iters: [[IterEntry; ITERATOR_TABLE_ENTRIES]; 4],
+    imm_written: [bool; IMM_BUF_SLOTS],
+    levels: Vec<Level>,
+    permute: PermuteState,
+    diags: &'a mut Vec<Diagnostic>,
+}
+
+impl<'a> Dataflow<'a> {
+    pub(crate) fn new(cfg: &'a VerifyConfig, diags: &'a mut Vec<Diagnostic>) -> Self {
+        Dataflow {
+            cfg,
+            iters: [[IterEntry::default(); ITERATOR_TABLE_ENTRIES]; 4],
+            imm_written: [false; IMM_BUF_SLOTS],
+            levels: Vec::new(),
+            permute: PermuteState::default(),
+            diags,
+        }
+    }
+
+    pub(crate) fn run(mut self, program: &Program) {
+        let instrs = program.as_slice();
+        let mut pc = 0usize;
+        while pc < instrs.len() {
+            let instr = instrs[pc];
+            match instr {
+                Instruction::IterConfigBase { ns, index, addr } => {
+                    let e = &mut self.iters[ns as usize][index as usize];
+                    e.offset = addr;
+                    e.offset_set = true;
+                }
+                Instruction::IterConfigStride { ns, index, stride } => {
+                    let e = &mut self.iters[ns as usize][index as usize];
+                    e.stride = stride;
+                    e.stride_set = true;
+                }
+                Instruction::ImmWriteLow { index, .. }
+                | Instruction::ImmWriteHigh { index, .. } => {
+                    if (index as usize) < self.cfg.imm_slots.min(IMM_BUF_SLOTS) {
+                        self.imm_written[index as usize] = true;
+                    } else {
+                        self.diags.push(Diagnostic::new(
+                            pc,
+                            Rule::ImmSlotOutOfRange,
+                            format!(
+                                "IMM BUF write to slot {index} but the machine has only {} slots",
+                                self.cfg.imm_slots
+                            ),
+                        ));
+                    }
+                }
+                Instruction::LoopSetIter { loop_id, count } => {
+                    self.loop_set_iter(pc, loop_id, count);
+                }
+                Instruction::LoopSetIndex { bindings } => {
+                    if let Some(level) = self.levels.last_mut() {
+                        level.bindings = bindings;
+                    } else {
+                        self.diags.push(Diagnostic::new(
+                            pc,
+                            Rule::LoopIndexWithoutLevel,
+                            "LOOP SET_INDEX with no configured loop level to bind".to_string(),
+                        ));
+                    }
+                }
+                Instruction::LoopSetNumInst { count, .. } => {
+                    let body_start = pc + 1;
+                    let body_end = body_start + count as usize;
+                    if body_end > instrs.len()
+                        || !instrs[body_start..body_end].iter().all(|i| i.is_compute())
+                    {
+                        self.diags.push(Diagnostic::new(
+                            pc,
+                            Rule::MalformedLoopBody,
+                            format!(
+                                "loop body of {count} instructions extends past the program \
+                                 or contains non-compute instructions"
+                            ),
+                        ));
+                        self.levels.clear();
+                        pc += 1;
+                        continue;
+                    }
+                    self.analyze_nest(body_start, &instrs[body_start..body_end]);
+                    self.levels.clear();
+                    pc = body_end;
+                    continue;
+                }
+                Instruction::PermuteSetBase { is_dst, ns, addr } => {
+                    if is_dst {
+                        self.permute.dst_ns = ns;
+                        self.permute.dst_base = addr as i64;
+                    } else {
+                        self.permute.src_ns = ns;
+                        self.permute.src_base = addr as i64;
+                    }
+                    self.permute.configured = true;
+                }
+                Instruction::PermuteSetIter { dim, count } => {
+                    // The engine clamps extents to ≥ 1 (`count.max(1)`).
+                    self.permute.extents[dim as usize % 8] = count.max(1) as u32;
+                    self.permute.configured = true;
+                }
+                Instruction::PermuteSetStride {
+                    is_dst,
+                    dim,
+                    stride,
+                } => {
+                    let side = if is_dst {
+                        &mut self.permute.dst_strides
+                    } else {
+                        &mut self.permute.src_strides
+                    };
+                    side[dim as usize % 8] = stride as i64;
+                    self.permute.configured = true;
+                }
+                Instruction::PermuteStart { .. } => {
+                    self.check_permute_start(pc);
+                }
+                Instruction::Sync(_)
+                | Instruction::DatatypeConfig { .. }
+                | Instruction::TileLdSt { .. } => {}
+                _ if instr.is_compute() => {
+                    // Bare compute: a single-instruction nest over the
+                    // current levels (which are then consumed).
+                    self.analyze_nest(pc, &instrs[pc..pc + 1]);
+                    self.levels.clear();
+                }
+                _ => {}
+            }
+            pc += 1;
+        }
+    }
+
+    fn loop_set_iter(&mut self, pc: usize, loop_id: u8, count: u16) {
+        let id = loop_id as usize;
+        if id >= MAX_LOOP_LEVELS {
+            self.diags.push(Diagnostic::new(
+                pc,
+                Rule::LoopTooDeep,
+                format!(
+                    "loop level {id} exceeds the Code Repeater's {MAX_LOOP_LEVELS} nest levels"
+                ),
+            ));
+            return;
+        }
+        if id > self.levels.len() {
+            self.diags.push(Diagnostic::new(
+                pc,
+                Rule::LoopLevelOrder,
+                format!(
+                    "loop level {id} configured while only {} outer level(s) exist — \
+                     levels must be configured outermost-first",
+                    self.levels.len()
+                ),
+            ));
+            // Recover the way a programmer most plausibly meant it: treat
+            // it as the next level so the rest of the nest still checks.
+        } else if id < self.levels.len() {
+            // Reconfiguration truncates deeper levels (hardware behavior).
+            self.levels.truncate(id);
+        }
+        if count == 0 {
+            self.diags.push(Diagnostic::new(
+                pc,
+                Rule::LoopZeroIterations,
+                format!("loop level {id} iterates zero times — the nest never executes"),
+            ));
+        }
+        self.levels.push(Level {
+            count: count as u32,
+            bindings: LoopBindings::none(),
+        });
+    }
+
+    /// The symbolic address stream of operand `op` in slot `slot`, or
+    /// `None` for IMM operands (checked separately) and operands whose
+    /// iterator entry was never configured (diagnosed here).
+    fn stream(&mut self, pc: usize, op: Operand, slot: usize) -> Option<Stream> {
+        if op.namespace() == Namespace::Imm {
+            return None;
+        }
+        let entry = self.iters[op.namespace() as usize][op.index() as usize];
+        if !entry.offset_set {
+            self.diags.push(Diagnostic::new(
+                pc,
+                Rule::UnconfiguredIterator,
+                format!(
+                    "operand {op} addresses through iterator {}[{}] whose base \
+                     address was never configured",
+                    op.namespace(),
+                    op.index()
+                ),
+            ));
+            return None;
+        }
+        let mut strides = Vec::with_capacity(self.levels.len());
+        for (li, level) in self.levels.iter().enumerate() {
+            let stride = match level.bindings.slot(slot) {
+                Some(b) => {
+                    let be = self.iters[b.namespace() as usize][b.index() as usize];
+                    if !be.stride_set && level.count > 1 {
+                        self.diags.push(Diagnostic::new(
+                            pc,
+                            Rule::UnconfiguredIterator,
+                            format!(
+                                "loop level {li} advances slot {slot} through iterator \
+                                 {}[{}] whose stride was never configured",
+                                b.namespace(),
+                                b.index()
+                            ),
+                        ));
+                    }
+                    be.stride as i64
+                }
+                None => 0,
+            };
+            strides.push(stride);
+        }
+        Some(Stream {
+            base: entry.offset as i64,
+            strides,
+        })
+    }
+
+    fn check_bounds(
+        &mut self,
+        pc: usize,
+        op: Operand,
+        stream: &Stream,
+        levels: &[Level],
+        write: bool,
+    ) {
+        let rows = self.cfg.rows(op.namespace()) as i64;
+        let (lo, hi) = stream.interval(levels);
+        if lo < 0 || hi >= rows {
+            let (rule, what) = if write {
+                (Rule::OobWrite, "writes")
+            } else {
+                (Rule::OobRead, "reads")
+            };
+            self.diags.push(Diagnostic::new(
+                pc,
+                rule,
+                format!(
+                    "operand {op} {what} rows [{lo}, {hi}] but namespace {} has \
+                     {rows} rows",
+                    op.namespace()
+                ),
+            ));
+        }
+    }
+
+    fn check_imm_read(&mut self, pc: usize, op: Operand) {
+        let slot = op.index() as usize;
+        if slot >= self.cfg.imm_slots.min(IMM_BUF_SLOTS) {
+            self.diags.push(Diagnostic::new(
+                pc,
+                Rule::ImmSlotOutOfRange,
+                format!(
+                    "read of IMM BUF slot {slot} but the machine has only {} slots",
+                    self.cfg.imm_slots
+                ),
+            ));
+        } else if !self.imm_written[slot] {
+            self.diags.push(Diagnostic::new(
+                pc,
+                Rule::UninitializedImmRead,
+                format!("IMM BUF slot {slot} is read but no instruction ever wrote it"),
+            ));
+        }
+    }
+
+    /// Checks one loop nest: `body` instructions executed over the
+    /// currently configured levels (empty levels = single issue).
+    fn analyze_nest(&mut self, body_start: usize, body: &[Instruction]) {
+        let levels = self.levels.clone();
+        for (i, instr) in body.iter().enumerate() {
+            let pc = body_start + i;
+            let dst = instr.destination().expect("loop bodies are compute-only");
+            let (src1, src2) = instr.sources().expect("compute has sources");
+
+            let mut src_streams: Vec<Stream> = Vec::with_capacity(2);
+            for (slot, src) in [(1usize, Some(src1)), (2usize, src2)] {
+                let Some(src) = src else { continue };
+                if src.namespace() == Namespace::Imm {
+                    self.check_imm_read(pc, src);
+                } else if let Some(s) = self.stream(pc, src, slot) {
+                    self.check_bounds(pc, src, &s, &levels, false);
+                    src_streams.push(s);
+                }
+            }
+
+            if dst.namespace() == Namespace::Imm {
+                self.diags.push(Diagnostic::new(
+                    pc,
+                    Rule::ImmDestination,
+                    format!("compute destination {dst} targets the read-only IMM BUF"),
+                ));
+                continue;
+            }
+            let Some(dst_stream) = self.stream(pc, dst, 0) else {
+                continue;
+            };
+            self.check_bounds(pc, dst, &dst_stream, &levels, true);
+
+            // Lost-update hazard: a loop level that re-walks the sources
+            // while the destination stands still overwrites the same rows
+            // each iteration. Exempt read-modify-write functions (MACC,
+            // COND_MOVE) and reductions that consume their own
+            // destination stream through a source slot; also exempt
+            // destinations that a later (or the same) body instruction
+            // reads back within the iteration — those are pipelined
+            // temporaries, not lost values.
+            if instr.reads_destination() {
+                continue;
+            }
+            let consumed = body.iter().enumerate().any(|(j, other)| {
+                let (o1, o2) = match other.sources() {
+                    Some(s) => s,
+                    None => return false,
+                };
+                [Some(o1), o2].into_iter().flatten().any(|src| {
+                    src == dst
+                        || (j >= i
+                            && src.namespace() == dst.namespace()
+                            && src.namespace() != Namespace::Imm
+                            && self.iters[src.namespace() as usize][src.index() as usize]
+                                .offset_set
+                            && self.iters[src.namespace() as usize][src.index() as usize].offset
+                                as i64
+                                == dst_stream.base)
+                })
+            });
+            if consumed || src_streams.contains(&dst_stream) {
+                continue;
+            }
+            for (li, level) in levels.iter().enumerate() {
+                if level.count > 1
+                    && dst_stream.strides[li] == 0
+                    && src_streams.iter().any(|s| s.strides[li] != 0)
+                {
+                    self.diags.push(Diagnostic::new(
+                        pc,
+                        Rule::WriteAfterWrite,
+                        format!(
+                            "destination {dst} is rewritten {}× by loop level {li} \
+                             (its address never advances while the sources do) and \
+                             nothing reads it back — all but the last iteration's \
+                             values are lost",
+                            level.count
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+
+    fn check_permute_start(&mut self, pc: usize) {
+        if !self.permute.configured {
+            self.diags.push(Diagnostic::new(
+                pc,
+                Rule::PermuteNotConfigured,
+                "PERMUTE START with no prior base/extent/stride configuration".to_string(),
+            ));
+            return;
+        }
+        // The engine consumes its configuration on start; a second START
+        // without reconfiguration is an error the hardware also raises.
+        self.permute.configured = false;
+        for is_dst in [false, true] {
+            let ns = if is_dst {
+                self.permute.dst_ns
+            } else {
+                self.permute.src_ns
+            };
+            let words = (self.cfg.rows(ns) * self.cfg.lanes) as i64;
+            let (lo, hi) = self.permute.interval(is_dst);
+            if lo < 0 || hi >= words {
+                let side = if is_dst { "destination" } else { "source" };
+                self.diags.push(Diagnostic::new(
+                    pc,
+                    Rule::PermuteOutOfBounds,
+                    format!(
+                        "permute {side} walk spans words [{lo}, {hi}] but namespace \
+                         {ns} holds {words} words"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! # tandem-verify
+//!
+//! A static dataflow verifier for compiled Tandem ISA programs: an
+//! abstract interpretation of the configuration/loop/compute stream that
+//! proves — without running the cycle-level simulator — that a program
+//! respects the hardware invariants of paper §4–§5:
+//!
+//! * **Sync correctness** — every GEMM↔Tandem execution region is
+//!   opened and closed by a matched `SyncInfo` pair (unit, edge, kind,
+//!   group); unmatched or reordered pairs are reported as potential
+//!   deadlocks, Output-BUF releases must sit inside their region.
+//! * **Scratchpad safety** — interval arithmetic over every loop nest's
+//!   address streams bounds each `Namespace` access against the
+//!   capacities of [`tandem_core::TandemConfig`]; IMM BUF reads must be
+//!   preceded by writes, and frozen-destination loops that advance their
+//!   sources are flagged as lost-update (write-after-write) hazards.
+//! * **Loop discipline** — Code Repeater levels configured
+//!   outermost-first, `SET_INDEX` only with a live level, bodies
+//!   compute-only and in range, at most eight levels.
+//! * **Encode/decode closure** — the program round-trips bit-identically
+//!   through the binary instruction format.
+//!
+//! The verifier is exact with respect to the reference semantics of
+//! `tandem_core::TandemProcessor`: the abstract address of an operand is
+//! computed with the same
+//! `offset(op) + Σ_L counter[L] × stride(binding[L][slot])` rule the
+//! simulator executes.
+//!
+//! ```
+//! use tandem_isa::{Instruction, Program, SyncEdge, SyncKind, SyncUnit};
+//! use tandem_verify::{Rule, Verifier, VerifyConfig};
+//!
+//! let mut p = Program::new();
+//! p.push(Instruction::sync(SyncUnit::Simd, SyncEdge::Start, SyncKind::Exec, 0));
+//! // missing end marker…
+//! let report = Verifier::new(VerifyConfig::paper()).verify(&p);
+//! assert_eq!(report.diagnostics[0].rule, Rule::UnmatchedSyncStart);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataflow;
+mod diag;
+mod sync;
+
+pub use diag::{Diagnostic, Rule, Severity, VerifyReport};
+
+use tandem_core::TandemConfig;
+use tandem_isa::{Namespace, Program};
+
+/// The machine capacities the verifier checks programs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyConfig {
+    /// SIMD lanes (scratchpad banks; permute word capacity = rows × lanes).
+    pub lanes: usize,
+    /// Rows per Interim BUF.
+    pub interim_rows: usize,
+    /// Rows in the Output BUF view.
+    pub obuf_rows: usize,
+    /// IMM BUF slots.
+    pub imm_slots: usize,
+}
+
+impl VerifyConfig {
+    /// The paper's Table 3 capacities.
+    pub fn paper() -> Self {
+        VerifyConfig::from(&TandemConfig::paper())
+    }
+
+    /// The small unit-test machine.
+    pub fn tiny() -> Self {
+        VerifyConfig::from(&TandemConfig::tiny())
+    }
+
+    /// Capacities for a compiler targeting `lanes` × `interim_rows`
+    /// (Output-BUF and IMM sizes keep the paper's values — compiled
+    /// Tandem programs address Interim and IMM namespaces only).
+    pub fn for_lowering(lanes: usize, interim_rows: usize) -> Self {
+        VerifyConfig {
+            lanes,
+            interim_rows,
+            ..Self::paper()
+        }
+    }
+
+    /// Addressable rows (IMM: slots) of `ns`.
+    pub fn rows(&self, ns: Namespace) -> usize {
+        match ns {
+            Namespace::Interim1 | Namespace::Interim2 => self.interim_rows,
+            Namespace::Imm => self.imm_slots,
+            Namespace::Obuf => self.obuf_rows,
+        }
+    }
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl From<&TandemConfig> for VerifyConfig {
+    fn from(cfg: &TandemConfig) -> Self {
+        VerifyConfig {
+            lanes: cfg.lanes,
+            interim_rows: cfg.namespace_rows(Namespace::Interim1),
+            obuf_rows: cfg.namespace_rows(Namespace::Obuf),
+            imm_slots: cfg.namespace_rows(Namespace::Imm),
+        }
+    }
+}
+
+/// The static verifier. Stateless across programs; cheap to construct.
+#[derive(Debug, Clone, Default)]
+pub struct Verifier {
+    cfg: VerifyConfig,
+}
+
+impl Verifier {
+    /// Creates a verifier for the given machine capacities.
+    pub fn new(cfg: VerifyConfig) -> Self {
+        Verifier { cfg }
+    }
+
+    /// The capacities this verifier checks against.
+    pub fn config(&self) -> &VerifyConfig {
+        &self.cfg
+    }
+
+    /// Runs every check over `program` and returns the findings in
+    /// program order.
+    pub fn verify(&self, program: &Program) -> VerifyReport {
+        let mut diags = Vec::new();
+        check_closure(program, &mut diags);
+        sync::check(program, &mut diags);
+        dataflow::Dataflow::new(&self.cfg, &mut diags).run(program);
+        diags.sort_by_key(|d| d.pc);
+        VerifyReport {
+            instructions: program.len(),
+            diagnostics: diags,
+        }
+    }
+}
+
+/// Encode/decode closure: a verified program must survive the trip
+/// through its 32-bit binary form bit-identically (any instruction the
+/// rest of the pipeline — caches, dispatch, the simulator — re-decodes
+/// must mean the same thing).
+fn check_closure(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let words = program.encode();
+    match Program::decode(&words) {
+        Ok(decoded) => {
+            for (pc, (a, b)) in program.iter().zip(decoded.iter()).enumerate() {
+                if a != b {
+                    diags.push(Diagnostic::new(
+                        pc,
+                        Rule::EncodeDecodeMismatch,
+                        format!("instruction re-decodes as `{b}` instead of `{a}`"),
+                    ));
+                }
+            }
+            if decoded.len() != program.len() {
+                diags.push(Diagnostic::new(
+                    program.len().saturating_sub(1),
+                    Rule::EncodeDecodeMismatch,
+                    format!(
+                        "program of {} instructions decodes to {}",
+                        program.len(),
+                        decoded.len()
+                    ),
+                ));
+            }
+        }
+        Err(e) => diags.push(Diagnostic::new(
+            0,
+            Rule::EncodeDecodeMismatch,
+            format!("encoded program fails to decode: {e}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tandem_isa::{AluFunc, Instruction, Operand};
+
+    #[test]
+    fn empty_program_is_clean() {
+        let report = Verifier::default().verify(&Program::new());
+        assert!(report.is_clean());
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn config_capacities_follow_tandem_config() {
+        let cfg = VerifyConfig::from(&TandemConfig::tiny());
+        assert_eq!(cfg.rows(Namespace::Interim1), 64);
+        assert_eq!(cfg.rows(Namespace::Obuf), 128);
+        assert_eq!(cfg.rows(Namespace::Imm), 32);
+        assert_eq!(cfg.lanes, 8);
+    }
+
+    #[test]
+    fn single_configured_compute_is_clean() {
+        let mut p = Program::new();
+        p.push(Instruction::ImmWriteLow { index: 0, value: 7 });
+        p.push(Instruction::IterConfigBase {
+            ns: Namespace::Interim1,
+            index: 0,
+            addr: 3,
+        });
+        p.push(Instruction::IterConfigStride {
+            ns: Namespace::Interim1,
+            index: 0,
+            stride: 1,
+        });
+        let op = Operand::new(Namespace::Interim1, 0);
+        let imm = Operand::new(Namespace::Imm, 0);
+        p.push(Instruction::alu(AluFunc::Add, op, op, imm));
+        let report = Verifier::new(VerifyConfig::tiny()).verify(&p);
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -1,0 +1,462 @@
+//! Known-bad fixtures: hand-built programs that each violate exactly one
+//! hardware invariant, asserting the verifier reports the precise rule at
+//! the precise instruction.
+
+use tandem_isa::{
+    AluFunc, Instruction, LoopBindings, Namespace, Operand, Program, SyncEdge, SyncKind, SyncUnit,
+};
+use tandem_verify::{Rule, Severity, Verifier, VerifyConfig, VerifyReport};
+
+fn verify(p: &Program) -> VerifyReport {
+    // tiny machine: 8 lanes, 64 Interim rows, 128 OBUF rows, 32 IMM slots
+    Verifier::new(VerifyConfig::tiny()).verify(p)
+}
+
+#[track_caller]
+fn assert_diag(report: &VerifyReport, rule: Rule, pc: usize) {
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == rule && d.pc == pc),
+        "expected {rule:?} at pc {pc}, got:\n{report}"
+    );
+}
+
+fn op(ns: Namespace, index: u8) -> Operand {
+    Operand::new(ns, index)
+}
+
+fn i1(index: u8) -> Operand {
+    op(Namespace::Interim1, index)
+}
+
+fn imm(index: u8) -> Operand {
+    op(Namespace::Imm, index)
+}
+
+// --- sync pairing ---
+
+#[test]
+fn unpaired_sync_start_is_a_deadlock() {
+    let mut p = Program::new();
+    p.push(Instruction::sync(
+        SyncUnit::Simd,
+        SyncEdge::Start,
+        SyncKind::Exec,
+        0,
+    ));
+    let r = verify(&p);
+    assert!(!r.is_clean());
+    assert_diag(&r, Rule::UnmatchedSyncStart, 0);
+}
+
+#[test]
+fn unpaired_sync_end_is_flagged() {
+    let mut p = Program::new();
+    p.push(Instruction::sync(
+        SyncUnit::Gemm,
+        SyncEdge::End,
+        SyncKind::Exec,
+        0,
+    ));
+    let r = verify(&p);
+    assert_diag(&r, Rule::UnmatchedSyncEnd, 0);
+}
+
+#[test]
+fn reordered_sync_pairs_are_flagged() {
+    let mut p = Program::new();
+    p.push(Instruction::sync(
+        SyncUnit::Gemm,
+        SyncEdge::Start,
+        SyncKind::Exec,
+        0,
+    ));
+    p.push(Instruction::sync(
+        SyncUnit::Simd,
+        SyncEdge::Start,
+        SyncKind::Exec,
+        1,
+    ));
+    p.push(Instruction::sync(
+        SyncUnit::Gemm,
+        SyncEdge::End,
+        SyncKind::Exec,
+        0,
+    ));
+    p.push(Instruction::sync(
+        SyncUnit::Simd,
+        SyncEdge::End,
+        SyncKind::Exec,
+        1,
+    ));
+    let r = verify(&p);
+    assert_diag(&r, Rule::OverlappingSyncRegions, 1);
+    assert_diag(&r, Rule::UnmatchedSyncEnd, 2);
+}
+
+#[test]
+fn buf_release_outside_its_region_is_flagged() {
+    let mut p = Program::new();
+    p.push(Instruction::sync(
+        SyncUnit::Simd,
+        SyncEdge::End,
+        SyncKind::Buf,
+        0,
+    ));
+    let r = verify(&p);
+    assert_diag(&r, Rule::BufReleaseOutsideRegion, 0);
+}
+
+#[test]
+fn duplicate_buf_release_is_flagged() {
+    let mut p = Program::new();
+    p.push(Instruction::sync(
+        SyncUnit::Simd,
+        SyncEdge::Start,
+        SyncKind::Exec,
+        0,
+    ));
+    p.push(Instruction::sync(
+        SyncUnit::Simd,
+        SyncEdge::End,
+        SyncKind::Buf,
+        0,
+    ));
+    p.push(Instruction::sync(
+        SyncUnit::Simd,
+        SyncEdge::End,
+        SyncKind::Buf,
+        0,
+    ));
+    p.push(Instruction::sync(
+        SyncUnit::Simd,
+        SyncEdge::End,
+        SyncKind::Exec,
+        0,
+    ));
+    let r = verify(&p);
+    assert_diag(&r, Rule::DuplicateBufRelease, 2);
+}
+
+// --- scratchpad bounds ---
+
+#[test]
+fn oob_namespace_write_is_flagged() {
+    // Base 60, stride 1, 10 iterations: rows [60, 69] of a 64-row BUF.
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 0, value: 1 });
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 60,
+    });
+    p.push(Instruction::IterConfigStride {
+        ns: Namespace::Interim1,
+        index: 0,
+        stride: 1,
+    });
+    p.push(Instruction::LoopSetIter {
+        loop_id: 0,
+        count: 10,
+    });
+    p.push(Instruction::LoopSetIndex {
+        bindings: LoopBindings {
+            dst: Some(i1(0)),
+            src1: None,
+            src2: None,
+        },
+    });
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0)));
+    let r = verify(&p);
+    assert!(!r.is_clean());
+    assert_diag(&r, Rule::OobWrite, 5);
+    let d = r.diagnostics.iter().find(|d| d.rule == Rule::OobWrite);
+    assert!(
+        d.unwrap().message.contains("[60, 69]"),
+        "message should carry the offending interval: {r}"
+    );
+}
+
+#[test]
+fn oob_namespace_read_is_flagged() {
+    let mut p = Program::new();
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 60,
+    });
+    p.push(Instruction::IterConfigStride {
+        ns: Namespace::Interim1,
+        index: 0,
+        stride: 1,
+    });
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 1,
+        addr: 0,
+    });
+    p.push(Instruction::IterConfigStride {
+        ns: Namespace::Interim1,
+        index: 1,
+        stride: 1,
+    });
+    p.push(Instruction::LoopSetIter {
+        loop_id: 0,
+        count: 10,
+    });
+    p.push(Instruction::LoopSetIndex {
+        bindings: LoopBindings {
+            dst: Some(i1(1)),
+            src1: Some(i1(0)),
+            src2: None,
+        },
+    });
+    p.push(Instruction::alu(AluFunc::Max, i1(1), i1(0), i1(0)));
+    let r = verify(&p);
+    assert_diag(&r, Rule::OobRead, 6);
+    // the destination walk [0, 9] is fine — no write diagnostic
+    assert!(!r.diagnostics.iter().any(|d| d.rule == Rule::OobWrite));
+}
+
+#[test]
+fn frozen_destination_waw_hazard_is_flagged() {
+    // The destination's address never advances while the source walks 4
+    // rows, nothing reads the destination back, and the op is not
+    // read-modify-write: 3 of the 4 iterations' values are lost.
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 0, value: 1 });
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 0,
+    });
+    p.push(Instruction::IterConfigStride {
+        ns: Namespace::Interim1,
+        index: 0,
+        stride: 1,
+    });
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 1,
+        addr: 32,
+    });
+    p.push(Instruction::IterConfigStride {
+        ns: Namespace::Interim1,
+        index: 1,
+        stride: 0,
+    });
+    p.push(Instruction::LoopSetIter {
+        loop_id: 0,
+        count: 4,
+    });
+    p.push(Instruction::LoopSetIndex {
+        bindings: LoopBindings {
+            dst: None,
+            src1: Some(i1(0)),
+            src2: None,
+        },
+    });
+    p.push(Instruction::alu(AluFunc::Add, i1(1), i1(0), imm(0)));
+    let r = verify(&p);
+    assert!(!r.is_clean());
+    assert_diag(&r, Rule::WriteAfterWrite, 7);
+}
+
+#[test]
+fn macc_accumulation_is_not_a_waw_hazard() {
+    // Same shape as the WAW fixture but with MACC, which reads its
+    // destination — a legitimate reduction.
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 0, value: 1 });
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 0,
+    });
+    p.push(Instruction::IterConfigStride {
+        ns: Namespace::Interim1,
+        index: 0,
+        stride: 1,
+    });
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 1,
+        addr: 32,
+    });
+    p.push(Instruction::IterConfigStride {
+        ns: Namespace::Interim1,
+        index: 1,
+        stride: 0,
+    });
+    p.push(Instruction::LoopSetIter {
+        loop_id: 0,
+        count: 4,
+    });
+    p.push(Instruction::LoopSetIndex {
+        bindings: LoopBindings {
+            dst: None,
+            src1: Some(i1(0)),
+            src2: None,
+        },
+    });
+    p.push(Instruction::alu(AluFunc::Macc, i1(1), i1(0), imm(0)));
+    let r = verify(&p);
+    assert!(r.is_clean(), "{r}");
+}
+
+// --- loop discipline ---
+
+#[test]
+fn ill_nested_loop_level_is_flagged() {
+    // Level 1 configured before level 0 exists.
+    let mut p = Program::new();
+    p.push(Instruction::LoopSetIter {
+        loop_id: 1,
+        count: 4,
+    });
+    let r = verify(&p);
+    assert_diag(&r, Rule::LoopLevelOrder, 0);
+}
+
+#[test]
+fn set_index_without_a_level_is_flagged() {
+    let mut p = Program::new();
+    p.push(Instruction::LoopSetIndex {
+        bindings: LoopBindings::none(),
+    });
+    let r = verify(&p);
+    assert_diag(&r, Rule::LoopIndexWithoutLevel, 0);
+}
+
+#[test]
+fn loop_body_overrunning_the_program_is_flagged() {
+    let mut p = Program::new();
+    p.push(Instruction::LoopSetIter {
+        loop_id: 0,
+        count: 2,
+    });
+    p.push(Instruction::LoopSetNumInst {
+        loop_id: 0,
+        count: 2,
+    });
+    // program ends here — the declared 2-instruction body does not exist
+    let r = verify(&p);
+    assert_diag(&r, Rule::MalformedLoopBody, 1);
+}
+
+#[test]
+fn non_compute_loop_body_is_flagged() {
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 0, value: 1 });
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 0,
+    });
+    p.push(Instruction::LoopSetIter {
+        loop_id: 0,
+        count: 2,
+    });
+    p.push(Instruction::LoopSetNumInst {
+        loop_id: 0,
+        count: 2,
+    });
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0)));
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 1,
+        addr: 0,
+    }); // configuration inside a repeated body
+    let r = verify(&p);
+    assert_diag(&r, Rule::MalformedLoopBody, 3);
+}
+
+#[test]
+fn zero_iteration_loop_is_a_warning_not_an_error() {
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 0, value: 1 });
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 0,
+    });
+    p.push(Instruction::IterConfigStride {
+        ns: Namespace::Interim1,
+        index: 0,
+        stride: 1,
+    });
+    p.push(Instruction::LoopSetIter {
+        loop_id: 0,
+        count: 0,
+    });
+    p.push(Instruction::LoopSetIndex {
+        bindings: LoopBindings {
+            dst: Some(i1(0)),
+            src1: None,
+            src2: None,
+        },
+    });
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0)));
+    let r = verify(&p);
+    assert_diag(&r, Rule::LoopZeroIterations, 3);
+    assert_eq!(r.diagnostics[0].severity(), Severity::Warning);
+    assert!(r.is_clean(), "warnings must not fail verification: {r}");
+}
+
+// --- operand legality ---
+
+#[test]
+fn imm_destination_is_flagged() {
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 0, value: 1 });
+    p.push(Instruction::alu(AluFunc::Add, imm(1), imm(0), imm(0)));
+    let r = verify(&p);
+    assert_diag(&r, Rule::ImmDestination, 1);
+}
+
+#[test]
+fn uninitialized_imm_read_is_flagged() {
+    let mut p = Program::new();
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 0,
+    });
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(3), imm(3)));
+    let r = verify(&p);
+    assert_diag(&r, Rule::UninitializedImmRead, 1);
+}
+
+#[test]
+fn unconfigured_iterator_is_flagged() {
+    let mut p = Program::new();
+    p.push(Instruction::alu(AluFunc::Max, i1(0), i1(1), i1(1)));
+    let r = verify(&p);
+    assert_diag(&r, Rule::UnconfiguredIterator, 0);
+}
+
+// --- permute engine ---
+
+#[test]
+fn permute_start_without_configuration_is_flagged() {
+    let mut p = Program::new();
+    p.push(Instruction::PermuteStart { cross_lane: false });
+    let r = verify(&p);
+    assert_diag(&r, Rule::PermuteNotConfigured, 0);
+}
+
+#[test]
+fn permute_walk_past_the_scratchpad_is_flagged() {
+    // tiny machine: 64 rows × 8 lanes = 512 words per Interim BUF.
+    let mut p = Program::new();
+    p.push(Instruction::PermuteSetBase {
+        is_dst: false,
+        ns: Namespace::Interim1,
+        addr: 600,
+    });
+    p.push(Instruction::PermuteStart { cross_lane: false });
+    let r = verify(&p);
+    assert_diag(&r, Rule::PermuteOutOfBounds, 1);
+}

@@ -1,0 +1,45 @@
+//! Every program the compiler emits for the 7-model zoo must verify
+//! clean — the end-to-end guarantee `tandem-lint` enforces in CI.
+
+use tandem_compiler::{schedule_graph, OpLowering};
+use tandem_verify::{Verifier, VerifyConfig};
+
+#[test]
+fn all_zoo_programs_verify_clean() {
+    let lowering = OpLowering::new(32, 512);
+    let verifier = Verifier::new(VerifyConfig::for_lowering(32, 512));
+    for bench in tandem_model::zoo::Benchmark::ALL {
+        let graph = bench.graph();
+        let blocks = schedule_graph(&lowering, &graph).unwrap_or_else(|e| {
+            panic!("{}: scheduling failed: {e:?}", graph.name);
+        });
+        for (bi, block) in blocks.iter().enumerate() {
+            let report = verifier.verify(&block.program);
+            assert!(
+                report.is_clean(),
+                "{} block {bi} ({:?}, {} instructions):\n{report}",
+                graph.name,
+                block.kind,
+                block.program.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_machine_zoo_also_verifies() {
+    // The unit-test machine (8 lanes, 64 rows) forces much harder tiling;
+    // the emitted programs must still be in bounds.
+    let lowering = OpLowering::new(8, 64);
+    let verifier = Verifier::new(VerifyConfig::for_lowering(8, 64));
+    for graph in [
+        tandem_model::zoo::mobilenetv2(),
+        tandem_model::zoo::bert_base(32),
+    ] {
+        let blocks = schedule_graph(&lowering, &graph).expect("schedules");
+        for (bi, block) in blocks.iter().enumerate() {
+            let report = verifier.verify(&block.program);
+            assert!(report.is_clean(), "{} block {bi}:\n{report}", graph.name);
+        }
+    }
+}
