@@ -19,4 +19,10 @@ cargo test -q
 echo "==> tandem-lint (static verification of the model zoo)"
 cargo run --release -q --bin tandem_lint -- TANDEM_LINT.json
 
+# tandem_profile exits non-zero if the attribution buckets don't sum to
+# the reported latency; the traces are uploaded as CI artifacts.
+echo "==> tandem-profile (cycle-attribution traces: ResNet-50, BERT)"
+cargo run --release -q --bin tandem_profile -- resnet50 resnet50.trace.json
+cargo run --release -q --bin tandem_profile -- bert bert.trace.json
+
 echo "CI OK"

@@ -35,6 +35,7 @@ fn main() {
         fig22_a100_breakdown(&suite),
         fig23_nongemm_speedup(&suite),
         fig24_tandem_breakdown(&suite),
+        fig24b_cycle_attribution(&suite),
         fig25_energy_breakdown(&suite),
         fig26_area(&suite),
     ] {

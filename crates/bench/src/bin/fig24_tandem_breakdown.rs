@@ -3,4 +3,9 @@
 fn main() {
     let suite = tandem_bench::Suite::load();
     println!("{}", tandem_bench::figures::fig24_tandem_breakdown(&suite));
+    println!();
+    println!(
+        "{}",
+        tandem_bench::figures::fig24b_cycle_attribution(&suite)
+    );
 }

@@ -62,6 +62,39 @@ pub fn fig24_tandem_breakdown(suite: &Suite) -> Table {
     t
 }
 
+/// Figure 24 companion: the same runtime story regenerated from the
+/// cycle-attribution rollup — every cycle of each model's latency in one
+/// of the six critical-path buckets, shares summing to 100% by
+/// construction ([`NpuReport::attribution`](tandem_npu::NpuReport)
+/// maintains `total() == total_cycles` exactly).
+pub fn fig24b_cycle_attribution(suite: &Suite) -> Table {
+    let mut t = Table::new(
+        "Figure 24 (companion) — critical-path cycle attribution",
+        &[
+            "model",
+            "gemm compute",
+            "tandem compute",
+            "front-end stall",
+            "sync wait",
+            "dae wait",
+            "fill/drain",
+        ],
+    );
+    for (i, name) in suite.names().iter().enumerate() {
+        let a = &suite.tandem[i].attribution;
+        let total = a.total().max(1) as f64;
+        let mut cells = vec![name.to_string()];
+        cells.extend(
+            a.rows()
+                .iter()
+                .map(|&(_, cycles)| pct(cycles as f64 / total)),
+        );
+        t.row(cells);
+    }
+    t.note("from NpuReport::attribution; buckets sum to the end-to-end latency exactly (see docs/PROFILING.md)");
+    t
+}
+
 /// Figure 25: Tandem Processor energy breakdown, averaged across the
 /// suite.
 pub fn fig25_energy_breakdown(suite: &Suite) -> Table {

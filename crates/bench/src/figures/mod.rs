@@ -10,7 +10,9 @@ mod headline;
 mod specialization;
 mod vpu;
 
-pub use breakdowns::{fig24_tandem_breakdown, fig25_energy_breakdown, fig26_area};
+pub use breakdowns::{
+    fig24_tandem_breakdown, fig24b_cycle_attribution, fig25_energy_breakdown, fig26_area,
+};
 pub use characterization::{
     fig01_operator_types, fig02_cumulative_ops, fig03_runtime_breakdown, fig05_roofline,
     table1_operator_classes, table2_design_classes, table3_config,

@@ -182,6 +182,16 @@ impl DataAccessEngine {
         }
     }
 
+    /// DMA burst latency for `rows` scratchpad rows under `cfg`'s DRAM
+    /// model: fixed access latency plus bandwidth-limited streaming of
+    /// `rows × lanes` words. This is the cost [`start`](Self::start)
+    /// charges; exposed so the tracing layer can size prefetch-vs-compute
+    /// overlap windows without replaying a transfer.
+    pub fn burst_cycles(cfg: &TandemConfig, rows: u64) -> u64 {
+        let words = rows * cfg.lanes as u64;
+        cfg.dram_latency_cycles + (words as f64 / cfg.dram_words_per_cycle).ceil() as u64
+    }
+
     /// Applies one 16-bit immediate to the plan's base address
     /// (`half = 0` low, `half = 1` high).
     pub fn config_base_addr(&mut self, dir: TileDirection, half: u8, imm: u16) {
@@ -301,10 +311,7 @@ impl DataAccessEngine {
             }
         }
         plan.advance_grid();
-        let words = rows * lanes as u64;
-        let cycles =
-            cfg.dram_latency_cycles + (words as f64 / cfg.dram_words_per_cycle).ceil() as u64;
-        Ok((rows, cycles))
+        Ok((rows, Self::burst_cycles(cfg, rows)))
     }
 }
 

@@ -39,6 +39,12 @@ pub struct EventCounters {
     pub permute_words: u64,
     /// Synchronization instructions executed.
     pub sync_events: u64,
+    /// Compute issues whose operands read the same scratchpad namespace
+    /// more than once in one cycle (second-port accesses on the banked
+    /// pads). The dual-ported design absorbs these without a stall, so
+    /// the counter is a diagnostic for the tracing layer, not a cycle
+    /// cost.
+    pub spad_bank_conflicts: u64,
 }
 
 impl EventCounters {
@@ -58,6 +64,7 @@ impl EventCounters {
             dma_bursts: self.dma_bursts * n,
             permute_words: self.permute_words * n,
             sync_events: self.sync_events * n,
+            spad_bank_conflicts: self.spad_bank_conflicts * n,
         }
     }
 
@@ -75,6 +82,7 @@ impl EventCounters {
         self.dma_bursts += other.dma_bursts;
         self.permute_words += other.permute_words;
         self.sync_events += other.sync_events;
+        self.spad_bank_conflicts += other.spad_bank_conflicts;
     }
 }
 
@@ -233,6 +241,7 @@ mod tests {
             dma_bursts: n / 512,
             permute_words: 0,
             sync_events: 0,
+            spad_bank_conflicts: 0,
         };
         let e = EnergyModel::paper(32).energy(&c);
         let (dram, spad, alu, loop_addr, other) = e.fractions();

@@ -88,3 +88,7 @@ pub use permute::PermuteEngine;
 pub use processor::{LogEvent, Mode, TandemProcessor};
 pub use report::RunReport;
 pub use scratchpad::Scratchpad;
+
+// Re-exported so downstream crates can consume the breakdown travelling
+// inside [`RunReport`] without naming `tandem-trace` themselves.
+pub use tandem_trace::{CycleBreakdown, NullSink, TraceSink, Track};

@@ -19,6 +19,7 @@ use crate::scratchpad::Scratchpad;
 use tandem_isa::{
     Instruction, LoopBindings, Namespace, Operand, Program, TileFunc, MAX_LOOP_LEVELS,
 };
+use tandem_trace::{NullSink, TraceSink, Track};
 
 /// One event recorded by [`TandemProcessor::run_logged`] — a
 /// block-granular execution trace for debugging compiled programs.
@@ -163,7 +164,27 @@ impl TandemProcessor {
     /// addresses, malformed loop bodies, unconfigured engines, IMM-BUF
     /// destinations).
     pub fn run(&mut self, program: &Program, dram: &mut Dram) -> Result<RunReport, SimError> {
-        self.run_inner(program, dram, None)
+        self.run_inner(program, dram, None, &mut NullSink)
+    }
+
+    /// Runs a program while emitting timeline spans into `sink`
+    /// (coalesced configuration runs, Code Repeater nests, permutes and
+    /// DMA bursts as spans; syncs as instants). The span clock is the
+    /// program-local compute-cycle counter; DMA bursts live on their own
+    /// [`Track::Dae`] clock. With a [`NullSink`] this is exactly
+    /// [`run`](Self::run) — the sink is consulted through one
+    /// `enabled()` test per event site.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+        dram: &mut Dram,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunReport, SimError> {
+        self.run_inner(program, dram, None, sink)
     }
 
     /// Runs a program while recording a block-granular execution trace
@@ -179,7 +200,7 @@ impl TandemProcessor {
         dram: &mut Dram,
     ) -> Result<(RunReport, Vec<LogEvent>), SimError> {
         let mut log = Vec::new();
-        let report = self.run_inner(program, dram, Some(&mut log))?;
+        let report = self.run_inner(program, dram, Some(&mut log), &mut NullSink)?;
         Ok((report, log))
     }
 
@@ -188,11 +209,17 @@ impl TandemProcessor {
         program: &Program,
         dram: &mut Dram,
         mut log: Option<&mut Vec<LogEvent>>,
+        sink: &mut dyn TraceSink,
     ) -> Result<RunReport, SimError> {
         let mut report = RunReport::default();
         let mut levels: Vec<LoopLevel> = Vec::new();
         let instrs = program.as_slice();
         let mut pc = 0usize;
+        let trace = sink.enabled();
+        // Coalesced run of configuration cycles: (start cycle, length).
+        // Configuration instructions are emitted as one span per
+        // contiguous run, not one span each, to keep traces readable.
+        let mut cfg_run: Option<(u64, u64)> = None;
         while pc < instrs.len() {
             let instr = instrs[pc];
             if instr.is_config() {
@@ -203,27 +230,39 @@ impl TandemProcessor {
             match instr {
                 Instruction::IterConfigBase { ns, index, addr } => {
                     self.iters[ns as usize].set_offset(index, addr);
-                    self.config_cycle(&mut report);
+                    self.config_cycle(&mut report, trace, &mut cfg_run);
                 }
                 Instruction::IterConfigStride { ns, index, stride } => {
                     self.iters[ns as usize].set_stride(index, stride);
-                    self.config_cycle(&mut report);
+                    self.config_cycle(&mut report, trace, &mut cfg_run);
                 }
                 Instruction::ImmWriteLow { index, value } => {
                     self.imm[index as usize] = value as i32;
-                    self.config_cycle(&mut report);
+                    self.config_cycle(&mut report, trace, &mut cfg_run);
                 }
                 Instruction::ImmWriteHigh { index, value } => {
                     let slot = &mut self.imm[index as usize];
                     *slot = (*slot & 0xffff) | ((value as i32) << 16);
-                    self.config_cycle(&mut report);
+                    self.config_cycle(&mut report, trace, &mut cfg_run);
                 }
                 Instruction::DatatypeConfig { .. } => {
-                    self.config_cycle(&mut report);
+                    self.config_cycle(&mut report, trace, &mut cfg_run);
                 }
                 Instruction::Sync(info) => {
                     report.counters.sync_events += 1;
-                    self.config_cycle(&mut report);
+                    report.counters.instructions += 1;
+                    report.compute_cycles += 1;
+                    report.breakdown.sync += 1;
+                    if trace {
+                        flush_config_span(sink, &mut cfg_run);
+                        sink.instant(
+                            Track::Ops,
+                            sync_event_name(info),
+                            "sync",
+                            report.compute_cycles - 1,
+                            &[("group", info.group as u64)],
+                        );
+                    }
                     if let Some(log) = log.as_deref_mut() {
                         log.push(LogEvent::Sync(info));
                     }
@@ -244,15 +283,15 @@ impl TandemProcessor {
                         count: count as u32,
                         bindings: LoopBindings::none(),
                     });
-                    self.config_cycle(&mut report);
+                    self.config_cycle(&mut report, trace, &mut cfg_run);
                 }
                 Instruction::LoopSetIndex { bindings } => {
                     let level = levels.last_mut().ok_or(SimError::IndexWithoutLoop)?;
                     level.bindings = bindings;
-                    self.config_cycle(&mut report);
+                    self.config_cycle(&mut report, trace, &mut cfg_run);
                 }
                 Instruction::LoopSetNumInst { count, .. } => {
-                    self.config_cycle(&mut report);
+                    self.config_cycle(&mut report, trace, &mut cfg_run);
                     let body_start = pc + 1;
                     let body_end = body_start + count as usize;
                     if body_end > instrs.len()
@@ -262,11 +301,23 @@ impl TandemProcessor {
                     }
                     let before = report.compute_cycles;
                     self.execute_nest(&levels, &instrs[body_start..body_end], &mut report)?;
+                    let iterations: u64 = levels.iter().map(|l| l.count as u64).product();
+                    if trace {
+                        flush_config_span(sink, &mut cfg_run);
+                        sink.span(
+                            Track::Ops,
+                            "nest",
+                            "compute",
+                            before,
+                            report.compute_cycles - before,
+                            &[("body_len", count as u64), ("iterations", iterations)],
+                        );
+                    }
                     if let Some(log) = log.as_deref_mut() {
                         log.push(LogEvent::Nest {
                             pc: body_start,
                             body_len: count as usize,
-                            iterations: levels.iter().map(|l| l.count as u64).product(),
+                            iterations,
                             cycles: report.compute_cycles - before,
                         });
                     }
@@ -276,11 +327,11 @@ impl TandemProcessor {
                 }
                 Instruction::PermuteSetBase { is_dst, ns, addr } => {
                     self.permute.set_base(is_dst, ns, addr);
-                    self.config_cycle(&mut report);
+                    self.config_cycle(&mut report, trace, &mut cfg_run);
                 }
                 Instruction::PermuteSetIter { dim, count } => {
                     self.permute.set_extent(dim, count);
-                    self.config_cycle(&mut report);
+                    self.config_cycle(&mut report, trace, &mut cfg_run);
                 }
                 Instruction::PermuteSetStride {
                     is_dst,
@@ -288,7 +339,7 @@ impl TandemProcessor {
                     stride,
                 } => {
                     self.permute.set_stride(is_dst, dim, stride);
-                    self.config_cycle(&mut report);
+                    self.config_cycle(&mut report, trace, &mut cfg_run);
                 }
                 Instruction::PermuteStart { cross_lane } => {
                     let functional = self.mode == Mode::Functional;
@@ -300,7 +351,20 @@ impl TandemProcessor {
                     )?;
                     report.counters.permute_words += words;
                     report.counters.instructions += 1;
-                    report.compute_cycles += cycles.max(1);
+                    let busy = cycles.max(1);
+                    report.compute_cycles += busy;
+                    report.breakdown.permute += busy;
+                    if trace {
+                        flush_config_span(sink, &mut cfg_run);
+                        sink.span(
+                            Track::Ops,
+                            "permute",
+                            "compute",
+                            report.compute_cycles - busy,
+                            busy,
+                            &[("words", words), ("cross_lane", cross_lane as u64)],
+                        );
+                    }
                     if let Some(log) = log.as_deref_mut() {
                         log.push(LogEvent::Permute { words, cross_lane });
                     }
@@ -341,6 +405,28 @@ impl TandemProcessor {
                             report.counters.dram_words += rows * self.cfg.lanes as u64;
                             report.counters.dma_bursts += 1;
                             report.dma_cycles += cycles;
+                            if trace {
+                                flush_config_span(sink, &mut cfg_run);
+                                sink.span(
+                                    Track::Dae,
+                                    match dir {
+                                        tandem_isa::TileDirection::Load => "dma load",
+                                        tandem_isa::TileDirection::Store => "dma store",
+                                    },
+                                    "dma",
+                                    report.dma_cycles - cycles,
+                                    cycles,
+                                    &[
+                                        ("rows", rows),
+                                        ("words", rows * self.cfg.lanes as u64),
+                                        // Compute-clock position of the burst
+                                        // kickoff: lets a viewer line the DAE
+                                        // track up against the compute track
+                                        // and read the overlap window.
+                                        ("issued_at_compute_cycle", report.compute_cycles),
+                                    ],
+                                );
+                            }
                             if let Some(log) = log.as_deref_mut() {
                                 log.push(LogEvent::Dma { dir, rows, cycles });
                             }
@@ -348,23 +434,47 @@ impl TandemProcessor {
                     }
                     report.counters.instructions += 1;
                     report.compute_cycles += 1;
+                    report.breakdown.tile_issue += 1;
                 }
                 // Bare compute instruction outside any declared loop body:
                 // a single-issue nest.
                 _ if instr.is_compute() => {
+                    let before = report.compute_cycles;
                     self.execute_nest(&levels, &instrs[pc..pc + 1], &mut report)?;
+                    if trace {
+                        flush_config_span(sink, &mut cfg_run);
+                        let iterations: u64 = levels.iter().map(|l| l.count as u64).product();
+                        sink.span(
+                            Track::Ops,
+                            "nest",
+                            "compute",
+                            before,
+                            report.compute_cycles - before,
+                            &[("body_len", 1), ("iterations", iterations)],
+                        );
+                    }
                     levels.clear();
                 }
                 _ => unreachable!("all instruction kinds handled"),
             }
             pc += 1;
         }
+        if trace {
+            flush_config_span(sink, &mut cfg_run);
+        }
         Ok(report)
     }
 
-    fn config_cycle(&self, report: &mut RunReport) {
+    fn config_cycle(&self, report: &mut RunReport, trace: bool, cfg_run: &mut Option<(u64, u64)>) {
         report.counters.instructions += 1;
         report.compute_cycles += 1;
+        report.breakdown.config += 1;
+        if trace {
+            match cfg_run {
+                Some((_, len)) => *len += 1,
+                None => *cfg_run = Some((report.compute_cycles - 1, 1)),
+            }
+        }
     }
 
     /// Executes one loop nest over `body`, charging cycles/events and (in
@@ -384,12 +494,16 @@ impl TandemProcessor {
         let mut spad_reads = 0u64;
         let mut imm_reads = 0u64;
         let mut addr_calcs = 0u64;
+        let mut bank_conflicts = 0u64;
         for instr in body {
             let dst = instr.destination().expect("compute has dst");
             if dst.namespace() == Namespace::Imm {
                 return Err(SimError::ImmDestination);
             }
             addr_calcs += 1; // dst address
+                             // Reads per scratchpad namespace in this issue; a second read
+                             // of the same namespace uses the pad's second port.
+            let mut ns_reads = [0u64; 4];
             let (src1, src2) = instr.sources().expect("compute has sources");
             for src in std::iter::once(src1).chain(src2) {
                 if src.namespace() == Namespace::Imm {
@@ -397,11 +511,14 @@ impl TandemProcessor {
                 } else {
                     spad_reads += 1;
                     addr_calcs += 1;
+                    ns_reads[src.namespace() as usize] += 1;
                 }
             }
             if instr.reads_destination() {
                 spad_reads += 1;
+                ns_reads[dst.namespace() as usize] += 1;
             }
+            bank_conflicts += ns_reads.iter().map(|&n| n.saturating_sub(1)).sum::<u64>();
         }
         let body_len = body.len() as u64;
         let c = &mut report.counters;
@@ -413,7 +530,10 @@ impl TandemProcessor {
         c.imm_reads += total * imm_reads;
         c.addr_calcs += total * addr_calcs;
         c.loop_steps += total;
+        c.spad_bank_conflicts += total * bank_conflicts;
         report.compute_cycles += total * body_len + self.cfg.pipeline_depth;
+        report.breakdown.issue += total * body_len;
+        report.breakdown.fill += self.cfg.pipeline_depth;
 
         if self.mode == Mode::Performance {
             return Ok(());
@@ -526,5 +646,30 @@ impl TandemProcessor {
             .row_mut(dst_row)?
             .copy_from_slice(&result);
         Ok(())
+    }
+}
+
+/// Emits the pending coalesced configuration span, if any.
+fn flush_config_span(sink: &mut dyn TraceSink, cfg_run: &mut Option<(u64, u64)>) {
+    if let Some((start, len)) = cfg_run.take() {
+        sink.span(
+            Track::Ops,
+            "config",
+            "frontend",
+            start,
+            len,
+            &[("instructions", len)],
+        );
+    }
+}
+
+/// Stable trace-event name for a sync instruction.
+fn sync_event_name(info: tandem_isa::SyncInfo) -> &'static str {
+    use tandem_isa::{SyncEdge, SyncKind};
+    match (info.kind, info.edge) {
+        (SyncKind::Exec, SyncEdge::Start) => "sync exec start",
+        (SyncKind::Exec, SyncEdge::End) => "sync exec end",
+        (SyncKind::Buf, SyncEdge::Start) => "sync buf start",
+        (SyncKind::Buf, SyncEdge::End) => "sync buf release",
     }
 }

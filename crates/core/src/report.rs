@@ -1,6 +1,7 @@
 //! Execution reports.
 
 use crate::energy::EventCounters;
+use tandem_trace::CycleBreakdown;
 
 /// The result of simulating one program on the Tandem Processor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -14,6 +15,10 @@ pub struct RunReport {
     pub dma_cycles: u64,
     /// Architectural event counts (feed [`crate::EnergyModel::energy`]).
     pub counters: EventCounters,
+    /// Per-activity split of `compute_cycles` (issue, pipeline fill,
+    /// configuration, permute, DMA issue, sync). Always maintained so
+    /// that `breakdown.total() == compute_cycles`.
+    pub breakdown: CycleBreakdown,
 }
 
 impl RunReport {
@@ -40,6 +45,7 @@ impl RunReport {
             compute_cycles: self.compute_cycles * n,
             dma_cycles: self.dma_cycles * n,
             counters: self.counters.scaled(n),
+            breakdown: self.breakdown.scaled(n),
         }
     }
 
@@ -48,5 +54,6 @@ impl RunReport {
         self.compute_cycles += other.compute_cycles;
         self.dma_cycles += other.dma_cycles;
         self.counters.merge(&other.counters);
+        self.breakdown.merge(&other.breakdown);
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::config::GemmConfig;
 use crate::energy::GemmEnergyModel;
+use tandem_trace::{TraceSink, Track};
 
 /// An `M × K × N` GEMM workload (batch folded into `M`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -174,6 +175,47 @@ impl GemmUnit {
         }
     }
 
+    /// Emits the pass-level structure of one `m_tile`-row tile as spans on
+    /// `sink`'s GEMM track, starting at absolute cycle `start`: one span
+    /// per `⌈K/rows⌉ × ⌈N/cols⌉` weight-slab pass, laid out sequentially
+    /// exactly as [`tile_report`](Self::tile_report) charges them. Returns
+    /// the cycle after the last pass (`start + compute_cycles`).
+    pub fn trace_tile(
+        &self,
+        w: GemmWorkload,
+        m_tile: u64,
+        start: u64,
+        sink: &mut dyn TraceSink,
+    ) -> u64 {
+        if !sink.enabled() || w.macs() == 0 || m_tile == 0 {
+            return start + self.tile_report(w, m_tile).compute_cycles;
+        }
+        let rows = self.cfg.rows as u64;
+        let cols = self.cfg.cols as u64;
+        let k_passes = w.k.div_ceil(rows);
+        let n_passes = w.n.div_ceil(cols);
+        let per_pass = if m_tile < w.m {
+            m_tile + cols - 1
+        } else {
+            rows + m_tile + rows + cols - 2
+        };
+        let mut at = start;
+        for kp in 0..k_passes {
+            for np in 0..n_passes {
+                sink.span(
+                    Track::Gemm,
+                    "pass",
+                    "gemm",
+                    at,
+                    per_pass,
+                    &[("k_pass", kp), ("n_pass", np), ("m_rows", m_tile)],
+                );
+                at += per_pass;
+            }
+        }
+        at
+    }
+
     /// The largest output-tile row count whose INT32 results fit the
     /// accumulator (Output BUF): `accumulator_bytes / (n × 4)`, clamped to
     /// at least one array height.
@@ -227,6 +269,16 @@ mod tests {
         assert_eq!(w.k, 64);
         assert_eq!(w.n, 256);
         assert_eq!(w.macs(), 3136 * 64 * 256);
+    }
+
+    #[test]
+    fn trace_tile_spans_align_with_tile_report() {
+        let unit = GemmUnit::new(GemmConfig::paper());
+        let w = GemmWorkload::new(1024, 256, 256);
+        let mut sink = tandem_trace::ChromeTraceSink::new();
+        let end = unit.trace_tile(w, 256, 100, &mut sink);
+        assert_eq!(end, 100 + unit.tile_report(w, 256).compute_cycles);
+        assert!(!sink.is_empty());
     }
 
     #[test]

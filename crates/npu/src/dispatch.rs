@@ -19,6 +19,22 @@ pub struct DispatchedBlock {
     pub has_tandem: bool,
 }
 
+impl DispatchedBlock {
+    /// Output-BUF release notifications (`SYNC SIMD END.BUF`) left in the
+    /// Tandem stream — the per-tile handoff points the execution
+    /// controller turns into `ObufReleased` events, and the `OBUF_done`
+    /// instants a traced run shows on the controller track (see
+    /// `docs/PROFILING.md`).
+    pub fn obuf_releases(&self) -> u64 {
+        (&self.tandem)
+            .into_iter()
+            .filter(|i| {
+                matches!(i, Instruction::Sync(s) if s.kind == SyncKind::Buf && s.edge == SyncEdge::End)
+            })
+            .count() as u64
+    }
+}
+
 /// Splits `block` at its `sync.{gemm,simd}.{start,end}.exec` markers.
 /// Instructions outside any region are treated as Tandem instructions
 /// (the controller's own sync/buffer handshakes stay in the stream).
@@ -109,5 +125,30 @@ mod tests {
         ));
         let d = dispatch_block(&p);
         assert_eq!(d.tandem.len(), 1);
+        assert_eq!(d.obuf_releases(), 1);
+    }
+
+    #[test]
+    fn obuf_releases_counts_only_buf_end_markers() {
+        let a = Operand::new(Namespace::Interim1, 0);
+        let mut p = Program::new();
+        p.push(sync(SyncUnit::Simd, SyncEdge::Start));
+        p.push(Instruction::sync(
+            SyncUnit::Simd,
+            SyncEdge::Start,
+            SyncKind::Buf,
+            1,
+        ));
+        p.push(Instruction::alu(AluFunc::Add, a, a, a));
+        p.push(Instruction::sync(
+            SyncUnit::Simd,
+            SyncEdge::End,
+            SyncKind::Buf,
+            1,
+        ));
+        p.push(sync(SyncUnit::Simd, SyncEdge::End));
+        let d = dispatch_block(&p);
+        // START.BUF (ownership take) and the EXEC markers don't count.
+        assert_eq!(d.obuf_releases(), 1);
     }
 }

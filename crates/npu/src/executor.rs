@@ -1,6 +1,7 @@
 //! The end-to-end executor: graph → execution blocks → per-tile GEMM /
 //! Tandem co-simulation with double-buffered overlap (paper Figure 10).
 
+use crate::controller::{ControllerEvent, ControllerState, ExecutionController};
 use crate::knobs::Despecialization;
 use crate::report::{ExecStats, NpuReport};
 use gemm_sim::{GemmConfig, GemmReport, GemmReportCache, GemmUnit, GemmWorkload};
@@ -8,9 +9,12 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use tandem_compiler::{CompileCache, ExecutionBlock, NodeSignature, OpLowering, Partitioner};
+use tandem_compiler::{
+    BlockKind, CompileCache, ExecutionBlock, NodeSignature, OpLowering, Partitioner,
+};
 use tandem_core::{Dram, EnergyModel, Mode, RunReport, TandemConfig, TandemProcessor};
 use tandem_model::{Graph, Node, NodeId, TensorId};
+use tandem_trace::{scale_buckets, CycleAttribution, NullSink, OffsetSink, TraceSink, Track};
 use tandem_verify::{Verifier, VerifyConfig};
 
 /// Coordination granularity between the GEMM unit and the Tandem
@@ -185,7 +189,7 @@ impl Npu {
     /// caches.
     pub fn run(&self, graph: &Graph) -> NpuReport {
         let t0 = Instant::now();
-        let before = self.cache_counters();
+        let before = self.stats();
         let mut report = if self.cache_enabled {
             let key: GraphKey = (
                 graph.content_hash(),
@@ -213,23 +217,55 @@ impl Npu {
         } else {
             self.run_core(graph)
         };
-        let after = self.cache_counters();
-        report.stats = ExecStats {
-            wall_s: t0.elapsed().as_secs_f64(),
-            compile_hits: after[0] - before[0],
-            compile_misses: after[1] - before[1],
-            sim_hits: after[2] - before[2],
-            sim_misses: after[3] - before[3],
-            gemm_hits: after[4] - before[4],
-            gemm_misses: after[5] - before[5],
-            graph_hits: after[6] - before[6],
-            graph_misses: after[7] - before[7],
-        };
+        report.stats = self.stats().delta(&before);
+        report.stats.wall_s = t0.elapsed().as_secs_f64();
         report
+    }
+
+    /// Runs `graph` while streaming a cycle-accurate timeline into `sink`:
+    /// execution-block spans, per-tile GEMM/Tandem pipelining with stall
+    /// gaps, embedded instruction-level program timelines, DMA bursts,
+    /// execution-controller handshakes, and a running cycle-attribution
+    /// counter. The returned report is identical to [`Npu::run`]'s (the
+    /// determinism tests assert this), but the graph-level report cache is
+    /// bypassed so a cached graph still produces its events.
+    pub fn run_traced(&self, graph: &Graph, sink: &mut dyn TraceSink) -> NpuReport {
+        let t0 = Instant::now();
+        let before = self.stats();
+        let mut report = self.run_core_traced(graph, sink);
+        report.stats = self.stats().delta(&before);
+        report.stats.wall_s = t0.elapsed().as_secs_f64();
+        report
+    }
+
+    /// Cumulative hit/miss counters of the caches this NPU shares with
+    /// its clones and `run_many` workers, as an [`ExecStats`] snapshot
+    /// (`wall_s` is zero). Counters only grow and are never reset; take a
+    /// snapshot before and after a batch and subtract with
+    /// [`ExecStats::delta`] for contamination-free accounting — the
+    /// per-report `stats` deltas also count concurrent workers' lookups.
+    pub fn stats(&self) -> ExecStats {
+        let c = self.cache_counters();
+        ExecStats {
+            wall_s: 0.0,
+            compile_hits: c[0],
+            compile_misses: c[1],
+            sim_hits: c[2],
+            sim_misses: c[3],
+            gemm_hits: c[4],
+            gemm_misses: c[5],
+            graph_hits: c[6],
+            graph_misses: c[7],
+        }
     }
 
     /// The uncached whole-graph execution body.
     fn run_core(&self, graph: &Graph) -> NpuReport {
+        self.run_core_traced(graph, &mut NullSink)
+    }
+
+    /// The uncached whole-graph execution body, with tracing.
+    fn run_core_traced(&self, graph: &Graph, sink: &mut dyn TraceSink) -> NpuReport {
         let blocks = Partitioner::new().partition(graph);
         let consumers = graph.consumer_index();
         let mut report = NpuReport {
@@ -246,7 +282,15 @@ impl Npu {
             if self.cfg.verify {
                 self.verify_block(graph, block, &mut report);
             }
-            self.run_block(graph, block, &consumers, &mut proc, &mut dram, &mut report);
+            self.run_block(
+                graph,
+                block,
+                &consumers,
+                &mut proc,
+                &mut dram,
+                &mut report,
+                sink,
+            );
         }
         let energy_model = EnergyModel::paper(self.cfg.tandem.lanes);
         report.tandem_energy = energy_model.energy(&report.counters);
@@ -370,12 +414,17 @@ impl Npu {
                 .expect("compiled tile program must simulate");
             total.merge(&one.scaled(*reps));
         }
-        // De-specialization penalties and special-function credits.
+        // De-specialization penalties and special-function credits. The
+        // penalty models extra *instructions*, so it lands in the
+        // `despecialization` bucket; the multiplicative credit rescales
+        // every bucket so the breakdown keeps summing to the cycles.
         let extra = self.cfg.knobs.extra_cycles(&total.counters);
         total.compute_cycles += extra;
+        total.breakdown.despecialization += extra;
         let factor = self.cfg.knobs.special_fn_factor(node.kind);
         if factor < 1.0 {
             total.compute_cycles = ((total.compute_cycles as f64) * factor).ceil() as u64;
+            total.breakdown.scale_to(total.compute_cycles);
         }
         total
     }
@@ -409,7 +458,11 @@ impl Npu {
         r.counters.spad_row_writes = rows;
         r.counters.addr_calcs = rows * 2;
         r.counters.loop_steps = rows;
-        r.compute_cycles += self.cfg.knobs.extra_cycles(&r.counters);
+        r.breakdown.issue = rows;
+        r.breakdown.fill = self.cfg.tandem.pipeline_depth;
+        let extra = self.cfg.knobs.extra_cycles(&r.counters);
+        r.compute_cycles += extra;
+        r.breakdown.despecialization += extra;
         r
     }
 
@@ -488,6 +541,7 @@ impl Npu {
         bytes
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_block(
         &self,
         graph: &Graph,
@@ -496,7 +550,9 @@ impl Npu {
         proc: &mut TandemProcessor,
         dram: &mut Dram,
         report: &mut NpuReport,
+        sink: &mut dyn TraceSink,
     ) {
+        let cursor = report.total_cycles;
         // --- Tandem side: compile + simulate each non-GEMM node ---
         let mut tandem_total = RunReport::default();
         for &id in &block.non_gemm {
@@ -527,6 +583,8 @@ impl Npu {
         report.tandem_dram_bytes += tandem_dram_bytes;
 
         // --- GEMM side ---
+        let mut gemm_compute_cycles = 0u64;
+        let mut gemm_detail: Option<(GemmWorkload, u64)> = None;
         let (gemm_total_cycles, gemm_tile_cycles, tiles) = match block.gemm {
             Some(id) => {
                 let node = graph.node(id);
@@ -540,6 +598,8 @@ impl Npu {
                 report.gemm_energy_nj += whole.energy_nj;
                 *report.per_kind_cycles.entry(node.kind).or_default() += whole.overlapped_cycles();
                 report.busy.gemm_cycles += whole.compute_cycles;
+                gemm_compute_cycles = whole.compute_cycles;
+                gemm_detail = Some((w, tile_rows.min(w.m)));
                 (whole.overlapped_cycles(), tile.overlapped_cycles(), tiles)
             }
             None => (0, 0, 1),
@@ -548,18 +608,54 @@ impl Npu {
         report.busy.tandem_cycles += tandem_total.compute_cycles;
         report.counters.merge(&tandem_total.counters);
 
-        // --- compose block latency ---
+        // --- compose block latency and attribute every cycle of it ---
         let fifo = self.cfg.knobs.fifo_cycles(self.cfg.tandem.obuf_rows as u64) * tiles;
         let tandem_cycles = tandem_total.compute_cycles.max(tandem_total.dma_cycles) + fifo;
+        // Decompose the Tandem side of the critical path: useful vector
+        // work, front-end stalls, and sync from the per-program breakdown
+        // (which sums exactly to `compute_cycles`), plus the FIFO-coupling
+        // copies and the DMA excess past compute.
+        let tb = &tandem_total.breakdown;
+        let tandem_busy = tb.issue + tb.permute + tb.tile_issue + tb.despecialization;
+        let tandem_front = tb.config + tb.fill;
+        let dae_excess = tandem_total
+            .dma_cycles
+            .saturating_sub(tandem_total.compute_cycles);
+        let mut attr = CycleAttribution::default();
         let block_cycles = match (block.gemm.is_some(), block.non_gemm.is_empty()) {
-            (true, true) => gemm_total_cycles,
-            (false, _) => tandem_cycles,
+            (true, true) => {
+                attr.gemm_compute = gemm_compute_cycles.min(gemm_total_cycles);
+                attr.dae_wait = gemm_total_cycles - attr.gemm_compute;
+                gemm_total_cycles
+            }
+            (false, _) => {
+                attr.tandem_compute = tandem_busy;
+                attr.front_end_stall = tandem_front;
+                attr.sync_wait = tb.sync + fifo;
+                attr.dae_wait = dae_excess;
+                tandem_cycles
+            }
             (true, false) => match self.cfg.granularity {
                 TileGranularity::Tile => {
                     // Fill with the first GEMM tile, then steady-state
                     // max(gemm, tandem) per tile, then drain the last
                     // Tandem tile.
                     let t_tile = tandem_cycles / tiles.max(1);
+                    // First tile: the Tandem Processor has nothing to do.
+                    attr.drain = gemm_tile_cycles;
+                    // Steady state: when a GEMM tile outlasts a Tandem
+                    // tile, the Tandem Processor waits on the next
+                    // Output-BUF handoff.
+                    attr.sync_wait = (tiles - 1) * gemm_tile_cycles.saturating_sub(t_tile);
+                    // The Tandem side runs `tiles × t_tile` cycles on the
+                    // critical path; rescale its decomposition to exactly
+                    // that (integer tiling truncates the remainder).
+                    let mut buckets = [tandem_busy, tandem_front, tb.sync + fifo, dae_excess];
+                    scale_buckets(&mut buckets, tiles * t_tile);
+                    attr.tandem_compute = buckets[0];
+                    attr.front_end_stall = buckets[1];
+                    attr.sync_wait += buckets[2];
+                    attr.dae_wait = buckets[3];
                     gemm_tile_cycles + (tiles - 1) * gemm_tile_cycles.max(t_tile) + t_tile
                 }
                 TileGranularity::Layer => {
@@ -573,11 +669,408 @@ impl Npu {
                         .unwrap_or(0);
                     let spill = (spill_bytes as f64 / (self.cfg.tandem.dram_words_per_cycle * 4.0))
                         .ceil() as u64;
+                    attr.gemm_compute = gemm_compute_cycles.min(gemm_total_cycles);
+                    attr.tandem_compute = tandem_busy;
+                    attr.front_end_stall = tandem_front;
+                    attr.sync_wait = tb.sync + fifo;
+                    attr.dae_wait = (gemm_total_cycles - attr.gemm_compute) + dae_excess + spill;
                     gemm_total_cycles + tandem_cycles + spill
                 }
             },
         };
+        debug_assert_eq!(
+            attr.total(),
+            block_cycles,
+            "attribution must cover the block latency exactly"
+        );
+        report.attribution.merge(&attr);
         report.total_cycles += block_cycles;
+        if sink.enabled() {
+            self.trace_block(
+                graph,
+                block,
+                proc,
+                dram,
+                cursor,
+                block_cycles,
+                tiles,
+                gemm_tile_cycles,
+                gemm_total_cycles,
+                tandem_cycles,
+                &tandem_total,
+                gemm_detail,
+                sink,
+            );
+            sink.counter(
+                "cycle attribution",
+                report.total_cycles,
+                &report.attribution.rows(),
+            );
+        }
+    }
+
+    /// Emits the timeline of one executed block: the block span, per-tile
+    /// GEMM↔Tandem pipelining with its stall gaps, the execution
+    /// controller's handshakes (fed through the real Figure 11 FSM so the
+    /// protocol is re-validated while tracing), DMA excess, and the
+    /// embedded instruction-level timeline of the block's compiled tile
+    /// programs.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_block(
+        &self,
+        graph: &Graph,
+        block: &ExecutionBlock,
+        proc: &mut TandemProcessor,
+        dram: &mut Dram,
+        cursor: u64,
+        block_cycles: u64,
+        tiles: u64,
+        gemm_tile_cycles: u64,
+        gemm_total_cycles: u64,
+        tandem_cycles: u64,
+        tandem_total: &RunReport,
+        gemm_detail: Option<(GemmWorkload, u64)>,
+        sink: &mut dyn TraceSink,
+    ) {
+        // Per-tile spans beyond this count coalesce into one "(elided)"
+        // span (its `tiles` arg records how many) so huge layers stay
+        // loadable in the viewer.
+        const DETAIL_TILES: u64 = 32;
+        let kind = block.kind();
+        let label = match (block.gemm, block.non_gemm.first()) {
+            (Some(g), _) => graph.node(g).name.as_str(),
+            (None, Some(&n)) => graph.node(n).name.as_str(),
+            (None, None) => "empty block",
+        };
+        sink.span(
+            Track::Blocks,
+            label,
+            "block",
+            cursor,
+            block_cycles,
+            &[
+                ("tiles", tiles),
+                ("non_gemm_ops", block.non_gemm.len() as u64),
+            ],
+        );
+        let mut ctrl = ExecutionController::new(tiles.min(u32::MAX as u64) as u32);
+        ctrl.start_dispatch();
+        ctrl.on_event(ControllerEvent::DispatchDone(kind));
+        sink.instant(
+            Track::Controller,
+            "dispatch done",
+            "handshake",
+            cursor,
+            &[("tiles", tiles)],
+        );
+        match kind {
+            BlockKind::GemmOnly => {
+                sink.span(
+                    Track::Gemm,
+                    "gemm layer",
+                    "compute",
+                    cursor,
+                    gemm_total_cycles,
+                    &[("tiles", tiles)],
+                );
+                self.trace_gemm_passes(gemm_detail, cursor, sink);
+                let per_tile = gemm_total_cycles / tiles.max(1);
+                for k in 0..tiles {
+                    ctrl.on_event(ControllerEvent::GemmTileDone);
+                    if k < DETAIL_TILES || k + 1 == tiles {
+                        let at = if k + 1 == tiles {
+                            cursor + gemm_total_cycles
+                        } else {
+                            cursor + (k + 1) * per_tile
+                        };
+                        sink.instant(
+                            Track::Controller,
+                            "GEMM_tile_done",
+                            "handshake",
+                            at,
+                            &[("tile", k)],
+                        );
+                    }
+                }
+            }
+            BlockKind::NonGemmOnly => {
+                sink.span(
+                    Track::Tandem,
+                    "tandem bundle",
+                    "compute",
+                    cursor,
+                    tandem_cycles,
+                    &[("ops", block.non_gemm.len() as u64)],
+                );
+                self.trace_dae_stream(tandem_total, cursor, sink);
+                if tandem_total.dma_cycles > tandem_total.compute_cycles {
+                    sink.span(
+                        Track::Dae,
+                        "dma excess",
+                        "stall",
+                        cursor + tandem_total.compute_cycles,
+                        tandem_total.dma_cycles - tandem_total.compute_cycles,
+                        &[],
+                    );
+                }
+                self.trace_programs(graph, block, proc, dram, cursor, sink);
+                for _ in 0..tiles {
+                    ctrl.on_event(ControllerEvent::TandemDone);
+                }
+                sink.instant(
+                    Track::Controller,
+                    "Tandem_done",
+                    "handshake",
+                    cursor + block_cycles,
+                    &[],
+                );
+            }
+            BlockKind::Fused => match self.cfg.granularity {
+                TileGranularity::Tile => {
+                    // The pipelined schedule behind the block-latency
+                    // formula: GEMM tile k occupies
+                    // [cursor + k·s, +g], the Tandem Processor consumes
+                    // tile k over [cursor + g + k·s, +t], with stride
+                    // s = max(g, t); the gap on the slower side is the
+                    // stall the attribution charges.
+                    let g = gemm_tile_cycles;
+                    let t_tile = tandem_cycles / tiles.max(1);
+                    let s = g.max(t_tile);
+                    let detail = tiles.min(DETAIL_TILES);
+                    for k in 0..detail {
+                        sink.span(
+                            Track::Gemm,
+                            "gemm tile",
+                            "compute",
+                            cursor + k * s,
+                            g,
+                            &[("tile", k)],
+                        );
+                        if k + 1 < tiles && t_tile > g {
+                            sink.span(
+                                Track::Gemm,
+                                "wait obuf release",
+                                "stall",
+                                cursor + k * s + g,
+                                t_tile - g,
+                                &[],
+                            );
+                        }
+                        sink.span(
+                            Track::Tandem,
+                            "tandem tile",
+                            "compute",
+                            cursor + g + k * s,
+                            t_tile,
+                            &[("tile", k)],
+                        );
+                        if k + 1 < tiles && g > t_tile {
+                            sink.span(
+                                Track::Tandem,
+                                "wait gemm tile",
+                                "stall",
+                                cursor + g + k * s + t_tile,
+                                g - t_tile,
+                                &[],
+                            );
+                        }
+                    }
+                    if tiles > detail {
+                        let n = tiles - detail;
+                        sink.span(
+                            Track::Gemm,
+                            "gemm tiles (elided)",
+                            "compute",
+                            cursor + detail * s,
+                            (tiles - 1 - detail) * s + g,
+                            &[("tiles", n)],
+                        );
+                        sink.span(
+                            Track::Tandem,
+                            "tandem tiles (elided)",
+                            "compute",
+                            cursor + g + detail * s,
+                            (tiles - 1 - detail) * s + t_tile,
+                            &[("tiles", n)],
+                        );
+                    }
+                    self.trace_gemm_passes(gemm_detail, cursor, sink);
+                    self.trace_dae_stream(tandem_total, cursor + g, sink);
+                    self.trace_programs(graph, block, proc, dram, cursor + g, sink);
+                    for k in 0..tiles {
+                        ctrl.on_event(ControllerEvent::GemmTileDone);
+                        ctrl.on_event(ControllerEvent::ObufReleased);
+                        ctrl.on_event(ControllerEvent::TandemDone);
+                        if k < DETAIL_TILES || k + 1 == tiles {
+                            let done = cursor + g + k * s + t_tile;
+                            sink.instant(
+                                Track::Controller,
+                                "GEMM_tile_done",
+                                "handshake",
+                                cursor + k * s + g,
+                                &[("tile", k)],
+                            );
+                            sink.instant(
+                                Track::Controller,
+                                "OBUF_done",
+                                "handshake",
+                                done,
+                                &[("tile", k)],
+                            );
+                            sink.instant(
+                                Track::Controller,
+                                "Tandem_done",
+                                "handshake",
+                                done,
+                                &[("tile", k)],
+                            );
+                        }
+                    }
+                }
+                TileGranularity::Layer => {
+                    // Serial handoff: GEMM layer, OBUF spill through DRAM,
+                    // then the Tandem bundle.
+                    let spill = block_cycles - gemm_total_cycles - tandem_cycles;
+                    sink.span(
+                        Track::Gemm,
+                        "gemm layer",
+                        "compute",
+                        cursor,
+                        gemm_total_cycles,
+                        &[("tiles", tiles)],
+                    );
+                    self.trace_gemm_passes(gemm_detail, cursor, sink);
+                    if spill > 0 {
+                        sink.span(
+                            Track::Dae,
+                            "obuf spill + reload",
+                            "dma",
+                            cursor + gemm_total_cycles,
+                            spill,
+                            &[],
+                        );
+                    }
+                    let tandem_start = cursor + gemm_total_cycles + spill;
+                    sink.span(
+                        Track::Tandem,
+                        "tandem bundle (serial)",
+                        "compute",
+                        tandem_start,
+                        tandem_cycles,
+                        &[("ops", block.non_gemm.len() as u64)],
+                    );
+                    self.trace_dae_stream(tandem_total, tandem_start, sink);
+                    self.trace_programs(graph, block, proc, dram, tandem_start, sink);
+                    for _ in 0..tiles {
+                        ctrl.on_event(ControllerEvent::GemmTileDone);
+                        ctrl.on_event(ControllerEvent::ObufReleased);
+                        ctrl.on_event(ControllerEvent::TandemDone);
+                    }
+                    sink.instant(
+                        Track::Controller,
+                        "GEMM_tile_done",
+                        "handshake",
+                        cursor + gemm_total_cycles,
+                        &[("tiles", tiles)],
+                    );
+                    sink.instant(
+                        Track::Controller,
+                        "Tandem_done",
+                        "handshake",
+                        cursor + block_cycles,
+                        &[],
+                    );
+                }
+            },
+        }
+        debug_assert_eq!(
+            ctrl.state(),
+            ControllerState::BlockDone,
+            "traced schedule must drive the controller FSM to completion"
+        );
+    }
+
+    /// The block's Data Access Engine activity: DRAM traffic is modeled
+    /// analytically per block (`block_tandem_dram_bytes`), so the DAE
+    /// track shows it as one double-buffered stream span alongside the
+    /// Tandem compute it overlaps.
+    fn trace_dae_stream(&self, tandem_total: &RunReport, start: u64, sink: &mut dyn TraceSink) {
+        if tandem_total.dma_cycles > 0 {
+            sink.span(
+                Track::Dae,
+                "dae stream",
+                "dma",
+                start,
+                tandem_total.dma_cycles,
+                &[("words", tandem_total.counters.dram_words)],
+            );
+        }
+    }
+
+    /// Pass-level detail of one GEMM tile at `start`, when small enough
+    /// to render (larger layers keep their tile-level span, whose `tiles`
+    /// arg records the full extent).
+    fn trace_gemm_passes(
+        &self,
+        gemm_detail: Option<(GemmWorkload, u64)>,
+        start: u64,
+        sink: &mut dyn TraceSink,
+    ) {
+        const MAX_PASSES: u64 = 64;
+        let Some((w, m_tile)) = gemm_detail else {
+            return;
+        };
+        let passes =
+            w.k.div_ceil(self.cfg.gemm.rows as u64) * w.n.div_ceil(self.cfg.gemm.cols as u64);
+        if passes <= MAX_PASSES {
+            self.gemm.trace_tile(w, m_tile, start, sink);
+        }
+    }
+
+    /// Embeds the instruction-level timeline of the block's compiled tile
+    /// programs on the [`Track::Program`] lane starting at `start`: each
+    /// program's first repetition plays out span by span (config runs,
+    /// Code Repeater nests, permutes, DMA bursts, syncs); further
+    /// repetitions coalesce into one "tile repeats" span.
+    fn trace_programs(
+        &self,
+        graph: &Graph,
+        block: &ExecutionBlock,
+        proc: &mut TandemProcessor,
+        dram: &mut Dram,
+        start: u64,
+        sink: &mut dyn TraceSink,
+    ) {
+        let mut at = start;
+        for &id in &block.non_gemm {
+            let node = graph.node(id);
+            let compiled = if self.cache_enabled {
+                self.caches.compile.lower_node(&self.lowering, graph, node)
+            } else {
+                Arc::new(self.lowering.lower_node(graph, node))
+            };
+            let Ok(c) = compiled.as_ref() else { continue };
+            for (prog, reps) in &c.tiles {
+                let one = {
+                    let mut off = OffsetSink::new(sink, at, Track::Program);
+                    proc.run_traced(prog, dram, &mut off)
+                        .expect("compiled tile program must simulate")
+                };
+                at += one.compute_cycles;
+                if *reps > 1 {
+                    let rest = one.compute_cycles * (*reps - 1);
+                    sink.span(
+                        Track::Program,
+                        "tile repeats",
+                        "compute",
+                        at,
+                        rest,
+                        &[("reps", *reps - 1)],
+                    );
+                    at += rest;
+                }
+            }
+        }
     }
 }
 

@@ -49,3 +49,9 @@ pub use dse::{pareto_frontier, DesignPoint, DseResult};
 pub use executor::{run_matrix, Npu, NpuConfig, TileGranularity};
 pub use knobs::Despecialization;
 pub use report::{ExecStats, NpuReport, UnitBusy, VerifySummary};
+
+// Re-exported so profiling front-ends can drive [`Npu::run_traced`] and
+// consume [`NpuReport::attribution`] without naming `tandem-trace`.
+pub use tandem_trace::{
+    ChromeTraceSink, CycleAttribution, CycleBreakdown, NullSink, TraceSink, Track,
+};

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use tandem_core::{EnergyBreakdown, EventCounters};
 use tandem_model::OpKind;
+use tandem_trace::CycleAttribution;
 
 /// Busy-cycle totals per unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -20,6 +21,17 @@ pub struct UnitBusy {
 /// Deliberately **excluded** from [`NpuReport`] equality — a cached and
 /// an uncached run of the same model compare equal even though their
 /// wall-times and hit counts differ.
+///
+/// # Delta semantics
+///
+/// The caches are shared by every clone of an `Npu` and by all
+/// `Npu::run_many` workers, and their hit/miss counters are cumulative
+/// over the caches' lifetime — they are **never reset**. The stats
+/// attached to each [`NpuReport`] are the counter difference between the
+/// start and the end of that `run` call, which under concurrent
+/// `run_many` workers also picks up the other workers' lookups. For
+/// reliable accounting across a batch, snapshot `Npu::stats()` before
+/// and after and subtract with [`ExecStats::delta`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ExecStats {
     /// Host wall-clock seconds the run took.
@@ -43,6 +55,26 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
+    /// The counter increments between `baseline` (an earlier
+    /// `Npu::stats()` snapshot of the same cache set) and `self`.
+    /// Counters only grow, but fields are subtracted saturating so a
+    /// mismatched baseline degrades to zeros instead of wrapping.
+    /// `wall_s` is carried over from `self` unchanged — snapshots record
+    /// no wall time of their own.
+    pub fn delta(&self, baseline: &ExecStats) -> ExecStats {
+        ExecStats {
+            wall_s: self.wall_s,
+            compile_hits: self.compile_hits.saturating_sub(baseline.compile_hits),
+            compile_misses: self.compile_misses.saturating_sub(baseline.compile_misses),
+            sim_hits: self.sim_hits.saturating_sub(baseline.sim_hits),
+            sim_misses: self.sim_misses.saturating_sub(baseline.sim_misses),
+            gemm_hits: self.gemm_hits.saturating_sub(baseline.gemm_hits),
+            gemm_misses: self.gemm_misses.saturating_sub(baseline.gemm_misses),
+            graph_hits: self.graph_hits.saturating_sub(baseline.graph_hits),
+            graph_misses: self.graph_misses.saturating_sub(baseline.graph_misses),
+        }
+    }
+
     /// Total cache lookups across all four caches.
     pub fn lookups(&self) -> u64 {
         self.compile_hits
@@ -124,6 +156,11 @@ pub struct NpuReport {
     pub freq_ghz: f64,
     /// Static-verification outcome over the run's compiled tile programs.
     pub verify: VerifySummary,
+    /// Critical-path cycle attribution: where every cycle of
+    /// `total_cycles` went (compute per unit, front-end stalls, sync
+    /// waits, DAE excess, tile-pipeline fill/drain). Maintained so that
+    /// `attribution.total() == total_cycles` exactly.
+    pub attribution: CycleAttribution,
     /// Host-side wall-time and cache statistics (not part of equality).
     pub stats: ExecStats,
 }
@@ -146,6 +183,7 @@ impl PartialEq for NpuReport {
             && self.tandem_lanes == other.tandem_lanes
             && self.freq_ghz == other.freq_ghz
             && self.verify == other.verify
+            && self.attribution == other.attribution
     }
 }
 

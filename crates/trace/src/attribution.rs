@@ -1,0 +1,321 @@
+//! Cycle attribution: exact-sum breakdowns of where simulated cycles go.
+
+/// Splits one Tandem program's `compute_cycles` by pipeline activity.
+///
+/// **Invariant:** the bucket sum equals the `RunReport::compute_cycles`
+/// the breakdown travels with — every charged cycle lands in exactly one
+/// bucket. `tandem-core` maintains this at every charge site and the
+/// executor re-establishes it after knob adjustments with
+/// [`CycleBreakdown::scale_to`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CycleBreakdown {
+    /// Configuration-class instructions: iterator-table and IMM-BUF
+    /// writes, Code Repeater loop setup, permute/DAE configuration.
+    pub config: u64,
+    /// Loop-body compute issues (the Code Repeater's one-instruction-per-
+    /// cycle steady state).
+    pub issue: u64,
+    /// Pipeline fill after each nest launch — the front-end stall paid
+    /// once per Code Repeater invocation.
+    pub fill: u64,
+    /// Permute Engine busy cycles.
+    pub permute: u64,
+    /// `TILE_LD_ST` issue cycles (DAE configuration and burst kickoff;
+    /// the burst itself is accounted as DMA cycles, not compute).
+    pub tile_issue: u64,
+    /// Synchronization instructions.
+    pub sync: u64,
+    /// De-specialization overhead injected by ablation knobs (register-
+    /// file load/stores, branch loops, software address calculation).
+    /// Zero for the proposed design.
+    pub despecialization: u64,
+}
+
+impl CycleBreakdown {
+    /// Sum of all buckets (equals the owning report's `compute_cycles`).
+    pub fn total(&self) -> u64 {
+        self.config
+            + self.issue
+            + self.fill
+            + self.permute
+            + self.tile_issue
+            + self.sync
+            + self.despecialization
+    }
+
+    /// Cycles stalled in the front end (configuration + pipeline fill).
+    pub fn front_end(&self) -> u64 {
+        self.config + self.fill
+    }
+
+    /// Cycles doing useful vector work (issue + permute + DMA issue +
+    /// knob overhead, which models extra *instructions* the
+    /// de-specialized machine executes).
+    pub fn busy(&self) -> u64 {
+        self.issue + self.permute + self.tile_issue + self.despecialization
+    }
+
+    /// Multiplies every bucket by `n` (an identical tile program executed
+    /// `n` times).
+    pub fn scaled(&self, n: u64) -> CycleBreakdown {
+        CycleBreakdown {
+            config: self.config * n,
+            issue: self.issue * n,
+            fill: self.fill * n,
+            permute: self.permute * n,
+            tile_issue: self.tile_issue * n,
+            sync: self.sync * n,
+            despecialization: self.despecialization * n,
+        }
+    }
+
+    /// Merges another breakdown (sequential composition).
+    pub fn merge(&mut self, other: &CycleBreakdown) {
+        self.config += other.config;
+        self.issue += other.issue;
+        self.fill += other.fill;
+        self.permute += other.permute;
+        self.tile_issue += other.tile_issue;
+        self.sync += other.sync;
+        self.despecialization += other.despecialization;
+    }
+
+    /// Rescales the buckets proportionally so they sum to exactly
+    /// `new_total` (used after a multiplicative cycle adjustment such as
+    /// the special-function knob). Deterministic largest-remainder
+    /// rounding; when the breakdown is all-zero the entire `new_total`
+    /// lands in `issue`.
+    pub fn scale_to(&mut self, new_total: u64) {
+        let mut buckets = [
+            self.config,
+            self.issue,
+            self.fill,
+            self.permute,
+            self.tile_issue,
+            self.sync,
+            self.despecialization,
+        ];
+        scale_buckets(&mut buckets, new_total);
+        [
+            self.config,
+            self.issue,
+            self.fill,
+            self.permute,
+            self.tile_issue,
+            self.sync,
+            self.despecialization,
+        ] = buckets;
+    }
+}
+
+/// Rescales `buckets` proportionally so they sum to exactly `new_total`.
+///
+/// Floor-scales each bucket with 128-bit intermediate precision, then
+/// distributes the rounding shortfall one cycle at a time to the buckets
+/// with the largest remainders (ties broken by lowest index) — the
+/// classic largest-remainder method, fully deterministic. An all-zero
+/// input puts the entire `new_total` in bucket 0.
+pub fn scale_buckets(buckets: &mut [u64], new_total: u64) {
+    let old: u64 = buckets.iter().sum();
+    if old == new_total {
+        return;
+    }
+    if old == 0 {
+        if let Some(first) = buckets.first_mut() {
+            *first = new_total;
+        }
+        return;
+    }
+    let mut remainders: Vec<(u64, usize)> = Vec::with_capacity(buckets.len());
+    let mut assigned = 0u64;
+    for (i, b) in buckets.iter_mut().enumerate() {
+        let product = *b as u128 * new_total as u128;
+        let scaled = (product / old as u128) as u64;
+        let rem = (product % old as u128) as u64;
+        *b = scaled;
+        assigned += scaled;
+        remainders.push((rem, i));
+    }
+    // Largest remainder first; ties by lowest index.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut shortfall = new_total - assigned;
+    for (_, i) in remainders {
+        if shortfall == 0 {
+            break;
+        }
+        buckets[i] += 1;
+        shortfall -= 1;
+    }
+}
+
+/// Critical-path attribution of one end-to-end model run.
+///
+/// **Invariant:** [`CycleAttribution::total`] equals
+/// `NpuReport::total_cycles` exactly — every cycle of the reported
+/// latency is attributed to exactly one bucket. The executor builds the
+/// attribution per execution block from the same quantities that compose
+/// the block's latency, so the rollup can never drift from the report
+/// (`crates/npu/tests/tracing.rs` asserts this for the whole zoo).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CycleAttribution {
+    /// The GEMM unit bounds the critical path (systolic array streaming).
+    pub gemm_compute: u64,
+    /// The Tandem Processor bounds the critical path with useful vector
+    /// work (loop-body issues, permutes, DMA kickoff).
+    pub tandem_compute: u64,
+    /// Tandem front-end stalls on the critical path: iterator-table /
+    /// Code Repeater configuration and pipeline fill.
+    pub front_end_stall: u64,
+    /// Cycles the Tandem Processor waits for the GEMM unit's next Output-
+    /// BUF tile (tile-pipeline imbalance), plus explicit synchronization
+    /// instructions and FIFO-coupling copies.
+    pub sync_wait: u64,
+    /// Cycles the Data Access Engine (or the GEMM unit's DRAM streaming)
+    /// extends past compute — the memory-bound excess.
+    pub dae_wait: u64,
+    /// Tile-pipeline fill and drain: the first GEMM tile of each fused
+    /// block, produced before the Tandem Processor has anything to do.
+    pub drain: u64,
+}
+
+impl CycleAttribution {
+    /// Sum of all buckets (equals the run's `total_cycles`).
+    pub fn total(&self) -> u64 {
+        self.gemm_compute
+            + self.tandem_compute
+            + self.front_end_stall
+            + self.sync_wait
+            + self.dae_wait
+            + self.drain
+    }
+
+    /// Compute cycles (either unit doing useful work).
+    pub fn compute(&self) -> u64 {
+        self.gemm_compute + self.tandem_compute
+    }
+
+    /// Stall cycles (anything that is not compute or fill/drain).
+    pub fn stall(&self) -> u64 {
+        self.front_end_stall + self.sync_wait + self.dae_wait
+    }
+
+    /// Merges another attribution (sequential block composition).
+    pub fn merge(&mut self, other: &CycleAttribution) {
+        self.gemm_compute += other.gemm_compute;
+        self.tandem_compute += other.tandem_compute;
+        self.front_end_stall += other.front_end_stall;
+        self.sync_wait += other.sync_wait;
+        self.dae_wait += other.dae_wait;
+        self.drain += other.drain;
+    }
+
+    /// The buckets as `(label, cycles)` rows in display order.
+    pub fn rows(&self) -> [(&'static str, u64); 6] {
+        [
+            ("gemm compute", self.gemm_compute),
+            ("tandem compute", self.tandem_compute),
+            ("front-end stall", self.front_end_stall),
+            ("sync wait", self.sync_wait),
+            ("dae wait", self.dae_wait),
+            ("fill/drain", self.drain),
+        ]
+    }
+}
+
+impl std::fmt::Display for CycleAttribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.total().max(1);
+        writeln!(f, "{:<16} {:>14} {:>7}", "bucket", "cycles", "share")?;
+        for (label, cycles) in self.rows() {
+            writeln!(
+                f,
+                "{:<16} {:>14} {:>6.1}%",
+                label,
+                cycles,
+                cycles as f64 / total as f64 * 100.0
+            )?;
+        }
+        write!(f, "{:<16} {:>14} {:>6.1}%", "total", self.total(), 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_all_buckets() {
+        let b = CycleBreakdown {
+            config: 1,
+            issue: 2,
+            fill: 3,
+            permute: 4,
+            tile_issue: 5,
+            sync: 6,
+            despecialization: 7,
+        };
+        assert_eq!(b.total(), 28);
+        assert_eq!(b.scaled(3).total(), 84);
+        let mut m = b;
+        m.merge(&b);
+        assert_eq!(m.total(), 56);
+    }
+
+    #[test]
+    fn scale_buckets_hits_target_exactly() {
+        for target in [0u64, 1, 7, 99, 100, 101, 12345] {
+            let mut b = [3u64, 5, 7, 11, 0, 2];
+            scale_buckets(&mut b, target);
+            assert_eq!(b.iter().sum::<u64>(), target, "target {target}");
+        }
+    }
+
+    #[test]
+    fn scale_buckets_is_proportional_and_deterministic() {
+        let mut a = [100u64, 300];
+        scale_buckets(&mut a, 40);
+        assert_eq!(a, [10, 30]);
+        let mut z = [0u64, 0, 0];
+        scale_buckets(&mut z, 9);
+        assert_eq!(z, [9, 0, 0]);
+    }
+
+    #[test]
+    fn scale_to_preserves_invariant_under_growth_and_shrink() {
+        let b = CycleBreakdown {
+            config: 10,
+            issue: 70,
+            fill: 5,
+            permute: 0,
+            tile_issue: 10,
+            sync: 5,
+            despecialization: 0,
+        };
+        for target in [0u64, 13, 100, 1000] {
+            let mut s = b;
+            s.scale_to(target);
+            assert_eq!(s.total(), target);
+        }
+    }
+
+    #[test]
+    fn attribution_totals_and_display() {
+        let a = CycleAttribution {
+            gemm_compute: 50,
+            tandem_compute: 30,
+            front_end_stall: 5,
+            sync_wait: 10,
+            dae_wait: 4,
+            drain: 1,
+        };
+        assert_eq!(a.total(), 100);
+        assert_eq!(a.compute(), 80);
+        assert_eq!(a.stall(), 19);
+        let text = a.to_string();
+        assert!(text.contains("sync wait"));
+        assert!(text.contains("100.0%"));
+        let mut m = a;
+        m.merge(&a);
+        assert_eq!(m.total(), 200);
+    }
+}

@@ -1,0 +1,37 @@
+//! # tandem-trace
+//!
+//! The cycle-attribution tracing layer of the NPU-Tandem simulator.
+//!
+//! The paper's headline evidence is timeline-shaped — Figure 8 plots
+//! utilization under tile vs layer coordination, Figure 24 breaks runtime
+//! down per operator family, and §7 validates the cycle simulator against
+//! RTL. Aggregate end-of-run numbers cannot explain *why* a model is slow;
+//! this crate adds the two artifacts that can:
+//!
+//! * **Event traces** — a [`TraceSink`] receives span/instant/counter
+//!   events from the simulator while it runs. [`NullSink`] is a zero-cost
+//!   default (every call site is guarded by [`TraceSink::enabled`], which
+//!   the branch predictor learns immediately and the optimizer removes for
+//!   the monomorphic no-op sink); [`ChromeTraceSink`] records everything
+//!   and serializes Chrome-trace JSON loadable in Perfetto or
+//!   `chrome://tracing`.
+//! * **Cycle attribution** — [`CycleBreakdown`] splits one Tandem
+//!   program's compute cycles by pipeline activity (issue, pipeline fill,
+//!   configuration, permute, DMA issue, synchronization), and
+//!   [`CycleAttribution`] rolls a whole model run up into critical-path
+//!   buckets (GEMM compute, Tandem compute, front-end stall, sync wait,
+//!   DAE wait, fill/drain) that **sum exactly** to the reported
+//!   end-to-end cycle count. The figures and the trace can therefore
+//!   never disagree: both are derived from the same rollup.
+//!
+//! The crate is dependency-free and sits below `tandem-core`, `gemm-sim`
+//! and `tandem-npu` in the crate graph; see `docs/PROFILING.md` for the
+//! full workflow and `docs/ARCHITECTURE.md` for the crate map.
+
+#![warn(missing_docs)]
+
+mod attribution;
+mod sink;
+
+pub use attribution::{scale_buckets, CycleAttribution, CycleBreakdown};
+pub use sink::{ChromeTraceSink, NullSink, OffsetSink, TraceSink, Track};
