@@ -25,4 +25,9 @@ echo "==> tandem-profile (cycle-attribution traces: ResNet-50, BERT)"
 cargo run --release -q --bin tandem_profile -- resnet50 resnet50.trace.json
 cargo run --release -q --bin tandem_profile -- bert bert.trace.json
 
+# Multi-NPU serving sweep: policies × fleet sizes over the zoo; the
+# SERVE.json artifact is byte-deterministic for a fixed seed.
+echo "==> tandem-serve (fleet serving sweep, smoke)"
+cargo run --release -q --bin tandem_serve -- --smoke SERVE.json --trace fleet.trace.json
+
 echo "CI OK"

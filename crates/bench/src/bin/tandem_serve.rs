@@ -1,0 +1,208 @@
+//! `tandem-serve`: the multi-NPU request-serving sweep.
+//!
+//! Sweeps every scheduling policy (FIFO, shortest-job-first,
+//! model-affinity, batch-coalescing) across fleet sizes, serving
+//! seeded workloads over the paper zoo in discrete virtual time derived
+//! from real per-model cycle counts. Writes `SERVE.json` (first CLI
+//! argument or `--out`, default `SERVE.json`) for CI artifact upload;
+//! same seed + same configuration ⇒ byte-identical output regardless of
+//! `--jobs`.
+//!
+//! Flags:
+//! * `--smoke` — smaller request counts and fleet sizes (the CI gate).
+//! * `--jobs N` — worker threads for the sweep (0 = one per core).
+//! * `--trace PATH` — additionally record one 4-NPU ResNet-50/BERT
+//!   demo run as a Chrome/Perfetto trace (the `docs/SERVING.md` worked
+//!   example).
+
+use tandem_fleet::{
+    render_serve_json, sweep, ArrivalProcess, Catalog, Fleet, FleetConfig, FleetReport, Policy,
+    SweepSpec, WorkloadSpec,
+};
+use tandem_npu::{Npu, NpuConfig};
+use tandem_trace::ChromeTraceSink;
+
+/// Mean solo service time (ns) of `mix` on one paper-configured NPU —
+/// the capacity yardstick the offered rates are derived from.
+fn mean_service_ns(probe: &Npu, catalog: &Catalog, mix: &[(usize, f64)]) -> f64 {
+    let freq = probe.config().tandem.freq_ghz;
+    let total: f64 = mix.iter().map(|&(_, w)| w).sum();
+    mix.iter()
+        .map(|&(m, w)| {
+            let ns = probe.estimate(catalog.graph(m)) as f64 / freq;
+            ns * w / total
+        })
+        .sum()
+}
+
+/// Offered rate that oversubscribes a `size`-NPU fleet by `factor`.
+fn rate_rps(mean_ns: f64, size: usize, factor: f64) -> f64 {
+    factor * size as f64 * 1e9 / mean_ns
+}
+
+fn print_rows(scenario: &str, rows: &[FleetReport]) {
+    for r in rows {
+        println!(
+            "{:<10} {:<9} {:>4} {:>9} {:>12.0} {:>9.3} {:>9.3} {:>6.3}",
+            scenario,
+            r.policy,
+            r.fleet_size,
+            r.completed,
+            r.throughput_rps(),
+            r.latency.p50_ns as f64 / 1e6,
+            r.latency.p99_ns as f64 / 1e6,
+            r.mean_utilization(),
+        );
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut jobs = 0usize;
+    let mut out_path = "SERVE.json".to_string();
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs an integer");
+            }
+            "--trace" => {
+                trace_path = Some(args.next().expect("--trace needs a path"));
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other if !other.starts_with('-') => out_path = other.to_string(),
+            other => panic!("unknown flag: {other}"),
+        }
+    }
+
+    let catalog = Catalog::zoo();
+    let probe = Npu::new(NpuConfig::paper());
+    let requests = if smoke { 96 } else { 384 };
+    let fleet_sizes: Vec<usize> = if smoke {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    let max_size = *fleet_sizes.iter().max().unwrap();
+    let template = FleetConfig::homogeneous(NpuConfig::paper(), 1);
+
+    // Scenario 1 — "mixed": the uniform 7-model zoo, offered at 1.2×
+    // the largest fleet's solo-service capacity so every cell queues.
+    let mixed_mix: Vec<(usize, f64)> = (0..catalog.len()).map(|m| (m, 1.0)).collect();
+    let mixed_rate = rate_rps(mean_service_ns(&probe, &catalog, &mixed_mix), max_size, 1.2);
+    let mixed = SweepSpec {
+        template: template.clone(),
+        fleet_sizes: fleet_sizes.clone(),
+        policies: Policy::ALL.to_vec(),
+        workload: WorkloadSpec {
+            mix: mixed_mix,
+            arrival: ArrivalProcess::Poisson {
+                rate_rps: mixed_rate,
+            },
+            seed: 42,
+            requests,
+        },
+    };
+
+    // Scenario 2 — "bert_heavy": 80% BERT plus ResNet-50/GPT-2
+    // stragglers, oversubscribed 1.5× — the regime where same-model
+    // batch coalescing pulls ahead of FIFO on throughput.
+    let bert_mix: Vec<(usize, f64)> = vec![(5, 8.0), (1, 1.0), (6, 1.0)];
+    let bert_rate = rate_rps(mean_service_ns(&probe, &catalog, &bert_mix), max_size, 1.5);
+    let bert_heavy = SweepSpec {
+        template: template.clone(),
+        fleet_sizes: fleet_sizes.clone(),
+        policies: Policy::ALL.to_vec(),
+        workload: WorkloadSpec {
+            mix: bert_mix,
+            arrival: ArrivalProcess::Poisson {
+                rate_rps: bert_rate,
+            },
+            seed: 42,
+            requests,
+        },
+    };
+
+    // Scenario 3 — "closed_loop": 16 concurrent clients with 0.2 ms
+    // think time, the latency-measurement mode.
+    let closed = SweepSpec {
+        template,
+        fleet_sizes: fleet_sizes.clone(),
+        policies: Policy::ALL.to_vec(),
+        workload: WorkloadSpec {
+            mix: (0..catalog.len()).map(|m| (m, 1.0)).collect(),
+            arrival: ArrivalProcess::ClosedLoop {
+                clients: 16,
+                think_ns: 200_000,
+            },
+            seed: 42,
+            requests,
+        },
+    };
+
+    println!(
+        "{:<10} {:<9} {:>4} {:>9} {:>12} {:>9} {:>9} {:>6}",
+        "scenario", "policy", "npus", "served", "thr (rps)", "p50 ms", "p99 ms", "util"
+    );
+    let sections: Vec<(String, Vec<FleetReport>)> = [
+        ("mixed", &mixed),
+        ("bert_heavy", &bert_heavy),
+        ("closed_loop", &closed),
+    ]
+    .iter()
+    .map(|(name, spec)| {
+        let rows = sweep(&catalog, spec, jobs);
+        print_rows(name, &rows);
+        (name.to_string(), rows)
+    })
+    .collect();
+
+    // The headline comparison: batch coalescing vs FIFO at the largest
+    // fleet on the BERT-heavy mix.
+    let pick = |rows: &[FleetReport], policy: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.policy == policy && r.fleet_size == max_size)
+            .map(|r| r.throughput_rps())
+            .unwrap_or(0.0)
+    };
+    let bert_rows = &sections[1].1;
+    let (fifo_thr, batch_thr) = (pick(bert_rows, "fifo"), pick(bert_rows, "batch"));
+    println!(
+        "\nbert_heavy @ {max_size} NPUs: batch {batch_thr:.0} rps vs fifo {fifo_thr:.0} rps \
+         ({:.2}x)",
+        batch_thr / fifo_thr.max(1e-9),
+    );
+
+    let json = render_serve_json(&sections);
+    std::fs::write(&out_path, &json).expect("write SERVE.json");
+    println!("wrote {out_path}");
+
+    if let Some(path) = trace_path {
+        // The docs/SERVING.md worked example: a 4-NPU fleet on a mixed
+        // ResNet-50/BERT Poisson workload, rendered for Perfetto.
+        let mut sink = ChromeTraceSink::new();
+        let demo_mix = vec![(1usize, 1.0), (5, 1.0)];
+        let demo_rate = rate_rps(mean_service_ns(&probe, &catalog, &demo_mix), 4, 1.3);
+        let fleet = Fleet::new(FleetConfig::homogeneous(NpuConfig::paper(), 4));
+        let spec = WorkloadSpec {
+            mix: demo_mix,
+            arrival: ArrivalProcess::Poisson {
+                rate_rps: demo_rate,
+            },
+            seed: 7,
+            requests: if smoke { 48 } else { 128 },
+        };
+        let report = fleet.serve_traced(&catalog, &spec, Policy::BatchCoalesce, &mut sink);
+        std::fs::write(&path, sink.to_json()).expect("write fleet trace");
+        println!(
+            "wrote {path} ({} events, p99 {:.3} ms) — open in https://ui.perfetto.dev",
+            sink.len(),
+            report.latency.p99_ns as f64 / 1e6,
+        );
+    }
+}

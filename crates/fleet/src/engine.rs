@@ -1,0 +1,544 @@
+//! The fleet engine: an event-driven simulation of a request-serving
+//! deployment over N simulated NPUs, in discrete virtual nanoseconds.
+//!
+//! Virtual time is derived from real per-model [`tandem_npu::NpuReport`]
+//! cycle counts via each NPU's clock frequency (`cycles / freq_ghz` ns),
+//! so the serving numbers inherit the cycle model's fidelity. Every
+//! request is charged three exact components — queueing delay, a
+//! cold-compile warm-up the first time its model lands on an NPU, and
+//! (batch-scaled) service time — and the engine asserts that the three
+//! sum to the end-to-end latency for every completed request.
+
+use crate::policy::{Dispatch, FleetView, Policy, SchedulerPolicy};
+use crate::report::{FleetReport, LatencyStats, ModelStats, NpuUsage, Rejection, RequestRecord};
+use crate::workload::{ArrivalProcess, Catalog, Request, WorkloadSpec};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+use tandem_npu::{ExecStats, Npu, NpuConfig};
+use tandem_trace::{fleet as spans, NullSink, TraceSink};
+
+/// Configuration of a simulated fleet: the member NPUs (heterogeneous
+/// configurations allowed) plus the serving-layer knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// One configuration per NPU. Members with *equal* configurations
+    /// share one host-side cache set (see [`Npu::fleet`]); their
+    /// serving-layer warm state (`seen` models) is still tracked per
+    /// NPU, because on real silicon each accelerator holds its own
+    /// compiled programs.
+    pub npus: Vec<NpuConfig>,
+    /// Admission bound: arrivals beyond this many pending requests are
+    /// dropped (`usize::MAX` = unbounded).
+    pub queue_capacity: usize,
+    /// Optional queueing deadline: a request that waits longer is timed
+    /// out at dispatch instead of served.
+    pub deadline_ns: Option<u64>,
+    /// Cold-compile warm-up charged per graph node the first time a
+    /// model lands on an NPU (models the compile + cache-fill cost in
+    /// virtual time; deterministic, unlike host wall-time).
+    pub warmup_ns_per_node: u64,
+    /// Largest same-model batch one dispatch may coalesce.
+    pub max_batch: usize,
+    /// How long a batch head may wait for same-model followers.
+    pub batch_window_ns: u64,
+    /// Marginal cost of each additional batch member, as a fraction of
+    /// the solo service time: a k-batch takes
+    /// `solo · (1 + (k−1) · batch_marginal)`. Sub-linear (< 1) because
+    /// weights, tiles, and the compiled program are already resident —
+    /// the same amortization that makes batching win on real serving
+    /// hardware.
+    pub batch_marginal: f64,
+}
+
+impl FleetConfig {
+    /// `n` identical NPUs with the serving defaults: 1024-deep
+    /// admission queue, no deadline, 2 µs/node warm-up, batches up to 8
+    /// within a 2 ms window at 0.35 marginal cost.
+    pub fn homogeneous(cfg: NpuConfig, n: usize) -> Self {
+        FleetConfig {
+            npus: vec![cfg; n],
+            queue_capacity: 1024,
+            deadline_ns: None,
+            warmup_ns_per_node: 2_000,
+            max_batch: 8,
+            batch_window_ns: 2_000_000,
+            batch_marginal: 0.35,
+        }
+    }
+
+    /// A heterogeneous fleet from GeneSys generator design points
+    /// (serving defaults as in [`FleetConfig::homogeneous`]): e.g. a mix
+    /// of [`tandem_npu::DesignPoint::paper`] and
+    /// [`tandem_npu::DesignPoint::large`] members.
+    pub fn from_points(points: &[tandem_npu::DesignPoint]) -> Self {
+        let mut cfg = Self::homogeneous(NpuConfig::paper(), points.len().max(1));
+        cfg.npus = points.iter().map(|p| p.npu_config()).collect();
+        cfg
+    }
+}
+
+/// A fleet of simulated NPUs ready to serve workloads.
+#[derive(Debug)]
+pub struct Fleet {
+    cfg: FleetConfig,
+    npus: Vec<Npu>,
+}
+
+/// Event kinds, ordered within one timestamp by issue sequence.
+const EV_ARRIVAL: u8 = 0;
+const EV_FREE: u8 = 1;
+const EV_POKE: u8 = 2;
+
+/// Per-request outcome while the simulation runs.
+#[derive(Debug, Clone, Copy)]
+enum Outcome {
+    Pending,
+    Completed(RequestRecord),
+    Rejected(Rejection),
+}
+
+/// The mutable simulation state (kept separate from the scheduler so a
+/// [`FleetView`] can borrow the tables while the scheduler is driven
+/// mutably).
+struct Sim<'a> {
+    cfg: &'a FleetConfig,
+    catalog: &'a Catalog,
+    /// `service_ns[npu][model]` — solo service time.
+    service_ns: Vec<Vec<u64>>,
+    /// `warmup_ns[model]` — cold-compile charge (same for every NPU).
+    warmup_ns: Vec<u64>,
+    /// `seen[npu][model]`.
+    seen: Vec<Vec<bool>>,
+    /// Event queue keyed `(time, seq, kind, payload)`.
+    heap: BinaryHeap<Reverse<(u64, u64, u8, usize)>>,
+    seq: u64,
+    /// All requests issued so far (closed-loop grows this lazily).
+    reqs: Vec<Request>,
+    outcomes: Vec<Outcome>,
+    /// Models of requests not yet issued (closed-loop), indexed by id.
+    models: Vec<usize>,
+    next_spawn: usize,
+    idle: Vec<bool>,
+    usage: Vec<NpuUsage>,
+    depth: u64,
+    peak_depth: u64,
+    depth_samples: Vec<(u64, u64)>,
+    makespan_ns: u64,
+    /// `Some(think_ns)` when the workload is closed-loop: each finished
+    /// (or refused) request triggers its client's next one.
+    closed_think_ns: Option<u64>,
+}
+
+impl Sim<'_> {
+    fn push_event(&mut self, at: u64, kind: u8, payload: usize) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, kind, payload)));
+    }
+
+    /// Issues request `id` (creating it if the closed loop hasn't yet)
+    /// arriving at `at`.
+    fn spawn_next(&mut self, at: u64) {
+        if self.next_spawn >= self.models.len() {
+            return;
+        }
+        let id = self.next_spawn;
+        self.next_spawn += 1;
+        let req = Request {
+            id: id as u64,
+            model: self.models[id],
+            arrival_ns: at,
+        };
+        debug_assert_eq!(self.reqs.len(), id);
+        self.reqs.push(req);
+        self.outcomes.push(Outcome::Pending);
+        self.push_event(at, EV_ARRIVAL, id);
+    }
+
+    /// The closed loop replaces every finished (or refused) request with
+    /// its client's next one after the think time.
+    fn closed_loop_refill(&mut self, finished_at: u64) {
+        if let Some(think) = self.closed_think_ns {
+            self.spawn_next(finished_at.saturating_add(think));
+        }
+    }
+
+    fn sample_depth(&mut self, at: u64) {
+        self.peak_depth = self.peak_depth.max(self.depth);
+        if self.depth_samples.last().map(|&(t, d)| (t, d)) != Some((at, self.depth)) {
+            self.depth_samples.push((at, self.depth));
+        }
+    }
+
+    /// Keeps dispatching onto NPU `n` until it is busy or the scheduler
+    /// has nothing runnable.
+    fn try_dispatch(
+        &mut self,
+        n: usize,
+        now: u64,
+        sched: &mut dyn SchedulerPolicy,
+        sink: &mut dyn TraceSink,
+    ) {
+        while self.idle[n] {
+            let decision = {
+                let view = FleetView {
+                    service_ns: &self.service_ns,
+                    seen: &self.seen,
+                    max_batch: self.cfg.max_batch,
+                    batch_window_ns: self.cfg.batch_window_ns,
+                };
+                sched.dispatch(n, now, &view)
+            };
+            match decision {
+                Dispatch::Idle => return,
+                Dispatch::HoldUntil(at) => {
+                    self.push_event(at.max(now + 1), EV_POKE, n);
+                    return;
+                }
+                Dispatch::Run(batch) => {
+                    assert!(!batch.is_empty(), "policy dispatched an empty batch");
+                    let model = batch[0].model;
+                    assert!(
+                        batch.iter().all(|r| r.model == model),
+                        "a dispatch batch must be single-model"
+                    );
+                    // Expire requests that out-waited the deadline; they
+                    // leave the queue without consuming service.
+                    let deadline = self.cfg.deadline_ns.unwrap_or(u64::MAX);
+                    let mut live = Vec::with_capacity(batch.len());
+                    for r in batch {
+                        if now.saturating_sub(r.arrival_ns) > deadline {
+                            self.outcomes[r.id as usize] =
+                                Outcome::Rejected(Rejection::TimedOut { at_ns: now });
+                            self.depth -= 1;
+                            spans::timeout_marker(sink, now, r.id, self.catalog.name(r.model));
+                            self.closed_loop_refill(now);
+                        } else {
+                            live.push(r);
+                        }
+                    }
+                    self.sample_depth(now);
+                    spans::queue_depth(sink, now, self.depth);
+                    if live.is_empty() {
+                        continue; // ask the scheduler again
+                    }
+                    self.run_batch(n, now, model, live, sink);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Charges warm-up + batch-scaled service for `live` on NPU `n`.
+    fn run_batch(
+        &mut self,
+        n: usize,
+        now: u64,
+        model: usize,
+        live: Vec<Request>,
+        sink: &mut dyn TraceSink,
+    ) {
+        let warm = self.seen[n][model];
+        let warmup = if warm { 0 } else { self.warmup_ns[model] };
+        self.seen[n][model] = true;
+        let k = live.len() as u64;
+        let solo = self.service_ns[n][model];
+        let service =
+            solo + (((k - 1) as f64) * self.cfg.batch_marginal * solo as f64).round() as u64;
+        let completion = now + warmup + service;
+        self.idle[n] = false;
+        self.push_event(completion, EV_FREE, n);
+        let u = &mut self.usage[n];
+        u.served += k;
+        u.batches += 1;
+        u.warmups += (warmup > 0) as u64;
+        u.warmup_ns += warmup;
+        u.service_ns += service;
+        let name = self.catalog.name(model);
+        spans::warmup_span(sink, n as u16, name, now, warmup);
+        spans::service_span(sink, n as u16, name, now + warmup, service, live[0].id, k);
+        for r in &live {
+            let rec = RequestRecord {
+                id: r.id,
+                model,
+                npu: n,
+                batch: live.len(),
+                arrival_ns: r.arrival_ns,
+                queue_ns: now - r.arrival_ns,
+                warmup_ns: warmup,
+                service_ns: service,
+                completion_ns: completion,
+            };
+            // The contract the report advertises: latency decomposes
+            // exactly into its three components.
+            debug_assert_eq!(
+                rec.latency_ns(),
+                rec.queue_ns + rec.warmup_ns + rec.service_ns
+            );
+            self.outcomes[r.id as usize] = Outcome::Completed(rec);
+            self.depth -= 1;
+            self.closed_loop_refill(completion);
+        }
+        self.sample_depth(now);
+        spans::queue_depth(sink, now, self.depth);
+        self.makespan_ns = self.makespan_ns.max(completion);
+    }
+}
+
+impl Fleet {
+    /// Builds the fleet (members with equal configurations share one
+    /// host-side cache set).
+    pub fn new(cfg: FleetConfig) -> Self {
+        assert!(!cfg.npus.is_empty(), "a fleet needs at least one NPU");
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        let npus = Npu::fleet(&cfg.npus);
+        Fleet { cfg, npus }
+    }
+
+    /// Builds a fleet from caller-constructed members — the way to share
+    /// host-side caches *across* fleets (e.g. a sweep cloning one warm
+    /// pool into every cell). Member configurations must match `cfg`.
+    pub fn with_members(cfg: FleetConfig, members: Vec<Npu>) -> Self {
+        assert_eq!(
+            members.len(),
+            cfg.npus.len(),
+            "one member NPU per configured slot"
+        );
+        for (m, c) in members.iter().zip(&cfg.npus) {
+            assert!(m.config() == c, "member configuration mismatch");
+        }
+        Fleet { cfg, npus: members }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// The member NPUs.
+    pub fn npus(&self) -> &[Npu] {
+        &self.npus
+    }
+
+    /// Serves `spec` with a fresh scheduler of kind `policy`.
+    pub fn serve(&self, catalog: &Catalog, spec: &WorkloadSpec, policy: Policy) -> FleetReport {
+        self.serve_traced(catalog, spec, policy, &mut NullSink)
+    }
+
+    /// [`Fleet::serve`], streaming fleet-level spans into `sink`: one
+    /// Perfetto lane per NPU (warm-up + service spans, queueing visible
+    /// as the gaps), arrival/drop markers on the scheduler lane, and a
+    /// queue-depth counter.
+    pub fn serve_traced(
+        &self,
+        catalog: &Catalog,
+        spec: &WorkloadSpec,
+        policy: Policy,
+        sink: &mut dyn TraceSink,
+    ) -> FleetReport {
+        let mut sched = policy.build();
+        self.serve_with(catalog, spec, sched.as_mut(), sink)
+    }
+
+    /// Serves `spec` with a caller-provided scheduler (the extension
+    /// point for policies outside [`Policy::ALL`]).
+    pub fn serve_with(
+        &self,
+        catalog: &Catalog,
+        spec: &WorkloadSpec,
+        sched: &mut dyn SchedulerPolicy,
+        sink: &mut dyn TraceSink,
+    ) -> FleetReport {
+        assert!(!catalog.is_empty(), "catalog must hold at least one model");
+        assert!(
+            spec.mix.iter().all(|&(m, _)| m < catalog.len()),
+            "workload mix references a model outside the catalog"
+        );
+        let t0 = Instant::now();
+        // Host-side cache accounting: snapshot one representative per
+        // distinct cache set (= distinct configuration) before and
+        // after, and merge the deltas (see `ExecStats::merge`).
+        let group_heads: Vec<usize> = (0..self.npus.len())
+            .filter(|&i| (0..i).all(|j| self.cfg.npus[j] != self.cfg.npus[i]))
+            .collect();
+        let before: Vec<ExecStats> = group_heads.iter().map(|&i| self.npus[i].stats()).collect();
+
+        // Service-time tables from the cycle model: `Npu::estimate` is a
+        // cached full run, so a 4-member homogeneous fleet pays each
+        // model's simulation once.
+        let n_npus = self.npus.len();
+        let n_models = catalog.len();
+        let service_ns: Vec<Vec<u64>> = (0..n_npus)
+            .map(|i| {
+                let freq = self.npus[i].config().tandem.freq_ghz;
+                (0..n_models)
+                    .map(|m| {
+                        let cycles = self.npus[i].estimate(catalog.graph(m));
+                        ((cycles as f64 / freq).ceil() as u64).max(1)
+                    })
+                    .collect()
+            })
+            .collect();
+        let warmup_ns: Vec<u64> = (0..n_models)
+            .map(|m| self.cfg.warmup_ns_per_node * catalog.graph(m).nodes().len() as u64)
+            .collect();
+
+        let models = spec.models();
+        let mut sim = Sim {
+            cfg: &self.cfg,
+            catalog,
+            service_ns,
+            warmup_ns,
+            seen: vec![vec![false; n_models]; n_npus],
+            heap: BinaryHeap::new(),
+            seq: 0,
+            reqs: Vec::with_capacity(models.len()),
+            outcomes: Vec::with_capacity(models.len()),
+            models,
+            next_spawn: 0,
+            idle: vec![true; n_npus],
+            usage: vec![NpuUsage::default(); n_npus],
+            depth: 0,
+            peak_depth: 0,
+            depth_samples: Vec::new(),
+            makespan_ns: 0,
+            closed_think_ns: match &spec.arrival {
+                ArrivalProcess::ClosedLoop { think_ns, .. } => Some(*think_ns),
+                _ => None,
+            },
+        };
+
+        // Seed the event queue.
+        match &spec.arrival {
+            ArrivalProcess::ClosedLoop { clients, .. } => {
+                let initial = (*clients).max(1).min(spec.requests);
+                for _ in 0..initial {
+                    sim.spawn_next(0);
+                }
+            }
+            _ => {
+                let arrivals = spec.open_arrivals();
+                for (id, &at) in arrivals.iter().enumerate() {
+                    let model = sim.models[id];
+                    sim.reqs.push(Request {
+                        id: id as u64,
+                        model,
+                        arrival_ns: at,
+                    });
+                    sim.outcomes.push(Outcome::Pending);
+                    sim.push_event(at, EV_ARRIVAL, id);
+                }
+                sim.next_spawn = spec.requests;
+            }
+        }
+
+        // The event loop.
+        while let Some(Reverse((now, _, kind, payload))) = sim.heap.pop() {
+            sim.makespan_ns = sim.makespan_ns.max(now);
+            match kind {
+                EV_ARRIVAL => {
+                    let req = sim.reqs[payload];
+                    spans::arrival(sink, now, req.id, catalog.name(req.model));
+                    if sched.pending() >= self.cfg.queue_capacity {
+                        sim.outcomes[payload] =
+                            Outcome::Rejected(Rejection::Dropped { at_ns: now });
+                        spans::drop_marker(sink, now, req.id, catalog.name(req.model));
+                        sim.closed_loop_refill(now);
+                        continue;
+                    }
+                    {
+                        let view = FleetView {
+                            service_ns: &sim.service_ns,
+                            seen: &sim.seen,
+                            max_batch: self.cfg.max_batch,
+                            batch_window_ns: self.cfg.batch_window_ns,
+                        };
+                        sched.enqueue(req, &view);
+                    }
+                    sim.depth += 1;
+                    sim.sample_depth(now);
+                    spans::queue_depth(sink, now, sim.depth);
+                    for n in 0..n_npus {
+                        if sim.idle[n] {
+                            sim.try_dispatch(n, now, sched, sink);
+                        }
+                    }
+                }
+                EV_FREE => {
+                    sim.idle[payload] = true;
+                    sim.try_dispatch(payload, now, sched, sink);
+                }
+                EV_POKE => {
+                    if sim.idle[payload] {
+                        sim.try_dispatch(payload, now, sched, sink);
+                    }
+                }
+                _ => unreachable!("unknown event kind"),
+            }
+        }
+
+        debug_assert_eq!(
+            sim.next_spawn, spec.requests,
+            "every request must be issued"
+        );
+
+        // Roll up.
+        let mut records = Vec::new();
+        let mut dropped = 0u64;
+        let mut timed_out = 0u64;
+        for o in &sim.outcomes {
+            match o {
+                Outcome::Completed(r) => records.push(*r),
+                Outcome::Rejected(Rejection::Dropped { .. }) => dropped += 1,
+                Outcome::Rejected(Rejection::TimedOut { .. }) => timed_out += 1,
+                Outcome::Pending => unreachable!("request left pending at end of run"),
+            }
+        }
+        records.sort_by_key(|r| r.id);
+        let mut latencies: Vec<u64> = records.iter().map(|r| r.latency_ns()).collect();
+        latencies.sort_unstable();
+        let mut queues: Vec<u64> = records.iter().map(|r| r.queue_ns).collect();
+        queues.sort_unstable();
+        let per_model: Vec<ModelStats> = (0..n_models)
+            .filter_map(|m| {
+                let mut lat: Vec<u64> = records
+                    .iter()
+                    .filter(|r| r.model == m)
+                    .map(|r| r.latency_ns())
+                    .collect();
+                if lat.is_empty() {
+                    return None;
+                }
+                lat.sort_unstable();
+                Some(ModelStats {
+                    model: m,
+                    name: catalog.name(m).to_string(),
+                    latency: LatencyStats::from_sorted(&lat),
+                })
+            })
+            .collect();
+        let mut stats = ExecStats::default();
+        for (&head, b) in group_heads.iter().zip(&before) {
+            stats.merge(&self.npus[head].stats().delta(b));
+        }
+        stats.wall_s = t0.elapsed().as_secs_f64();
+
+        FleetReport {
+            policy: sched.name().to_string(),
+            fleet_size: n_npus,
+            offered: spec.requests as u64,
+            completed: records.len() as u64,
+            dropped,
+            timed_out,
+            makespan_ns: sim.makespan_ns,
+            latency: LatencyStats::from_sorted(&latencies),
+            queue: LatencyStats::from_sorted(&queues),
+            peak_queue_depth: sim.peak_depth,
+            queue_depth_samples: sim.depth_samples,
+            per_npu: sim.usage,
+            per_model,
+            records,
+            stats,
+        }
+    }
+}

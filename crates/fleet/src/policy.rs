@@ -1,0 +1,383 @@
+//! Pluggable scheduling/dispatch policies.
+//!
+//! The engine owns virtual time and the NPUs; a [`SchedulerPolicy`] owns
+//! the pending-request pool and decides, whenever an NPU goes idle, what
+//! that NPU should run next — one request, a coalesced same-model batch,
+//! or nothing yet (hold for a batching window). Policies see the fleet
+//! through a read-only [`FleetView`]: per-`(NPU, model)` service-time
+//! estimates (the `Npu::estimate` oracle) and which models each NPU has
+//! already compiled (its cache-warm set).
+
+use crate::workload::Request;
+use std::collections::VecDeque;
+
+/// Read-only fleet state a policy may consult when deciding.
+#[derive(Debug)]
+pub struct FleetView<'a> {
+    /// `service_ns[npu][model]` — estimated solo service time.
+    pub service_ns: &'a [Vec<u64>],
+    /// `seen[npu][model]` — whether the NPU has compiled the model (a
+    /// dispatch of an unseen model pays the warm-up charge).
+    pub seen: &'a [Vec<bool>],
+    /// Largest batch a single dispatch may coalesce.
+    pub max_batch: usize,
+    /// How long a batch head may wait for same-model followers.
+    pub batch_window_ns: u64,
+}
+
+/// A policy's answer to "NPU `n` is idle at `now` — what should it do?".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Run this batch (non-empty, single model). The engine charges
+    /// warm-up if the model is new to the NPU, then the batch-scaled
+    /// service time.
+    Run(Vec<Request>),
+    /// Requests are pending but the policy is deliberately waiting (for
+    /// a batch to fill); poke again at this virtual time — or earlier,
+    /// if a new arrival lands first.
+    HoldUntil(u64),
+    /// Nothing pending.
+    Idle,
+}
+
+/// The scheduler interface. Implementations must be deterministic: the
+/// same sequence of `enqueue`/`dispatch` calls (same arguments, same
+/// view) must produce the same decisions — no host randomness, no
+/// iteration over unordered containers.
+pub trait SchedulerPolicy {
+    /// Display name used in reports and `SERVE.json`.
+    fn name(&self) -> &'static str;
+    /// A request was admitted to the pending pool.
+    fn enqueue(&mut self, req: Request, view: &FleetView);
+    /// NPU `npu` is idle at `now_ns`; decide its next work.
+    fn dispatch(&mut self, npu: usize, now_ns: u64, view: &FleetView) -> Dispatch;
+    /// Requests currently pending (admitted, not yet dispatched).
+    fn pending(&self) -> usize;
+}
+
+/// The policy zoo, as data — so sweeps can enumerate policies and
+/// reports can name them without downcasting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Policy {
+    /// First-in first-out, batch size 1.
+    Fifo,
+    /// Shortest estimated job first (per-NPU `Npu::estimate` oracle).
+    ShortestJob,
+    /// Prefer requests whose model the idle NPU has already compiled —
+    /// routes around cold-compile warm-ups, exploiting the per-NPU
+    /// compile/sim caches.
+    ModelAffinity,
+    /// Coalesce same-model requests into one dispatch, up to
+    /// `max_batch` or until the head request has waited
+    /// `batch_window_ns`.
+    BatchCoalesce,
+}
+
+impl Policy {
+    /// Every policy, in sweep order.
+    pub const ALL: [Policy; 4] = [
+        Policy::Fifo,
+        Policy::ShortestJob,
+        Policy::ModelAffinity,
+        Policy::BatchCoalesce,
+    ];
+
+    /// The policy's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::ShortestJob => "sjf",
+            Policy::ModelAffinity => "affinity",
+            Policy::BatchCoalesce => "batch",
+        }
+    }
+
+    /// Instantiates a fresh scheduler.
+    pub fn build(self) -> Box<dyn SchedulerPolicy> {
+        match self {
+            Policy::Fifo => Box::new(Fifo::default()),
+            Policy::ShortestJob => Box::new(ShortestJob::default()),
+            Policy::ModelAffinity => Box::new(ModelAffinity::default()),
+            Policy::BatchCoalesce => Box::new(BatchCoalesce::default()),
+        }
+    }
+}
+
+/// First-in first-out.
+#[derive(Debug, Default)]
+pub struct Fifo {
+    queue: VecDeque<Request>,
+}
+
+impl SchedulerPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        Policy::Fifo.name()
+    }
+
+    fn enqueue(&mut self, req: Request, _: &FleetView) {
+        self.queue.push_back(req);
+    }
+
+    fn dispatch(&mut self, _npu: usize, _now_ns: u64, _: &FleetView) -> Dispatch {
+        match self.queue.pop_front() {
+            Some(r) => Dispatch::Run(vec![r]),
+            None => Dispatch::Idle,
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Shortest estimated job first. Ties break on arrival order (then id),
+/// so equal-length jobs degrade to FIFO rather than reordering
+/// arbitrarily.
+#[derive(Debug, Default)]
+pub struct ShortestJob {
+    queue: Vec<Request>,
+}
+
+impl SchedulerPolicy for ShortestJob {
+    fn name(&self) -> &'static str {
+        Policy::ShortestJob.name()
+    }
+
+    fn enqueue(&mut self, req: Request, _: &FleetView) {
+        self.queue.push(req);
+    }
+
+    fn dispatch(&mut self, npu: usize, _now_ns: u64, view: &FleetView) -> Dispatch {
+        if self.queue.is_empty() {
+            return Dispatch::Idle;
+        }
+        let best = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| (view.service_ns[npu][r.model], r.arrival_ns, r.id))
+            .map(|(i, _)| i)
+            .expect("non-empty queue");
+        Dispatch::Run(vec![self.queue.remove(best)])
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Cache-affinity routing: an idle NPU first takes the oldest pending
+/// request among models it has already compiled; only when none match
+/// does it accept a cold model (oldest first) and pay the warm-up.
+#[derive(Debug, Default)]
+pub struct ModelAffinity {
+    queue: Vec<Request>,
+}
+
+impl SchedulerPolicy for ModelAffinity {
+    fn name(&self) -> &'static str {
+        Policy::ModelAffinity.name()
+    }
+
+    fn enqueue(&mut self, req: Request, _: &FleetView) {
+        self.queue.push(req);
+    }
+
+    fn dispatch(&mut self, npu: usize, _now_ns: u64, view: &FleetView) -> Dispatch {
+        if self.queue.is_empty() {
+            return Dispatch::Idle;
+        }
+        let pick = |warm: bool| {
+            self.queue
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| view.seen[npu][r.model] == warm)
+                .min_by_key(|(_, r)| (r.arrival_ns, r.id))
+                .map(|(i, _)| i)
+        };
+        let i = pick(true).or_else(|| pick(false)).expect("non-empty queue");
+        Dispatch::Run(vec![self.queue.remove(i)])
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// One open batch of same-model requests awaiting dispatch.
+#[derive(Debug)]
+struct Group {
+    model: usize,
+    head_arrival_ns: u64,
+    reqs: Vec<Request>,
+}
+
+/// Same-model batch coalescing with a deadline window: requests join the
+/// open group of their model; a group dispatches when it reaches
+/// `max_batch` or its head has waited `batch_window_ns` (whichever comes
+/// first). The engine charges the batch a sub-linear service time, so
+/// under same-model pressure this trades a bounded amount of head
+/// latency for throughput.
+#[derive(Debug, Default)]
+pub struct BatchCoalesce {
+    groups: Vec<Group>,
+    pending: usize,
+}
+
+impl BatchCoalesce {
+    fn deadline(g: &Group, view: &FleetView) -> u64 {
+        g.head_arrival_ns.saturating_add(view.batch_window_ns)
+    }
+}
+
+impl SchedulerPolicy for BatchCoalesce {
+    fn name(&self) -> &'static str {
+        Policy::BatchCoalesce.name()
+    }
+
+    fn enqueue(&mut self, req: Request, view: &FleetView) {
+        self.pending += 1;
+        if let Some(g) = self
+            .groups
+            .iter_mut()
+            .find(|g| g.model == req.model && g.reqs.len() < view.max_batch)
+        {
+            g.reqs.push(req);
+            return;
+        }
+        self.groups.push(Group {
+            model: req.model,
+            head_arrival_ns: req.arrival_ns,
+            reqs: vec![req],
+        });
+    }
+
+    fn dispatch(&mut self, _npu: usize, now_ns: u64, view: &FleetView) -> Dispatch {
+        if self.groups.is_empty() {
+            return Dispatch::Idle;
+        }
+        // Ready = full, or past its window. Among ready groups take the
+        // oldest head; otherwise hold until the earliest window closes.
+        let ready = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.reqs.len() >= view.max_batch || Self::deadline(g, view) <= now_ns)
+            .min_by_key(|(_, g)| (g.head_arrival_ns, g.reqs[0].id))
+            .map(|(i, _)| i);
+        match ready {
+            Some(i) => {
+                let g = self.groups.remove(i);
+                self.pending -= g.reqs.len();
+                Dispatch::Run(g.reqs)
+            }
+            None => {
+                let at = self
+                    .groups
+                    .iter()
+                    .map(|g| Self::deadline(g, view))
+                    .min()
+                    .expect("non-empty groups");
+                Dispatch::HoldUntil(at.max(now_ns + 1))
+            }
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(service: &'a [Vec<u64>], seen: &'a [Vec<bool>]) -> FleetView<'a> {
+        FleetView {
+            service_ns: service,
+            seen,
+            max_batch: 4,
+            batch_window_ns: 100,
+        }
+    }
+
+    fn req(id: u64, model: usize, arrival: u64) -> Request {
+        Request {
+            id,
+            model,
+            arrival_ns: arrival,
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let service = vec![vec![10, 20]];
+        let seen = vec![vec![false, false]];
+        let v = view(&service, &seen);
+        let mut p = Fifo::default();
+        p.enqueue(req(0, 1, 0), &v);
+        p.enqueue(req(1, 0, 5), &v);
+        assert_eq!(p.dispatch(0, 10, &v), Dispatch::Run(vec![req(0, 1, 0)]));
+        assert_eq!(p.dispatch(0, 10, &v), Dispatch::Run(vec![req(1, 0, 5)]));
+        assert_eq!(p.dispatch(0, 10, &v), Dispatch::Idle);
+    }
+
+    #[test]
+    fn sjf_picks_the_short_job_and_breaks_ties_by_age() {
+        let service = vec![vec![10, 99]];
+        let seen = vec![vec![false, false]];
+        let v = view(&service, &seen);
+        let mut p = ShortestJob::default();
+        p.enqueue(req(0, 1, 0), &v);
+        p.enqueue(req(1, 0, 5), &v);
+        p.enqueue(req(2, 0, 6), &v);
+        assert_eq!(p.dispatch(0, 10, &v), Dispatch::Run(vec![req(1, 0, 5)]));
+        assert_eq!(p.dispatch(0, 10, &v), Dispatch::Run(vec![req(2, 0, 6)]));
+        assert_eq!(p.dispatch(0, 10, &v), Dispatch::Run(vec![req(0, 1, 0)]));
+    }
+
+    #[test]
+    fn affinity_prefers_warm_models() {
+        let service = vec![vec![10, 10]];
+        let seen = vec![vec![false, true]];
+        let v = view(&service, &seen);
+        let mut p = ModelAffinity::default();
+        p.enqueue(req(0, 0, 0), &v); // older but cold
+        p.enqueue(req(1, 1, 5), &v); // younger but warm
+        assert_eq!(p.dispatch(0, 10, &v), Dispatch::Run(vec![req(1, 1, 5)]));
+        assert_eq!(p.dispatch(0, 10, &v), Dispatch::Run(vec![req(0, 0, 0)]));
+    }
+
+    #[test]
+    fn batch_holds_then_coalesces() {
+        let service = vec![vec![10, 10]];
+        let seen = vec![vec![false, false]];
+        let v = view(&service, &seen);
+        let mut p = BatchCoalesce::default();
+        p.enqueue(req(0, 0, 0), &v);
+        p.enqueue(req(1, 0, 3), &v);
+        // Window (100 ns) still open, batch (2 < 4) not full: hold.
+        assert_eq!(p.dispatch(0, 10, &v), Dispatch::HoldUntil(100));
+        // Two more fill the batch: dispatch immediately, all four.
+        p.enqueue(req(2, 0, 4), &v);
+        p.enqueue(req(3, 0, 5), &v);
+        match p.dispatch(0, 10, &v) {
+            Dispatch::Run(batch) => {
+                assert_eq!(batch.len(), 4);
+                assert!(batch.iter().all(|r| r.model == 0));
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn batch_window_expiry_releases_a_partial_batch() {
+        let service = vec![vec![10]];
+        let seen = vec![vec![false]];
+        let v = view(&service, &seen);
+        let mut p = BatchCoalesce::default();
+        p.enqueue(req(0, 0, 0), &v);
+        assert_eq!(p.dispatch(0, 100, &v), Dispatch::Run(vec![req(0, 0, 0)]));
+    }
+}

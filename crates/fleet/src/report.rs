@@ -1,0 +1,337 @@
+//! Per-request records and the aggregate fleet report.
+
+use std::fmt::Write as _;
+use tandem_npu::ExecStats;
+
+/// The full accounting of one completed request. The engine maintains
+/// the invariant that end-to-end latency decomposes **exactly**:
+/// `latency_ns() == queue_ns + warmup_ns + service_ns` — asserted at
+/// dispatch time and again by the test suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Request id (issue order).
+    pub id: u64,
+    /// Catalog model id.
+    pub model: usize,
+    /// NPU that served it.
+    pub npu: usize,
+    /// Size of the dispatch batch it rode in (1 = solo).
+    pub batch: usize,
+    /// Arrival time.
+    pub arrival_ns: u64,
+    /// Time spent pending before dispatch.
+    pub queue_ns: u64,
+    /// Cold-compile warm-up charged to its dispatch (zero when the NPU
+    /// had already seen the model).
+    pub warmup_ns: u64,
+    /// Service time of its (batch-scaled) dispatch.
+    pub service_ns: u64,
+    /// Completion time.
+    pub completion_ns: u64,
+}
+
+impl RequestRecord {
+    /// End-to-end latency (completion − arrival).
+    pub fn latency_ns(&self) -> u64 {
+        self.completion_ns - self.arrival_ns
+    }
+}
+
+/// Why a request never completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// Bounded admission queue was full on arrival (backpressure).
+    Dropped {
+        /// When it was turned away.
+        at_ns: u64,
+    },
+    /// Waited in queue past the configured deadline; removed at
+    /// dispatch time without being served.
+    TimedOut {
+        /// When the expiry was detected.
+        at_ns: u64,
+    },
+}
+
+/// Order statistics of a latency population, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Population size.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+    /// Median (nearest-rank).
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Maximum.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Computes the stats from an **ascending-sorted** latency slice
+    /// (empty slice ⇒ all zeros). Percentiles use the nearest-rank
+    /// method: `p(q) = sorted[⌈q·n⌉ − 1]`.
+    pub fn from_sorted(sorted_ns: &[u64]) -> Self {
+        if sorted_ns.is_empty() {
+            return Self::default();
+        }
+        debug_assert!(sorted_ns.windows(2).all(|w| w[0] <= w[1]));
+        let n = sorted_ns.len();
+        let rank = |q: f64| sorted_ns[(((q * n as f64).ceil() as usize).clamp(1, n)) - 1];
+        let sum: u128 = sorted_ns.iter().map(|&x| x as u128).sum();
+        LatencyStats {
+            count: n as u64,
+            mean_ns: (sum / n as u128) as u64,
+            p50_ns: rank(0.50),
+            p95_ns: rank(0.95),
+            p99_ns: rank(0.99),
+            p999_ns: rank(0.999),
+            max_ns: sorted_ns[n - 1],
+        }
+    }
+}
+
+/// What one NPU of the fleet did during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NpuUsage {
+    /// Requests it completed.
+    pub served: u64,
+    /// Dispatches it executed (batches count once).
+    pub batches: u64,
+    /// Cold-compile warm-ups it paid (first sight of a model).
+    pub warmups: u64,
+    /// Nanoseconds spent in warm-up.
+    pub warmup_ns: u64,
+    /// Nanoseconds spent serving (excludes warm-up).
+    pub service_ns: u64,
+}
+
+impl NpuUsage {
+    /// Busy fraction of the run: (warm-up + service) / makespan.
+    pub fn utilization(&self, makespan_ns: u64) -> f64 {
+        if makespan_ns == 0 {
+            0.0
+        } else {
+            (self.warmup_ns + self.service_ns) as f64 / makespan_ns as f64
+        }
+    }
+}
+
+/// Per-model aggregate over the completed requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStats {
+    /// Catalog model id.
+    pub model: usize,
+    /// Catalog display name.
+    pub name: String,
+    /// Completed requests of this model.
+    pub latency: LatencyStats,
+}
+
+/// The aggregate result of one fleet serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Scheduling policy name.
+    pub policy: String,
+    /// Number of NPUs.
+    pub fleet_size: usize,
+    /// Requests the workload issued.
+    pub offered: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests refused at admission (queue full).
+    pub dropped: u64,
+    /// Requests expired in queue (deadline exceeded).
+    pub timed_out: u64,
+    /// Virtual time from first arrival to last completion.
+    pub makespan_ns: u64,
+    /// End-to-end latency stats over completed requests.
+    pub latency: LatencyStats,
+    /// Queueing-delay stats over completed requests.
+    pub queue: LatencyStats,
+    /// Deepest the pending queue ever got.
+    pub peak_queue_depth: u64,
+    /// `(virtual ns, depth)` samples, one per queue-depth change.
+    pub queue_depth_samples: Vec<(u64, u64)>,
+    /// Per-NPU usage, indexed by NPU.
+    pub per_npu: Vec<NpuUsage>,
+    /// Per-model stats, ascending model id, completed models only.
+    pub per_model: Vec<ModelStats>,
+    /// Every completed request, ascending id.
+    pub records: Vec<RequestRecord>,
+    /// Host-side cache statistics, merged across the fleet's distinct
+    /// cache sets with [`ExecStats::merge`] over per-window deltas (see
+    /// that method's double-counting note). Not serialized: `wall_s` is
+    /// host time and would break byte-determinism of `SERVE.json`.
+    pub stats: ExecStats,
+}
+
+impl FleetReport {
+    /// Completed requests per virtual second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.completed as f64 * 1e9 / self.makespan_ns as f64
+        }
+    }
+
+    /// Mean per-NPU utilization.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.per_npu.is_empty() {
+            return 0.0;
+        }
+        self.per_npu
+            .iter()
+            .map(|u| u.utilization(self.makespan_ns))
+            .sum::<f64>()
+            / self.per_npu.len() as f64
+    }
+
+    /// Serializes the report (aggregates only — per-request records,
+    /// queue samples, and host-side stats stay in memory) as one
+    /// deterministic JSON object: every number is integer nanoseconds or
+    /// a fixed-precision decimal, so equal runs serialize byte-equal.
+    pub fn to_json(&self) -> String {
+        let ms = |ns: u64| format!("{:.4}", ns as f64 / 1e6);
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"policy\": \"{}\", \"fleet_size\": {}, \"offered\": {}, \"completed\": {}, \
+             \"dropped\": {}, \"timed_out\": {}, \"makespan_ms\": {}, \"throughput_rps\": {:.3}, \
+             \"peak_queue_depth\": {}",
+            self.policy,
+            self.fleet_size,
+            self.offered,
+            self.completed,
+            self.dropped,
+            self.timed_out,
+            ms(self.makespan_ns),
+            self.throughput_rps(),
+            self.peak_queue_depth,
+        );
+        let _ = write!(
+            out,
+            ", \"latency_ms\": {{\"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \
+             \"p999\": {}, \"max\": {}}}",
+            ms(self.latency.mean_ns),
+            ms(self.latency.p50_ns),
+            ms(self.latency.p95_ns),
+            ms(self.latency.p99_ns),
+            ms(self.latency.p999_ns),
+            ms(self.latency.max_ns),
+        );
+        let _ = write!(
+            out,
+            ", \"queue_ms\": {{\"mean\": {}, \"p50\": {}, \"p99\": {}}}",
+            ms(self.queue.mean_ns),
+            ms(self.queue.p50_ns),
+            ms(self.queue.p99_ns),
+        );
+        out.push_str(", \"per_npu\": [");
+        for (i, u) in self.per_npu.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"served\": {}, \"batches\": {}, \"warmups\": {}, \"utilization\": {:.4}}}",
+                u.served,
+                u.batches,
+                u.warmups,
+                u.utilization(self.makespan_ns),
+            );
+        }
+        out.push_str("], \"per_model\": [");
+        for (i, m) in self.per_model.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"completed\": {}, \"p50_ms\": {}, \"p99_ms\": {}}}",
+                m.name,
+                m.latency.count,
+                ms(m.latency.p50_ns),
+                ms(m.latency.p99_ns),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        let s = LatencyStats::from_sorted(&sorted);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.p999_ns, 100);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(s.mean_ns, 50); // floor(5050/100)
+    }
+
+    #[test]
+    fn empty_population_is_all_zeros() {
+        assert_eq!(LatencyStats::from_sorted(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn single_sample_fills_every_field() {
+        let s = LatencyStats::from_sorted(&[42]);
+        assert_eq!(s.p50_ns, 42);
+        assert_eq!(s.p999_ns, 42);
+        assert_eq!(s.max_ns, 42);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_complete() {
+        let r = FleetReport {
+            policy: "fifo".into(),
+            fleet_size: 2,
+            offered: 10,
+            completed: 9,
+            dropped: 1,
+            timed_out: 0,
+            makespan_ns: 2_000_000,
+            latency: LatencyStats::from_sorted(&[1_000_000, 2_000_000]),
+            queue: LatencyStats::from_sorted(&[0, 1_000_000]),
+            peak_queue_depth: 3,
+            queue_depth_samples: vec![(0, 1)],
+            per_npu: vec![NpuUsage {
+                served: 9,
+                batches: 9,
+                warmups: 1,
+                warmup_ns: 100_000,
+                service_ns: 900_000,
+            }],
+            per_model: vec![ModelStats {
+                model: 0,
+                name: "BERT".into(),
+                latency: LatencyStats::from_sorted(&[1_000_000]),
+            }],
+            records: Vec::new(),
+            stats: ExecStats::default(),
+        };
+        let a = r.to_json();
+        assert_eq!(a, r.to_json());
+        assert!(a.contains("\"policy\": \"fifo\""));
+        assert!(a.contains("\"p99\""));
+        assert!(a.contains("\"utilization\": 0.5000"));
+        assert!(a.contains("\"name\": \"BERT\""));
+        // Host wall-time must not leak into the serialization.
+        assert!(!a.contains("wall"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Policy × fleet-size sweeps and the deterministic `SERVE.json`
+//! rendering, shared by the `tandem_serve` binary and the test suite.
+
+use crate::engine::{Fleet, FleetConfig};
+use crate::policy::Policy;
+use crate::report::FleetReport;
+use crate::workload::{Catalog, WorkloadSpec};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tandem_npu::Npu;
+
+/// One sweep: every policy crossed with every fleet size, all serving
+/// the same workload, so rows are directly comparable.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Per-cell template: `npus[0]` is the homogeneous member
+    /// configuration, replicated to each cell's fleet size; the serving
+    /// knobs (queue bound, deadline, warm-up, batching) carry over
+    /// verbatim.
+    pub template: FleetConfig,
+    /// Fleet sizes to evaluate.
+    pub fleet_sizes: Vec<usize>,
+    /// Policies to evaluate.
+    pub policies: Vec<Policy>,
+    /// The workload every cell serves.
+    pub workload: WorkloadSpec,
+}
+
+impl SweepSpec {
+    fn cell_config(&self, size: usize) -> FleetConfig {
+        let mut cfg = self.template.clone();
+        cfg.npus = vec![self.template.npus[0].clone(); size];
+        cfg
+    }
+}
+
+/// Runs the sweep on up to `jobs` worker threads (0 = one per core).
+///
+/// Rows come back in `(policy, fleet_size)` row-major order regardless
+/// of `jobs`, and every modeled number is independent of host-cache
+/// state and thread interleaving — the caches change only *how fast*
+/// answers arrive, never *what* they are — so the rendered JSON is
+/// byte-identical across runs and `jobs` settings.
+///
+/// All cells draw their members from one pool built once with
+/// [`Npu::fleet`], so the per-model cycle simulations behind the
+/// service-time tables are paid once for the whole sweep, not once per
+/// cell.
+pub fn sweep(catalog: &Catalog, spec: &SweepSpec, jobs: usize) -> Vec<FleetReport> {
+    assert!(
+        !spec.fleet_sizes.is_empty() && !spec.policies.is_empty(),
+        "a sweep needs at least one policy and one fleet size"
+    );
+    let max = *spec.fleet_sizes.iter().max().unwrap();
+    assert!(max >= 1, "fleet sizes must be at least 1");
+    let pool = Npu::fleet(&vec![spec.template.npus[0].clone(); max]);
+    let cells: Vec<(Policy, usize)> = spec
+        .policies
+        .iter()
+        .flat_map(|&p| spec.fleet_sizes.iter().map(move |&s| (p, s)))
+        .collect();
+    run_cells(cells.len(), jobs, |i| {
+        let (policy, size) = cells[i];
+        let fleet = Fleet::with_members(spec.cell_config(size), pool[..size].to_vec());
+        fleet.serve(catalog, &spec.workload, policy)
+    })
+}
+
+/// A named sweep inside `SERVE.json` (e.g. `"mixed"`, `"bert_heavy"`).
+#[derive(Debug, Clone)]
+pub struct ServeScenario {
+    /// JSON key of the scenario's row array.
+    pub name: String,
+    /// The sweep to run.
+    pub spec: SweepSpec,
+}
+
+/// Runs every scenario and renders the full `SERVE.json` document: one
+/// key per scenario, one row per sweep cell. Deterministic
+/// byte-for-byte for fixed inputs — the property the determinism tests
+/// pin down.
+pub fn serve_json(catalog: &Catalog, scenarios: &[ServeScenario], jobs: usize) -> String {
+    let sections: Vec<(String, Vec<FleetReport>)> = scenarios
+        .iter()
+        .map(|sc| (sc.name.clone(), sweep(catalog, &sc.spec, jobs)))
+        .collect();
+    render_serve_json(&sections)
+}
+
+/// Renders already-computed sweep rows as the `SERVE.json` document —
+/// the single serialization path, so a binary that also prints a table
+/// from the rows writes byte-identical JSON to [`serve_json`].
+pub fn render_serve_json(sections: &[(String, Vec<FleetReport>)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, rows)) in sections.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = writeln!(out, "  \"{name}\": [");
+        for (j, r) in rows.iter().enumerate() {
+            if j > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("    ");
+            out.push_str(&r.to_json());
+        }
+        out.push_str("\n  ]");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Claim-counter fan-out: workers grab the next unclaimed cell index,
+/// results land in per-index slots, so output order never depends on
+/// scheduling.
+fn run_cells<F>(n: usize, jobs: usize, run: F) -> Vec<FleetReport>
+where
+    F: Fn(usize) -> FleetReport + Sync,
+{
+    let workers = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+    .min(n);
+    if workers <= 1 {
+        return (0..n).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<FleetReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock().unwrap() = Some(run(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every cell index was claimed by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ArrivalProcess;
+    use tandem_npu::NpuConfig;
+
+    fn tiny_spec() -> (Catalog, SweepSpec) {
+        let mut catalog = Catalog::new();
+        catalog.add("MobileNetV2", tandem_model::zoo::mobilenetv2());
+        let spec = SweepSpec {
+            template: FleetConfig::homogeneous(NpuConfig::paper(), 1),
+            fleet_sizes: vec![1, 2],
+            policies: vec![Policy::Fifo, Policy::BatchCoalesce],
+            workload: WorkloadSpec {
+                mix: vec![(0, 1.0)],
+                arrival: ArrivalProcess::Poisson { rate_rps: 3_000.0 },
+                seed: 11,
+                requests: 24,
+            },
+        };
+        (catalog, spec)
+    }
+
+    #[test]
+    fn rows_come_back_in_policy_major_order() {
+        let (catalog, spec) = tiny_spec();
+        let rows = sweep(&catalog, &spec, 1);
+        let shape: Vec<(String, usize)> = rows
+            .iter()
+            .map(|r| (r.policy.clone(), r.fleet_size))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                ("fifo".into(), 1),
+                ("fifo".into(), 2),
+                ("batch".into(), 1),
+                ("batch".into(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_is_byte_identical_across_jobs_settings() {
+        let (catalog, spec) = tiny_spec();
+        let scenarios = [ServeScenario {
+            name: "tiny".into(),
+            spec,
+        }];
+        let serial = serve_json(&catalog, &scenarios, 1);
+        let parallel = serve_json(&catalog, &scenarios, 4);
+        assert_eq!(serial, parallel);
+        assert!(serial.starts_with("{\n  \"tiny\": [\n"));
+        assert!(serial.ends_with("\n  ]\n}\n"));
+    }
+}

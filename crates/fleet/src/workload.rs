@@ -1,0 +1,309 @@
+//! Deterministic workload generation: the model catalog, seeded arrival
+//! processes, and the requests they produce.
+
+use tandem_model::zoo::Benchmark;
+use tandem_model::Graph;
+
+/// The models a fleet serves: a name and an operator graph per entry.
+/// Requests reference entries by index, so a catalog is the unit of
+/// agreement between the workload generator, the scheduler, and the
+/// engine's service-time tables.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    entries: Vec<(String, Graph)>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a model and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, graph: Graph) -> usize {
+        self.entries.push((name.into(), graph));
+        self.entries.len() - 1
+    }
+
+    /// The full 7-model paper zoo at its default evaluation sizes, in
+    /// figure order (so model id `i` is `Benchmark::ALL[i]`).
+    pub fn zoo() -> Self {
+        let mut c = Self::new();
+        for b in Benchmark::ALL {
+            c.add(b.name(), b.graph());
+        }
+        c
+    }
+
+    /// Number of models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Display name of model `id`.
+    pub fn name(&self, id: usize) -> &str {
+        &self.entries[id].0
+    }
+
+    /// Operator graph of model `id`.
+    pub fn graph(&self, id: usize) -> &Graph {
+        &self.entries[id].1
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Dense id in arrival-creation order.
+    pub id: u64,
+    /// Catalog model id.
+    pub model: usize,
+    /// Virtual arrival time in nanoseconds.
+    pub arrival_ns: u64,
+}
+
+/// How request arrivals are spaced in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// `clients` concurrent closed-loop clients: each client issues its
+    /// next request `think_ns` after its previous one finishes (or is
+    /// dropped). Offered load tracks fleet capacity — the classic
+    /// latency-measurement mode.
+    ClosedLoop {
+        /// Concurrent clients (initial requests all arrive at t = 0).
+        clients: usize,
+        /// Per-client pause between completion and the next request.
+        think_ns: u64,
+    },
+    /// Open-loop Poisson arrivals at `rate_rps` requests per second —
+    /// load is offered regardless of completion, so queues grow without
+    /// bound past saturation. The throughput-measurement mode.
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_rps: f64,
+    },
+    /// Bursty arrivals: every `period_ns`, `burst` requests land at the
+    /// same instant (a synchronized-client / retry-storm model that
+    /// stresses tail latency).
+    Bursty {
+        /// Burst spacing in nanoseconds.
+        period_ns: u64,
+        /// Requests per burst.
+        burst: usize,
+    },
+    /// Trace replay: explicit arrival offsets in nanoseconds, used
+    /// verbatim (cycled if shorter than the request count).
+    Replay {
+        /// Arrival timestamps; must be non-decreasing.
+        arrivals_ns: Vec<u64>,
+    },
+}
+
+/// A complete workload description: which models, in what proportion,
+/// arriving how, for how many requests, under which seed. Two specs that
+/// compare equal generate byte-identical request streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// `(model id, weight)` sampling mix; weights need not sum to 1.
+    pub mix: Vec<(usize, f64)>,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// RNG seed — the *only* source of randomness in a fleet run.
+    pub seed: u64,
+    /// Total requests to issue.
+    pub requests: usize,
+}
+
+impl WorkloadSpec {
+    /// A uniform mix over every catalog model with Poisson arrivals —
+    /// the mixed-zoo default of `tandem_serve`.
+    pub fn uniform(catalog: &Catalog, rate_rps: f64, requests: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            mix: (0..catalog.len()).map(|m| (m, 1.0)).collect(),
+            arrival: ArrivalProcess::Poisson { rate_rps },
+            seed,
+            requests,
+        }
+    }
+
+    /// The model of every request, pre-sampled in issue order (index
+    /// `i` is request id `i`). Closed-loop engines consume this lazily;
+    /// open-loop engines pair it with [`WorkloadSpec::open_arrivals`].
+    pub fn models(&self) -> Vec<usize> {
+        let mut rng = SplitMix64::new(self.seed);
+        let total: f64 = self.mix.iter().map(|&(_, w)| w.max(0.0)).sum();
+        (0..self.requests)
+            .map(|_| {
+                let mut u = rng.next_f64() * total;
+                for &(m, w) in &self.mix {
+                    let w = w.max(0.0);
+                    if u < w {
+                        return m;
+                    }
+                    u -= w;
+                }
+                self.mix.last().map(|&(m, _)| m).unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Arrival timestamps for the open-loop processes, one per request,
+    /// non-decreasing. Panics on [`ArrivalProcess::ClosedLoop`] — those
+    /// arrivals depend on completions and are produced by the engine.
+    pub fn open_arrivals(&self) -> Vec<u64> {
+        // An independent stream (seed-offset) so model sampling and
+        // arrival spacing don't perturb each other.
+        let mut rng = SplitMix64::new(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        match &self.arrival {
+            ArrivalProcess::ClosedLoop { .. } => {
+                panic!("closed-loop arrivals are generated by the engine")
+            }
+            ArrivalProcess::Poisson { rate_rps } => {
+                let mut t = 0u64;
+                (0..self.requests)
+                    .map(|_| {
+                        let u = rng.next_f64();
+                        // Inverse-transform exponential gap; clamp to ≥ 1 ns
+                        // so ordering ties stay rare and ids break them.
+                        let gap_s = -(1.0 - u).ln() / rate_rps.max(1e-9);
+                        t += (gap_s * 1e9).round().max(1.0) as u64;
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Bursty { period_ns, burst } => {
+                let burst = (*burst).max(1);
+                (0..self.requests)
+                    .map(|i| (i / burst) as u64 * (*period_ns).max(1))
+                    .collect()
+            }
+            ArrivalProcess::Replay { arrivals_ns } => {
+                assert!(!arrivals_ns.is_empty(), "replay trace must be non-empty");
+                let mut base = 0u64;
+                let mut out = Vec::with_capacity(self.requests);
+                for i in 0..self.requests {
+                    let k = i % arrivals_ns.len();
+                    if i > 0 && k == 0 {
+                        // Cycle: shift the trace past its last timestamp.
+                        base = out[i - 1] + 1;
+                    }
+                    out.push(base + arrivals_ns[k]);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// SplitMix64 — the tiny, dependency-free, splittable PRNG used for all
+/// workload randomness. Chosen because its output is a pure function of
+/// the seed (no global state, no platform variation), which is what makes
+/// `SERVE.json` byte-identical across runs.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add("a", tandem_model::zoo::mobilenetv2());
+        c
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let c = tiny_catalog();
+        let spec = WorkloadSpec::uniform(&c, 1000.0, 64, 7);
+        assert_eq!(spec.models(), spec.models());
+        assert_eq!(spec.open_arrivals(), spec.open_arrivals());
+        let other = WorkloadSpec {
+            seed: 8,
+            ..spec.clone()
+        };
+        assert_ne!(spec.open_arrivals(), other.open_arrivals());
+    }
+
+    #[test]
+    fn poisson_arrivals_are_strictly_increasing() {
+        let c = tiny_catalog();
+        let spec = WorkloadSpec::uniform(&c, 10_000.0, 256, 42);
+        let t = spec.open_arrivals();
+        for w in t.windows(2) {
+            assert!(w[0] < w[1], "arrivals must strictly increase");
+        }
+    }
+
+    #[test]
+    fn bursty_arrivals_land_in_groups() {
+        let spec = WorkloadSpec {
+            mix: vec![(0, 1.0)],
+            arrival: ArrivalProcess::Bursty {
+                period_ns: 1000,
+                burst: 4,
+            },
+            seed: 1,
+            requests: 10,
+        };
+        let t = spec.open_arrivals();
+        assert_eq!(&t[..4], &[0, 0, 0, 0]);
+        assert_eq!(&t[4..8], &[1000, 1000, 1000, 1000]);
+        assert_eq!(&t[8..], &[2000, 2000]);
+    }
+
+    #[test]
+    fn replay_cycles_past_trace_end() {
+        let spec = WorkloadSpec {
+            mix: vec![(0, 1.0)],
+            arrival: ArrivalProcess::Replay {
+                arrivals_ns: vec![5, 10, 20],
+            },
+            seed: 1,
+            requests: 5,
+        };
+        let t = spec.open_arrivals();
+        assert_eq!(t, vec![5, 10, 20, 26, 31]);
+    }
+
+    #[test]
+    fn mix_weights_bias_model_sampling() {
+        let spec = WorkloadSpec {
+            mix: vec![(0, 9.0), (1, 1.0)],
+            arrival: ArrivalProcess::Poisson { rate_rps: 1.0 },
+            seed: 3,
+            requests: 1000,
+        };
+        let models = spec.models();
+        let zeros = models.iter().filter(|&&m| m == 0).count();
+        assert!(zeros > 800, "weight-9 model drew only {zeros}/1000");
+    }
+}

@@ -259,6 +259,37 @@ impl Npu {
         }
     }
 
+    /// A cheap cycle estimate of running `graph` on this NPU: the exact
+    /// `total_cycles` a [`Npu::run`] would report. The first call per
+    /// graph simulates and fills the shared caches; every later call —
+    /// from any clone or fleet member sharing them — replays the cached
+    /// report in O(graph-hash) time. Serving-layer schedulers
+    /// (shortest-job-first, batch sizing) use this as their service-time
+    /// oracle without paying for a fresh simulation per decision.
+    pub fn estimate(&self, graph: &Graph) -> u64 {
+        self.run(graph).total_cycles
+    }
+
+    /// Builds one NPU per configuration for a simulated fleet, sharing
+    /// one cache set among members with *equal* configurations (exactly
+    /// like [`run_matrix`] does for its jobs) so a model compiled on one
+    /// member is warm on its twins. `Npu` is `Send + Sync` — the caches
+    /// live behind `Arc`-ed locks — so the returned members can be moved
+    /// to worker threads or driven round-robin from one event loop.
+    pub fn fleet(configs: &[NpuConfig]) -> Vec<Npu> {
+        // Compile-time proof the members may cross threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Npu>();
+        let mut members: Vec<Npu> = Vec::with_capacity(configs.len());
+        for cfg in configs {
+            match members.iter().find(|n| n.config() == cfg) {
+                Some(prev) => members.push(prev.clone()),
+                None => members.push(Npu::new(cfg.clone())),
+            }
+        }
+        members
+    }
+
     /// The uncached whole-graph execution body.
     fn run_core(&self, graph: &Graph) -> NpuReport {
         self.run_core_traced(graph, &mut NullSink)

@@ -75,6 +75,31 @@ impl ExecStats {
         }
     }
 
+    /// Accumulates `other` into `self`, field by field (`wall_s` adds
+    /// too: the merged value is total work time, not makespan).
+    ///
+    /// # Multi-NPU aggregation
+    ///
+    /// This is the only sound way to total stats across the NPUs of a
+    /// fleet — but only over **deltas**. `Npu::stats()` snapshots are
+    /// cumulative over a cache set's lifetime, and NPUs built by
+    /// [`crate::Npu::fleet`] (or cloning) *share* one cache set: summing
+    /// raw snapshots from such NPUs counts every shared lookup once per
+    /// NPU. Snapshot each NPU before and after the work, take per-NPU
+    /// [`ExecStats::delta`]s — under shared caches, one delta from one
+    /// member already covers the whole group — and `merge` those.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.wall_s += other.wall_s;
+        self.compile_hits += other.compile_hits;
+        self.compile_misses += other.compile_misses;
+        self.sim_hits += other.sim_hits;
+        self.sim_misses += other.sim_misses;
+        self.gemm_hits += other.gemm_hits;
+        self.gemm_misses += other.gemm_misses;
+        self.graph_hits += other.graph_hits;
+        self.graph_misses += other.graph_misses;
+    }
+
     /// Total cache lookups across all four caches.
     pub fn lookups(&self) -> u64 {
         self.compile_hits
@@ -284,6 +309,74 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("ms"));
         assert!(text.contains("util"));
+    }
+
+    #[test]
+    fn merge_sums_every_counter_and_wall_time() {
+        let a = ExecStats {
+            wall_s: 0.25,
+            compile_hits: 1,
+            compile_misses: 2,
+            sim_hits: 3,
+            sim_misses: 4,
+            gemm_hits: 5,
+            gemm_misses: 6,
+            graph_hits: 7,
+            graph_misses: 8,
+        };
+        let b = ExecStats {
+            wall_s: 0.75,
+            compile_hits: 10,
+            compile_misses: 20,
+            sim_hits: 30,
+            sim_misses: 40,
+            gemm_hits: 50,
+            gemm_misses: 60,
+            graph_hits: 70,
+            graph_misses: 80,
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.wall_s, 1.0);
+        assert_eq!(m.compile_hits, 11);
+        assert_eq!(m.compile_misses, 22);
+        assert_eq!(m.sim_hits, 33);
+        assert_eq!(m.sim_misses, 44);
+        assert_eq!(m.gemm_hits, 55);
+        assert_eq!(m.gemm_misses, 66);
+        assert_eq!(m.graph_hits, 77);
+        assert_eq!(m.graph_misses, 88);
+        assert_eq!(m.lookups(), a.lookups() + b.lookups());
+    }
+
+    #[test]
+    fn merged_deltas_from_shared_caches_do_not_double_count() {
+        // Two fleet members sharing one cache set: the raw snapshots are
+        // identical (the counters are shared), so summing snapshots
+        // double-counts. Deltas against a common baseline merge cleanly:
+        // each member contributes only what moved during its own window.
+        use crate::executor::{Npu, NpuConfig};
+        let fleet = Npu::fleet(&[NpuConfig::paper(), NpuConfig::paper()]);
+        let before = fleet[0].stats();
+        let graph = tandem_model::zoo::mobilenetv2();
+        fleet[0].run(&graph);
+        let after_first = fleet[0].stats();
+        fleet[1].run(&graph);
+        let after_second = fleet[1].stats();
+        let mut merged = after_first.delta(&before);
+        merged.merge(&after_second.delta(&after_first));
+        // The merged deltas equal the shared counters' total movement …
+        assert_eq!(
+            merged.lookups(),
+            after_second.delta(&before).lookups(),
+            "per-window deltas must tile the total exactly"
+        );
+        // … while summing the raw snapshots overstates it.
+        let mut naive = after_first;
+        naive.merge(&after_second);
+        assert!(naive.lookups() > after_second.lookups());
+        // The second member's run hit the shared graph-level cache.
+        assert_eq!(after_second.delta(&after_first).graph_hits, 1);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Edge cases of the design-space-exploration sweep and the shared-NPU
+//! batch runner: empty sweeps, degenerate single-lane design points,
+//! and duplicate `(config, graph)` jobs answered from the graph cache.
+
+use tandem_model::zoo;
+use tandem_npu::{pareto_frontier, run_matrix, sweep, DesignPoint, Npu};
+
+#[test]
+fn empty_sweep_yields_empty_results_and_frontier() {
+    let graph = zoo::mobilenetv2();
+    let results = sweep(&[], &graph);
+    assert!(results.is_empty());
+    assert!(pareto_frontier(&results).is_empty());
+}
+
+#[test]
+fn single_lane_design_point_still_executes() {
+    let graph = zoo::mobilenetv2();
+    let mut point = DesignPoint::tiny();
+    point.lanes = 1;
+    let results = sweep(&[point], &graph);
+    assert_eq!(results.len(), 1);
+    let one_lane = &results[0];
+    assert!(one_lane.latency_ms > 0.0);
+    assert!(one_lane.energy_mj > 0.0);
+    assert!(one_lane.tandem_area_mm2 > 0.0);
+    // One lane serializes all vector work, so it must be slower than the
+    // paper machine and cheaper in area.
+    let paper = &sweep(&[DesignPoint::paper()], &graph)[0];
+    assert!(one_lane.latency_ms > paper.latency_ms);
+    assert!(one_lane.tandem_area_mm2 < paper.tandem_area_mm2);
+}
+
+#[test]
+fn duplicate_matrix_jobs_agree_and_hit_the_graph_cache() {
+    let graph = zoo::mobilenetv2();
+    let cfg = DesignPoint::paper().npu_config();
+    // Four copies of the same job: run_matrix shares one NPU (and so one
+    // cache set) across equal configs.
+    let jobs = vec![(cfg.clone(), &graph); 4];
+    let reports = run_matrix(&jobs);
+    assert_eq!(reports.len(), 4);
+    for r in &reports[1..] {
+        assert_eq!(r, &reports[0], "duplicate jobs must produce equal reports");
+    }
+
+    // The same sharing is observable directly: the second identical run
+    // on one cache set is a whole-graph cache hit.
+    let npu = Npu::new(cfg);
+    let before = npu.stats();
+    npu.run(&graph);
+    let after_first = npu.stats();
+    npu.run(&graph);
+    let delta_second = npu.stats().delta(&after_first);
+    assert_eq!(after_first.delta(&before).graph_hits, 0);
+    assert_eq!(delta_second.graph_hits, 1);
+    assert_eq!(delta_second.graph_misses, 0);
+    assert_eq!(delta_second.compile_misses, 0);
+    assert_eq!(delta_second.sim_misses, 0);
+}
+
+#[test]
+fn mixed_duplicate_and_distinct_jobs_keep_per_index_pairing() {
+    let graph = zoo::mobilenetv2();
+    let paper = DesignPoint::paper().npu_config();
+    let tiny = DesignPoint::tiny().npu_config();
+    let jobs = vec![
+        (paper.clone(), &graph),
+        (tiny.clone(), &graph),
+        (paper.clone(), &graph),
+        (tiny.clone(), &graph),
+    ];
+    let reports = run_matrix(&jobs);
+    assert_eq!(reports[0], reports[2]);
+    assert_eq!(reports[1], reports[3]);
+    assert_ne!(
+        reports[0].total_cycles, reports[1].total_cycles,
+        "distinct configurations must not collapse to one result"
+    );
+}

@@ -1,0 +1,108 @@
+//! Fleet-level span helpers.
+//!
+//! A `tandem-fleet` serving simulation renders each simulated NPU on its
+//! own [`Track::Lane`] and scheduler-level activity (arrivals, drops,
+//! queue depth) on [`Track::Fleet`]. These helpers keep the event shapes
+//! consistent — category names, argument keys, lane routing — so a fleet
+//! trace composes with the per-NPU traces the executor already emits and
+//! every consumer (tests, Perfetto queries) can rely on one vocabulary.
+//!
+//! All timestamps are in the fleet's virtual nanoseconds; one Chrome
+//! trace microsecond renders one virtual nanosecond.
+
+use crate::sink::{TraceSink, Track};
+
+/// A request arrival marker on the scheduler lane.
+pub fn arrival(sink: &mut dyn TraceSink, at_ns: u64, req: u64, model: &str) {
+    if sink.enabled() {
+        sink.instant(Track::Fleet, model, "arrival", at_ns, &[("req", req)]);
+    }
+}
+
+/// A dropped-at-admission marker on the scheduler lane (bounded queue
+/// full — the backpressure signal).
+pub fn drop_marker(sink: &mut dyn TraceSink, at_ns: u64, req: u64, model: &str) {
+    if sink.enabled() {
+        sink.instant(Track::Fleet, model, "drop", at_ns, &[("req", req)]);
+    }
+}
+
+/// A timed-out-in-queue marker on the scheduler lane.
+pub fn timeout_marker(sink: &mut dyn TraceSink, at_ns: u64, req: u64, model: &str) {
+    if sink.enabled() {
+        sink.instant(Track::Fleet, model, "timeout", at_ns, &[("req", req)]);
+    }
+}
+
+/// The cold-compile warm-up span charged the first time NPU `npu` sees a
+/// model (the per-NPU compile/sim caches fill here).
+pub fn warmup_span(sink: &mut dyn TraceSink, npu: u16, model: &str, start_ns: u64, dur_ns: u64) {
+    if sink.enabled() && dur_ns > 0 {
+        sink.span(Track::Lane(npu), model, "warmup", start_ns, dur_ns, &[]);
+    }
+}
+
+/// The service span of one dispatched batch on NPU `npu`. `first_req` is
+/// the id of the oldest request in the batch; `batch` its size. Gaps
+/// between consecutive service spans on a lane are the NPU's idle time;
+/// gaps between a request's arrival marker and its service span are its
+/// queueing delay.
+pub fn service_span(
+    sink: &mut dyn TraceSink,
+    npu: u16,
+    model: &str,
+    start_ns: u64,
+    dur_ns: u64,
+    first_req: u64,
+    batch: u64,
+) {
+    if sink.enabled() {
+        sink.span(
+            Track::Lane(npu),
+            model,
+            "service",
+            start_ns,
+            dur_ns,
+            &[("req", first_req), ("batch", batch)],
+        );
+    }
+}
+
+/// A queue-depth counter sample (rendered as an area chart in Perfetto).
+pub fn queue_depth(sink: &mut dyn TraceSink, at_ns: u64, depth: u64) {
+    if sink.enabled() {
+        sink.counter("queue depth", at_ns, &[("pending", depth)]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::ChromeTraceSink;
+
+    #[test]
+    fn helpers_emit_on_lanes_and_declare_lane_names() {
+        let mut sink = ChromeTraceSink::new();
+        arrival(&mut sink, 0, 1, "BERT");
+        warmup_span(&mut sink, 0, "BERT", 0, 50);
+        service_span(&mut sink, 0, "BERT", 50, 100, 1, 4);
+        service_span(&mut sink, 3, "ResNet-50", 10, 20, 2, 1);
+        drop_marker(&mut sink, 5, 9, "GPT-2");
+        queue_depth(&mut sink, 5, 7);
+        let json = sink.to_json();
+        assert!(json.contains("\"name\":\"NPU 0\""));
+        assert!(json.contains("\"name\":\"NPU 3\""));
+        assert!(json.contains("\"name\":\"fleet scheduler\""));
+        assert!(json.contains("\"cat\":\"service\""));
+        assert!(json.contains("\"cat\":\"warmup\""));
+        assert!(json.contains("\"batch\":4"));
+        assert!(json.contains("queue depth"));
+    }
+
+    #[test]
+    fn zero_length_warmup_is_silent() {
+        let mut sink = ChromeTraceSink::new();
+        warmup_span(&mut sink, 0, "BERT", 0, 0);
+        assert!(sink.is_empty());
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod attribution;
+pub mod fleet;
 mod sink;
 
 pub use attribution::{scale_buckets, CycleAttribution, CycleBreakdown};

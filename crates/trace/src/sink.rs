@@ -21,6 +21,13 @@ pub enum Track {
     Controller,
     /// Instruction-level spans of one compiled Tandem program.
     Program,
+    /// Fleet-level scheduler activity (request arrivals, drops,
+    /// admission decisions) of a `tandem-fleet` serving simulation.
+    Fleet,
+    /// One NPU of a simulated fleet: lane `n` carries the per-request
+    /// warm-up and service spans of NPU `n`, so queueing shows up as the
+    /// gaps between them.
+    Lane(u16),
 }
 
 impl Track {
@@ -34,19 +41,23 @@ impl Track {
             Track::Dae => 4,
             Track::Controller => 5,
             Track::Program => 6,
+            Track::Fleet => 7,
+            Track::Lane(n) => 8 + n as u32,
         }
     }
 
     /// Human-readable lane name shown by the trace viewer.
-    fn name(self) -> &'static str {
+    fn name(self) -> String {
         match self {
-            Track::Blocks => "blocks",
-            Track::Gemm => "GEMM unit",
-            Track::Tandem => "Tandem Processor",
-            Track::Ops => "operators (busy)",
-            Track::Dae => "Data Access Engine",
-            Track::Controller => "execution controller",
-            Track::Program => "tile program",
+            Track::Blocks => "blocks".to_string(),
+            Track::Gemm => "GEMM unit".to_string(),
+            Track::Tandem => "Tandem Processor".to_string(),
+            Track::Ops => "operators (busy)".to_string(),
+            Track::Dae => "Data Access Engine".to_string(),
+            Track::Controller => "execution controller".to_string(),
+            Track::Program => "tile program".to_string(),
+            Track::Fleet => "fleet scheduler".to_string(),
+            Track::Lane(n) => format!("NPU {n}"),
         }
     }
 
@@ -177,8 +188,33 @@ impl ChromeTraceSink {
         out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
         let mut first = true;
         // Thread-name metadata first so lanes are labeled even when a
-        // track carries no events.
+        // track carries no events. The static single-NPU tracks are
+        // always declared (golden traces depend on the fixed preamble);
+        // fleet tracks are declared only when events actually use them,
+        // in tid order, so single-NPU traces are byte-identical to
+        // pre-fleet ones.
         for track in Track::ALL {
+            Self::sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                track.tid(),
+                track.name()
+            );
+        }
+        let mut fleet_tracks: Vec<Track> = self
+            .events
+            .iter()
+            .filter_map(|ev| match ev {
+                Event::Span { track, .. } | Event::Instant { track, .. } => Some(*track),
+                Event::Counter { .. } => None,
+            })
+            .filter(|t| !Track::ALL.contains(t))
+            .collect();
+        fleet_tracks.sort_by_key(|t| t.tid());
+        fleet_tracks.dedup();
+        for track in fleet_tracks {
             Self::sep(&mut out, &mut first);
             let _ = write!(
                 out,
