@@ -30,4 +30,9 @@ cargo run --release -q --bin tandem_profile -- bert bert.trace.json
 echo "==> tandem-serve (fleet serving sweep, smoke)"
 cargo run --release -q --bin tandem_serve -- --smoke SERVE.json --trace fleet.trace.json
 
+# Shared-HBM contention: the BERT-heavy sweep with and without a finite
+# shared-bandwidth budget (tail-latency cost of the shared stack).
+echo "==> tandem-serve (shared-HBM contention scenario, smoke)"
+cargo run --release -q --bin tandem_serve -- --scenario contention --smoke --out SERVE_CONTENTION.json
+
 echo "CI OK"

@@ -14,6 +14,11 @@
 //! * `--trace PATH` — additionally record one 4-NPU ResNet-50/BERT
 //!   demo run as a Chrome/Perfetto trace (the `docs/SERVING.md` worked
 //!   example).
+//! * `--scenario NAME` — `all` (default: the three classic scenarios,
+//!   output unchanged from previous releases) or `contention`: the
+//!   BERT-heavy mix served twice, on an unlimited memory system and on
+//!   a shared HBM stack sized to cover only two members' demand, so the
+//!   report quantifies how much tail latency the shared stack costs.
 
 use tandem_fleet::{
     render_serve_json, sweep, ArrivalProcess, Catalog, Fleet, FleetConfig, FleetReport, Policy,
@@ -43,7 +48,7 @@ fn rate_rps(mean_ns: f64, size: usize, factor: f64) -> f64 {
 fn print_rows(scenario: &str, rows: &[FleetReport]) {
     for r in rows {
         println!(
-            "{:<10} {:<9} {:>4} {:>9} {:>12.0} {:>9.3} {:>9.3} {:>6.3}",
+            "{:<22} {:<9} {:>4} {:>9} {:>12.0} {:>9.3} {:>9.3} {:>6.3}",
             scenario,
             r.policy,
             r.fleet_size,
@@ -61,6 +66,7 @@ fn main() {
     let mut jobs = 0usize;
     let mut out_path = "SERVE.json".to_string();
     let mut trace_path: Option<String> = None;
+    let mut scenario = "all".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -74,11 +80,16 @@ fn main() {
             "--trace" => {
                 trace_path = Some(args.next().expect("--trace needs a path"));
             }
+            "--scenario" => scenario = args.next().expect("--scenario needs a name"),
             "--out" => out_path = args.next().expect("--out needs a path"),
             other if !other.starts_with('-') => out_path = other.to_string(),
             other => panic!("unknown flag: {other}"),
         }
     }
+    assert!(
+        scenario == "all" || scenario == "contention",
+        "unknown scenario {scenario:?} (expected `all` or `contention`)"
+    );
 
     let catalog = Catalog::zoo();
     let probe = Npu::new(NpuConfig::paper());
@@ -146,37 +157,81 @@ fn main() {
     };
 
     println!(
-        "{:<10} {:<9} {:>4} {:>9} {:>12} {:>9} {:>9} {:>6}",
+        "{:<22} {:<9} {:>4} {:>9} {:>12} {:>9} {:>9} {:>6}",
         "scenario", "policy", "npus", "served", "thr (rps)", "p50 ms", "p99 ms", "util"
     );
-    let sections: Vec<(String, Vec<FleetReport>)> = [
-        ("mixed", &mixed),
-        ("bert_heavy", &bert_heavy),
-        ("closed_loop", &closed),
-    ]
-    .iter()
-    .map(|(name, spec)| {
-        let rows = sweep(&catalog, spec, jobs);
-        print_rows(name, &rows);
-        (name.to_string(), rows)
-    })
-    .collect();
-
-    // The headline comparison: batch coalescing vs FIFO at the largest
-    // fleet on the BERT-heavy mix.
-    let pick = |rows: &[FleetReport], policy: &str| -> f64 {
-        rows.iter()
-            .find(|r| r.policy == policy && r.fleet_size == max_size)
-            .map(|r| r.throughput_rps())
-            .unwrap_or(0.0)
+    let sections: Vec<(String, Vec<FleetReport>)> = if scenario == "contention" {
+        // The same BERT-heavy sweep on two memory systems: unlimited
+        // bandwidth (the classic engine path) vs a shared HBM stack
+        // sized to cover only two members' worth of demand — calibrated
+        // from the cycle model itself, not hard-coded.
+        let freq = probe.config().tandem.freq_ghz;
+        let sd = probe.estimate_demand(catalog.graph(5)); // BERT-base
+        let bert_demand = sd.dram_bytes as f64 / (sd.total_cycles as f64 / freq);
+        let budget = 2.0 * bert_demand;
+        let mut hbm_template = bert_heavy.template.clone();
+        hbm_template.hbm_gbps = Some((budget * 100.0).round() / 100.0);
+        let hbm_spec = SweepSpec {
+            template: hbm_template,
+            ..bert_heavy.clone()
+        };
+        let out = [
+            ("contention_unlimited", &bert_heavy),
+            ("contention_hbm", &hbm_spec),
+        ]
+        .iter()
+        .map(|(name, spec)| {
+            let rows = sweep(&catalog, spec, jobs);
+            print_rows(name, &rows);
+            (name.to_string(), rows)
+        })
+        .collect::<Vec<_>>();
+        // The headline: what the shared stack costs in tail latency at
+        // the largest fleet (more members ⇒ more overlap ⇒ more
+        // oversubscription of the same budget).
+        let p99 = |rows: &[FleetReport]| -> f64 {
+            rows.iter()
+                .find(|r| r.policy == "batch" && r.fleet_size == max_size)
+                .map(|r| r.latency.p99_ns as f64 / 1e6)
+                .unwrap_or(0.0)
+        };
+        let (free, tight) = (p99(&out[0].1), p99(&out[1].1));
+        println!(
+            "\ncontention @ {max_size} NPUs on a {budget:.1} GB/s stack: batch p99 {tight:.3} ms \
+             vs {free:.3} ms unlimited ({:.2}x)",
+            tight / free.max(1e-9),
+        );
+        out
+    } else {
+        let out = [
+            ("mixed", &mixed),
+            ("bert_heavy", &bert_heavy),
+            ("closed_loop", &closed),
+        ]
+        .iter()
+        .map(|(name, spec)| {
+            let rows = sweep(&catalog, spec, jobs);
+            print_rows(name, &rows);
+            (name.to_string(), rows)
+        })
+        .collect::<Vec<_>>();
+        // The headline comparison: batch coalescing vs FIFO at the
+        // largest fleet on the BERT-heavy mix.
+        let pick = |rows: &[FleetReport], policy: &str| -> f64 {
+            rows.iter()
+                .find(|r| r.policy == policy && r.fleet_size == max_size)
+                .map(|r| r.throughput_rps())
+                .unwrap_or(0.0)
+        };
+        let bert_rows = &out[1].1;
+        let (fifo_thr, batch_thr) = (pick(bert_rows, "fifo"), pick(bert_rows, "batch"));
+        println!(
+            "\nbert_heavy @ {max_size} NPUs: batch {batch_thr:.0} rps vs fifo {fifo_thr:.0} rps \
+             ({:.2}x)",
+            batch_thr / fifo_thr.max(1e-9),
+        );
+        out
     };
-    let bert_rows = &sections[1].1;
-    let (fifo_thr, batch_thr) = (pick(bert_rows, "fifo"), pick(bert_rows, "batch"));
-    println!(
-        "\nbert_heavy @ {max_size} NPUs: batch {batch_thr:.0} rps vs fifo {fifo_thr:.0} rps \
-         ({:.2}x)",
-        batch_thr / fifo_thr.max(1e-9),
-    );
 
     let json = render_serve_json(&sections);
     std::fs::write(&out_path, &json).expect("write SERVE.json");

@@ -1,0 +1,184 @@
+//! Shared high-bandwidth-memory model: max-min fair allocation of one
+//! off-chip bandwidth budget among concurrent consumers.
+//!
+//! One NPU's Data Access Engine ([`crate::DataAccessEngine`]) sees a
+//! private link whose peak bandwidth follows from the configuration —
+//! [`link_gbps`] — but co-located NPUs in a serving deployment share the
+//! HBM stack behind those links. [`HbmModel`] captures that sharing:
+//! given the instantaneous bandwidth demand of every active consumer, it
+//! allocates the shared budget max-min fairly (progressive filling), so
+//! a consumer demanding less than its equal share keeps its demand and
+//! the freed budget is redistributed to the heavier consumers. The fleet
+//! engine recomputes the allocation at every dispatch/completion event,
+//! which makes the bandwidth each consumer sees piecewise-constant in
+//! virtual time.
+
+use crate::config::TandemConfig;
+
+/// Peak bandwidth of one NPU's private DRAM link in GB/s, as implied by
+/// its configuration: `dram_words_per_cycle` 4-byte words per cycle at
+/// `freq_ghz` GHz (the paper configuration works out to 16 GB/s).
+pub fn link_gbps(cfg: &TandemConfig) -> f64 {
+    cfg.dram_words_per_cycle * 4.0 * cfg.freq_ghz
+}
+
+/// A shared HBM stack with a fixed bandwidth budget.
+///
+/// `None` (or a non-finite budget) means *unlimited*: every consumer is
+/// granted its full demand, which reproduces fully independent per-NPU
+/// virtual time — the pre-contention behavior — exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmModel {
+    budget_gbps: Option<f64>,
+}
+
+impl HbmModel {
+    /// A shared stack with `budget_gbps` of total bandwidth. Non-finite
+    /// or non-positive budgets degrade to [`HbmModel::unlimited`].
+    pub fn new(budget_gbps: Option<f64>) -> Self {
+        HbmModel {
+            budget_gbps: budget_gbps.filter(|b| b.is_finite() && *b > 0.0),
+        }
+    }
+
+    /// The infinite-bandwidth stack: allocation is the identity.
+    pub fn unlimited() -> Self {
+        HbmModel { budget_gbps: None }
+    }
+
+    /// Whether this stack never throttles anyone.
+    pub fn is_unlimited(&self) -> bool {
+        self.budget_gbps.is_none()
+    }
+
+    /// The configured budget (GB/s), `None` when unlimited.
+    pub fn budget_gbps(&self) -> Option<f64> {
+        self.budget_gbps
+    }
+
+    /// Max-min fair allocation of the budget over `demands` (GB/s each).
+    ///
+    /// When the demands fit inside the budget every consumer receives
+    /// exactly its demand — bit-for-bit, no arithmetic touches the
+    /// values — so an under-subscribed stack is indistinguishable from an
+    /// unlimited one. Over-subscribed, the budget is progressively
+    /// filled: consumers demanding no more than the equal share of the
+    /// remaining budget are satisfied first, and whatever they leave
+    /// behind is re-shared among the rest, which all end up clamped to
+    /// one common fair level.
+    pub fn allocate(&self, demands: &[f64]) -> Vec<f64> {
+        let budget = match self.budget_gbps {
+            Some(b) => b,
+            None => return demands.to_vec(),
+        };
+        let total: f64 = demands.iter().sum();
+        if total <= budget {
+            return demands.to_vec();
+        }
+        let mut alloc = vec![0.0f64; demands.len()];
+        let mut active: Vec<usize> = (0..demands.len()).filter(|&i| demands[i] > 0.0).collect();
+        let mut remaining = budget;
+        while !active.is_empty() {
+            let share = remaining / active.len() as f64;
+            let satisfied: Vec<usize> = active
+                .iter()
+                .copied()
+                .filter(|&i| demands[i] <= share)
+                .collect();
+            if satisfied.is_empty() {
+                // Everyone left wants more than the fair level: clamp.
+                for &i in &active {
+                    alloc[i] = share;
+                }
+                break;
+            }
+            for &i in &satisfied {
+                alloc[i] = demands[i];
+                remaining -= demands[i];
+            }
+            active.retain(|i| !satisfied.contains(i));
+        }
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_link_is_16_gbps() {
+        assert_eq!(link_gbps(&TandemConfig::paper()), 16.0);
+    }
+
+    #[test]
+    fn unlimited_allocation_is_identity() {
+        let hbm = HbmModel::unlimited();
+        assert!(hbm.is_unlimited());
+        assert_eq!(hbm.allocate(&[3.0, 100.0]), vec![3.0, 100.0]);
+        // Non-finite and non-positive budgets degrade to unlimited.
+        assert!(HbmModel::new(Some(f64::INFINITY)).is_unlimited());
+        assert!(HbmModel::new(Some(0.0)).is_unlimited());
+        assert!(HbmModel::new(None).is_unlimited());
+        assert!(!HbmModel::new(Some(32.0)).is_unlimited());
+    }
+
+    #[test]
+    fn under_subscription_returns_demands_bitwise() {
+        let hbm = HbmModel::new(Some(64.0));
+        let d = [16.0, 15.9999, 0.0, 32.0];
+        assert_eq!(hbm.allocate(&d[..3]), d[..3].to_vec());
+        // Exactly at budget still fits.
+        assert_eq!(hbm.allocate(&[32.0, 32.0]), vec![32.0, 32.0]);
+    }
+
+    #[test]
+    fn equal_heavy_demands_split_the_budget_evenly() {
+        let hbm = HbmModel::new(Some(32.0));
+        assert_eq!(hbm.allocate(&[16.0, 16.0, 16.0, 16.0]), vec![8.0; 4]);
+    }
+
+    #[test]
+    fn light_consumers_keep_their_demand_under_pressure() {
+        let hbm = HbmModel::new(Some(30.0));
+        // The 2 GB/s consumer is under the fair level and keeps its
+        // demand; the two heavy ones split what's left.
+        let a = hbm.allocate(&[2.0, 16.0, 16.0]);
+        assert_eq!(a[0], 2.0);
+        assert_eq!(a[1], 14.0);
+        assert_eq!(a[2], 14.0);
+        let granted: f64 = a.iter().sum();
+        assert!((granted - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_never_exceeds_demand_or_budget() {
+        let hbm = HbmModel::new(Some(20.0));
+        let demands = [1.0, 3.0, 9.0, 27.0];
+        let a = hbm.allocate(&demands);
+        for (ai, di) in a.iter().zip(&demands) {
+            assert!(ai <= di, "allocation may never exceed demand");
+            assert!(*ai >= 0.0);
+        }
+        assert!(a.iter().sum::<f64>() <= 20.0 + 1e-9);
+    }
+
+    #[test]
+    fn shrinking_the_budget_never_grows_an_allocation() {
+        let demands = [4.0, 10.0, 16.0];
+        let wide = HbmModel::new(Some(28.0)).allocate(&demands);
+        let tight = HbmModel::new(Some(14.0)).allocate(&demands);
+        for (w, t) in wide.iter().zip(&tight) {
+            assert!(t <= w, "halving the budget must not raise anyone");
+        }
+    }
+
+    #[test]
+    fn idle_consumers_get_zero() {
+        let hbm = HbmModel::new(Some(8.0));
+        let a = hbm.allocate(&[0.0, 16.0, 0.0]);
+        assert_eq!(a[0], 0.0);
+        assert_eq!(a[2], 0.0);
+        assert_eq!(a[1], 8.0);
+    }
+}

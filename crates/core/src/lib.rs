@@ -71,6 +71,7 @@ mod config;
 mod dae;
 mod energy;
 mod error;
+mod hbm;
 mod iterator_table;
 mod permute;
 mod processor;
@@ -83,6 +84,7 @@ pub use config::TandemConfig;
 pub use dae::{DataAccessEngine, Dram, TransferPlan};
 pub use energy::{EnergyBreakdown, EnergyModel, EventCounters};
 pub use error::SimError;
+pub use hbm::{link_gbps, HbmModel};
 pub use iterator_table::{IteratorEntry, IteratorTable};
 pub use permute::PermuteEngine;
 pub use processor::{LogEvent, Mode, TandemProcessor};

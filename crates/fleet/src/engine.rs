@@ -4,11 +4,13 @@
 //! Virtual time is derived from real per-model [`tandem_npu::NpuReport`]
 //! cycle counts via each NPU's clock frequency (`cycles / freq_ghz` ns),
 //! so the serving numbers inherit the cycle model's fidelity. Every
-//! request is charged three exact components — queueing delay, a
-//! cold-compile warm-up the first time its model lands on an NPU, and
-//! (batch-scaled) service time — and the engine asserts that the three
-//! sum to the end-to-end latency for every completed request.
+//! request is charged exact components — queueing delay, a cold-compile
+//! warm-up the first time its model lands on an NPU, (batch-scaled)
+//! service time, and, when a shared HBM budget is configured, a memory
+//! stall — and the engine asserts that the components sum to the
+//! end-to-end latency for every completed request.
 
+use crate::memory::{BandwidthDemand, MemorySystem};
 use crate::policy::{Dispatch, FleetView, Policy, SchedulerPolicy};
 use crate::report::{FleetReport, LatencyStats, ModelStats, NpuUsage, Rejection, RequestRecord};
 use crate::workload::{ArrivalProcess, Catalog, Request, WorkloadSpec};
@@ -49,6 +51,18 @@ pub struct FleetConfig {
     /// the same amortization that makes batching win on real serving
     /// hardware.
     pub batch_marginal: f64,
+    /// Per-member private DRAM-link bandwidth in GB/s (one entry per
+    /// NPU). `None` derives each member's link from its configuration
+    /// via [`tandem_core::link_gbps`] — 16 GB/s for the paper point.
+    /// Only consulted while `hbm_gbps` is set.
+    pub bw_gbps: Option<Vec<f64>>,
+    /// Shared HBM bandwidth budget in GB/s across the whole fleet.
+    /// `None` (the default) models unlimited bandwidth: members never
+    /// contend, and the engine's behavior — event timing, traces,
+    /// `SERVE.json` bytes — is identical to a fleet without the memory
+    /// system. A finite budget stretches service whenever the serving
+    /// members' aggregate demand exceeds it (see [`MemorySystem`]).
+    pub hbm_gbps: Option<f64>,
 }
 
 impl FleetConfig {
@@ -64,6 +78,8 @@ impl FleetConfig {
             max_batch: 8,
             batch_window_ns: 2_000_000,
             batch_marginal: 0.35,
+            bw_gbps: None,
+            hbm_gbps: None,
         }
     }
 
@@ -89,6 +105,39 @@ pub struct Fleet {
 const EV_ARRIVAL: u8 = 0;
 const EV_FREE: u8 = 1;
 const EV_POKE: u8 = 2;
+/// Deferred service start (contention model only): the warm-up has
+/// elapsed and the dispatch begins consuming shared bandwidth.
+const EV_START: u8 = 3;
+
+/// One dispatch in service under the shared-HBM contention model (the
+/// unlimited-budget path never builds these). Its completion time is
+/// provisional: every change to the set of serving NPUs re-shares the
+/// bandwidth, re-prices the remaining work, and reschedules the
+/// completion event under a fresh generation.
+struct InFlight {
+    model: usize,
+    /// Generation stamped into this dispatch's scheduled event; bumping
+    /// it turns the superseded heap entry into a discarded stale pop.
+    gen: u64,
+    dispatched_ns: u64,
+    warmup_ns: u64,
+    /// Nominal (uncontended, batch-scaled) service time.
+    service_ns: u64,
+    members: Vec<Request>,
+    /// Service has begun (bandwidth is consumed only then, not during
+    /// the host-side warm-up).
+    started: bool,
+    /// Progress through the nominal service, in nominal nanoseconds.
+    progress: f64,
+    /// When `progress` was last banked.
+    accrued_ns: u64,
+    /// Progress rate in force since then (≤ 1; 1 = uncontended).
+    rate: f64,
+    /// Completion time of the currently scheduled `EV_FREE`, so an
+    /// unchanged estimate is not rescheduled — fewer stale events, and
+    /// uncontended dispatches keep their original event order.
+    eta_ns: Option<u64>,
+}
 
 /// Per-request outcome while the simulation runs.
 #[derive(Debug, Clone, Copy)]
@@ -128,6 +177,18 @@ struct Sim<'a> {
     /// `Some(think_ns)` when the workload is closed-loop: each finished
     /// (or refused) request triggers its client's next one.
     closed_think_ns: Option<u64>,
+    /// The shared memory system (no-op when the budget is unlimited).
+    mem: MemorySystem,
+    /// `demand[npu][model]` — bandwidth demand of a solo service; empty
+    /// when the contention model is off.
+    demand: Vec<Vec<BandwidthDemand>>,
+    /// `dram_bytes[npu][model]` — byte footprint per dispatch; empty
+    /// when the contention model is off.
+    dram_bytes: Vec<Vec<u64>>,
+    /// Per-NPU in-flight dispatch (contention model only).
+    inflight: Vec<Option<InFlight>>,
+    /// Monotone generation counter for reschedulable events.
+    gen: u64,
 }
 
 impl Sim<'_> {
@@ -245,43 +306,204 @@ impl Sim<'_> {
         let solo = self.service_ns[n][model];
         let service =
             solo + (((k - 1) as f64) * self.cfg.batch_marginal * solo as f64).round() as u64;
-        let completion = now + warmup + service;
         self.idle[n] = false;
-        self.push_event(completion, EV_FREE, n);
+        let contended = self.mem.enabled();
+        let bytes = if contended {
+            self.dram_bytes[n][model]
+        } else {
+            0
+        };
         let u = &mut self.usage[n];
         u.served += k;
         u.batches += 1;
         u.warmups += (warmup > 0) as u64;
         u.warmup_ns += warmup;
         u.service_ns += service;
+        u.dram_bytes += bytes;
         let name = self.catalog.name(model);
         spans::warmup_span(sink, n as u16, name, now, warmup);
-        spans::service_span(sink, n as u16, name, now + warmup, service, live[0].id, k);
-        for r in &live {
-            let rec = RequestRecord {
-                id: r.id,
-                model,
-                npu: n,
-                batch: live.len(),
-                arrival_ns: r.arrival_ns,
-                queue_ns: now - r.arrival_ns,
-                warmup_ns: warmup,
-                service_ns: service,
-                completion_ns: completion,
-            };
-            // The contract the report advertises: latency decomposes
-            // exactly into its three components.
-            debug_assert_eq!(
-                rec.latency_ns(),
-                rec.queue_ns + rec.warmup_ns + rec.service_ns
-            );
-            self.outcomes[r.id as usize] = Outcome::Completed(rec);
-            self.depth -= 1;
-            self.closed_loop_refill(completion);
+        if !contended {
+            // Unlimited-bandwidth fast path: the completion is final at
+            // dispatch (byte-identical to the pre-contention engine).
+            let completion = now + warmup + service;
+            self.push_event(completion, EV_FREE, n);
+            spans::service_span(sink, n as u16, name, now + warmup, service, live[0].id, k);
+            for r in &live {
+                let rec = RequestRecord {
+                    id: r.id,
+                    model,
+                    npu: n,
+                    batch: live.len(),
+                    arrival_ns: r.arrival_ns,
+                    queue_ns: now - r.arrival_ns,
+                    warmup_ns: warmup,
+                    service_ns: service,
+                    mem_stall_ns: 0,
+                    completion_ns: completion,
+                };
+                // The contract the report advertises: latency decomposes
+                // exactly into its components.
+                debug_assert_eq!(
+                    rec.latency_ns(),
+                    rec.queue_ns + rec.warmup_ns + rec.service_ns
+                );
+                self.outcomes[r.id as usize] = Outcome::Completed(rec);
+                self.depth -= 1;
+                self.closed_loop_refill(completion);
+            }
+            self.sample_depth(now);
+            spans::queue_depth(sink, now, self.depth);
+            self.makespan_ns = self.makespan_ns.max(completion);
+            return;
         }
+        // Contended path: the completion moves as overlap changes, so
+        // records are finalized at the completion event instead.
+        self.depth -= k;
         self.sample_depth(now);
         spans::queue_depth(sink, now, self.depth);
-        self.makespan_ns = self.makespan_ns.max(completion);
+        self.gen += 1;
+        let gen = self.gen;
+        self.inflight[n] = Some(InFlight {
+            model,
+            gen,
+            dispatched_ns: now,
+            warmup_ns: warmup,
+            service_ns: service,
+            members: live,
+            started: false,
+            progress: 0.0,
+            accrued_ns: now,
+            rate: 1.0,
+            eta_ns: None,
+        });
+        if warmup == 0 {
+            self.start_service(n, now, sink);
+        } else {
+            let payload = gen as usize * self.idle.len() + n;
+            self.push_event(now + warmup, EV_START, payload);
+        }
+    }
+
+    /// Begins the service phase of NPU `n`'s in-flight dispatch: from
+    /// here it demands bandwidth, so the whole fleet re-shares.
+    fn start_service(&mut self, n: usize, at: u64, sink: &mut dyn TraceSink) {
+        let f = self.inflight[n]
+            .as_mut()
+            .expect("service start without a dispatch");
+        debug_assert!(!f.started);
+        f.started = true;
+        f.progress = 0.0;
+        f.accrued_ns = at;
+        self.reallocate(at, sink);
+    }
+
+    /// Recomputes the fair-share allocation and every in-service
+    /// completion time — called whenever the set of serving NPUs
+    /// changes, which makes each NPU's bandwidth (and progress rate)
+    /// piecewise-constant between events.
+    fn reallocate(&mut self, now: u64, sink: &mut dyn TraceSink) {
+        let n_npus = self.idle.len();
+        // Bank progress earned at the rates in force since the last event.
+        for f in self.inflight.iter_mut().flatten() {
+            if f.started {
+                f.progress += (now - f.accrued_ns) as f64 * f.rate;
+                f.accrued_ns = now;
+            }
+        }
+        let serving: Vec<Option<BandwidthDemand>> = (0..n_npus)
+            .map(|i| {
+                self.inflight[i]
+                    .as_ref()
+                    .filter(|f| f.started)
+                    .map(|f| self.demand[i][f.model])
+            })
+            .collect();
+        let alloc = self.mem.allocate(&serving);
+        for i in 0..n_npus {
+            let scheduled = {
+                let f = match self.inflight[i].as_mut().filter(|f| f.started) {
+                    Some(f) => f,
+                    None => continue,
+                };
+                f.rate = alloc.rates[i];
+                let remaining = (f.service_ns as f64 - f.progress).max(0.0);
+                let eta = if remaining == 0.0 {
+                    now
+                } else {
+                    now + (remaining / f.rate).ceil() as u64
+                };
+                // Physics floor: contention can only push a completion
+                // past its nominal end, never before it (also guards the
+                // stall's non-negativity against float rounding).
+                let eta = eta.max(f.dispatched_ns + f.warmup_ns + f.service_ns);
+                if f.eta_ns == Some(eta) {
+                    continue; // the already-scheduled event still stands
+                }
+                f.eta_ns = Some(eta);
+                self.gen += 1;
+                f.gen = self.gen;
+                (eta, self.gen as usize * n_npus + i)
+            };
+            self.push_event(scheduled.0, EV_FREE, scheduled.1);
+        }
+        if sink.enabled() {
+            let cgbps = |g: f64| (g * 100.0).round() as u64;
+            spans::hbm_bandwidth(
+                sink,
+                now,
+                cgbps(alloc.demand_gbps),
+                cgbps(alloc.granted_gbps),
+            );
+            if alloc.throttled > 0 {
+                spans::hbm_throttle(sink, now, alloc.throttled as u64);
+            }
+        }
+    }
+
+    /// Finalizes NPU `n`'s in-flight dispatch at its (possibly
+    /// stretched) completion time, then re-shares the freed bandwidth
+    /// among the survivors.
+    fn complete(&mut self, n: usize, now: u64, sink: &mut dyn TraceSink) {
+        let f = self.inflight[n]
+            .take()
+            .expect("completion without a dispatch");
+        let nominal_end = f.dispatched_ns + f.warmup_ns + f.service_ns;
+        debug_assert!(now >= nominal_end, "completions never beat nominal time");
+        let stall = now - nominal_end;
+        self.usage[n].mem_stall_ns += stall;
+        let name = self.catalog.name(f.model);
+        spans::service_span(
+            sink,
+            n as u16,
+            name,
+            f.dispatched_ns + f.warmup_ns,
+            f.service_ns + stall,
+            f.members[0].id,
+            f.members.len() as u64,
+        );
+        for r in &f.members {
+            let rec = RequestRecord {
+                id: r.id,
+                model: f.model,
+                npu: n,
+                batch: f.members.len(),
+                arrival_ns: r.arrival_ns,
+                queue_ns: f.dispatched_ns - r.arrival_ns,
+                warmup_ns: f.warmup_ns,
+                service_ns: f.service_ns,
+                mem_stall_ns: stall,
+                completion_ns: now,
+            };
+            // The four-component decomposition the report advertises.
+            debug_assert_eq!(
+                rec.latency_ns(),
+                rec.queue_ns + rec.warmup_ns + rec.service_ns + rec.mem_stall_ns
+            );
+            self.outcomes[r.id as usize] = Outcome::Completed(rec);
+            self.closed_loop_refill(now);
+        }
+        self.makespan_ns = self.makespan_ns.max(now);
+        self.reallocate(now, sink);
     }
 }
 
@@ -383,6 +605,25 @@ impl Fleet {
             .map(|m| self.cfg.warmup_ns_per_node * catalog.graph(m).nodes().len() as u64)
             .collect();
 
+        // Shared-HBM contention tables (empty on the unlimited path, so
+        // fleets without a budget never pay the demand estimation).
+        let mem = MemorySystem::new(&self.cfg);
+        let contended = mem.enabled();
+        let (demand, dram_bytes) = if contended {
+            let mut demand = vec![vec![BandwidthDemand::default(); n_models]; n_npus];
+            let mut dram_bytes = vec![vec![0u64; n_models]; n_npus];
+            for i in 0..n_npus {
+                for m in 0..n_models {
+                    let sd = self.npus[i].estimate_demand(catalog.graph(m));
+                    dram_bytes[i][m] = sd.dram_bytes;
+                    demand[i][m] = mem.demand(i, sd.dram_bytes, service_ns[i][m]);
+                }
+            }
+            (demand, dram_bytes)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
         let models = spec.models();
         let mut sim = Sim {
             cfg: &self.cfg,
@@ -406,6 +647,11 @@ impl Fleet {
                 ArrivalProcess::ClosedLoop { think_ns, .. } => Some(*think_ns),
                 _ => None,
             },
+            mem,
+            demand,
+            dram_bytes,
+            inflight: (0..n_npus).map(|_| None).collect(),
+            gen: 0,
         };
 
         // Seed the event queue.
@@ -432,8 +678,38 @@ impl Fleet {
             }
         }
 
-        // The event loop.
+        // The event loop. Under contention, `EV_FREE`/`EV_START`
+        // payloads carry `gen · n_npus + npu`; pops whose generation no
+        // longer matches the in-flight dispatch were superseded by a
+        // reallocation and are discarded *before* the makespan update.
         while let Some(Reverse((now, _, kind, payload))) = sim.heap.pop() {
+            if contended && kind == EV_FREE {
+                let n = payload % n_npus;
+                let gen = (payload / n_npus) as u64;
+                let live = sim.inflight[n]
+                    .as_ref()
+                    .is_some_and(|f| f.started && f.gen == gen);
+                if !live {
+                    continue; // stale: a reallocation moved this completion
+                }
+                sim.makespan_ns = sim.makespan_ns.max(now);
+                sim.complete(n, now, sink);
+                sim.idle[n] = true;
+                sim.try_dispatch(n, now, sched, sink);
+                continue;
+            }
+            if kind == EV_START {
+                let n = payload % n_npus;
+                let gen = (payload / n_npus) as u64;
+                let live = sim.inflight[n]
+                    .as_ref()
+                    .is_some_and(|f| !f.started && f.gen == gen);
+                if live {
+                    sim.makespan_ns = sim.makespan_ns.max(now);
+                    sim.start_service(n, now, sink);
+                }
+                continue;
+            }
             sim.makespan_ns = sim.makespan_ns.max(now);
             match kind {
                 EV_ARRIVAL => {
@@ -499,6 +775,8 @@ impl Fleet {
         latencies.sort_unstable();
         let mut queues: Vec<u64> = records.iter().map(|r| r.queue_ns).collect();
         queues.sort_unstable();
+        let mut stalls: Vec<u64> = records.iter().map(|r| r.mem_stall_ns).collect();
+        stalls.sort_unstable();
         let per_model: Vec<ModelStats> = (0..n_models)
             .filter_map(|m| {
                 let mut lat: Vec<u64> = records
@@ -533,6 +811,8 @@ impl Fleet {
             makespan_ns: sim.makespan_ns,
             latency: LatencyStats::from_sorted(&latencies),
             queue: LatencyStats::from_sorted(&queues),
+            hbm_gbps: sim.mem.budget_gbps(),
+            mem_stall: LatencyStats::from_sorted(&stalls),
             peak_queue_depth: sim.peak_depth,
             queue_depth_samples: sim.depth_samples,
             per_npu: sim.usage,

@@ -25,9 +25,18 @@
 //!   charging queueing delay, cold-compile warm-up on first sight of a
 //!   model per NPU, and batch-scaled service time derived from real
 //!   per-model cycle counts. It emits per-request [`RequestRecord`]s
-//!   whose latency decomposes *exactly* into queue + warm-up + service,
-//!   and an aggregate [`FleetReport`] (throughput, per-NPU utilization,
-//!   p50/p95/p99/p99.9, queue depth over time, drop/timeout counts).
+//!   whose latency decomposes *exactly* into queue + warm-up + service
+//!   (+ memory stall under contention, below), and an aggregate
+//!   [`FleetReport`] (throughput, per-NPU utilization, p50/p95/p99/p99.9,
+//!   queue depth over time, drop/timeout counts).
+//! * **The shared memory system** ([`MemorySystem`], backed by
+//!   [`tandem_core::HbmModel`]) — set [`FleetConfig::hbm_gbps`] and the
+//!   members contend for one HBM stack: each dispatch's DMA-byte
+//!   footprint (from the cycle model's DAE accounting) becomes a
+//!   bandwidth demand, a max-min fair share is recomputed at every
+//!   dispatch/completion event, and oversubscription stretches service
+//!   into an exact per-request `mem_stall_ns`. Unset, the engine is
+//!   byte-identical to a fleet without the memory system.
 //!
 //! A [`tandem_trace::TraceSink`] threads through
 //! [`Fleet::serve_traced`], so a whole fleet run renders in Perfetto —
@@ -53,12 +62,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod memory;
 mod policy;
 mod report;
 mod sweep;
 mod workload;
 
 pub use engine::{Fleet, FleetConfig};
+pub use memory::{Allocation, BandwidthDemand, MemorySystem};
 pub use policy::{
     BatchCoalesce, Dispatch, Fifo, FleetView, ModelAffinity, Policy, SchedulerPolicy, ShortestJob,
 };

@@ -5,8 +5,10 @@ use tandem_npu::ExecStats;
 
 /// The full accounting of one completed request. The engine maintains
 /// the invariant that end-to-end latency decomposes **exactly**:
-/// `latency_ns() == queue_ns + warmup_ns + service_ns` — asserted at
-/// dispatch time and again by the test suite.
+/// `latency_ns() == queue_ns + warmup_ns + service_ns + mem_stall_ns` —
+/// asserted at completion time and again by the test suite
+/// (`mem_stall_ns` is zero whenever the shared-HBM contention model is
+/// off).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestRecord {
     /// Request id (issue order).
@@ -24,8 +26,13 @@ pub struct RequestRecord {
     /// Cold-compile warm-up charged to its dispatch (zero when the NPU
     /// had already seen the model).
     pub warmup_ns: u64,
-    /// Service time of its (batch-scaled) dispatch.
+    /// Service time of its (batch-scaled) dispatch, as it would have
+    /// run with the shared HBM to itself.
     pub service_ns: u64,
+    /// Extra time its dispatch spent stalled on the shared HBM because
+    /// concurrent members' bandwidth demands exceeded the budget. Zero
+    /// when [`crate::FleetConfig::hbm_gbps`] is unset (unlimited).
+    pub mem_stall_ns: u64,
     /// Completion time.
     pub completion_ns: u64,
 }
@@ -107,17 +114,37 @@ pub struct NpuUsage {
     pub warmups: u64,
     /// Nanoseconds spent in warm-up.
     pub warmup_ns: u64,
-    /// Nanoseconds spent serving (excludes warm-up).
+    /// Nanoseconds spent serving (excludes warm-up and memory stall).
     pub service_ns: u64,
+    /// Nanoseconds spent stalled on the shared HBM (zero when the
+    /// contention model is off).
+    pub mem_stall_ns: u64,
+    /// DRAM bytes its dispatches streamed (counted once per dispatch,
+    /// zero when the contention model is off).
+    pub dram_bytes: u64,
 }
 
 impl NpuUsage {
-    /// Busy fraction of the run: (warm-up + service) / makespan.
+    /// Busy fraction of the run: (warm-up + service + memory stall) /
+    /// makespan — a memory-stalled NPU is occupied, just not advancing.
     pub fn utilization(&self, makespan_ns: u64) -> f64 {
         if makespan_ns == 0 {
             0.0
         } else {
-            (self.warmup_ns + self.service_ns) as f64 / makespan_ns as f64
+            (self.warmup_ns + self.service_ns + self.mem_stall_ns) as f64 / makespan_ns as f64
+        }
+    }
+
+    /// Off-chip bandwidth this NPU actually achieved while busy serving,
+    /// in GB/s: bytes streamed over (service + stall) time. Zero when it
+    /// never served (or the contention model is off and no bytes were
+    /// accounted).
+    pub fn achieved_gbps(&self) -> f64 {
+        let busy = self.service_ns + self.mem_stall_ns;
+        if busy == 0 {
+            0.0
+        } else {
+            self.dram_bytes as f64 / busy as f64
         }
     }
 }
@@ -154,6 +181,12 @@ pub struct FleetReport {
     pub latency: LatencyStats,
     /// Queueing-delay stats over completed requests.
     pub queue: LatencyStats,
+    /// Shared-HBM budget this run was served under (`None` = unlimited,
+    /// the contention model off).
+    pub hbm_gbps: Option<f64>,
+    /// Shared-HBM stall stats over completed requests (all zeros when
+    /// `hbm_gbps` is `None`).
+    pub mem_stall: LatencyStats,
     /// Deepest the pending queue ever got.
     pub peak_queue_depth: u64,
     /// `(virtual ns, depth)` samples, one per queue-depth change.
@@ -233,6 +266,21 @@ impl FleetReport {
             ms(self.queue.p50_ns),
             ms(self.queue.p99_ns),
         );
+        // Contention fields appear only when the model is on, so an
+        // unlimited-budget SERVE.json stays byte-identical to one
+        // rendered before the memory system existed.
+        if let Some(h) = self.hbm_gbps {
+            let _ = write!(
+                out,
+                ", \"hbm_gbps\": {:.2}, \"mem_stall_ms\": {{\"mean\": {}, \"p50\": {}, \
+                 \"p99\": {}, \"max\": {}}}",
+                h,
+                ms(self.mem_stall.mean_ns),
+                ms(self.mem_stall.p50_ns),
+                ms(self.mem_stall.p99_ns),
+                ms(self.mem_stall.max_ns),
+            );
+        }
         out.push_str(", \"per_npu\": [");
         for (i, u) in self.per_npu.iter().enumerate() {
             if i > 0 {
@@ -240,12 +288,21 @@ impl FleetReport {
             }
             let _ = write!(
                 out,
-                "{{\"served\": {}, \"batches\": {}, \"warmups\": {}, \"utilization\": {:.4}}}",
+                "{{\"served\": {}, \"batches\": {}, \"warmups\": {}, \"utilization\": {:.4}",
                 u.served,
                 u.batches,
                 u.warmups,
                 u.utilization(self.makespan_ns),
             );
+            if self.hbm_gbps.is_some() {
+                let _ = write!(
+                    out,
+                    ", \"mem_stall_ms\": {}, \"achieved_gbps\": {:.2}",
+                    ms(u.mem_stall_ns),
+                    u.achieved_gbps(),
+                );
+            }
+            out.push('}');
         }
         out.push_str("], \"per_model\": [");
         for (i, m) in self.per_model.iter().enumerate() {
@@ -308,6 +365,8 @@ mod tests {
             makespan_ns: 2_000_000,
             latency: LatencyStats::from_sorted(&[1_000_000, 2_000_000]),
             queue: LatencyStats::from_sorted(&[0, 1_000_000]),
+            hbm_gbps: None,
+            mem_stall: LatencyStats::default(),
             peak_queue_depth: 3,
             queue_depth_samples: vec![(0, 1)],
             per_npu: vec![NpuUsage {
@@ -316,6 +375,8 @@ mod tests {
                 warmups: 1,
                 warmup_ns: 100_000,
                 service_ns: 900_000,
+                mem_stall_ns: 0,
+                dram_bytes: 0,
             }],
             per_model: vec![ModelStats {
                 model: 0,
@@ -333,5 +394,22 @@ mod tests {
         assert!(a.contains("\"name\": \"BERT\""));
         // Host wall-time must not leak into the serialization.
         assert!(!a.contains("wall"));
+        // Contention fields are absent while the model is off …
+        assert!(!a.contains("hbm_gbps"));
+        assert!(!a.contains("mem_stall"));
+        assert!(!a.contains("achieved_gbps"));
+        // … and present (with the stall decomposition and per-NPU
+        // achieved bandwidth) once a budget is set.
+        let mut contended = r.clone();
+        contended.hbm_gbps = Some(32.0);
+        contended.mem_stall = LatencyStats::from_sorted(&[0, 500_000]);
+        contended.per_npu[0].mem_stall_ns = 500_000;
+        contended.per_npu[0].dram_bytes = 1_400_000;
+        let b = contended.to_json();
+        assert!(b.contains("\"hbm_gbps\": 32.00"));
+        assert!(b.contains("\"mem_stall_ms\": {\"mean\": 0.2500"));
+        assert!(b.contains("\"achieved_gbps\": 1.00"));
+        // The busy-time accounting includes the stall.
+        assert!(b.contains("\"utilization\": 0.7500"));
     }
 }

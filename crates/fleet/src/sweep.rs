@@ -31,6 +31,10 @@ impl SweepSpec {
     fn cell_config(&self, size: usize) -> FleetConfig {
         let mut cfg = self.template.clone();
         cfg.npus = vec![self.template.npus[0].clone(); size];
+        // Per-member links replicate with the members; the shared
+        // `hbm_gbps` budget carries over unchanged, so a sweep shows how
+        // contention scales with fleet size under one fixed stack.
+        cfg.bw_gbps = self.template.bw_gbps.as_ref().map(|v| vec![v[0]; size]);
         cfg
     }
 }

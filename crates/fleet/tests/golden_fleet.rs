@@ -1,0 +1,74 @@
+//! Byte-stable golden trace for a 2-NPU contended fleet run: scheduler
+//! markers on `Track::Fleet`, per-NPU warm-up/service spans on
+//! `Track::Lane`, and the shared-HBM utilization counter plus throttle
+//! markers on `Track::Hbm`. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p tandem-fleet --test golden_fleet`.
+
+use tandem_fleet::{ArrivalProcess, Catalog, Fleet, FleetConfig, Policy, WorkloadSpec};
+use tandem_model::{Graph, GraphBuilder, Padding};
+use tandem_npu::NpuConfig;
+use tandem_trace::ChromeTraceSink;
+
+/// The same 3-op micro model the executor's golden trace uses — small
+/// enough that the whole fleet trace stays a few kilobytes.
+fn micro_graph() -> Graph {
+    let mut b = GraphBuilder::new("micro", 2024);
+    let x = b.input("x", [1, 3, 8, 8]);
+    let c = b.conv(x, 4, 3, 1, Padding::Same);
+    let r = b.relu(c);
+    let p = b.max_pool(r, 2, 2);
+    b.output(p);
+    b.finish()
+}
+
+#[test]
+fn contended_fleet_trace_matches_golden_bytes() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_fleet.trace.json");
+    let mut catalog = Catalog::new();
+    catalog.add("micro", micro_graph());
+    let mut cfg = FleetConfig::homogeneous(NpuConfig::paper(), 2);
+    // A budget below one member's solo demand guarantees throttling
+    // whenever both lanes serve, so the golden covers the Hbm track's
+    // counter *and* its throttle markers.
+    cfg.hbm_gbps = Some(4.0);
+    let fleet = Fleet::new(cfg);
+    let spec = WorkloadSpec {
+        mix: vec![(0, 1.0)],
+        arrival: ArrivalProcess::ClosedLoop {
+            clients: 4,
+            think_ns: 1_000,
+        },
+        seed: 7,
+        requests: 12,
+    };
+    let mut sink = ChromeTraceSink::new();
+    let report = fleet.serve_traced(&catalog, &spec, Policy::Fifo, &mut sink);
+    assert_eq!(report.completed, 12);
+    assert!(
+        report.records.iter().any(|r| r.mem_stall_ns > 0),
+        "the golden scenario must actually contend"
+    );
+    let json = sink.to_json();
+    // The three track families the golden is meant to pin.
+    for needle in [
+        "\"name\":\"fleet scheduler\"",
+        "\"name\":\"NPU 0\"",
+        "\"name\":\"NPU 1\"",
+        "\"name\":\"shared HBM\"",
+        "hbm gbps x100",
+        "\"name\":\"throttle\"",
+    ] {
+        assert!(json.contains(needle), "fleet trace must contain {needle}");
+    }
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &json).expect("write golden fleet trace");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect(
+        "golden fleet trace missing — regenerate with UPDATE_GOLDEN=1 cargo test -p tandem-fleet --test golden_fleet",
+    );
+    assert_eq!(
+        json, golden,
+        "fleet trace changed byte-for-byte; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}

@@ -1,0 +1,167 @@
+//! Property-based invariant harness for the serving layer: ~200 seeded
+//! random workload/fleet configurations × every scheduling policy, each
+//! checked against the engine's structural contracts.
+//!
+//! The invariants (none of which depend on the specific numbers a
+//! configuration produces):
+//!
+//! 1. every completed request's latency decomposes *exactly* into
+//!    `queue + warmup + service + mem_stall`;
+//! 2. `completed + dropped + timed_out == offered` — no request is lost
+//!    or double-counted;
+//! 3. each NPU's busy time (`warmup + service + mem_stall`) never
+//!    exceeds the makespan, and no completion lands after it;
+//! 4. the event clock is monotone: queue-depth samples are recorded in
+//!    non-decreasing virtual time;
+//! 5. `to_json` is byte-stable — serving the same spec twice yields the
+//!    identical report.
+//!
+//! `FLEET_PROP_CASES` overrides the case count (CI keeps the suite under
+//! ~30 s; crank it up locally for deeper soak runs). Cases use a
+//! catalog of tiny micro graphs so each simulation costs microseconds,
+//! and all fleets draw members from one warm [`Npu::fleet`] pool so the
+//! cycle model runs once per (config, graph), not once per case.
+
+use tandem_fleet::{ArrivalProcess, Catalog, Fleet, FleetConfig, Policy, SplitMix64, WorkloadSpec};
+use tandem_model::{Graph, GraphBuilder, Padding};
+use tandem_npu::{Npu, NpuConfig};
+
+const MAX_FLEET: usize = 4;
+
+/// Tiny conv/relu/pool variants — micro-second service times, distinct
+/// shapes so service times differ across models.
+fn micro_graph(channels: usize, size: usize) -> Graph {
+    let mut b = GraphBuilder::new("micro", 2024);
+    let x = b.input("x", [1, 3, size, size]);
+    let c = b.conv(x, channels, 3, 1, Padding::Same);
+    let r = b.relu(c);
+    let p = b.max_pool(r, 2, 2);
+    b.output(p);
+    b.finish()
+}
+
+fn micro_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add("micro-a", micro_graph(4, 8));
+    c.add("micro-b", micro_graph(8, 8));
+    c.add("micro-c", micro_graph(4, 16));
+    c
+}
+
+fn case_count() -> usize {
+    std::env::var("FLEET_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Draws one random-but-seeded serving scenario.
+fn draw(rng: &mut SplitMix64, catalog: &Catalog) -> (FleetConfig, WorkloadSpec) {
+    let n = 1 + (rng.next_u64() as usize % MAX_FLEET);
+    let mut cfg = FleetConfig::homogeneous(NpuConfig::paper(), n);
+    cfg.queue_capacity = match rng.next_u64() % 3 {
+        0 => 2,
+        1 => 8,
+        _ => usize::MAX,
+    };
+    cfg.deadline_ns = match rng.next_u64() % 3 {
+        0 => Some(50_000 + rng.next_u64() % 500_000),
+        _ => None,
+    };
+    cfg.max_batch = 1 + (rng.next_u64() as usize % 8);
+    cfg.batch_window_ns = rng.next_u64() % 50_000;
+    cfg.warmup_ns_per_node = rng.next_u64() % 3_000;
+    // A third of the cases exercise the shared-HBM contention path with
+    // budgets from punishing to slack.
+    cfg.hbm_gbps = match rng.next_u64() % 3 {
+        0 => Some(1.0 + rng.next_f64() * 63.0),
+        _ => None,
+    };
+    let n_models = catalog.len();
+    let mix: Vec<(usize, f64)> = (0..n_models)
+        .map(|m| (m, 1.0 + rng.next_f64() * 4.0))
+        .collect();
+    let arrival = match rng.next_u64() % 3 {
+        0 => ArrivalProcess::ClosedLoop {
+            clients: 1 + (rng.next_u64() as usize % 6),
+            think_ns: rng.next_u64() % 20_000,
+        },
+        1 => ArrivalProcess::Poisson {
+            rate_rps: 2_000.0 + rng.next_f64() * 200_000.0,
+        },
+        _ => ArrivalProcess::Bursty {
+            period_ns: 10_000 + rng.next_u64() % 200_000,
+            burst: 1 + (rng.next_u64() as usize % 6),
+        },
+    };
+    let spec = WorkloadSpec {
+        mix,
+        arrival,
+        seed: rng.next_u64(),
+        requests: 8 + (rng.next_u64() as usize % 32),
+    };
+    (cfg, spec)
+}
+
+#[test]
+fn every_policy_upholds_the_serving_invariants_across_random_scenarios() {
+    let catalog = micro_catalog();
+    let pool = Npu::fleet(&vec![NpuConfig::paper(); MAX_FLEET]);
+    let mut rng = SplitMix64::new(0x5eed_f1ee);
+    for case in 0..case_count() {
+        let (cfg, spec) = draw(&mut rng, &catalog);
+        for policy in Policy::ALL {
+            let fleet = Fleet::with_members(cfg.clone(), pool[..cfg.npus.len()].to_vec());
+            let report = fleet.serve(&catalog, &spec, policy);
+            let ctx = format!("case {case} ({policy:?}, cfg {cfg:?}, spec {spec:?})");
+
+            // 1. Exact latency decomposition, for every request.
+            for r in &report.records {
+                assert_eq!(
+                    r.latency_ns(),
+                    r.queue_ns + r.warmup_ns + r.service_ns + r.mem_stall_ns,
+                    "{ctx}: request {} latency must decompose exactly",
+                    r.id
+                );
+            }
+
+            // 2. Conservation: every offered request has exactly one fate.
+            assert_eq!(
+                report.completed + report.dropped + report.timed_out,
+                report.offered,
+                "{ctx}: offered requests must be conserved"
+            );
+            assert_eq!(report.records.len() as u64, report.completed, "{ctx}");
+
+            // 3. Busy time fits the makespan, completions land inside it.
+            for (i, u) in report.per_npu.iter().enumerate() {
+                assert!(
+                    u.warmup_ns + u.service_ns + u.mem_stall_ns <= report.makespan_ns,
+                    "{ctx}: NPU {i} busy longer than the makespan"
+                );
+            }
+            for r in &report.records {
+                assert!(
+                    r.completion_ns <= report.makespan_ns,
+                    "{ctx}: request {} completes after the makespan",
+                    r.id
+                );
+            }
+
+            // 4. Monotone event clock: depth samples in time order.
+            let times: Vec<u64> = report.queue_depth_samples.iter().map(|&(t, _)| t).collect();
+            assert!(
+                times.windows(2).all(|w| w[0] <= w[1]),
+                "{ctx}: queue-depth samples must be recorded in time order"
+            );
+
+            // 5. Byte-stable JSON across a second, independent run.
+            let again = fleet.serve(&catalog, &spec, policy);
+            assert_eq!(
+                report.to_json(),
+                again.to_json(),
+                "{ctx}: to_json must be byte-stable across runs"
+            );
+        }
+    }
+}

@@ -102,6 +102,20 @@ struct SimKey {
 /// collisions by the graph's node and tensor counts.
 type GraphKey = (u64, usize, usize);
 
+/// The cycle-and-traffic demand of one batch-1 run of a graph, as
+/// returned by [`Npu::estimate_demand`] — the serving layer's input to
+/// the shared-HBM contention model: `dram_bytes / (total_cycles /
+/// freq_ghz)` is the run's average off-chip bandwidth demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceDemand {
+    /// End-to-end latency in cycles — exactly what [`Npu::estimate`]
+    /// returns.
+    pub total_cycles: u64,
+    /// Bytes moved to/from DRAM over the run, both sides of the machine
+    /// (Tandem DAE traffic + GEMM unit traffic).
+    pub dram_bytes: u64,
+}
+
 /// Memoized static-verification outcome of one node's compiled tile
 /// programs: `(programs checked, findings)`. Node-name-free so the value
 /// is reusable across structurally identical nodes.
@@ -268,6 +282,18 @@ impl Npu {
     /// oracle without paying for a fresh simulation per decision.
     pub fn estimate(&self, graph: &Graph) -> u64 {
         self.run(graph).total_cycles
+    }
+
+    /// [`Npu::estimate`] plus the run's DRAM traffic: the same cached-run
+    /// oracle, returning the pair the fleet's shared-HBM contention model
+    /// needs — exact cycles for the service time and the byte footprint
+    /// that turns into a bandwidth demand when divided by it.
+    pub fn estimate_demand(&self, graph: &Graph) -> ServiceDemand {
+        let r = self.run(graph);
+        ServiceDemand {
+            total_cycles: r.total_cycles,
+            dram_bytes: r.tandem_dram_bytes + r.gemm_dram_bytes,
+        }
     }
 
     /// Builds one NPU per configuration for a simulated fleet, sharing

@@ -46,7 +46,7 @@ mod report;
 pub use controller::{ControllerEvent, ControllerState, ExecutionController};
 pub use dispatch::{dispatch_block, DispatchedBlock};
 pub use dse::{pareto_frontier, sweep, DesignPoint, DseResult};
-pub use executor::{run_matrix, Npu, NpuConfig, TileGranularity};
+pub use executor::{run_matrix, Npu, NpuConfig, ServiceDemand, TileGranularity};
 pub use knobs::Despecialization;
 pub use report::{ExecStats, NpuReport, UnitBusy, VerifySummary};
 

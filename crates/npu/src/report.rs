@@ -380,6 +380,36 @@ mod tests {
     }
 
     #[test]
+    fn merge_of_disjoint_deltas_equals_the_concatenated_run() {
+        // The asserted form of the `merge` doc note: per-window deltas
+        // over one shared cache set tile the timeline, so merging them
+        // must reproduce the whole-run delta *counter for counter* — not
+        // just in aggregate lookups.
+        use crate::executor::{Npu, NpuConfig};
+        let fleet = Npu::fleet(&[NpuConfig::paper(), NpuConfig::paper()]);
+        let graph = tandem_model::zoo::mobilenetv2();
+        let before = fleet[0].stats();
+        let mut merged = ExecStats::default();
+        let mut last = before;
+        // Four disjoint windows alternating members of the shared set.
+        for i in 0..4 {
+            fleet[i % 2].run(&graph);
+            let now = fleet[i % 2].stats();
+            merged.merge(&now.delta(&last));
+            last = now;
+        }
+        let mut whole = fleet[1].stats().delta(&before);
+        assert!(whole.lookups() > 0, "the windows must have moved counters");
+        // Field-for-field equality, host wall-time excluded.
+        merged.wall_s = 0.0;
+        whole.wall_s = 0.0;
+        assert_eq!(
+            merged, whole,
+            "merged disjoint deltas must equal the concatenated run"
+        );
+    }
+
+    #[test]
     fn utilization_is_zero_without_cycles() {
         let r = NpuReport::default();
         assert_eq!(r.gemm_utilization(), 0.0);

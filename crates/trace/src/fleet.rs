@@ -75,6 +75,30 @@ pub fn queue_depth(sink: &mut dyn TraceSink, at_ns: u64, depth: u64) {
     }
 }
 
+/// A shared-HBM bandwidth sample: aggregate demand of the serving NPUs
+/// vs what the fair-share allocator actually granted, both in
+/// centi-GB/s (GB/s × 100, so the counter stays integral). Emitted at
+/// every allocation recomputation, which makes the series render the
+/// piecewise-constant utilization of the stack.
+pub fn hbm_bandwidth(sink: &mut dyn TraceSink, at_ns: u64, demand_cgbps: u64, granted_cgbps: u64) {
+    if sink.enabled() {
+        sink.counter(
+            "hbm gbps x100",
+            at_ns,
+            &[("demand", demand_cgbps), ("granted", granted_cgbps)],
+        );
+    }
+}
+
+/// A throttle marker on the [`Track::Hbm`] lane: `npus` members are
+/// currently stretched because their aggregate demand exceeds the shared
+/// budget.
+pub fn hbm_throttle(sink: &mut dyn TraceSink, at_ns: u64, npus: u64) {
+    if sink.enabled() {
+        sink.instant(Track::Hbm, "throttle", "hbm", at_ns, &[("npus", npus)]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +121,19 @@ mod tests {
         assert!(json.contains("\"cat\":\"warmup\""));
         assert!(json.contains("\"batch\":4"));
         assert!(json.contains("queue depth"));
+    }
+
+    #[test]
+    fn hbm_helpers_emit_counter_and_declare_the_hbm_lane() {
+        let mut sink = ChromeTraceSink::new();
+        hbm_bandwidth(&mut sink, 10, 6_400, 3_200);
+        hbm_throttle(&mut sink, 10, 4);
+        let json = sink.to_json();
+        assert!(json.contains("hbm gbps x100"));
+        assert!(json.contains("\"demand\":6400"));
+        assert!(json.contains("\"granted\":3200"));
+        assert!(json.contains("\"name\":\"shared HBM\""));
+        assert!(json.contains("\"name\":\"throttle\""));
     }
 
     #[test]

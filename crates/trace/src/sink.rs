@@ -28,6 +28,10 @@ pub enum Track {
     /// warm-up and service spans of NPU `n`, so queueing shows up as the
     /// gaps between them.
     Lane(u16),
+    /// The fleet's shared HBM stack: throttle markers whenever the
+    /// members' aggregate bandwidth demand exceeds the shared budget
+    /// (the utilization itself is a counter series, `"hbm gbps"`).
+    Hbm,
 }
 
 impl Track {
@@ -43,6 +47,8 @@ impl Track {
             Track::Program => 6,
             Track::Fleet => 7,
             Track::Lane(n) => 8 + n as u32,
+            // Above the whole `Lane(u16)` range so no lane can collide.
+            Track::Hbm => 8 + u16::MAX as u32 + 1,
         }
     }
 
@@ -58,6 +64,7 @@ impl Track {
             Track::Program => "tile program".to_string(),
             Track::Fleet => "fleet scheduler".to_string(),
             Track::Lane(n) => format!("NPU {n}"),
+            Track::Hbm => "shared HBM".to_string(),
         }
     }
 
