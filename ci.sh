@@ -35,4 +35,10 @@ cargo run --release -q --bin tandem_serve -- --smoke SERVE.json --trace fleet.tr
 echo "==> tandem-serve (shared-HBM contention scenario, smoke)"
 cargo run --release -q --bin tandem_serve -- --scenario contention --smoke --out SERVE_CONTENTION.json
 
+# Fleet-engine throughput: streaming-statistics serving at CI size.
+# Fails if requests/sec drops below the smoke_floor_rps committed in
+# the baseline BENCH_SERVE.json (the perf regression guard).
+echo "==> bench-serve (fleet engine throughput, smoke + regression floor)"
+cargo run --release -q --bin bench_serve -- --smoke
+
 echo "CI OK"

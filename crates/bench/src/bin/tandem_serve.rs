@@ -19,6 +19,9 @@
 //!   BERT-heavy mix served twice, on an unlimited memory system and on
 //!   a shared HBM stack sized to cover only two members' demand, so the
 //!   report quantifies how much tail latency the shared stack costs.
+//! * `--requests N` — override the per-cell request count (default 96
+//!   with `--smoke`, 384 without), so the same binary drives both the
+//!   CI smoke gate and large-scale runs without code edits.
 
 use tandem_fleet::{
     render_serve_json, sweep, ArrivalProcess, Catalog, Fleet, FleetConfig, FleetReport, Policy,
@@ -67,6 +70,7 @@ fn main() {
     let mut out_path = "SERVE.json".to_string();
     let mut trace_path: Option<String> = None;
     let mut scenario = "all".to_string();
+    let mut requests_override: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -81,6 +85,13 @@ fn main() {
                 trace_path = Some(args.next().expect("--trace needs a path"));
             }
             "--scenario" => scenario = args.next().expect("--scenario needs a name"),
+            "--requests" => {
+                requests_override = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--requests needs a positive integer"),
+                );
+            }
             "--out" => out_path = args.next().expect("--out needs a path"),
             other if !other.starts_with('-') => out_path = other.to_string(),
             other => panic!("unknown flag: {other}"),
@@ -93,7 +104,8 @@ fn main() {
 
     let catalog = Catalog::zoo();
     let probe = Npu::new(NpuConfig::paper());
-    let requests = if smoke { 96 } else { 384 };
+    let requests = requests_override.unwrap_or(if smoke { 96 } else { 384 });
+    assert!(requests >= 1, "--requests must be at least 1");
     let fleet_sizes: Vec<usize> = if smoke {
         vec![1, 2, 4]
     } else {
@@ -110,6 +122,7 @@ fn main() {
         template: template.clone(),
         fleet_sizes: fleet_sizes.clone(),
         policies: Policy::ALL.to_vec(),
+        hbm_budgets: Vec::new(),
         workload: WorkloadSpec {
             mix: mixed_mix,
             arrival: ArrivalProcess::Poisson {
@@ -129,6 +142,7 @@ fn main() {
         template: template.clone(),
         fleet_sizes: fleet_sizes.clone(),
         policies: Policy::ALL.to_vec(),
+        hbm_budgets: Vec::new(),
         workload: WorkloadSpec {
             mix: bert_mix,
             arrival: ArrivalProcess::Poisson {
@@ -145,6 +159,7 @@ fn main() {
         template,
         fleet_sizes: fleet_sizes.clone(),
         policies: Policy::ALL.to_vec(),
+        hbm_budgets: Vec::new(),
         workload: WorkloadSpec {
             mix: (0..catalog.len()).map(|m| (m, 1.0)).collect(),
             arrival: ArrivalProcess::ClosedLoop {

@@ -67,38 +67,58 @@ impl HbmModel {
     /// behind is re-shared among the rest, which all end up clamped to
     /// one common fair level.
     pub fn allocate(&self, demands: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(demands.len());
+        self.allocate_into(demands, &mut out);
+        out
+    }
+
+    /// [`HbmModel::allocate`] into a caller-owned buffer: identical
+    /// grants (the same arithmetic in the same order), but no
+    /// allocation once `out`'s capacity has grown to the fleet size —
+    /// the form the serving engine calls at every dispatch/completion
+    /// event.
+    pub fn allocate_into(&self, demands: &[f64], out: &mut Vec<f64>) {
+        out.clear();
         let budget = match self.budget_gbps {
             Some(b) => b,
-            None => return demands.to_vec(),
+            None => {
+                out.extend_from_slice(demands);
+                return;
+            }
         };
         let total: f64 = demands.iter().sum();
         if total <= budget {
-            return demands.to_vec();
+            out.extend_from_slice(demands);
+            return;
         }
-        let mut alloc = vec![0.0f64; demands.len()];
-        let mut active: Vec<usize> = (0..demands.len()).filter(|&i| demands[i] > 0.0).collect();
+        // Progressive filling without index scratch: `-1.0` marks a
+        // still-active consumer (real grants are never negative — every
+        // active demand is positive and the remaining budget never goes
+        // below zero, since each satisfied demand is at most the share).
+        out.extend(demands.iter().map(|&d| if d > 0.0 { -1.0 } else { 0.0 }));
+        let mut active = demands.iter().filter(|&&d| d > 0.0).count();
         let mut remaining = budget;
-        while !active.is_empty() {
-            let share = remaining / active.len() as f64;
-            let satisfied: Vec<usize> = active
-                .iter()
-                .copied()
-                .filter(|&i| demands[i] <= share)
-                .collect();
-            if satisfied.is_empty() {
+        while active > 0 {
+            let share = remaining / active as f64;
+            let mut satisfied = 0usize;
+            for (grant, &d) in out.iter_mut().zip(demands) {
+                if *grant == -1.0 && d <= share {
+                    *grant = d;
+                    remaining -= d;
+                    satisfied += 1;
+                }
+            }
+            if satisfied == 0 {
                 // Everyone left wants more than the fair level: clamp.
-                for &i in &active {
-                    alloc[i] = share;
+                for grant in out.iter_mut() {
+                    if *grant == -1.0 {
+                        *grant = share;
+                    }
                 }
                 break;
             }
-            for &i in &satisfied {
-                alloc[i] = demands[i];
-                remaining -= demands[i];
-            }
-            active.retain(|i| !satisfied.contains(i));
+            active -= satisfied;
         }
-        alloc
     }
 }
 

@@ -9,13 +9,31 @@
 //! service time, and, when a shared HBM budget is configured, a memory
 //! stall — and the engine asserts that the components sum to the
 //! end-to-end latency for every completed request.
+//!
+//! ## Scaling to millions of requests
+//!
+//! The engine *streams*: arrivals are generated lazily (one staged
+//! arrival in the heap at a time for open-loop processes), events live
+//! in a flat packed binary heap ([`crate::events`]), in-flight dispatch
+//! state sits in a struct-of-arrays table whose per-dispatch member
+//! buffers are reused across events, and per-request accounting is
+//! online — counters, per-NPU/per-model running aggregates, and
+//! log-bucket percentile sketches ([`crate::stats`]). With
+//! [`FleetConfig::retain_records`] **on** (the default) the engine
+//! additionally keeps every [`RequestRecord`] and computes report
+//! percentiles from the exact retained values — byte-identical output
+//! to the historical record-retaining engine. With it **off**, peak
+//! memory is flat in the request count and percentiles come from the
+//! sketch (relative error ≤ 1/32); that is the mode the 10M-request
+//! `bench_serve` scenarios run in.
 
-use crate::memory::{BandwidthDemand, MemorySystem};
+use crate::events::EventQueue;
+use crate::memory::{Allocation, BandwidthDemand, MemorySystem};
 use crate::policy::{Dispatch, FleetView, Policy, SchedulerPolicy};
-use crate::report::{FleetReport, LatencyStats, ModelStats, NpuUsage, Rejection, RequestRecord};
-use crate::workload::{ArrivalProcess, Catalog, Request, WorkloadSpec};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::report::{FleetReport, LatencyStats, ModelStats, NpuUsage, RequestRecord};
+use crate::stats::{LatencySketch, Rollups};
+use crate::workload::{ArrivalGen, ArrivalProcess, Catalog, ModelSampler, Request, WorkloadSpec};
+use std::collections::HashMap;
 use std::time::Instant;
 use tandem_npu::{ExecStats, Npu, NpuConfig};
 use tandem_trace::{fleet as spans, NullSink, TraceSink};
@@ -63,12 +81,28 @@ pub struct FleetConfig {
     /// system. A finite budget stretches service whenever the serving
     /// members' aggregate demand exceeds it (see [`MemorySystem`]).
     pub hbm_gbps: Option<f64>,
+    /// Keep a [`RequestRecord`] per completed request (and per-event
+    /// queue-depth samples), and compute report percentiles from the
+    /// exact retained values — the historical behavior, byte-identical
+    /// `SERVE.json`. **Off**, the engine keeps memory flat in the
+    /// request count: [`FleetReport::records`] and
+    /// [`FleetReport::queue_depth_samples`] come back empty and
+    /// percentiles are read from a deterministic log-bucket sketch
+    /// (relative error ≤ 1/32; mean/max/count stay exact). Default on.
+    pub retain_records: bool,
+    /// Emit per-virtual-time-window rollups
+    /// ([`FleetReport::rollups`]): arrivals, completions, rejections,
+    /// busy time, and peak queue depth per window of this many
+    /// nanoseconds. `None` (default) collects none; memory grows with
+    /// the virtual horizon divided by the window, never with the
+    /// request count.
+    pub rollup_window_ns: Option<u64>,
 }
 
 impl FleetConfig {
     /// `n` identical NPUs with the serving defaults: 1024-deep
     /// admission queue, no deadline, 2 µs/node warm-up, batches up to 8
-    /// within a 2 ms window at 0.35 marginal cost.
+    /// within a 2 ms window at 0.35 marginal cost, records retained.
     pub fn homogeneous(cfg: NpuConfig, n: usize) -> Self {
         FleetConfig {
             npus: vec![cfg; n],
@@ -80,6 +114,8 @@ impl FleetConfig {
             batch_marginal: 0.35,
             bw_gbps: None,
             hbm_gbps: None,
+            retain_records: true,
+            rollup_window_ns: None,
         }
     }
 
@@ -109,42 +145,61 @@ const EV_POKE: u8 = 2;
 /// elapsed and the dispatch begins consuming shared bandwidth.
 const EV_START: u8 = 3;
 
-/// One dispatch in service under the shared-HBM contention model (the
-/// unlimited-budget path never builds these). Its completion time is
-/// provisional: every change to the set of serving NPUs re-shares the
-/// bandwidth, re-prices the remaining work, and reschedules the
-/// completion event under a fresh generation.
-struct InFlight {
-    model: usize,
-    /// Generation stamped into this dispatch's scheduled event; bumping
-    /// it turns the superseded heap entry into a discarded stale pop.
-    gen: u64,
-    dispatched_ns: u64,
-    warmup_ns: u64,
-    /// Nominal (uncontended, batch-scaled) service time.
-    service_ns: u64,
-    members: Vec<Request>,
+/// In-flight dispatch state in struct-of-arrays layout, one slot per
+/// NPU (the unlimited-budget path never populates it). A slot's
+/// completion time is provisional: every change to the set of serving
+/// NPUs re-shares the bandwidth, re-prices the remaining work, and
+/// reschedules the completion event under a fresh generation. The
+/// per-slot `members` buffers are reused across dispatches — cleared,
+/// never reallocated — so steady-state serving performs no per-dispatch
+/// heap allocation here.
+#[derive(Debug, Default)]
+struct InFlightTable {
+    /// Slot occupied (a dispatch is in flight on this NPU).
+    active: Vec<bool>,
     /// Service has begun (bandwidth is consumed only then, not during
     /// the host-side warm-up).
-    started: bool,
+    started: Vec<bool>,
+    model: Vec<usize>,
+    /// Generation stamped into this dispatch's scheduled event; bumping
+    /// it turns the superseded heap entry into a discarded stale pop.
+    gen: Vec<u64>,
+    dispatched_ns: Vec<u64>,
+    warmup_ns: Vec<u64>,
+    /// Nominal (uncontended, batch-scaled) service time.
+    service_ns: Vec<u64>,
     /// Progress through the nominal service, in nominal nanoseconds.
-    progress: f64,
+    progress: Vec<f64>,
     /// When `progress` was last banked.
-    accrued_ns: u64,
+    accrued_ns: Vec<u64>,
     /// Progress rate in force since then (≤ 1; 1 = uncontended).
-    rate: f64,
-    /// Completion time of the currently scheduled `EV_FREE`, so an
-    /// unchanged estimate is not rescheduled — fewer stale events, and
-    /// uncontended dispatches keep their original event order.
-    eta_ns: Option<u64>,
+    rate: Vec<f64>,
+    /// Completion time of the currently scheduled `EV_FREE`
+    /// (`u64::MAX` = none), so an unchanged estimate is not rescheduled
+    /// — fewer stale events, and uncontended dispatches keep their
+    /// original event order.
+    eta_ns: Vec<u64>,
+    /// The dispatch's batch members (reused buffer).
+    members: Vec<Vec<Request>>,
 }
 
-/// Per-request outcome while the simulation runs.
-#[derive(Debug, Clone, Copy)]
-enum Outcome {
-    Pending,
-    Completed(RequestRecord),
-    Rejected(Rejection),
+impl InFlightTable {
+    fn new(n: usize) -> Self {
+        InFlightTable {
+            active: vec![false; n],
+            started: vec![false; n],
+            model: vec![0; n],
+            gen: vec![0; n],
+            dispatched_ns: vec![0; n],
+            warmup_ns: vec![0; n],
+            service_ns: vec![0; n],
+            progress: vec![0.0; n],
+            accrued_ns: vec![0; n],
+            rate: vec![1.0; n],
+            eta_ns: vec![u64::MAX; n],
+            members: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
 }
 
 /// The mutable simulation state (kept separate from the scheduler so a
@@ -159,19 +214,27 @@ struct Sim<'a> {
     warmup_ns: Vec<u64>,
     /// `seen[npu][model]`.
     seen: Vec<Vec<bool>>,
-    /// Event queue keyed `(time, seq, kind, payload)`.
-    heap: BinaryHeap<Reverse<(u64, u64, u8, usize)>>,
-    seq: u64,
-    /// All requests issued so far (closed-loop grows this lazily).
-    reqs: Vec<Request>,
-    outcomes: Vec<Outcome>,
-    /// Models of requests not yet issued (closed-loop), indexed by id.
-    models: Vec<usize>,
+    /// Flat packed event heap.
+    events: EventQueue,
+    /// Streaming model sampler (consumed in request-id order).
+    sampler: ModelSampler,
+    /// Streaming arrival-time generator (open-loop processes only).
+    arrivals: Option<ArrivalGen>,
+    /// Open loop: the one arrival currently staged in the heap — the
+    /// whole trace is never materialized.
+    staged_arrival: Option<Request>,
+    /// Closed loop: models of spawned, not-yet-arrived requests
+    /// (bounded by the client count).
+    pending_models: HashMap<u64, usize>,
+    /// Requests issued so far (ids are dense in issue order).
     next_spawn: usize,
+    total_requests: usize,
     idle: Vec<bool>,
     usage: Vec<NpuUsage>,
     depth: u64,
     peak_depth: u64,
+    /// Per-event depth samples — collected only when records are
+    /// retained (they grow with the event count).
     depth_samples: Vec<(u64, u64)>,
     makespan_ns: u64,
     /// `Some(think_ns)` when the workload is closed-loop: each finished
@@ -185,35 +248,84 @@ struct Sim<'a> {
     /// `dram_bytes[npu][model]` — byte footprint per dispatch; empty
     /// when the contention model is off.
     dram_bytes: Vec<Vec<u64>>,
-    /// Per-NPU in-flight dispatch (contention model only).
-    inflight: Vec<Option<InFlight>>,
+    /// In-flight dispatches, SoA (contention model only).
+    flight: InFlightTable,
     /// Monotone generation counter for reschedulable events.
     gen: u64,
+    // --- online accounting ---
+    retain: bool,
+    records: Vec<RequestRecord>,
+    completed: u64,
+    dropped: u64,
+    timed_out: u64,
+    /// Streaming distributions (fed only when records are *not*
+    /// retained; the exact path reads the retained records instead).
+    lat_sketch: LatencySketch,
+    queue_sketch: LatencySketch,
+    stall_sketch: LatencySketch,
+    model_sketches: Vec<LatencySketch>,
+    rollups: Option<Rollups>,
+    // --- reused scratch (no per-event allocation) ---
+    live_buf: Vec<Request>,
+    serving_buf: Vec<Option<BandwidthDemand>>,
+    alloc_buf: Allocation,
 }
 
 impl Sim<'_> {
-    fn push_event(&mut self, at: u64, kind: u8, payload: usize) {
-        self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, kind, payload)));
-    }
-
-    /// Issues request `id` (creating it if the closed loop hasn't yet)
-    /// arriving at `at`.
-    fn spawn_next(&mut self, at: u64) {
-        if self.next_spawn >= self.models.len() {
+    /// Generates and stages the next open-loop arrival: one streamed
+    /// `(model, arrival)` draw, one heap entry, stamped with its
+    /// reserved sequence so event order is identical to a heap seeded
+    /// with the whole trace up front.
+    fn stage_next_arrival(&mut self) {
+        if self.next_spawn >= self.total_requests {
+            self.staged_arrival = None;
             return;
         }
-        let id = self.next_spawn;
+        let id = self.next_spawn as u64;
         self.next_spawn += 1;
-        let req = Request {
-            id: id as u64,
-            model: self.models[id],
+        let model = self.sampler.next_model();
+        let at = self
+            .arrivals
+            .as_mut()
+            .expect("open-loop staging requires an arrival generator")
+            .next_arrival();
+        self.staged_arrival = Some(Request {
+            id,
+            model,
             arrival_ns: at,
-        };
-        debug_assert_eq!(self.reqs.len(), id);
-        self.reqs.push(req);
-        self.outcomes.push(Outcome::Pending);
-        self.push_event(at, EV_ARRIVAL, id);
+        });
+        self.events.push_with_seq(at, id + 1, EV_ARRIVAL, id);
+    }
+
+    /// Issues request `id` (closed loop) arriving at `at`.
+    fn spawn_next(&mut self, at: u64) {
+        if self.next_spawn >= self.total_requests {
+            return;
+        }
+        let id = self.next_spawn as u64;
+        self.next_spawn += 1;
+        let model = self.sampler.next_model();
+        self.pending_models.insert(id, model);
+        self.events.push(at, EV_ARRIVAL, id);
+    }
+
+    /// Resolves a popped `EV_ARRIVAL` into its request, restocking the
+    /// staged open-loop arrival.
+    fn take_arrival(&mut self, id: u64, now: u64) -> Request {
+        if let Some(req) = self.staged_arrival {
+            debug_assert_eq!(req.id, id, "open-loop arrivals pop in issue order");
+            self.stage_next_arrival();
+            return req;
+        }
+        let model = self
+            .pending_models
+            .remove(&id)
+            .expect("arrival event without a spawned request");
+        Request {
+            id,
+            model,
+            arrival_ns: now,
+        }
     }
 
     /// The closed loop replaces every finished (or refused) request with
@@ -226,8 +338,34 @@ impl Sim<'_> {
 
     fn sample_depth(&mut self, at: u64) {
         self.peak_depth = self.peak_depth.max(self.depth);
-        if self.depth_samples.last().map(|&(t, d)| (t, d)) != Some((at, self.depth)) {
+        if let Some(r) = &mut self.rollups {
+            r.on_depth(at, self.depth);
+        }
+        if self.retain && self.depth_samples.last().map(|&(t, d)| (t, d)) != Some((at, self.depth))
+        {
             self.depth_samples.push((at, self.depth));
+        }
+    }
+
+    /// Banks one completed request into the online accounting (and the
+    /// record vector when retained).
+    #[inline]
+    fn finish_request(&mut self, rec: RequestRecord) {
+        // The contract the report advertises: latency decomposes
+        // exactly into its components.
+        debug_assert_eq!(
+            rec.latency_ns(),
+            rec.queue_ns + rec.warmup_ns + rec.service_ns + rec.mem_stall_ns
+        );
+        self.completed += 1;
+        if self.retain {
+            self.records.push(rec);
+        } else {
+            let lat = rec.latency_ns();
+            self.lat_sketch.record(lat);
+            self.queue_sketch.record(rec.queue_ns);
+            self.stall_sketch.record(rec.mem_stall_ns);
+            self.model_sketches[rec.model].record(lat);
         }
     }
 
@@ -253,7 +391,7 @@ impl Sim<'_> {
             match decision {
                 Dispatch::Idle => return,
                 Dispatch::HoldUntil(at) => {
-                    self.push_event(at.max(now + 1), EV_POKE, n);
+                    self.events.push(at.max(now + 1), EV_POKE, n as u64);
                     return;
                 }
                 Dispatch::Run(batch) => {
@@ -264,13 +402,17 @@ impl Sim<'_> {
                         "a dispatch batch must be single-model"
                     );
                     // Expire requests that out-waited the deadline; they
-                    // leave the queue without consuming service.
+                    // leave the queue without consuming service. `live`
+                    // is a reused scratch buffer, not a fresh Vec.
                     let deadline = self.cfg.deadline_ns.unwrap_or(u64::MAX);
-                    let mut live = Vec::with_capacity(batch.len());
+                    let mut live = std::mem::take(&mut self.live_buf);
+                    live.clear();
                     for r in batch {
                         if now.saturating_sub(r.arrival_ns) > deadline {
-                            self.outcomes[r.id as usize] =
-                                Outcome::Rejected(Rejection::TimedOut { at_ns: now });
+                            self.timed_out += 1;
+                            if let Some(roll) = &mut self.rollups {
+                                roll.on_timed_out(now);
+                            }
                             self.depth -= 1;
                             spans::timeout_marker(sink, now, r.id, self.catalog.name(r.model));
                             self.closed_loop_refill(now);
@@ -281,9 +423,11 @@ impl Sim<'_> {
                     self.sample_depth(now);
                     spans::queue_depth(sink, now, self.depth);
                     if live.is_empty() {
+                        self.live_buf = live;
                         continue; // ask the scheduler again
                     }
-                    self.run_batch(n, now, model, live, sink);
+                    self.run_batch(n, now, model, &live, sink);
+                    self.live_buf = live;
                     return;
                 }
             }
@@ -296,7 +440,7 @@ impl Sim<'_> {
         n: usize,
         now: u64,
         model: usize,
-        live: Vec<Request>,
+        live: &[Request],
         sink: &mut dyn TraceSink,
     ) {
         let warm = self.seen[n][model];
@@ -326,30 +470,28 @@ impl Sim<'_> {
             // Unlimited-bandwidth fast path: the completion is final at
             // dispatch (byte-identical to the pre-contention engine).
             let completion = now + warmup + service;
-            self.push_event(completion, EV_FREE, n);
+            self.events.push(completion, EV_FREE, n as u64);
             spans::service_span(sink, n as u16, name, now + warmup, service, live[0].id, k);
-            for r in &live {
-                let rec = RequestRecord {
+            let batch = live.len();
+            for &r in live {
+                self.finish_request(RequestRecord {
                     id: r.id,
                     model,
                     npu: n,
-                    batch: live.len(),
+                    batch,
                     arrival_ns: r.arrival_ns,
                     queue_ns: now - r.arrival_ns,
                     warmup_ns: warmup,
                     service_ns: service,
                     mem_stall_ns: 0,
                     completion_ns: completion,
-                };
-                // The contract the report advertises: latency decomposes
-                // exactly into its components.
-                debug_assert_eq!(
-                    rec.latency_ns(),
-                    rec.queue_ns + rec.warmup_ns + rec.service_ns
-                );
-                self.outcomes[r.id as usize] = Outcome::Completed(rec);
+                });
                 self.depth -= 1;
                 self.closed_loop_refill(completion);
+            }
+            if let Some(roll) = &mut self.rollups {
+                roll.on_completed(completion, k);
+                roll.on_busy(completion, warmup + service);
             }
             self.sample_depth(now);
             spans::queue_depth(sink, now, self.depth);
@@ -363,88 +505,85 @@ impl Sim<'_> {
         spans::queue_depth(sink, now, self.depth);
         self.gen += 1;
         let gen = self.gen;
-        self.inflight[n] = Some(InFlight {
-            model,
-            gen,
-            dispatched_ns: now,
-            warmup_ns: warmup,
-            service_ns: service,
-            members: live,
-            started: false,
-            progress: 0.0,
-            accrued_ns: now,
-            rate: 1.0,
-            eta_ns: None,
-        });
+        let f = &mut self.flight;
+        f.active[n] = true;
+        f.started[n] = false;
+        f.model[n] = model;
+        f.gen[n] = gen;
+        f.dispatched_ns[n] = now;
+        f.warmup_ns[n] = warmup;
+        f.service_ns[n] = service;
+        f.progress[n] = 0.0;
+        f.accrued_ns[n] = now;
+        f.rate[n] = 1.0;
+        f.eta_ns[n] = u64::MAX;
+        f.members[n].clear();
+        f.members[n].extend_from_slice(live);
         if warmup == 0 {
             self.start_service(n, now, sink);
         } else {
-            let payload = gen as usize * self.idle.len() + n;
-            self.push_event(now + warmup, EV_START, payload);
+            let payload = gen * self.idle.len() as u64 + n as u64;
+            self.events.push(now + warmup, EV_START, payload);
         }
     }
 
     /// Begins the service phase of NPU `n`'s in-flight dispatch: from
     /// here it demands bandwidth, so the whole fleet re-shares.
     fn start_service(&mut self, n: usize, at: u64, sink: &mut dyn TraceSink) {
-        let f = self.inflight[n]
-            .as_mut()
-            .expect("service start without a dispatch");
-        debug_assert!(!f.started);
-        f.started = true;
-        f.progress = 0.0;
-        f.accrued_ns = at;
+        debug_assert!(self.flight.active[n] && !self.flight.started[n]);
+        self.flight.started[n] = true;
+        self.flight.progress[n] = 0.0;
+        self.flight.accrued_ns[n] = at;
         self.reallocate(at, sink);
     }
 
     /// Recomputes the fair-share allocation and every in-service
     /// completion time — called whenever the set of serving NPUs
     /// changes, which makes each NPU's bandwidth (and progress rate)
-    /// piecewise-constant between events.
+    /// piecewise-constant between events. All buffers are reused.
     fn reallocate(&mut self, now: u64, sink: &mut dyn TraceSink) {
         let n_npus = self.idle.len();
         // Bank progress earned at the rates in force since the last event.
-        for f in self.inflight.iter_mut().flatten() {
-            if f.started {
-                f.progress += (now - f.accrued_ns) as f64 * f.rate;
-                f.accrued_ns = now;
+        for i in 0..n_npus {
+            if self.flight.active[i] && self.flight.started[i] {
+                self.flight.progress[i] +=
+                    (now - self.flight.accrued_ns[i]) as f64 * self.flight.rate[i];
+                self.flight.accrued_ns[i] = now;
             }
         }
-        let serving: Vec<Option<BandwidthDemand>> = (0..n_npus)
-            .map(|i| {
-                self.inflight[i]
-                    .as_ref()
-                    .filter(|f| f.started)
-                    .map(|f| self.demand[i][f.model])
-            })
-            .collect();
-        let alloc = self.mem.allocate(&serving);
+        let mut serving = std::mem::take(&mut self.serving_buf);
+        serving.clear();
+        serving.extend((0..n_npus).map(|i| {
+            (self.flight.active[i] && self.flight.started[i])
+                .then(|| self.demand[i][self.flight.model[i]])
+        }));
+        let mut alloc = std::mem::take(&mut self.alloc_buf);
+        self.mem.allocate_into(&serving, &mut alloc);
         for i in 0..n_npus {
-            let scheduled = {
-                let f = match self.inflight[i].as_mut().filter(|f| f.started) {
-                    Some(f) => f,
-                    None => continue,
-                };
-                f.rate = alloc.rates[i];
-                let remaining = (f.service_ns as f64 - f.progress).max(0.0);
-                let eta = if remaining == 0.0 {
-                    now
-                } else {
-                    now + (remaining / f.rate).ceil() as u64
-                };
-                // Physics floor: contention can only push a completion
-                // past its nominal end, never before it (also guards the
-                // stall's non-negativity against float rounding).
-                let eta = eta.max(f.dispatched_ns + f.warmup_ns + f.service_ns);
-                if f.eta_ns == Some(eta) {
-                    continue; // the already-scheduled event still stands
-                }
-                f.eta_ns = Some(eta);
-                self.gen += 1;
-                f.gen = self.gen;
-                (eta, self.gen as usize * n_npus + i)
+            if !(self.flight.active[i] && self.flight.started[i]) {
+                continue;
+            }
+            self.flight.rate[i] = alloc.rates[i];
+            let remaining = (self.flight.service_ns[i] as f64 - self.flight.progress[i]).max(0.0);
+            let eta = if remaining == 0.0 {
+                now
+            } else {
+                now + (remaining / self.flight.rate[i]).ceil() as u64
             };
-            self.push_event(scheduled.0, EV_FREE, scheduled.1);
+            // Physics floor: contention can only push a completion
+            // past its nominal end, never before it (also guards the
+            // stall's non-negativity against float rounding).
+            let eta = eta.max(
+                self.flight.dispatched_ns[i] + self.flight.warmup_ns[i] + self.flight.service_ns[i],
+            );
+            if self.flight.eta_ns[i] == eta {
+                continue; // the already-scheduled event still stands
+            }
+            self.flight.eta_ns[i] = eta;
+            self.gen += 1;
+            self.flight.gen[i] = self.gen;
+            self.events
+                .push(eta, EV_FREE, self.gen * n_npus as u64 + i as u64);
         }
         if sink.enabled() {
             let cgbps = |g: f64| (g * 100.0).round() as u64;
@@ -458,50 +597,60 @@ impl Sim<'_> {
                 spans::hbm_throttle(sink, now, alloc.throttled as u64);
             }
         }
+        self.serving_buf = serving;
+        self.alloc_buf = alloc;
     }
 
     /// Finalizes NPU `n`'s in-flight dispatch at its (possibly
     /// stretched) completion time, then re-shares the freed bandwidth
     /// among the survivors.
     fn complete(&mut self, n: usize, now: u64, sink: &mut dyn TraceSink) {
-        let f = self.inflight[n]
-            .take()
-            .expect("completion without a dispatch");
-        let nominal_end = f.dispatched_ns + f.warmup_ns + f.service_ns;
+        debug_assert!(self.flight.active[n], "completion without a dispatch");
+        self.flight.active[n] = false;
+        let (model, dispatched, warmup, service) = (
+            self.flight.model[n],
+            self.flight.dispatched_ns[n],
+            self.flight.warmup_ns[n],
+            self.flight.service_ns[n],
+        );
+        let nominal_end = dispatched + warmup + service;
         debug_assert!(now >= nominal_end, "completions never beat nominal time");
         let stall = now - nominal_end;
         self.usage[n].mem_stall_ns += stall;
-        let name = self.catalog.name(f.model);
+        let name = self.catalog.name(model);
+        let members = std::mem::take(&mut self.flight.members[n]);
         spans::service_span(
             sink,
             n as u16,
             name,
-            f.dispatched_ns + f.warmup_ns,
-            f.service_ns + stall,
-            f.members[0].id,
-            f.members.len() as u64,
+            dispatched + warmup,
+            service + stall,
+            members[0].id,
+            members.len() as u64,
         );
-        for r in &f.members {
-            let rec = RequestRecord {
+        for r in &members {
+            self.finish_request(RequestRecord {
                 id: r.id,
-                model: f.model,
+                model,
                 npu: n,
-                batch: f.members.len(),
+                batch: members.len(),
                 arrival_ns: r.arrival_ns,
-                queue_ns: f.dispatched_ns - r.arrival_ns,
-                warmup_ns: f.warmup_ns,
-                service_ns: f.service_ns,
+                queue_ns: dispatched - r.arrival_ns,
+                warmup_ns: warmup,
+                service_ns: service,
                 mem_stall_ns: stall,
                 completion_ns: now,
-            };
-            // The four-component decomposition the report advertises.
-            debug_assert_eq!(
-                rec.latency_ns(),
-                rec.queue_ns + rec.warmup_ns + rec.service_ns + rec.mem_stall_ns
-            );
-            self.outcomes[r.id as usize] = Outcome::Completed(rec);
+            });
             self.closed_loop_refill(now);
         }
+        if let Some(roll) = &mut self.rollups {
+            roll.on_completed(now, members.len() as u64);
+            roll.on_busy(now, warmup + service + stall);
+        }
+        // Hand the (cleared) member buffer back for the next dispatch.
+        let mut members = members;
+        members.clear();
+        self.flight.members[n] = members;
         self.makespan_ns = self.makespan_ns.max(now);
         self.reallocate(now, sink);
     }
@@ -624,19 +773,24 @@ impl Fleet {
             (Vec::new(), Vec::new())
         };
 
-        let models = spec.models();
+        let closed = matches!(&spec.arrival, ArrivalProcess::ClosedLoop { .. });
+        let retain = self.cfg.retain_records;
         let mut sim = Sim {
             cfg: &self.cfg,
             catalog,
             service_ns,
             warmup_ns,
             seen: vec![vec![false; n_models]; n_npus],
-            heap: BinaryHeap::new(),
-            seq: 0,
-            reqs: Vec::with_capacity(models.len()),
-            outcomes: Vec::with_capacity(models.len()),
-            models,
+            // Open-loop arrivals carry reserved sequences `1..=requests`
+            // (issue order); auto-assigned sequences start after them,
+            // exactly as if the whole trace had been queued up front.
+            events: EventQueue::with_reserved_seqs(if closed { 0 } else { spec.requests as u64 }),
+            sampler: ModelSampler::new(spec),
+            arrivals: (!closed).then(|| ArrivalGen::new(spec)),
+            staged_arrival: None,
+            pending_models: HashMap::new(),
             next_spawn: 0,
+            total_requests: spec.requests,
             idle: vec![true; n_npus],
             usage: vec![NpuUsage::default(); n_npus],
             depth: 0,
@@ -650,11 +804,29 @@ impl Fleet {
             mem,
             demand,
             dram_bytes,
-            inflight: (0..n_npus).map(|_| None).collect(),
+            flight: InFlightTable::new(n_npus),
             gen: 0,
+            retain,
+            records: Vec::new(),
+            completed: 0,
+            dropped: 0,
+            timed_out: 0,
+            lat_sketch: LatencySketch::new(),
+            queue_sketch: LatencySketch::new(),
+            stall_sketch: LatencySketch::new(),
+            model_sketches: if retain {
+                Vec::new()
+            } else {
+                (0..n_models).map(|_| LatencySketch::new()).collect()
+            },
+            rollups: self.cfg.rollup_window_ns.map(Rollups::new),
+            live_buf: Vec::new(),
+            serving_buf: Vec::new(),
+            alloc_buf: Allocation::default(),
         };
 
-        // Seed the event queue.
+        // Seed the event queue: the initial closed-loop client wave, or
+        // the first staged open-loop arrival.
         match &spec.arrival {
             ArrivalProcess::ClosedLoop { clients, .. } => {
                 let initial = (*clients).max(1).min(spec.requests);
@@ -662,33 +834,19 @@ impl Fleet {
                     sim.spawn_next(0);
                 }
             }
-            _ => {
-                let arrivals = spec.open_arrivals();
-                for (id, &at) in arrivals.iter().enumerate() {
-                    let model = sim.models[id];
-                    sim.reqs.push(Request {
-                        id: id as u64,
-                        model,
-                        arrival_ns: at,
-                    });
-                    sim.outcomes.push(Outcome::Pending);
-                    sim.push_event(at, EV_ARRIVAL, id);
-                }
-                sim.next_spawn = spec.requests;
-            }
+            _ => sim.stage_next_arrival(),
         }
 
         // The event loop. Under contention, `EV_FREE`/`EV_START`
         // payloads carry `gen · n_npus + npu`; pops whose generation no
         // longer matches the in-flight dispatch were superseded by a
         // reallocation and are discarded *before* the makespan update.
-        while let Some(Reverse((now, _, kind, payload))) = sim.heap.pop() {
+        while let Some((now, kind, payload)) = sim.events.pop() {
             if contended && kind == EV_FREE {
-                let n = payload % n_npus;
-                let gen = (payload / n_npus) as u64;
-                let live = sim.inflight[n]
-                    .as_ref()
-                    .is_some_and(|f| f.started && f.gen == gen);
+                let n = (payload % n_npus as u64) as usize;
+                let gen = payload / n_npus as u64;
+                let live =
+                    sim.flight.active[n] && sim.flight.started[n] && sim.flight.gen[n] == gen;
                 if !live {
                     continue; // stale: a reallocation moved this completion
                 }
@@ -699,11 +857,10 @@ impl Fleet {
                 continue;
             }
             if kind == EV_START {
-                let n = payload % n_npus;
-                let gen = (payload / n_npus) as u64;
-                let live = sim.inflight[n]
-                    .as_ref()
-                    .is_some_and(|f| !f.started && f.gen == gen);
+                let n = (payload % n_npus as u64) as usize;
+                let gen = payload / n_npus as u64;
+                let live =
+                    sim.flight.active[n] && !sim.flight.started[n] && sim.flight.gen[n] == gen;
                 if live {
                     sim.makespan_ns = sim.makespan_ns.max(now);
                     sim.start_service(n, now, sink);
@@ -713,11 +870,16 @@ impl Fleet {
             sim.makespan_ns = sim.makespan_ns.max(now);
             match kind {
                 EV_ARRIVAL => {
-                    let req = sim.reqs[payload];
+                    let req = sim.take_arrival(payload, now);
+                    if let Some(roll) = &mut sim.rollups {
+                        roll.on_arrival(now);
+                    }
                     spans::arrival(sink, now, req.id, catalog.name(req.model));
                     if sched.pending() >= self.cfg.queue_capacity {
-                        sim.outcomes[payload] =
-                            Outcome::Rejected(Rejection::Dropped { at_ns: now });
+                        sim.dropped += 1;
+                        if let Some(roll) = &mut sim.rollups {
+                            roll.on_dropped(now);
+                        }
                         spans::drop_marker(sink, now, req.id, catalog.name(req.model));
                         sim.closed_loop_refill(now);
                         continue;
@@ -741,12 +903,12 @@ impl Fleet {
                     }
                 }
                 EV_FREE => {
-                    sim.idle[payload] = true;
-                    sim.try_dispatch(payload, now, sched, sink);
+                    sim.idle[payload as usize] = true;
+                    sim.try_dispatch(payload as usize, now, sched, sink);
                 }
                 EV_POKE => {
-                    if sim.idle[payload] {
-                        sim.try_dispatch(payload, now, sched, sink);
+                    if sim.idle[payload as usize] {
+                        sim.try_dispatch(payload as usize, now, sched, sink);
                     }
                 }
                 _ => unreachable!("unknown event kind"),
@@ -757,44 +919,68 @@ impl Fleet {
             sim.next_spawn, spec.requests,
             "every request must be issued"
         );
+        debug_assert_eq!(
+            sim.completed + sim.dropped + sim.timed_out,
+            spec.requests as u64,
+            "every request must be accounted for"
+        );
 
-        // Roll up.
-        let mut records = Vec::new();
-        let mut dropped = 0u64;
-        let mut timed_out = 0u64;
-        for o in &sim.outcomes {
-            match o {
-                Outcome::Completed(r) => records.push(*r),
-                Outcome::Rejected(Rejection::Dropped { .. }) => dropped += 1,
-                Outcome::Rejected(Rejection::TimedOut { .. }) => timed_out += 1,
-                Outcome::Pending => unreachable!("request left pending at end of run"),
-            }
-        }
-        records.sort_by_key(|r| r.id);
-        let mut latencies: Vec<u64> = records.iter().map(|r| r.latency_ns()).collect();
-        latencies.sort_unstable();
-        let mut queues: Vec<u64> = records.iter().map(|r| r.queue_ns).collect();
-        queues.sort_unstable();
-        let mut stalls: Vec<u64> = records.iter().map(|r| r.mem_stall_ns).collect();
-        stalls.sort_unstable();
-        let per_model: Vec<ModelStats> = (0..n_models)
-            .filter_map(|m| {
-                let mut lat: Vec<u64> = records
-                    .iter()
-                    .filter(|r| r.model == m)
-                    .map(|r| r.latency_ns())
-                    .collect();
-                if lat.is_empty() {
-                    return None;
-                }
-                lat.sort_unstable();
-                Some(ModelStats {
+        // Roll up. With records retained the distributions are computed
+        // from the exact values through the one shared percentile
+        // implementation (byte-identical to the record-retaining
+        // engine); without, they are read off the streaming sketches.
+        let mut records = sim.records;
+        let (latency, queue, mem_stall, per_model) = if retain {
+            records.sort_by_key(|r| r.id);
+            let mut latencies: Vec<u64> = records.iter().map(|r| r.latency_ns()).collect();
+            latencies.sort_unstable();
+            let mut queues: Vec<u64> = records.iter().map(|r| r.queue_ns).collect();
+            queues.sort_unstable();
+            let mut stalls: Vec<u64> = records.iter().map(|r| r.mem_stall_ns).collect();
+            stalls.sort_unstable();
+            let per_model: Vec<ModelStats> = (0..n_models)
+                .filter_map(|m| {
+                    let mut lat: Vec<u64> = records
+                        .iter()
+                        .filter(|r| r.model == m)
+                        .map(|r| r.latency_ns())
+                        .collect();
+                    if lat.is_empty() {
+                        return None;
+                    }
+                    lat.sort_unstable();
+                    Some(ModelStats {
+                        model: m,
+                        name: catalog.name(m).to_string(),
+                        latency: LatencyStats::from_sorted(&lat),
+                    })
+                })
+                .collect();
+            (
+                LatencyStats::from_sorted(&latencies),
+                LatencyStats::from_sorted(&queues),
+                LatencyStats::from_sorted(&stalls),
+                per_model,
+            )
+        } else {
+            let per_model: Vec<ModelStats> = sim
+                .model_sketches
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.count() > 0)
+                .map(|(m, s)| ModelStats {
                     model: m,
                     name: catalog.name(m).to_string(),
-                    latency: LatencyStats::from_sorted(&lat),
+                    latency: LatencyStats::from_sketch(s),
                 })
-            })
-            .collect();
+                .collect();
+            (
+                LatencyStats::from_sketch(&sim.lat_sketch),
+                LatencyStats::from_sketch(&sim.queue_sketch),
+                LatencyStats::from_sketch(&sim.stall_sketch),
+                per_model,
+            )
+        };
         let mut stats = ExecStats::default();
         for (&head, b) in group_heads.iter().zip(&before) {
             stats.merge(&self.npus[head].stats().delta(b));
@@ -805,16 +991,18 @@ impl Fleet {
             policy: sched.name().to_string(),
             fleet_size: n_npus,
             offered: spec.requests as u64,
-            completed: records.len() as u64,
-            dropped,
-            timed_out,
+            completed: sim.completed,
+            dropped: sim.dropped,
+            timed_out: sim.timed_out,
             makespan_ns: sim.makespan_ns,
-            latency: LatencyStats::from_sorted(&latencies),
-            queue: LatencyStats::from_sorted(&queues),
+            latency,
+            queue,
             hbm_gbps: sim.mem.budget_gbps(),
-            mem_stall: LatencyStats::from_sorted(&stalls),
+            mem_stall,
             peak_queue_depth: sim.peak_depth,
             queue_depth_samples: sim.depth_samples,
+            rollup_window_ns: self.cfg.rollup_window_ns,
+            rollups: sim.rollups.map(Rollups::finish).unwrap_or_default(),
             per_npu: sim.usage,
             per_model,
             records,

@@ -62,9 +62,11 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod events;
 mod memory;
 mod policy;
 mod report;
+mod stats;
 mod sweep;
 mod workload;
 
@@ -74,5 +76,8 @@ pub use policy::{
     BatchCoalesce, Dispatch, Fifo, FleetView, ModelAffinity, Policy, SchedulerPolicy, ShortestJob,
 };
 pub use report::{FleetReport, LatencyStats, ModelStats, NpuUsage, Rejection, RequestRecord};
+pub use stats::{nearest_rank, LatencyAccumulator, LatencySketch, RollupWindow, SUB_BITS};
 pub use sweep::{render_serve_json, serve_json, sweep, ServeScenario, SweepSpec};
-pub use workload::{ArrivalProcess, Catalog, Request, SplitMix64, WorkloadSpec};
+pub use workload::{
+    ArrivalGen, ArrivalProcess, Catalog, ModelSampler, Request, SplitMix64, WorkloadSpec,
+};

@@ -34,8 +34,10 @@ pub struct BandwidthDemand {
     pub mu: f64,
 }
 
-/// The result of one fair-share recomputation over the fleet.
-#[derive(Debug, Clone, PartialEq)]
+/// The result of one fair-share recomputation over the fleet. Holds its
+/// own scratch, so a reused `Allocation` makes
+/// [`MemorySystem::allocate_into`] allocation-free in steady state.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Allocation {
     /// Progress rate per NPU (`1.0` = uncontended full speed; idle NPUs
     /// report `1.0` too).
@@ -46,6 +48,10 @@ pub struct Allocation {
     pub granted_gbps: f64,
     /// How many NPUs are currently stretched (`rate < 1`).
     pub throttled: usize,
+    /// Scratch: active members' demands in member order.
+    demands: Vec<f64>,
+    /// Scratch: their grants, parallel to `demands`.
+    grants: Vec<f64>,
 }
 
 /// The shared memory system of a fleet: one [`HbmModel`] behind the
@@ -113,32 +119,40 @@ impl MemorySystem {
     /// Fair-shares the budget over the currently serving members
     /// (`None` = idle) and converts each grant into a progress rate.
     pub fn allocate(&self, serving: &[Option<BandwidthDemand>]) -> Allocation {
-        let active: Vec<usize> = (0..serving.len())
-            .filter(|&i| serving[i].is_some())
-            .collect();
-        let demands: Vec<f64> = active.iter().map(|&i| serving[i].unwrap().gbps).collect();
-        let grants = self.hbm.allocate(&demands);
-        let mut rates = vec![1.0f64; serving.len()];
-        let mut throttled = 0usize;
-        for (k, &i) in active.iter().enumerate() {
-            let d = serving[i].unwrap();
+        let mut out = Allocation::default();
+        self.allocate_into(serving, &mut out);
+        out
+    }
+
+    /// [`MemorySystem::allocate`] into a reused [`Allocation`]: the same
+    /// arithmetic in the same order (identical rates, bitwise), but no
+    /// allocation once the buffers have grown to the fleet size — the
+    /// form the serving engine calls at every dispatch/completion event.
+    pub fn allocate_into(&self, serving: &[Option<BandwidthDemand>], out: &mut Allocation) {
+        out.demands.clear();
+        out.demands.extend(serving.iter().flatten().map(|d| d.gbps));
+        self.hbm.allocate_into(&out.demands, &mut out.grants);
+        out.rates.clear();
+        out.rates.resize(serving.len(), 1.0);
+        out.throttled = 0;
+        let mut k = 0usize;
+        for (i, s) in serving.iter().enumerate() {
+            let Some(d) = s else { continue };
+            let grant = out.grants[k];
+            k += 1;
             // Bitwise `grant >= demand` (the allocator returns demands
             // unchanged when the budget suffices) keeps the uncontended
             // rate at exactly 1.0 — no float round-trip, so an
             // under-subscribed budget reproduces uncontended virtual
             // time to the nanosecond.
-            if grants[k] >= d.gbps || d.gbps <= 0.0 {
+            if grant >= d.gbps || d.gbps <= 0.0 {
                 continue;
             }
-            rates[i] = 1.0 / ((1.0 - d.mu) + d.mu * (d.gbps / grants[k]));
-            throttled += 1;
+            out.rates[i] = 1.0 / ((1.0 - d.mu) + d.mu * (d.gbps / grant));
+            out.throttled += 1;
         }
-        Allocation {
-            rates,
-            demand_gbps: demands.iter().sum(),
-            granted_gbps: grants.iter().sum(),
-            throttled,
-        }
+        out.demand_gbps = out.demands.iter().sum();
+        out.granted_gbps = out.grants.iter().sum();
     }
 }
 

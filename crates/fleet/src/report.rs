@@ -1,5 +1,6 @@
 //! Per-request records and the aggregate fleet report.
 
+use crate::stats::{nearest_rank, LatencySketch, RollupWindow};
 use std::fmt::Write as _;
 use tandem_npu::ExecStats;
 
@@ -81,24 +82,39 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     /// Computes the stats from an **ascending-sorted** latency slice
-    /// (empty slice ⇒ all zeros). Percentiles use the nearest-rank
-    /// method: `p(q) = sorted[⌈q·n⌉ − 1]`.
+    /// (empty slice ⇒ all zeros). Percentiles use the one shared
+    /// nearest-rank implementation ([`nearest_rank`]):
+    /// `p(q) = sorted[⌈q·n⌉ − 1]`.
     pub fn from_sorted(sorted_ns: &[u64]) -> Self {
         if sorted_ns.is_empty() {
             return Self::default();
         }
         debug_assert!(sorted_ns.windows(2).all(|w| w[0] <= w[1]));
         let n = sorted_ns.len();
-        let rank = |q: f64| sorted_ns[(((q * n as f64).ceil() as usize).clamp(1, n)) - 1];
         let sum: u128 = sorted_ns.iter().map(|&x| x as u128).sum();
         LatencyStats {
             count: n as u64,
             mean_ns: (sum / n as u128) as u64,
-            p50_ns: rank(0.50),
-            p95_ns: rank(0.95),
-            p99_ns: rank(0.99),
-            p999_ns: rank(0.999),
+            p50_ns: nearest_rank(sorted_ns, 0.50),
+            p95_ns: nearest_rank(sorted_ns, 0.95),
+            p99_ns: nearest_rank(sorted_ns, 0.99),
+            p999_ns: nearest_rank(sorted_ns, 0.999),
             max_ns: sorted_ns[n - 1],
+        }
+    }
+
+    /// Reads the stats off a streaming [`LatencySketch`]: count, mean,
+    /// and max are exact; percentiles carry the sketch's one-sub-bucket
+    /// relative error bound (`1/32`).
+    pub fn from_sketch(sketch: &LatencySketch) -> Self {
+        LatencyStats {
+            count: sketch.count(),
+            mean_ns: sketch.mean(),
+            p50_ns: sketch.quantile(0.50),
+            p95_ns: sketch.quantile(0.95),
+            p99_ns: sketch.quantile(0.99),
+            p999_ns: sketch.quantile(0.999),
+            max_ns: sketch.max(),
         }
     }
 }
@@ -190,7 +206,18 @@ pub struct FleetReport {
     /// Deepest the pending queue ever got.
     pub peak_queue_depth: u64,
     /// `(virtual ns, depth)` samples, one per queue-depth change.
+    /// Empty when [`crate::FleetConfig::retain_records`] is off — at
+    /// millions of requests even one sample per event is unbounded
+    /// memory; use [`FleetReport::rollups`] instead.
     pub queue_depth_samples: Vec<(u64, u64)>,
+    /// The rollup window width this run was collected under (`None` =
+    /// rollups off).
+    pub rollup_window_ns: Option<u64>,
+    /// Per-virtual-time-window aggregates (throughput, queue depth,
+    /// utilization), window `i` covering
+    /// `[i·w, (i+1)·w)` ns. Empty unless
+    /// [`crate::FleetConfig::rollup_window_ns`] was set.
+    pub rollups: Vec<RollupWindow>,
     /// Per-NPU usage, indexed by NPU.
     pub per_npu: Vec<NpuUsage>,
     /// Per-model stats, ascending model id, completed models only.
@@ -318,7 +345,34 @@ impl FleetReport {
                 ms(m.latency.p99_ns),
             );
         }
-        out.push_str("]}");
+        out.push(']');
+        // Rollup fields appear only when windows were collected, so a
+        // run without them serializes byte-identically to a report
+        // rendered before rollups existed.
+        if let Some(w) = self.rollup_window_ns {
+            let _ = write!(out, ", \"rollup_window_ms\": {}", ms(w));
+            out.push_str(", \"rollups\": [");
+            for (i, r) in self.rollups.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"arrivals\": {}, \"completed\": {}, \"dropped\": {}, \
+                     \"timed_out\": {}, \"peak_depth\": {}, \"throughput_rps\": {:.3}, \
+                     \"utilization\": {:.4}}}",
+                    r.arrivals,
+                    r.completed,
+                    r.dropped,
+                    r.timed_out,
+                    r.peak_depth,
+                    r.throughput_rps(w),
+                    r.utilization(w, self.fleet_size),
+                );
+            }
+            out.push(']');
+        }
+        out.push('}');
         out
     }
 }
@@ -369,6 +423,8 @@ mod tests {
             mem_stall: LatencyStats::default(),
             peak_queue_depth: 3,
             queue_depth_samples: vec![(0, 1)],
+            rollup_window_ns: None,
+            rollups: Vec::new(),
             per_npu: vec![NpuUsage {
                 served: 9,
                 batches: 9,
@@ -411,5 +467,21 @@ mod tests {
         assert!(b.contains("\"achieved_gbps\": 1.00"));
         // The busy-time accounting includes the stall.
         assert!(b.contains("\"utilization\": 0.7500"));
+        // Rollup fields likewise appear only when windows were collected.
+        assert!(!a.contains("rollup"));
+        let mut rolled = r.clone();
+        rolled.rollup_window_ns = Some(1_000_000);
+        rolled.rollups = vec![RollupWindow {
+            arrivals: 5,
+            completed: 4,
+            dropped: 1,
+            timed_out: 0,
+            peak_depth: 3,
+            busy_ns: 500_000,
+        }];
+        let c = rolled.to_json();
+        assert!(c.contains("\"rollup_window_ms\": 1.0000"));
+        assert!(c.contains("\"throughput_rps\": 4000.000"));
+        assert!(c.contains("\"utilization\": 0.2500"));
     }
 }

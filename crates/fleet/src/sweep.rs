@@ -10,8 +10,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use tandem_npu::Npu;
 
-/// One sweep: every policy crossed with every fleet size, all serving
-/// the same workload, so rows are directly comparable.
+/// One sweep: every policy crossed with every fleet size (and,
+/// optionally, every shared-HBM budget), all serving the same workload,
+/// so rows are directly comparable.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Per-cell template: `npus[0]` is the homogeneous member
@@ -23,29 +24,44 @@ pub struct SweepSpec {
     pub fleet_sizes: Vec<usize>,
     /// Policies to evaluate.
     pub policies: Vec<Policy>,
+    /// Shared-HBM budgets to evaluate (`None` = unlimited). Empty (the
+    /// common case) sweeps just the template's own `hbm_gbps`, which
+    /// leaves the grid — and the rendered JSON — exactly as it was
+    /// before the budget axis existed.
+    pub hbm_budgets: Vec<Option<f64>>,
     /// The workload every cell serves.
     pub workload: WorkloadSpec,
 }
 
 impl SweepSpec {
-    fn cell_config(&self, size: usize) -> FleetConfig {
+    fn cell_config(&self, size: usize, hbm_gbps: Option<f64>) -> FleetConfig {
         let mut cfg = self.template.clone();
         cfg.npus = vec![self.template.npus[0].clone(); size];
         // Per-member links replicate with the members; the shared
-        // `hbm_gbps` budget carries over unchanged, so a sweep shows how
-        // contention scales with fleet size under one fixed stack.
+        // budget is the cell's own axis value, one fixed stack per cell.
         cfg.bw_gbps = self.template.bw_gbps.as_ref().map(|v| vec![v[0]; size]);
+        cfg.hbm_gbps = hbm_gbps;
         cfg
+    }
+
+    /// The budget axis actually swept: the explicit `hbm_budgets`, or
+    /// the template's own budget when none were given.
+    fn budget_axis(&self) -> Vec<Option<f64>> {
+        if self.hbm_budgets.is_empty() {
+            vec![self.template.hbm_gbps]
+        } else {
+            self.hbm_budgets.clone()
+        }
     }
 }
 
 /// Runs the sweep on up to `jobs` worker threads (0 = one per core).
 ///
-/// Rows come back in `(policy, fleet_size)` row-major order regardless
-/// of `jobs`, and every modeled number is independent of host-cache
-/// state and thread interleaving — the caches change only *how fast*
-/// answers arrive, never *what* they are — so the rendered JSON is
-/// byte-identical across runs and `jobs` settings.
+/// Rows come back in `(policy, fleet_size, budget)` row-major order
+/// regardless of `jobs`, and every modeled number is independent of
+/// host-cache state and thread interleaving — the caches change only
+/// *how fast* answers arrive, never *what* they are — so the rendered
+/// JSON is byte-identical across runs and `jobs` settings.
 ///
 /// All cells draw their members from one pool built once with
 /// [`Npu::fleet`], so the per-model cycle simulations behind the
@@ -59,14 +75,19 @@ pub fn sweep(catalog: &Catalog, spec: &SweepSpec, jobs: usize) -> Vec<FleetRepor
     let max = *spec.fleet_sizes.iter().max().unwrap();
     assert!(max >= 1, "fleet sizes must be at least 1");
     let pool = Npu::fleet(&vec![spec.template.npus[0].clone(); max]);
-    let cells: Vec<(Policy, usize)> = spec
-        .policies
-        .iter()
-        .flat_map(|&p| spec.fleet_sizes.iter().map(move |&s| (p, s)))
-        .collect();
+    let budgets = spec.budget_axis();
+    let mut cells: Vec<(Policy, usize, Option<f64>)> =
+        Vec::with_capacity(spec.policies.len() * spec.fleet_sizes.len() * budgets.len());
+    for &p in &spec.policies {
+        for &s in &spec.fleet_sizes {
+            for &b in &budgets {
+                cells.push((p, s, b));
+            }
+        }
+    }
     run_cells(cells.len(), jobs, |i| {
-        let (policy, size) = cells[i];
-        let fleet = Fleet::with_members(spec.cell_config(size), pool[..size].to_vec());
+        let (policy, size, budget) = cells[i];
+        let fleet = Fleet::with_members(spec.cell_config(size, budget), pool[..size].to_vec());
         fleet.serve(catalog, &spec.workload, policy)
     })
 }
@@ -169,6 +190,7 @@ mod tests {
             template: FleetConfig::homogeneous(NpuConfig::paper(), 1),
             fleet_sizes: vec![1, 2],
             policies: vec![Policy::Fifo, Policy::BatchCoalesce],
+            hbm_budgets: Vec::new(),
             workload: WorkloadSpec {
                 mix: vec![(0, 1.0)],
                 arrival: ArrivalProcess::Poisson { rate_rps: 3_000.0 },
@@ -195,6 +217,31 @@ mod tests {
                 ("batch".into(), 1),
                 ("batch".into(), 2),
             ]
+        );
+    }
+
+    #[test]
+    fn budget_axis_expands_the_grid_in_row_major_order() {
+        let (catalog, mut spec) = tiny_spec();
+        spec.policies = vec![Policy::Fifo];
+        spec.hbm_budgets = vec![None, Some(4.0)];
+        let rows = sweep(&catalog, &spec, 2);
+        let shape: Vec<(usize, Option<f64>)> =
+            rows.iter().map(|r| (r.fleet_size, r.hbm_gbps)).collect();
+        assert_eq!(
+            shape,
+            vec![(1, None), (1, Some(4.0)), (2, None), (2, Some(4.0))]
+        );
+        // A finite budget can only stall, never speed up.
+        assert!(rows[1].latency.mean_ns >= rows[0].latency.mean_ns);
+        // And the budget grid is byte-deterministic across jobs too.
+        let scenarios = [ServeScenario {
+            name: "budgets".into(),
+            spec,
+        }];
+        assert_eq!(
+            serve_json(&catalog, &scenarios, 1),
+            serve_json(&catalog, &scenarios, 3)
         );
     }
 

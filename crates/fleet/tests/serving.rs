@@ -44,6 +44,7 @@ fn serve_json_is_byte_identical_across_runs_and_jobs() {
             template: FleetConfig::homogeneous(NpuConfig::paper(), 1),
             fleet_sizes: vec![1, 2, 4],
             policies: Policy::ALL.to_vec(),
+            hbm_budgets: Vec::new(),
             workload: WorkloadSpec {
                 mix,
                 arrival: ArrivalProcess::Poisson { rate_rps: rate },
@@ -153,6 +154,7 @@ fn batch_coalescing_beats_fifo_on_bert_heavy_mix() {
         template: FleetConfig::homogeneous(NpuConfig::paper(), 1),
         fleet_sizes: vec![4],
         policies: vec![Policy::Fifo, Policy::BatchCoalesce],
+        hbm_budgets: Vec::new(),
         workload: WorkloadSpec {
             mix,
             arrival: ArrivalProcess::Poisson { rate_rps: rate },

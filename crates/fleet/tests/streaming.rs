@@ -1,0 +1,249 @@
+//! Streaming-statistics equivalence: the sketch-backed engine
+//! (`retain_records = off`) against the exact record-retaining engine,
+//! over seeded random workloads.
+//!
+//! The byte-level gate (`retain_records = on` reproduces the
+//! pre-streaming `SERVE.json` bit-for-bit) lives in `golden_serve.rs`;
+//! here the properties are semantic: the streaming path must agree
+//! exactly on everything the sketch tracks exactly (counts, means,
+//! maxima, per-NPU usage, makespan) and within one sub-bucket's
+//! relative error (1/32) on every percentile.
+
+use tandem_fleet::{
+    ArrivalProcess, Catalog, Fleet, FleetConfig, FleetReport, LatencySketch, LatencyStats, Policy,
+    WorkloadSpec,
+};
+use tandem_model::zoo::Benchmark;
+use tandem_npu::NpuConfig;
+
+fn serving_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    for b in [Benchmark::Resnet50, Benchmark::Bert, Benchmark::Gpt2] {
+        c.add(b.name(), b.graph());
+    }
+    c
+}
+
+fn serve_both(
+    cfg: &FleetConfig,
+    spec: &WorkloadSpec,
+    policy: Policy,
+) -> (FleetReport, FleetReport) {
+    let catalog = serving_catalog();
+    let mut retained_cfg = cfg.clone();
+    retained_cfg.retain_records = true;
+    let mut streamed_cfg = cfg.clone();
+    streamed_cfg.retain_records = false;
+    let exact = Fleet::new(retained_cfg).serve(&catalog, spec, policy);
+    let sketched = Fleet::new(streamed_cfg).serve(&catalog, spec, policy);
+    (exact, sketched)
+}
+
+/// One sub-bucket of relative error, the sketch's guarantee.
+fn within_sketch_error(exact: u64, approx: u64) -> bool {
+    let tol = ((exact as f64 * LatencySketch::relative_error()).ceil() as u64).max(1);
+    approx.abs_diff(exact) <= tol
+}
+
+fn assert_stats_agree(what: &str, exact: &LatencyStats, approx: &LatencyStats) {
+    assert_eq!(exact.count, approx.count, "{what}: counts are exact");
+    assert_eq!(exact.mean_ns, approx.mean_ns, "{what}: means are exact");
+    assert_eq!(exact.max_ns, approx.max_ns, "{what}: maxima are exact");
+    for (q, e, a) in [
+        ("p50", exact.p50_ns, approx.p50_ns),
+        ("p95", exact.p95_ns, approx.p95_ns),
+        ("p99", exact.p99_ns, approx.p99_ns),
+        ("p999", exact.p999_ns, approx.p999_ns),
+    ] {
+        assert!(
+            within_sketch_error(e, a),
+            "{what} {q}: sketch {a} vs exact {e} exceeds 1/32 relative error"
+        );
+    }
+}
+
+fn assert_reports_agree(exact: &FleetReport, sketched: &FleetReport) {
+    // Virtual time and event order are identical — only the accounting
+    // representation differs.
+    assert_eq!(exact.completed, sketched.completed);
+    assert_eq!(exact.dropped, sketched.dropped);
+    assert_eq!(exact.timed_out, sketched.timed_out);
+    assert_eq!(exact.makespan_ns, sketched.makespan_ns);
+    assert_eq!(exact.peak_queue_depth, sketched.peak_queue_depth);
+    assert_eq!(exact.per_npu, sketched.per_npu);
+    assert_stats_agree("latency", &exact.latency, &sketched.latency);
+    assert_stats_agree("queue", &exact.queue, &sketched.queue);
+    assert_stats_agree("mem_stall", &exact.mem_stall, &sketched.mem_stall);
+    assert_eq!(exact.per_model.len(), sketched.per_model.len());
+    for (e, a) in exact.per_model.iter().zip(&sketched.per_model) {
+        assert_eq!(e.name, a.name);
+        assert_stats_agree(&format!("per_model {}", e.name), &e.latency, &a.latency);
+    }
+    // The whole point of the streaming mode:
+    assert!(!exact.records.is_empty());
+    assert!(sketched.records.is_empty());
+    assert!(sketched.queue_depth_samples.is_empty());
+}
+
+#[test]
+fn sketch_mode_matches_exact_mode_over_seeded_open_loop_workloads() {
+    let cfg = FleetConfig::homogeneous(NpuConfig::paper(), 2);
+    for seed in [1u64, 7, 42, 1234] {
+        let spec = WorkloadSpec {
+            mix: vec![(0, 1.0), (1, 2.0), (2, 1.0)],
+            arrival: ArrivalProcess::Poisson { rate_rps: 40_000.0 },
+            seed,
+            requests: 300,
+        };
+        let (exact, sketched) = serve_both(&cfg, &spec, Policy::BatchCoalesce);
+        assert_reports_agree(&exact, &sketched);
+    }
+}
+
+#[test]
+fn sketch_mode_matches_exact_mode_closed_loop_and_contended() {
+    let mut cfg = FleetConfig::homogeneous(NpuConfig::paper(), 2);
+    let closed = WorkloadSpec {
+        mix: vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+        arrival: ArrivalProcess::ClosedLoop {
+            clients: 6,
+            think_ns: 100_000,
+        },
+        seed: 9,
+        requests: 240,
+    };
+    let (exact, sketched) = serve_both(&cfg, &closed, Policy::ModelAffinity);
+    assert_reports_agree(&exact, &sketched);
+
+    // The contended path finalizes records at (rescheduled) completion
+    // events — the streaming accounting must agree there too.
+    cfg.hbm_gbps = Some(6.0);
+    let contended = WorkloadSpec {
+        mix: vec![(1, 4.0), (0, 1.0)],
+        arrival: ArrivalProcess::Poisson { rate_rps: 30_000.0 },
+        seed: 5,
+        requests: 200,
+    };
+    let (exact, sketched) = serve_both(&cfg, &contended, Policy::Fifo);
+    assert_reports_agree(&exact, &sketched);
+    assert!(
+        exact.mem_stall.max_ns > 0,
+        "the scenario must actually contend for the test to bite"
+    );
+}
+
+#[test]
+fn diurnal_arrivals_are_deterministic_and_nondecreasing() {
+    let spec = WorkloadSpec {
+        mix: vec![(0, 1.0)],
+        arrival: ArrivalProcess::Diurnal {
+            base_rps: 2_000.0,
+            peak_rps: 10_000.0,
+            period_ns: 50_000_000,
+            flash_at_ns: 60_000_000,
+            flash_ns: 10_000_000,
+            flash_rps: 30_000.0,
+        },
+        seed: 77,
+        requests: 600,
+    };
+    let a = spec.open_arrivals();
+    let b = spec.open_arrivals();
+    assert_eq!(a, b, "same seed must reproduce the same diurnal trace");
+    assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    let other = WorkloadSpec { seed: 78, ..spec };
+    assert_ne!(a, other.open_arrivals());
+}
+
+#[test]
+fn diurnal_flash_crowd_spikes_the_local_rate() {
+    // Flat sinusoid (base == peak) isolates the flash term: the flash
+    // window must see several times the arrivals of the window before.
+    let flash_at = 100_000_000u64;
+    let flash_ns = 50_000_000u64;
+    let spec = WorkloadSpec {
+        mix: vec![(0, 1.0)],
+        arrival: ArrivalProcess::Diurnal {
+            base_rps: 1_000.0,
+            peak_rps: 1_000.0,
+            period_ns: 1_000_000_000,
+            flash_at_ns: flash_at,
+            flash_ns,
+            flash_rps: 9_000.0,
+        },
+        seed: 3,
+        requests: 2_000,
+    };
+    let arrivals = spec.open_arrivals();
+    let count_in = |lo: u64, hi: u64| arrivals.iter().filter(|&&t| t >= lo && t < hi).count();
+    let before = count_in(flash_at - flash_ns, flash_at);
+    let during = count_in(flash_at, flash_at + flash_ns);
+    assert!(
+        during >= 4 * before.max(1),
+        "flash crowd must spike arrivals: {before} before vs {during} during"
+    );
+}
+
+#[test]
+fn diurnal_serves_end_to_end_with_streaming_accounting() {
+    let mut cfg = FleetConfig::homogeneous(NpuConfig::paper(), 2);
+    cfg.retain_records = false;
+    cfg.rollup_window_ns = Some(5_000_000);
+    let catalog = serving_catalog();
+    let spec = WorkloadSpec {
+        mix: vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+        arrival: ArrivalProcess::Diurnal {
+            base_rps: 10_000.0,
+            peak_rps: 60_000.0,
+            period_ns: 20_000_000,
+            flash_at_ns: 30_000_000,
+            flash_ns: 5_000_000,
+            flash_rps: 60_000.0,
+        },
+        seed: 42,
+        requests: 500,
+    };
+    let r = Fleet::new(cfg).serve(&catalog, &spec, Policy::Fifo);
+    assert_eq!(r.completed + r.dropped + r.timed_out, 500);
+    assert!(r.records.is_empty());
+    // Rollup windows partition the run: their counters must sum to the
+    // run totals, and the busy time must match the per-NPU accounting.
+    let arrivals: u64 = r.rollups.iter().map(|w| w.arrivals).sum();
+    let completed: u64 = r.rollups.iter().map(|w| w.completed).sum();
+    let dropped: u64 = r.rollups.iter().map(|w| w.dropped).sum();
+    let busy: u64 = r.rollups.iter().map(|w| w.busy_ns).sum();
+    assert_eq!(arrivals, r.offered);
+    assert_eq!(completed, r.completed);
+    assert_eq!(dropped, r.dropped);
+    let per_npu_busy: u64 = r
+        .per_npu
+        .iter()
+        .map(|u| u.warmup_ns + u.service_ns + u.mem_stall_ns)
+        .sum();
+    assert_eq!(busy, per_npu_busy);
+    assert!(r.rollups.iter().all(|w| w.peak_depth <= r.peak_queue_depth));
+    let window = r.rollup_window_ns.unwrap();
+    assert!(r.rollups.len() as u64 <= r.makespan_ns / window + 1);
+}
+
+#[test]
+fn retained_reports_also_carry_rollups_when_asked() {
+    // Rollups are orthogonal to record retention: the exact mode can
+    // collect them too, and retention stays byte-compatible (the golden
+    // test pins that) because rollups default to off.
+    let mut cfg = FleetConfig::homogeneous(NpuConfig::paper(), 1);
+    cfg.rollup_window_ns = Some(2_000_000);
+    let catalog = serving_catalog();
+    let spec = WorkloadSpec {
+        mix: vec![(0, 1.0)],
+        arrival: ArrivalProcess::Poisson { rate_rps: 20_000.0 },
+        seed: 1,
+        requests: 64,
+    };
+    let r = Fleet::new(cfg).serve(&catalog, &spec, Policy::Fifo);
+    assert!(!r.records.is_empty());
+    assert!(!r.rollups.is_empty());
+    let json = r.to_json();
+    assert!(json.contains("\"rollup_window_ms\": 2.0000"));
+    assert!(json.contains("\"rollups\": ["));
+}
