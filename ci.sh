@@ -16,8 +16,14 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Static verification of the full zoo in both loop-summarization modes.
+# The budget holds the widened (production) mode to autotuner-gate speed:
+# the full-zoo widened verify measured ~17ms locally, so 250ms leaves
+# >10x headroom for slow CI runners while still catching a regression to
+# per-iteration cost. Exits non-zero on any post-dedup error, on any
+# widened/exact divergence, or when over budget.
 echo "==> tandem-lint (static verification of the model zoo)"
-cargo run --release -q --bin tandem_lint -- TANDEM_LINT.json
+cargo run --release -q --bin tandem_lint -- TANDEM_LINT.json --budget-ms 250
 
 # tandem_profile exits non-zero if the attribution buckets don't sum to
 # the reported latency; the traces are uploaded as CI artifacts.

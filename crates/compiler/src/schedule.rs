@@ -8,7 +8,7 @@ use crate::blocks::{BlockKind, ExecutionBlock};
 use crate::lower::{CompileError, OpLowering};
 use tandem_isa::{CastTarget, Instruction, Program, SyncEdge, SyncKind, SyncUnit};
 use tandem_model::{Graph, OpClass};
-use tandem_verify::{Verifier, VerifyConfig};
+use tandem_verify::{Verifier, VerifyConfig, VerifyMode};
 
 /// Options controlling graph compilation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,12 +18,22 @@ pub struct CompileOptions {
     /// to on in debug builds (so every test exercises it) and off in
     /// release builds, where it is opt-in.
     pub verify: bool,
+    /// Loop-summarization mode for the verifier. Defaults to the exact
+    /// per-iteration oracle in debug builds (tests double-check the
+    /// widening) and the O(program-size) widened summaries in release
+    /// builds, where verification may gate an autotuner search loop.
+    pub verify_mode: VerifyMode,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
         CompileOptions {
             verify: cfg!(debug_assertions),
+            verify_mode: if cfg!(debug_assertions) {
+                VerifyMode::Exact
+            } else {
+                VerifyMode::Widened
+            },
         }
     }
 }
@@ -174,10 +184,10 @@ pub fn schedule_graph_opts(
         .map(|(i, b)| schedule_block(lowering, graph, b, (i % 32) as u8))
         .collect::<Result<_, _>>()?;
     if opts.verify {
-        let verifier = Verifier::new(VerifyConfig::for_lowering(
-            lowering.lanes(),
-            lowering.interim_rows(),
-        ));
+        let verifier = Verifier::new(
+            VerifyConfig::for_lowering(lowering.lanes(), lowering.interim_rows())
+                .with_mode(opts.verify_mode),
+        );
         for (i, sb) in blocks.iter().enumerate() {
             let report = verifier.verify(&sb.program);
             if !report.is_clean() {

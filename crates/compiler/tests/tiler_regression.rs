@@ -7,9 +7,12 @@
 
 use tandem_compiler::{schedule_graph_opts, CompileOptions, OpLowering};
 use tandem_model::{Graph, GraphBuilder, Padding};
-use tandem_verify::{Verifier, VerifyConfig};
+use tandem_verify::{Verifier, VerifyConfig, VerifyMode};
 
-const VERIFY: CompileOptions = CompileOptions { verify: true };
+const VERIFY: CompileOptions = CompileOptions {
+    verify: true,
+    verify_mode: VerifyMode::Widened,
+};
 
 fn assert_clean(graph: &Graph, lanes: usize, interim_rows: usize) {
     let lowering = OpLowering::new(lanes, interim_rows);

@@ -15,7 +15,7 @@ use tandem_compiler::{
 use tandem_core::{Dram, EnergyModel, Mode, RunReport, TandemConfig, TandemProcessor};
 use tandem_model::{Graph, Node, NodeId, TensorId};
 use tandem_trace::{scale_buckets, CycleAttribution, NullSink, OffsetSink, TraceSink, Track};
-use tandem_verify::{Verifier, VerifyConfig};
+use tandem_verify::{Severity, Verifier, VerifyConfig, VerifyMode};
 
 /// Coordination granularity between the GEMM unit and the Tandem
 /// Processor (paper §3.5 and Figure 8).
@@ -48,6 +48,11 @@ pub struct NpuConfig {
     /// program and record the outcome in [`NpuReport::verify`]. Defaults
     /// to on in debug builds, off (opt-in) in release builds.
     pub verify: bool,
+    /// Loop-summarization mode for the verifier: the exact
+    /// per-iteration oracle in debug builds, the O(program-size) widened
+    /// summaries in release builds. The two report identical
+    /// diagnostics; they differ only in wall-time.
+    pub verify_mode: VerifyMode,
 }
 
 impl NpuConfig {
@@ -60,6 +65,11 @@ impl NpuConfig {
             granularity: TileGranularity::Tile,
             static_power_w: 2.0,
             verify: cfg!(debug_assertions),
+            verify_mode: if cfg!(debug_assertions) {
+                VerifyMode::Exact
+            } else {
+                VerifyMode::Widened
+            },
         }
     }
 
@@ -117,14 +127,15 @@ pub struct ServiceDemand {
 }
 
 /// Memoized static-verification outcome of one node's compiled tile
-/// programs: `(programs checked, findings)`. Node-name-free so the value
-/// is reusable across structurally identical nodes.
-type VerifyOutcome = Arc<(u64, Vec<String>)>;
+/// programs: `(programs checked, error-severity findings, findings)`.
+/// Node-name-free so the value is reusable across structurally identical
+/// nodes.
+type VerifyOutcome = Arc<(u64, u64, Vec<String>)>;
 
 #[derive(Debug, Default)]
 struct NpuCaches {
     compile: CompileCache,
-    verify: Mutex<HashMap<NodeSignature, VerifyOutcome>>,
+    verify: Mutex<HashMap<(NodeSignature, VerifyMode), VerifyOutcome>>,
     sim: Mutex<HashMap<SimKey, RunReport>>,
     sim_hits: AtomicU64,
     sim_misses: AtomicU64,
@@ -371,8 +382,9 @@ impl Npu {
     fn verify_block(&self, graph: &Graph, block: &ExecutionBlock, report: &mut NpuReport) {
         for &id in &block.non_gemm {
             let node = graph.node(id);
-            let (programs, diags) = &*self.node_verify_outcome(graph, node);
+            let (programs, errors, diags) = &*self.node_verify_outcome(graph, node);
             report.verify.programs += programs;
+            report.verify.errors += errors;
             report
                 .verify
                 .diagnostics
@@ -384,27 +396,37 @@ impl Npu {
     /// [`NodeSignature`] unless this NPU is [`Npu::uncached`].
     fn node_verify_outcome(&self, graph: &Graph, node: &Node) -> VerifyOutcome {
         let compute = || -> VerifyOutcome {
-            let verifier = Verifier::new(VerifyConfig::from(&self.cfg.tandem));
+            let verifier =
+                Verifier::new(VerifyConfig::from(&self.cfg.tandem).with_mode(self.cfg.verify_mode));
             let compiled = if self.cache_enabled {
                 self.caches.compile.lower_node(&self.lowering, graph, node)
             } else {
                 Arc::new(self.lowering.lower_node(graph, node))
             };
             let mut programs = 0u64;
+            let mut errors = 0u64;
             let mut diags = Vec::new();
             if let Ok(c) = compiled.as_ref() {
                 for (prog, _) in &c.tiles {
                     programs += 1;
                     let rep = verifier.verify(prog);
+                    errors += rep
+                        .diagnostics
+                        .iter()
+                        .filter(|d| d.severity() == Severity::Error)
+                        .count() as u64;
                     diags.extend(rep.diagnostics.iter().map(|d| d.to_string()));
                 }
             }
-            Arc::new((programs, diags))
+            Arc::new((programs, errors, diags))
         };
         if !self.cache_enabled {
             return compute();
         }
-        let key = NodeSignature::for_lowering(&self.lowering, graph, node);
+        let key = (
+            NodeSignature::for_lowering(&self.lowering, graph, node),
+            self.cfg.verify_mode,
+        );
         if let Some(hit) = self.caches.verify.lock().unwrap().get(&key) {
             return hit.clone();
         }

@@ -137,15 +137,19 @@ impl ExecStats {
 pub struct VerifySummary {
     /// Tile programs the pass checked.
     pub programs: u64,
+    /// Error-severity findings among [`VerifySummary::diagnostics`]
+    /// (warnings — e.g. dead-traffic lints — don't make a run unclean).
+    pub errors: u64,
     /// Findings, formatted as `"node-name: pc: severity [rule] message"`,
     /// in block/node/program order. Empty for a healthy compiler.
     pub diagnostics: Vec<String>,
 }
 
 impl VerifySummary {
-    /// `true` when no findings were reported.
+    /// `true` when no error-severity finding was reported (warning-level
+    /// optimization lints are allowed on a healthy compiler).
     pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
+        self.errors == 0
     }
 }
 

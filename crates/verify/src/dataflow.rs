@@ -1,361 +1,168 @@
-//! Abstract interpretation of the configuration + loop + compute stream:
-//! iterator tables, IMM BUF, Code Repeater and Permute Engine state are
-//! tracked symbolically, and every loop nest's address streams are
-//! bounded with interval arithmetic against the namespace capacities.
+//! Scratchpad safety: bounds, uninitialized reads, IMM discipline and
+//! lost-update (write-after-write) hazards over every loop nest's
+//! address streams, evaluated in the configured [`VerifyMode`].
 //!
 //! The abstraction mirrors `tandem_core::TandemProcessor::run` exactly:
 //! the address of operand slot `s` at loop counters `c` is
 //! `offset(op) + Σ_L c[L] × stride(binding[L][s])` — the base offset
 //! comes from the operand's own iterator-table entry, the per-level
 //! stride from the entry named by that level's `SET_INDEX` binding.
+//! Because that map is affine and the levels are independent, the
+//! widened per-level interval summary and the exact per-iteration
+//! enumeration produce the *same* row bounds — `Widened` differs from
+//! `Exact` only in wall-time (O(program) vs O(trip count)), a property
+//! the `prop_widening` test suite pins down.
 
+use crate::analysis::{Level, Pass, PassStat, Stream, StreamNote, VerifyMode, Visitor, Walker};
 use crate::diag::{Diagnostic, Rule};
 use crate::VerifyConfig;
-use tandem_isa::{
-    Instruction, LoopBindings, Namespace, Operand, Program, IMM_BUF_SLOTS, ITERATOR_TABLE_ENTRIES,
-    MAX_LOOP_LEVELS,
-};
+use tandem_isa::{Instruction, Namespace, Operand, Program, IMM_BUF_SLOTS};
 
-/// Abstract iterator-table entry: the configured values plus whether
-/// each half has been configured at all.
-#[derive(Debug, Clone, Copy, Default)]
-struct IterEntry {
-    offset: u16,
-    stride: i16,
-    offset_set: bool,
-    stride_set: bool,
+/// The scratchpad-safety pass (bounds, IMM discipline, WAW) plus the
+/// loop/permute discipline findings the shared walk reports.
+///
+/// Runs in two phases. **Collect**: one symbolic walk emits every
+/// mode-independent finding and records a bounds *query* — `(pc,
+/// operand, stream, levels)` — for each address stream a nest touches.
+/// **Resolve**: the queries are answered with the configured
+/// [`VerifyMode`]'s loop summarization (closed-form interval vs.
+/// per-iteration odometer). Only the resolve phase depends on the mode,
+/// and it is timed separately (the `loop-summaries` sub-stat), so
+/// `TANDEM_LINT.json` can report the summarization cost the mode
+/// actually changes, undiluted by the shared walk.
+pub(crate) struct ScratchpadPass {
+    /// How address streams are summarized.
+    pub mode: VerifyMode,
 }
 
-/// One configured Code Repeater level.
-#[derive(Debug, Clone, Copy)]
-struct Level {
-    count: u32,
-    bindings: LoopBindings,
+/// One deferred bounds check: `stream` of `op` over the levels of nest
+/// `nest` (an index into the collected level sets).
+struct BoundsQuery {
+    pc: usize,
+    op: Operand,
+    stream: Stream,
+    write: bool,
+    nest: usize,
 }
 
-/// Symbolic address stream of one operand slot across a nest: a base row
-/// plus one effective stride per loop level.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Stream {
-    base: i64,
-    strides: Vec<i64>,
-}
-
-impl Stream {
-    /// Smallest and largest row the stream touches over the iteration
-    /// space (`counter[L]` ranges over `0..count[L]`).
-    fn interval(&self, levels: &[Level]) -> (i64, i64) {
-        let (mut lo, mut hi) = (self.base, self.base);
-        for (level, &stride) in levels.iter().zip(&self.strides) {
-            let span = (level.count.max(1) as i64 - 1) * stride;
-            lo += span.min(0);
-            hi += span.max(0);
-        }
-        (lo, hi)
+impl Pass for ScratchpadPass {
+    fn name(&self) -> &'static str {
+        "scratchpad"
     }
-}
 
-/// Mirror of `tandem_core::PermuteEngine`'s configuration state.
-#[derive(Debug, Clone)]
-struct PermuteState {
-    src_ns: Namespace,
-    dst_ns: Namespace,
-    src_base: i64,
-    dst_base: i64,
-    extents: [u32; 8],
-    src_strides: [i64; 8],
-    dst_strides: [i64; 8],
-    configured: bool,
-}
-
-impl Default for PermuteState {
-    fn default() -> Self {
-        PermuteState {
-            src_ns: Namespace::Interim1,
-            dst_ns: Namespace::Interim2,
-            src_base: 0,
-            dst_base: 0,
-            extents: [1; 8],
-            src_strides: [0; 8],
-            dst_strides: [0; 8],
-            configured: false,
-        }
-    }
-}
-
-impl PermuteState {
-    /// `[lo, hi]` word interval of one side's walk.
-    fn interval(&self, is_dst: bool) -> (i64, i64) {
-        let (base, strides) = if is_dst {
-            (self.dst_base, &self.dst_strides)
-        } else {
-            (self.src_base, &self.src_strides)
-        };
-        let (mut lo, mut hi) = (base, base);
-        for (&e, &s) in self.extents.iter().zip(strides) {
-            let span = (e.max(1) as i64 - 1) * s;
-            lo += span.min(0);
-            hi += span.max(0);
-        }
-        (lo, hi)
-    }
-}
-
-pub(crate) struct Dataflow<'a> {
-    cfg: &'a VerifyConfig,
-    iters: [[IterEntry; ITERATOR_TABLE_ENTRIES]; 4],
-    imm_written: [bool; IMM_BUF_SLOTS],
-    levels: Vec<Level>,
-    permute: PermuteState,
-    diags: &'a mut Vec<Diagnostic>,
-}
-
-impl<'a> Dataflow<'a> {
-    pub(crate) fn new(cfg: &'a VerifyConfig, diags: &'a mut Vec<Diagnostic>) -> Self {
-        Dataflow {
+    fn run(
+        &self,
+        cfg: &VerifyConfig,
+        program: &Program,
+        diags: &mut Vec<Diagnostic>,
+        stats: &mut Vec<PassStat>,
+    ) {
+        let mut v = ScratchpadVisitor {
             cfg,
-            iters: [[IterEntry::default(); ITERATOR_TABLE_ENTRIES]; 4],
-            imm_written: [false; IMM_BUF_SLOTS],
-            levels: Vec::new(),
-            permute: PermuteState::default(),
             diags,
-        }
-    }
+            level_sets: Vec::new(),
+            queries: Vec::new(),
+        };
+        Walker::walk(cfg, program, &mut v);
+        let ScratchpadVisitor {
+            level_sets,
+            queries,
+            ..
+        } = v;
 
-    pub(crate) fn run(mut self, program: &Program) {
-        let instrs = program.as_slice();
-        let mut pc = 0usize;
-        while pc < instrs.len() {
-            let instr = instrs[pc];
-            match instr {
-                Instruction::IterConfigBase { ns, index, addr } => {
-                    let e = &mut self.iters[ns as usize][index as usize];
-                    e.offset = addr;
-                    e.offset_set = true;
-                }
-                Instruction::IterConfigStride { ns, index, stride } => {
-                    let e = &mut self.iters[ns as usize][index as usize];
-                    e.stride = stride;
-                    e.stride_set = true;
-                }
-                Instruction::ImmWriteLow { index, .. }
-                | Instruction::ImmWriteHigh { index, .. } => {
-                    if (index as usize) < self.cfg.imm_slots.min(IMM_BUF_SLOTS) {
-                        self.imm_written[index as usize] = true;
-                    } else {
-                        self.diags.push(Diagnostic::new(
-                            pc,
-                            Rule::ImmSlotOutOfRange,
-                            format!(
-                                "IMM BUF write to slot {index} but the machine has only {} slots",
-                                self.cfg.imm_slots
-                            ),
-                        ));
-                    }
-                }
-                Instruction::LoopSetIter { loop_id, count } => {
-                    self.loop_set_iter(pc, loop_id, count);
-                }
-                Instruction::LoopSetIndex { bindings } => {
-                    if let Some(level) = self.levels.last_mut() {
-                        level.bindings = bindings;
-                    } else {
-                        self.diags.push(Diagnostic::new(
-                            pc,
-                            Rule::LoopIndexWithoutLevel,
-                            "LOOP SET_INDEX with no configured loop level to bind".to_string(),
-                        ));
-                    }
-                }
-                Instruction::LoopSetNumInst { count, .. } => {
-                    let body_start = pc + 1;
-                    let body_end = body_start + count as usize;
-                    if body_end > instrs.len()
-                        || !instrs[body_start..body_end].iter().all(|i| i.is_compute())
-                    {
-                        self.diags.push(Diagnostic::new(
-                            pc,
-                            Rule::MalformedLoopBody,
-                            format!(
-                                "loop body of {count} instructions extends past the program \
-                                 or contains non-compute instructions"
-                            ),
-                        ));
-                        self.levels.clear();
-                        pc += 1;
-                        continue;
-                    }
-                    self.analyze_nest(body_start, &instrs[body_start..body_end]);
-                    self.levels.clear();
-                    pc = body_end;
-                    continue;
-                }
-                Instruction::PermuteSetBase { is_dst, ns, addr } => {
-                    if is_dst {
-                        self.permute.dst_ns = ns;
-                        self.permute.dst_base = addr as i64;
-                    } else {
-                        self.permute.src_ns = ns;
-                        self.permute.src_base = addr as i64;
-                    }
-                    self.permute.configured = true;
-                }
-                Instruction::PermuteSetIter { dim, count } => {
-                    // The engine clamps extents to ≥ 1 (`count.max(1)`).
-                    self.permute.extents[dim as usize % 8] = count.max(1) as u32;
-                    self.permute.configured = true;
-                }
-                Instruction::PermuteSetStride {
-                    is_dst,
-                    dim,
-                    stride,
-                } => {
-                    let side = if is_dst {
-                        &mut self.permute.dst_strides
-                    } else {
-                        &mut self.permute.src_strides
-                    };
-                    side[dim as usize % 8] = stride as i64;
-                    self.permute.configured = true;
-                }
-                Instruction::PermuteStart { .. } => {
-                    self.check_permute_start(pc);
-                }
-                Instruction::Sync(_)
-                | Instruction::DatatypeConfig { .. }
-                | Instruction::TileLdSt { .. } => {}
-                _ if instr.is_compute() => {
-                    // Bare compute: a single-instruction nest over the
-                    // current levels (which are then consumed).
-                    self.analyze_nest(pc, &instrs[pc..pc + 1]);
-                    self.levels.clear();
-                }
-                _ => {}
+        let before = diags.len();
+        let start = std::time::Instant::now();
+        for q in &queries {
+            let levels = &level_sets[q.nest];
+            let iv = match self.mode {
+                VerifyMode::Widened => q.stream.interval_widened(levels),
+                VerifyMode::Exact => q.stream.interval_exact(levels),
+            };
+            let Some((lo, hi)) = iv.bounds() else {
+                continue;
+            };
+            let rows = cfg.rows(q.op.namespace()) as i64;
+            if lo < 0 || hi >= rows {
+                let (rule, what) = if q.write {
+                    (Rule::OobWrite, "writes")
+                } else {
+                    (Rule::OobRead, "reads")
+                };
+                diags.push(Diagnostic::new(
+                    q.pc,
+                    rule,
+                    format!(
+                        "operand {} {what} rows [{lo}, {hi}] but namespace {} has \
+                         {rows} rows",
+                        q.op,
+                        q.op.namespace()
+                    ),
+                ));
             }
-            pc += 1;
         }
+        stats.push(PassStat {
+            name: "loop-summaries",
+            wall: start.elapsed(),
+            diagnostics: diags.len() - before,
+        });
+    }
+}
+
+struct ScratchpadVisitor<'a> {
+    cfg: &'a VerifyConfig,
+    diags: &'a mut Vec<Diagnostic>,
+    /// One snapshot of the live Code Repeater levels per nest seen.
+    level_sets: Vec<Vec<Level>>,
+    /// Deferred bounds checks, resolved after the walk in the
+    /// configured mode.
+    queries: Vec<BoundsQuery>,
+}
+
+impl ScratchpadVisitor<'_> {
+    /// The stream of `op` in `slot`, with configuration problems
+    /// reported as `UnconfiguredIterator` diagnostics.
+    fn stream(&mut self, walker: &Walker, pc: usize, op: Operand, slot: usize) -> Option<Stream> {
+        let (stream, notes) = walker.stream(op, slot);
+        for note in notes {
+            match note {
+                StreamNote::BaseUnset => self.diags.push(Diagnostic::new(
+                    pc,
+                    Rule::UnconfiguredIterator,
+                    format!(
+                        "operand {op} addresses through iterator {}[{}] whose base \
+                         address was never configured",
+                        op.namespace(),
+                        op.index()
+                    ),
+                )),
+                StreamNote::StrideUnset { level, binding } => self.diags.push(Diagnostic::new(
+                    pc,
+                    Rule::UnconfiguredIterator,
+                    format!(
+                        "loop level {level} advances slot {slot} through iterator \
+                         {}[{}] whose stride was never configured",
+                        binding.namespace(),
+                        binding.index()
+                    ),
+                )),
+            }
+        }
+        stream
     }
 
-    fn loop_set_iter(&mut self, pc: usize, loop_id: u8, count: u16) {
-        let id = loop_id as usize;
-        if id >= MAX_LOOP_LEVELS {
-            self.diags.push(Diagnostic::new(
-                pc,
-                Rule::LoopTooDeep,
-                format!(
-                    "loop level {id} exceeds the Code Repeater's {MAX_LOOP_LEVELS} nest levels"
-                ),
-            ));
-            return;
-        }
-        if id > self.levels.len() {
-            self.diags.push(Diagnostic::new(
-                pc,
-                Rule::LoopLevelOrder,
-                format!(
-                    "loop level {id} configured while only {} outer level(s) exist — \
-                     levels must be configured outermost-first",
-                    self.levels.len()
-                ),
-            ));
-            // Recover the way a programmer most plausibly meant it: treat
-            // it as the next level so the rest of the nest still checks.
-        } else if id < self.levels.len() {
-            // Reconfiguration truncates deeper levels (hardware behavior).
-            self.levels.truncate(id);
-        }
-        if count == 0 {
-            self.diags.push(Diagnostic::new(
-                pc,
-                Rule::LoopZeroIterations,
-                format!("loop level {id} iterates zero times — the nest never executes"),
-            ));
-        }
-        self.levels.push(Level {
-            count: count as u32,
-            bindings: LoopBindings::none(),
+    /// Defers a bounds check to the resolve phase. `nest` indexes the
+    /// level snapshot pushed by the current [`Visitor::nest`] call.
+    fn queue_bounds(&mut self, pc: usize, op: Operand, stream: Stream, write: bool) {
+        self.queries.push(BoundsQuery {
+            pc,
+            op,
+            stream,
+            write,
+            nest: self.level_sets.len() - 1,
         });
     }
 
-    /// The symbolic address stream of operand `op` in slot `slot`, or
-    /// `None` for IMM operands (checked separately) and operands whose
-    /// iterator entry was never configured (diagnosed here).
-    fn stream(&mut self, pc: usize, op: Operand, slot: usize) -> Option<Stream> {
-        if op.namespace() == Namespace::Imm {
-            return None;
-        }
-        let entry = self.iters[op.namespace() as usize][op.index() as usize];
-        if !entry.offset_set {
-            self.diags.push(Diagnostic::new(
-                pc,
-                Rule::UnconfiguredIterator,
-                format!(
-                    "operand {op} addresses through iterator {}[{}] whose base \
-                     address was never configured",
-                    op.namespace(),
-                    op.index()
-                ),
-            ));
-            return None;
-        }
-        let mut strides = Vec::with_capacity(self.levels.len());
-        for (li, level) in self.levels.iter().enumerate() {
-            let stride = match level.bindings.slot(slot) {
-                Some(b) => {
-                    let be = self.iters[b.namespace() as usize][b.index() as usize];
-                    if !be.stride_set && level.count > 1 {
-                        self.diags.push(Diagnostic::new(
-                            pc,
-                            Rule::UnconfiguredIterator,
-                            format!(
-                                "loop level {li} advances slot {slot} through iterator \
-                                 {}[{}] whose stride was never configured",
-                                b.namespace(),
-                                b.index()
-                            ),
-                        ));
-                    }
-                    be.stride as i64
-                }
-                None => 0,
-            };
-            strides.push(stride);
-        }
-        Some(Stream {
-            base: entry.offset as i64,
-            strides,
-        })
-    }
-
-    fn check_bounds(
-        &mut self,
-        pc: usize,
-        op: Operand,
-        stream: &Stream,
-        levels: &[Level],
-        write: bool,
-    ) {
-        let rows = self.cfg.rows(op.namespace()) as i64;
-        let (lo, hi) = stream.interval(levels);
-        if lo < 0 || hi >= rows {
-            let (rule, what) = if write {
-                (Rule::OobWrite, "writes")
-            } else {
-                (Rule::OobRead, "reads")
-            };
-            self.diags.push(Diagnostic::new(
-                pc,
-                rule,
-                format!(
-                    "operand {op} {what} rows [{lo}, {hi}] but namespace {} has \
-                     {rows} rows",
-                    op.namespace()
-                ),
-            ));
-        }
-    }
-
-    fn check_imm_read(&mut self, pc: usize, op: Operand) {
+    fn check_imm_read(&mut self, walker: &Walker, pc: usize, op: Operand) {
         let slot = op.index() as usize;
         if slot >= self.cfg.imm_slots.min(IMM_BUF_SLOTS) {
             self.diags.push(Diagnostic::new(
@@ -366,7 +173,7 @@ impl<'a> Dataflow<'a> {
                     self.cfg.imm_slots
                 ),
             ));
-        } else if !self.imm_written[slot] {
+        } else if !walker.imm_written(slot) {
             self.diags.push(Diagnostic::new(
                 pc,
                 Rule::UninitializedImmRead,
@@ -374,11 +181,18 @@ impl<'a> Dataflow<'a> {
             ));
         }
     }
+}
+
+impl Visitor for ScratchpadVisitor<'_> {
+    fn discipline(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
 
     /// Checks one loop nest: `body` instructions executed over the
     /// currently configured levels (empty levels = single issue).
-    fn analyze_nest(&mut self, body_start: usize, body: &[Instruction]) {
-        let levels = self.levels.clone();
+    fn nest(&mut self, walker: &Walker, body_start: usize, body: &[Instruction]) {
+        let levels = walker.levels();
+        self.level_sets.push(levels.to_vec());
         for (i, instr) in body.iter().enumerate() {
             let pc = body_start + i;
             let dst = instr.destination().expect("loop bodies are compute-only");
@@ -388,9 +202,9 @@ impl<'a> Dataflow<'a> {
             for (slot, src) in [(1usize, Some(src1)), (2usize, src2)] {
                 let Some(src) = src else { continue };
                 if src.namespace() == Namespace::Imm {
-                    self.check_imm_read(pc, src);
-                } else if let Some(s) = self.stream(pc, src, slot) {
-                    self.check_bounds(pc, src, &s, &levels, false);
+                    self.check_imm_read(walker, pc, src);
+                } else if let Some(s) = self.stream(walker, pc, src, slot) {
+                    self.queue_bounds(pc, src, s, false);
                     src_streams.push(s);
                 }
             }
@@ -403,10 +217,10 @@ impl<'a> Dataflow<'a> {
                 ));
                 continue;
             }
-            let Some(dst_stream) = self.stream(pc, dst, 0) else {
+            let Some(dst_stream) = self.stream(walker, pc, dst, 0) else {
                 continue;
             };
-            self.check_bounds(pc, dst, &dst_stream, &levels, true);
+            self.queue_bounds(pc, dst, dst_stream, true);
 
             // Lost-update hazard: a loop level that re-walks the sources
             // while the destination stands still overwrites the same rows
@@ -415,7 +229,8 @@ impl<'a> Dataflow<'a> {
             // destination stream through a source slot; also exempt
             // destinations that a later (or the same) body instruction
             // reads back within the iteration — those are pipelined
-            // temporaries, not lost values.
+            // temporaries, not lost values. The predicate is purely
+            // structural on strides, so both modes report identically.
             if instr.reads_destination() {
                 continue;
             }
@@ -429,11 +244,8 @@ impl<'a> Dataflow<'a> {
                         || (j >= i
                             && src.namespace() == dst.namespace()
                             && src.namespace() != Namespace::Imm
-                            && self.iters[src.namespace() as usize][src.index() as usize]
-                                .offset_set
-                            && self.iters[src.namespace() as usize][src.index() as usize].offset
-                                as i64
-                                == dst_stream.base)
+                            && walker.iter_entry(src).offset_set
+                            && walker.iter_entry(src).offset as i64 == dst_stream.base)
                 })
             });
             if consumed || src_streams.contains(&dst_stream) {
@@ -461,8 +273,9 @@ impl<'a> Dataflow<'a> {
         }
     }
 
-    fn check_permute_start(&mut self, pc: usize) {
-        if !self.permute.configured {
+    fn permute_start(&mut self, walker: &Walker, pc: usize) {
+        let permute = walker.permute();
+        if !permute.configured {
             self.diags.push(Diagnostic::new(
                 pc,
                 Rule::PermuteNotConfigured,
@@ -470,17 +283,19 @@ impl<'a> Dataflow<'a> {
             ));
             return;
         }
-        // The engine consumes its configuration on start; a second START
-        // without reconfiguration is an error the hardware also raises.
-        self.permute.configured = false;
+        // The walker consumes the configuration after this callback; a
+        // second START without reconfiguration is an error the hardware
+        // also raises.
         for is_dst in [false, true] {
             let ns = if is_dst {
-                self.permute.dst_ns
+                permute.dst_ns
             } else {
-                self.permute.src_ns
+                permute.src_ns
             };
             let words = (self.cfg.rows(ns) * self.cfg.lanes) as i64;
-            let (lo, hi) = self.permute.interval(is_dst);
+            let Some((lo, hi)) = permute.interval(is_dst).bounds() else {
+                continue;
+            };
             if lo < 0 || hi >= words {
                 let side = if is_dst { "destination" } else { "source" };
                 self.diags.push(Diagnostic::new(

@@ -44,6 +44,11 @@ pub enum Rule {
     /// A `start.buf` marker — the hardware defines only the End-edge
     /// release notification.
     BufAcquireUnsupported,
+    /// The cross-engine happens-before graph has an ordering cycle, or a
+    /// region waits for a completion no other region ever signals — the
+    /// GEMM and Tandem units starve each other (found by the
+    /// `sync-deadlock` analysis, strictly stronger than pairing).
+    SyncDeadlock,
     // --- loop discipline (paper §4.1 Code Repeater, §5) ---
     /// `LOOP SET_ITER` configured levels out of outermost-first order.
     LoopLevelOrder,
@@ -74,6 +79,13 @@ pub enum Rule {
     /// loop level that advances the sources but never consumes the
     /// destination — all but the last iteration's results are lost.
     WriteAfterWrite,
+    // --- dead traffic (optimization lints for the autotuner) ---
+    /// A scratchpad store whose rows are overwritten by a later store
+    /// before anything reads them — wasted write traffic.
+    DeadStore,
+    /// An IMM BUF slot written and then rewritten (or never read at all)
+    /// without any compute instruction consuming the value in between.
+    RedundantImmWrite,
     // --- permute engine (paper §5) ---
     /// `PERMUTE START` with no prior configuration.
     PermuteNotConfigured,
@@ -86,6 +98,36 @@ pub enum Rule {
 }
 
 impl Rule {
+    /// Every rule the verifier knows, in catalogue order. The rule table
+    /// in `docs/VERIFY.md` is generated from this list and a unit test
+    /// keeps the two in sync.
+    pub const ALL: [Rule; 24] = [
+        Rule::UnmatchedSyncStart,
+        Rule::UnmatchedSyncEnd,
+        Rule::OverlappingSyncRegions,
+        Rule::BufReleaseOutsideRegion,
+        Rule::DuplicateBufRelease,
+        Rule::BufAcquireUnsupported,
+        Rule::SyncDeadlock,
+        Rule::LoopLevelOrder,
+        Rule::LoopTooDeep,
+        Rule::LoopIndexWithoutLevel,
+        Rule::MalformedLoopBody,
+        Rule::LoopZeroIterations,
+        Rule::UnconfiguredIterator,
+        Rule::OobRead,
+        Rule::OobWrite,
+        Rule::ImmDestination,
+        Rule::ImmSlotOutOfRange,
+        Rule::UninitializedImmRead,
+        Rule::WriteAfterWrite,
+        Rule::DeadStore,
+        Rule::RedundantImmWrite,
+        Rule::PermuteNotConfigured,
+        Rule::PermuteOutOfBounds,
+        Rule::EncodeDecodeMismatch,
+    ];
+
     /// Stable kebab-case code used in reports and CI artifacts.
     pub fn code(self) -> &'static str {
         match self {
@@ -95,6 +137,7 @@ impl Rule {
             Rule::BufReleaseOutsideRegion => "sync-buf-release-outside-region",
             Rule::DuplicateBufRelease => "sync-duplicate-buf-release",
             Rule::BufAcquireUnsupported => "sync-buf-acquire-unsupported",
+            Rule::SyncDeadlock => "sync-deadlock",
             Rule::LoopLevelOrder => "loop-level-order",
             Rule::LoopTooDeep => "loop-too-deep",
             Rule::LoopIndexWithoutLevel => "loop-index-without-level",
@@ -107,6 +150,8 @@ impl Rule {
             Rule::ImmSlotOutOfRange => "imm-slot-out-of-range",
             Rule::UninitializedImmRead => "imm-uninitialized-read",
             Rule::WriteAfterWrite => "spad-write-after-write",
+            Rule::DeadStore => "spad-dead-store",
+            Rule::RedundantImmWrite => "imm-redundant-write",
             Rule::PermuteNotConfigured => "permute-not-configured",
             Rule::PermuteOutOfBounds => "permute-oob",
             Rule::EncodeDecodeMismatch => "encode-decode-mismatch",
@@ -116,8 +161,41 @@ impl Rule {
     /// The severity findings of this rule carry.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::LoopZeroIterations => Severity::Warning,
+            Rule::LoopZeroIterations | Rule::DeadStore | Rule::RedundantImmWrite => {
+                Severity::Warning
+            }
             _ => Severity::Error,
+        }
+    }
+
+    /// One-line description used by the generated rule table in
+    /// `docs/VERIFY.md`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::UnmatchedSyncStart => "execution region opened but never closed",
+            Rule::UnmatchedSyncEnd => "end marker without (or closing the wrong) open region",
+            Rule::OverlappingSyncRegions => "a second region opens while one is still open",
+            Rule::BufReleaseOutsideRegion => "Output-BUF release outside its execution region",
+            Rule::DuplicateBufRelease => "the same Output-BUF ownership released twice",
+            Rule::BufAcquireUnsupported => "start.buf has no hardware semantics",
+            Rule::SyncDeadlock => "happens-before cycle or wait no region ever signals",
+            Rule::LoopLevelOrder => "loop levels configured out of outermost-first order",
+            Rule::LoopTooDeep => "more than 8 Code Repeater nest levels",
+            Rule::LoopIndexWithoutLevel => "SET_INDEX with no configured level to bind",
+            Rule::MalformedLoopBody => "body leaves the program or contains non-compute",
+            Rule::LoopZeroIterations => "a loop level iterates zero times",
+            Rule::UnconfiguredIterator => "operand walks an iterator never configured",
+            Rule::OobRead => "a read reaches rows outside the namespace capacity",
+            Rule::OobWrite => "a write reaches rows outside the namespace capacity",
+            Rule::ImmDestination => "compute destination in the read-only IMM BUF",
+            Rule::ImmSlotOutOfRange => "IMM BUF slot index beyond the slot count",
+            Rule::UninitializedImmRead => "IMM BUF slot read but never written",
+            Rule::WriteAfterWrite => "frozen destination rewritten while sources advance",
+            Rule::DeadStore => "store overwritten before anything reads it",
+            Rule::RedundantImmWrite => "IMM slot value replaced or dropped unread",
+            Rule::PermuteNotConfigured => "PERMUTE START with no prior configuration",
+            Rule::PermuteOutOfBounds => "permute walk outside the namespace word capacity",
+            Rule::EncodeDecodeMismatch => "program does not round-trip through binary form",
         }
     }
 }

@@ -39,10 +39,14 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod dataflow;
+mod deadcode;
+mod deadlock;
 mod diag;
 mod sync;
 
+pub use analysis::{AffineInterval, Lattice, PassStat, RowSet, VerifyMode};
 pub use diag::{Diagnostic, Rule, Severity, VerifyReport};
 
 use tandem_core::TandemConfig;
@@ -59,6 +63,10 @@ pub struct VerifyConfig {
     pub obuf_rows: usize,
     /// IMM BUF slots.
     pub imm_slots: usize,
+    /// How loop address streams are summarized ([`VerifyMode::Widened`]
+    /// by default; the two modes report identical diagnostics on affine
+    /// streams — widened is simply O(program size) instead of O(trips)).
+    pub mode: VerifyMode,
 }
 
 impl VerifyConfig {
@@ -81,6 +89,11 @@ impl VerifyConfig {
             interim_rows,
             ..Self::paper()
         }
+    }
+
+    /// The same capacities with the loop-summarization mode replaced.
+    pub fn with_mode(self, mode: VerifyMode) -> Self {
+        VerifyConfig { mode, ..self }
     }
 
     /// Addressable rows (IMM: slots) of `ns`.
@@ -106,8 +119,21 @@ impl From<&TandemConfig> for VerifyConfig {
             interim_rows: cfg.namespace_rows(Namespace::Interim1),
             obuf_rows: cfg.namespace_rows(Namespace::Obuf),
             imm_slots: cfg.namespace_rows(Namespace::Imm),
+            mode: VerifyMode::default(),
         }
     }
+}
+
+/// A verification outcome together with per-pass wall-time statistics.
+/// Timings live here — outside [`VerifyReport`] — so report equality
+/// stays deterministic across hosts and runs.
+#[derive(Debug, Clone)]
+pub struct VerifyRun {
+    /// The deterministic findings.
+    pub report: VerifyReport,
+    /// Wall-time and diagnostic yield per registered pass, in pipeline
+    /// order.
+    pub passes: Vec<PassStat>,
 }
 
 /// The static verifier. Stateless across programs; cheap to construct.
@@ -127,18 +153,44 @@ impl Verifier {
         &self.cfg
     }
 
-    /// Runs every check over `program` and returns the findings in
-    /// program order.
+    /// Runs every registered pass over `program` and returns the
+    /// findings in program order.
     pub fn verify(&self, program: &Program) -> VerifyReport {
-        let mut diags = Vec::new();
-        check_closure(program, &mut diags);
-        sync::check(program, &mut diags);
-        dataflow::Dataflow::new(&self.cfg, &mut diags).run(program);
-        diags.sort_by_key(|d| d.pc);
-        VerifyReport {
-            instructions: program.len(),
-            diagnostics: diags,
+        self.verify_timed(program).report
+    }
+
+    /// Like [`Verifier::verify`], additionally returning wall-time and
+    /// diagnostic counts per pass (for `TANDEM_LINT.json` and the
+    /// autotuner budget guard).
+    pub fn verify_timed(&self, program: &Program) -> VerifyRun {
+        let (diagnostics, passes) =
+            analysis::Driver::standard(self.cfg.mode).run(&self.cfg, program);
+        VerifyRun {
+            report: VerifyReport {
+                instructions: program.len(),
+                diagnostics,
+            },
+            passes,
         }
+    }
+}
+
+/// Encode/decode closure as a registered pass.
+pub(crate) struct ClosurePass;
+
+impl analysis::Pass for ClosurePass {
+    fn name(&self) -> &'static str {
+        "closure"
+    }
+
+    fn run(
+        &self,
+        _cfg: &VerifyConfig,
+        program: &Program,
+        diags: &mut Vec<Diagnostic>,
+        _stats: &mut Vec<analysis::PassStat>,
+    ) {
+        check_closure(program, diags);
     }
 }
 

@@ -4,13 +4,34 @@
 //! and no two execution regions may overlap — the Inst. Dispatch unit
 //! routes one contiguous region at a time (paper §4.2, Figure 10).
 
+use crate::analysis::{Pass, PassStat};
 use crate::diag::{Diagnostic, Rule};
+use crate::VerifyConfig;
 use tandem_isa::{Instruction, Program, SyncEdge, SyncKind, SyncUnit};
 
-fn unit_name(unit: SyncUnit) -> &'static str {
+pub(crate) fn unit_name(unit: SyncUnit) -> &'static str {
     match unit {
         SyncUnit::Gemm => "gemm",
         SyncUnit::Simd => "simd",
+    }
+}
+
+/// The structural pairing check as a registered pass.
+pub(crate) struct SyncPass;
+
+impl Pass for SyncPass {
+    fn name(&self) -> &'static str {
+        "sync-pairing"
+    }
+
+    fn run(
+        &self,
+        _cfg: &VerifyConfig,
+        program: &Program,
+        diags: &mut Vec<Diagnostic>,
+        _stats: &mut Vec<PassStat>,
+    ) {
+        check(program, diags);
     }
 }
 

@@ -1,0 +1,61 @@
+//! Keeps the rule table in `docs/VERIFY.md` in lock-step with
+//! `diag.rs::Rule`: the table between the BEGIN/END markers is
+//! regenerated from `Rule::ALL` and compared byte-for-byte. Adding,
+//! removing or re-wording a rule without updating the doc fails CI with
+//! the fresh table in the panic message, ready to paste.
+
+use std::fmt::Write as _;
+use tandem_verify::Rule;
+
+const BEGIN: &str = "<!-- BEGIN RULE TABLE (generated; see crates/verify/tests/docs_sync.rs) -->";
+const END: &str = "<!-- END RULE TABLE -->";
+
+fn generated_table() -> String {
+    let mut t = String::from("| Code | Severity | What it means |\n| --- | --- | --- |\n");
+    for rule in Rule::ALL {
+        let _ = writeln!(
+            t,
+            "| `{}` | {} | {} |",
+            rule.code(),
+            rule.severity(),
+            rule.summary()
+        );
+    }
+    t
+}
+
+#[test]
+fn rule_table_in_docs_matches_diag_rs() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/VERIFY.md");
+    let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "docs/VERIFY.md must exist ({e}); expected table:\n{BEGIN}\n{}{END}",
+            generated_table()
+        )
+    });
+    let start = doc
+        .find(BEGIN)
+        .unwrap_or_else(|| panic!("docs/VERIFY.md is missing the `{BEGIN}` marker"));
+    let rest = &doc[start + BEGIN.len()..];
+    let stop = rest
+        .find(END)
+        .unwrap_or_else(|| panic!("docs/VERIFY.md is missing the `{END}` marker"));
+    let in_doc = rest[..stop].trim();
+    let fresh = generated_table();
+    assert_eq!(
+        in_doc,
+        fresh.trim(),
+        "\ndocs/VERIFY.md rule table is stale — replace the block between the markers with:\n\n{fresh}"
+    );
+}
+
+/// The doc promises one row per rule; make the count explicit so a new
+/// `Rule` variant that somehow dodges `ALL` still trips a test.
+#[test]
+fn rule_catalogue_is_complete() {
+    assert_eq!(Rule::ALL.len(), 24);
+    let mut codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    assert_eq!(codes.len(), Rule::ALL.len(), "duplicate rule codes");
+}

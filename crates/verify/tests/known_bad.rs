@@ -460,3 +460,227 @@ fn permute_walk_past_the_scratchpad_is_flagged() {
     let r = verify(&p);
     assert_diag(&r, Rule::PermuteOutOfBounds, 1);
 }
+
+// --- cross-engine happens-before (sync-deadlock) ---
+
+fn sync(unit: SyncUnit, edge: SyncEdge, kind: SyncKind, group: u8) -> Instruction {
+    Instruction::sync(unit, edge, kind, group)
+}
+
+#[test]
+fn obuf_handoff_before_its_producer_is_a_deadlock_cycle() {
+    // Perfectly paired regions — the structural check is happy — but the
+    // Tandem region hands off Output-BUF group 1 *before* the GEMM
+    // region that signals group 1 is dispatched: dispatch order says
+    // simd-then-gemm, the handoff says gemm-before-simd. Cycle.
+    let mut p = Program::new();
+    p.push(sync(SyncUnit::Simd, SyncEdge::Start, SyncKind::Exec, 1)); // 0
+    p.push(sync(SyncUnit::Simd, SyncEdge::End, SyncKind::Buf, 1)); // 1
+    p.push(sync(SyncUnit::Simd, SyncEdge::End, SyncKind::Exec, 1)); // 2
+    p.push(sync(SyncUnit::Gemm, SyncEdge::Start, SyncKind::Exec, 1)); // 3
+    p.push(sync(SyncUnit::Gemm, SyncEdge::End, SyncKind::Exec, 1)); // 4
+    let r = verify(&p);
+    assert!(
+        !r.diagnostics.iter().any(|d| d.rule != Rule::SyncDeadlock),
+        "pairing must be clean so the cycle is the only finding: {r}"
+    );
+    assert_diag(&r, Rule::SyncDeadlock, 0);
+    assert!(!r.is_clean());
+}
+
+#[test]
+fn obuf_handoff_with_no_producer_is_an_unreachable_wait() {
+    // The Tandem region releases Output-BUF group 0, but no GEMM region
+    // anywhere signals group 0 — the completion can never arrive.
+    let mut p = Program::new();
+    p.push(sync(SyncUnit::Simd, SyncEdge::Start, SyncKind::Exec, 0)); // 0
+    p.push(sync(SyncUnit::Simd, SyncEdge::End, SyncKind::Buf, 0)); // 1
+    p.push(sync(SyncUnit::Simd, SyncEdge::End, SyncKind::Exec, 0)); // 2
+    let r = verify(&p);
+    assert_diag(&r, Rule::SyncDeadlock, 1);
+    assert!(!r.is_clean());
+}
+
+#[test]
+fn producer_before_consumer_is_not_a_deadlock() {
+    // The compiled-schedule shape: gemm region, then the simd region
+    // consuming and releasing the same group. No finding.
+    let mut p = Program::new();
+    p.push(sync(SyncUnit::Gemm, SyncEdge::Start, SyncKind::Exec, 2));
+    p.push(sync(SyncUnit::Gemm, SyncEdge::End, SyncKind::Exec, 2));
+    p.push(sync(SyncUnit::Simd, SyncEdge::Start, SyncKind::Exec, 2));
+    p.push(sync(SyncUnit::Simd, SyncEdge::End, SyncKind::Buf, 2));
+    p.push(sync(SyncUnit::Simd, SyncEdge::End, SyncKind::Exec, 2));
+    let r = verify(&p);
+    assert!(r.is_clean(), "{r}");
+    assert!(r.diagnostics.is_empty(), "{r}");
+}
+
+// --- dead-traffic lints ---
+
+#[test]
+fn store_overwritten_before_any_read_is_a_dead_store() {
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 0, value: 1 }); // 0
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 5,
+    }); // 1
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0))); // 2: store row 5
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0))); // 3: overwrite, unread
+    let r = verify(&p);
+    assert_diag(&r, Rule::DeadStore, 2);
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == Rule::DeadStore)
+        .unwrap();
+    assert_eq!(d.severity(), Severity::Warning);
+    // 1 dead row × 8 lanes on the tiny machine
+    assert!(d.message.contains("~8 wasted words"), "{}", d.message);
+    assert!(r.is_clean(), "a lint must not fail verification: {r}");
+}
+
+#[test]
+fn store_read_before_overwrite_is_not_dead() {
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 0, value: 1 }); // 0
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 5,
+    }); // 1
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 1,
+        addr: 9,
+    }); // 2
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0))); // 3: store row 5
+    p.push(Instruction::alu(AluFunc::Add, i1(1), i1(0), imm(0))); // 4: read row 5
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0))); // 5: overwrite after read
+    let r = verify(&p);
+    assert!(
+        !r.diagnostics.iter().any(|d| d.rule == Rule::DeadStore),
+        "{r}"
+    );
+}
+
+#[test]
+fn live_out_store_at_program_end_is_not_dead() {
+    // The Data Access Engine stores result tiles after the program ends —
+    // a pending store at the end is live-out, not waste.
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 0, value: 1 });
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 5,
+    });
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0)));
+    let r = verify(&p);
+    assert!(
+        !r.diagnostics.iter().any(|d| d.rule == Rule::DeadStore),
+        "{r}"
+    );
+}
+
+#[test]
+fn imm_value_replaced_unread_is_redundant() {
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 0, value: 1 }); // 0: dead
+    p.push(Instruction::ImmWriteLow { index: 0, value: 2 }); // 1: read below
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 0,
+    }); // 2
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0))); // 3
+    let r = verify(&p);
+    assert_diag(&r, Rule::RedundantImmWrite, 0);
+    assert_eq!(
+        r.diagnostics
+            .iter()
+            .filter(|d| d.rule == Rule::RedundantImmWrite)
+            .count(),
+        1,
+        "the live second write must not be flagged: {r}"
+    );
+    assert!(r.is_clean(), "{r}");
+}
+
+#[test]
+fn imm_value_never_read_is_redundant() {
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 3, value: 7 }); // 0: never read
+    let r = verify(&p);
+    assert_diag(&r, Rule::RedundantImmWrite, 0);
+}
+
+#[test]
+fn full_32bit_imm_write_pair_is_one_write_not_a_kill() {
+    // ImmWriteLow + ImmWriteHigh materialize ONE 32-bit constant: the
+    // high half must not kill the in-flight low half.
+    let mut p = Program::new();
+    for i in Instruction::imm_write(0, 100_000) {
+        p.push(i); // 0: low, 1: high
+    }
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 0,
+    });
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0)));
+    let r = verify(&p);
+    assert!(
+        !r.diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::RedundantImmWrite),
+        "{r}"
+    );
+}
+
+// --- widened vs exact agreement on a known overflow ---
+
+/// The two summarization modes must catch the same scratchpad overflow
+/// with byte-identical diagnostics: widening the affine streams loses
+/// nothing on real programs, it only skips the per-iteration walk.
+#[test]
+fn widened_overflow_is_also_caught_by_exact() {
+    use tandem_verify::VerifyMode;
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 0, value: 1 }); // 0
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 60,
+    }); // 1
+    p.push(Instruction::IterConfigStride {
+        ns: Namespace::Interim1,
+        index: 0,
+        stride: 1,
+    }); // 2
+    p.push(Instruction::LoopSetIter {
+        loop_id: 0,
+        count: 10,
+    }); // 3
+    p.push(Instruction::LoopSetIndex {
+        bindings: LoopBindings {
+            dst: Some(i1(0)),
+            src1: None,
+            src2: None,
+        },
+    }); // 4
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0))); // 5: rows [60, 69] of 64
+    let wr = Verifier::new(VerifyConfig::tiny().with_mode(VerifyMode::Widened)).verify(&p);
+    let er = Verifier::new(VerifyConfig::tiny().with_mode(VerifyMode::Exact)).verify(&p);
+    assert_diag(&wr, Rule::OobWrite, 5);
+    assert_diag(&er, Rule::OobWrite, 5);
+    let d = wr
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == Rule::OobWrite)
+        .unwrap();
+    assert!(d.message.contains("[60, 69]"), "{}", d.message);
+    assert_eq!(wr.diagnostics, er.diagnostics, "modes must bit-agree");
+}
