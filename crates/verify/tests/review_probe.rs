@@ -1,0 +1,59 @@
+//! Review probe: intra-nest producer-consumer dead-store check.
+
+use tandem_isa::{AluFunc, Instruction, LoopBindings, Namespace, Operand, Program};
+use tandem_verify::{Rule, Verifier, VerifyConfig};
+
+fn i1(index: u8) -> Operand {
+    Operand::new(Namespace::Interim1, index)
+}
+
+fn imm(index: u8) -> Operand {
+    Operand::new(Namespace::Imm, index)
+}
+
+#[test]
+fn intra_nest_producer_consumer_store_is_not_dead() {
+    let mut p = Program::new();
+    p.push(Instruction::ImmWriteLow { index: 0, value: 1 }); // 0
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 0,
+        addr: 5,
+    }); // 1
+    p.push(Instruction::IterConfigBase {
+        ns: Namespace::Interim1,
+        index: 1,
+        addr: 9,
+    }); // 2
+    p.push(Instruction::LoopSetIter {
+        loop_id: 0,
+        count: 2,
+    }); // 3
+    p.push(Instruction::LoopSetIndex {
+        bindings: LoopBindings {
+            dst: None,
+            src1: None,
+            src2: None,
+        },
+    }); // 4
+    p.push(Instruction::LoopSetNumInst {
+        loop_id: 0,
+        count: 2,
+    }); // 5
+    // body: A stores row 5, B reads row 5 into row 9 — each iteration
+    // B consumes the value A just wrote, so A is NOT dead.
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0))); // 6: store row 5
+    p.push(Instruction::alu(AluFunc::Add, i1(1), i1(0), imm(0))); // 7: read row 5
+    // later overwrite of row 5
+    p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0))); // 8
+    let r = Verifier::new(VerifyConfig::tiny()).verify(&p);
+    let dead: Vec<_> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == Rule::DeadStore)
+        .collect();
+    assert!(
+        dead.is_empty(),
+        "store at pc 6 is read at pc 7 every iteration, yet: {dead:?}"
+    );
+}
