@@ -25,21 +25,30 @@ cargo test -q
 echo "==> tandem-lint (static verification of the model zoo)"
 cargo run --release -q --bin tandem_lint -- TANDEM_LINT.json --budget-ms 250
 
+# Trace outputs land in artifacts/ (gitignored), not the repo root.
+mkdir -p artifacts
+
 # tandem_profile exits non-zero if the attribution buckets don't sum to
 # the reported latency; the traces are uploaded as CI artifacts.
 echo "==> tandem-profile (cycle-attribution traces: ResNet-50, BERT)"
-cargo run --release -q --bin tandem_profile -- resnet50 resnet50.trace.json
-cargo run --release -q --bin tandem_profile -- bert bert.trace.json
+cargo run --release -q --bin tandem_profile -- resnet50 artifacts/resnet50.trace.json
+cargo run --release -q --bin tandem_profile -- bert artifacts/bert.trace.json
 
 # Multi-NPU serving sweep: policies × fleet sizes over the zoo; the
 # SERVE.json artifact is byte-deterministic for a fixed seed.
 echo "==> tandem-serve (fleet serving sweep, smoke)"
-cargo run --release -q --bin tandem_serve -- --smoke SERVE.json --trace fleet.trace.json
+cargo run --release -q --bin tandem_serve -- --smoke SERVE.json --trace artifacts/fleet.trace.json
 
 # Shared-HBM contention: the BERT-heavy sweep with and without a finite
 # shared-bandwidth budget (tail-latency cost of the shared stack).
 echo "==> tandem-serve (shared-HBM contention scenario, smoke)"
 cargo run --release -q --bin tandem_serve -- --scenario contention --smoke --out SERVE_CONTENTION.json
+
+# LLM decode serving: static vs continuous vs preemptive batching over
+# GPT-2 prefill/decode-step cost tables; SERVE_LLM.json quantifies the
+# continuous-over-static p99-TTFT and tokens/sec wins per fleet size.
+echo "==> tandem-serve (LLM continuous-batching scenario, smoke)"
+cargo run --release -q --bin tandem_serve -- --scenario llm --smoke --out SERVE_LLM.json
 
 # Fleet-engine throughput: streaming-statistics serving at CI size.
 # Fails if requests/sec drops below the smoke_floor_rps committed in

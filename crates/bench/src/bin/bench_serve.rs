@@ -13,20 +13,27 @@
 //!   dispatch/completion event re-shares bandwidth);
 //! * **diurnal_10m** — ten million open-loop requests through the
 //!   sinusoidal + flash-crowd [`ArrivalProcess::Diurnal`] process with
-//!   windowed rollups on, the ROADMAP's week-long-trace regime.
+//!   windowed rollups on, the ROADMAP's week-long-trace regime;
+//! * **llm_decode** — GPT-2 continuous batching through the
+//!   iteration-level LLM engine in streaming mode; its throughput is
+//!   decoded tokens per wall-second (iterations are much finer-grained
+//!   than whole-graph requests, so req/s is not comparable) and it is
+//!   guarded by its own `smoke_floor_llm_tok_ps` floor.
 //!
 //! Writes `BENCH_SERVE.json` (first CLI argument or `--out`). In
 //! `--smoke` mode the request counts shrink to CI size and the run
-//! **fails** if any scenario's requests/sec drops below the
-//! `smoke_floor_rps` committed with the baseline `BENCH_SERVE.json` —
-//! the regression guard that keeps the engine production-fast. The
-//! floor is read from the committed baseline (override with
-//! `--floor N`; `--baseline PATH` points elsewhere), and is set far
-//! below typical throughput so only a real regression — not CI-machine
-//! noise — trips it.
+//! **fails** if any whole-graph scenario's requests/sec drops below the
+//! `smoke_floor_rps` committed with the baseline `BENCH_SERVE.json`, or
+//! the LLM scenario's tokens/sec drops below `smoke_floor_llm_tok_ps` —
+//! the regression guards that keep the engines production-fast. Floors
+//! are read from the committed baseline (override with `--floor N`;
+//! `--baseline PATH` points elsewhere), and are set far below typical
+//! throughput so only a real regression — not CI-machine noise — trips
+//! them.
 
 use std::fmt::Write as _;
 use std::time::Instant;
+use tandem_fleet::llm::{DecodeModel, LlmConfig, LlmFleet, LlmMode, LlmModelSpec, LlmWorkloadSpec};
 use tandem_fleet::{ArrivalProcess, Catalog, Fleet, FleetConfig, Policy, WorkloadSpec};
 use tandem_npu::{Npu, NpuConfig};
 
@@ -62,6 +69,10 @@ struct Row {
     rps: f64,
     peak_rss_mb: f64,
     rss_growth_mb: f64,
+    /// Decoded tokens (LLM scenarios only; 0 for whole-graph rows).
+    tokens_out: u64,
+    /// Decoded tokens per wall-second (LLM scenarios only).
+    tok_ps: f64,
 }
 
 fn run_scenario(
@@ -95,14 +106,16 @@ fn run_scenario(
         rps: report.offered as f64 / wall_s.max(1e-9),
         peak_rss_mb: proc_status_kb("VmHWM:") as f64 / 1024.0,
         rss_growth_mb: rss_after_kb.saturating_sub(rss_before_kb) as f64 / 1024.0,
+        tokens_out: 0,
+        tok_ps: 0.0,
     }
 }
 
-/// Reads `"smoke_floor_rps": <n>` out of a committed baseline file.
-fn read_floor(path: &str) -> Option<f64> {
+/// Reads `"<key>": <n>` out of a committed baseline file.
+fn read_floor(path: &str, key: &str) -> Option<f64> {
     let s = std::fs::read_to_string(path).ok()?;
-    let key = "\"smoke_floor_rps\":";
-    let rest = s[s.find(key)? + key.len()..].trim_start();
+    let key = format!("\"{key}\":");
+    let rest = s[s.find(&key)? + key.len()..].trim_start();
     let num: String = rest
         .chars()
         .take_while(|c| c.is_ascii_digit() || *c == '.')
@@ -132,10 +145,12 @@ fn main() {
             other => panic!("unknown flag: {other}"),
         }
     }
-    // Read the committed floor *before* this run overwrites the file.
+    // Read the committed floors *before* this run overwrites the file.
     let floor_rps = floor_override
-        .or_else(|| read_floor(&baseline_path))
+        .or_else(|| read_floor(&baseline_path, "smoke_floor_rps"))
         .unwrap_or(DEFAULT_FLOOR_RPS);
+    let floor_llm_tok_ps =
+        read_floor(&baseline_path, "smoke_floor_llm_tok_ps").unwrap_or(DEFAULT_FLOOR_LLM_TOK_PS);
 
     let catalog = Catalog::zoo();
     let probe = Npu::new(NpuConfig::paper());
@@ -156,10 +171,10 @@ fn main() {
         let _ = fleet.serve(&catalog, &warm, Policy::Fifo);
     }
 
-    let (n_mixed, n_contended, n_diurnal) = if smoke {
-        (100_000usize, 30_000usize, 200_000usize)
+    let (n_mixed, n_contended, n_diurnal, n_llm) = if smoke {
+        (100_000usize, 30_000usize, 200_000usize, 20_000usize)
     } else {
-        (2_000_000, 500_000, 10_000_000)
+        (2_000_000, 500_000, 10_000_000, 200_000)
     };
 
     let mut rows: Vec<Row> = Vec::new();
@@ -248,6 +263,49 @@ fn main() {
         ));
     }
 
+    // Scenario 4 — GPT-2 continuous batching through the
+    // iteration-level LLM engine, streaming statistics on. Each request
+    // is dozens of decode iterations, so the meaningful throughput is
+    // decoded tokens per wall-second.
+    {
+        let spec_model = LlmModelSpec::gpt2(16, 64);
+        let tables = DecodeModel::build(&spec_model, &pool);
+        let mut wl = LlmWorkloadSpec {
+            rate_rps: 0.0,
+            requests: n_llm,
+            seed: 42,
+            prompt_tokens: (8, 24),
+            output_tokens: (4, 32),
+            latency_fraction: 0.25,
+        };
+        wl.rate_rps = 1.2 * FLEET as f64 * 1e9 / tables.mean_request_ns(0, &wl);
+        let requests = wl.generate();
+        let cfg = LlmConfig::new(streaming.clone(), LlmMode::Continuous);
+        let engine = LlmFleet::new(cfg, &tables);
+        let rss_before_kb = proc_status_kb("VmRSS:");
+        let t0 = Instant::now();
+        let report = engine.serve(&requests);
+        let wall_s = t0.elapsed().as_secs_f64();
+        assert!(
+            report.records.is_empty() && report.queue_depth_samples.is_empty(),
+            "retain_records=off must not retain per-request state"
+        );
+        let tokens_out = report.llm.as_ref().map(|l| l.tokens_out).unwrap_or(0);
+        let rss_after_kb = proc_status_kb("VmRSS:");
+        rows.push(Row {
+            name: "llm_decode",
+            requests: report.offered,
+            completed: report.completed,
+            dropped: report.dropped,
+            wall_s,
+            rps: report.offered as f64 / wall_s.max(1e-9),
+            peak_rss_mb: proc_status_kb("VmHWM:") as f64 / 1024.0,
+            rss_growth_mb: rss_after_kb.saturating_sub(rss_before_kb) as f64 / 1024.0,
+            tokens_out,
+            tok_ps: tokens_out as f64 / wall_s.max(1e-9),
+        });
+    }
+
     println!(
         "{:<15} {:>11} {:>11} {:>9} {:>8} {:>12} {:>9} {:>8}",
         "scenario", "requests", "completed", "dropped", "wall s", "req/s", "rss MB", "Δrss MB"
@@ -265,24 +323,45 @@ fn main() {
             r.rss_growth_mb,
         );
     }
-    let min_rps = rows.iter().map(|r| r.rps).fold(f64::INFINITY, f64::min);
+    // The LLM row is excluded from the req/s floor — its unit of work
+    // is the decode iteration, guarded by its own tokens/sec floor.
+    let min_rps = rows
+        .iter()
+        .filter(|r| r.tokens_out == 0)
+        .map(|r| r.rps)
+        .fold(f64::INFINITY, f64::min);
+    let llm_tok_ps = rows
+        .iter()
+        .find(|r| r.tokens_out > 0)
+        .map(|r| r.tok_ps)
+        .unwrap_or(f64::INFINITY);
     println!(
-        "\nmode {}: slowest scenario {min_rps:.0} req/s (smoke floor {floor_rps:.0})",
+        "\nmode {}: slowest scenario {min_rps:.0} req/s (smoke floor {floor_rps:.0}), \
+         llm {llm_tok_ps:.0} tok/s (smoke floor {floor_llm_tok_ps:.0})",
         if smoke { "smoke" } else { "full" },
     );
 
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
-        "  \"mode\": \"{}\",\n  \"smoke_floor_rps\": {floor_rps:.0},\n  \"scenarios\": [",
+        "  \"mode\": \"{}\",\n  \"smoke_floor_rps\": {floor_rps:.0},\n  \
+         \"smoke_floor_llm_tok_ps\": {floor_llm_tok_ps:.0},\n  \"scenarios\": [",
         if smoke { "smoke" } else { "full" }
     );
     for (i, r) in rows.iter().enumerate() {
+        let llm_fields = if r.tokens_out > 0 {
+            format!(
+                ", \"tokens_out\": {}, \"tok_ps\": {:.0}",
+                r.tokens_out, r.tok_ps
+            )
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"requests\": {}, \"completed\": {}, \"dropped\": {}, \
              \"wall_s\": {:.4}, \"rps\": {:.0}, \"peak_rss_mb\": {:.1}, \
-             \"rss_growth_mb\": {:.1}}}{}",
+             \"rss_growth_mb\": {:.1}{}}}{}",
             r.name,
             r.requests,
             r.completed,
@@ -291,6 +370,7 @@ fn main() {
             r.rps,
             r.peak_rss_mb,
             r.rss_growth_mb,
+            llm_fields,
             if i + 1 < rows.len() { "," } else { "" },
         );
     }
@@ -304,6 +384,11 @@ fn main() {
             "bench_serve regression: {min_rps:.0} req/s is below the committed floor of \
              {floor_rps:.0} req/s — the streaming engine got slower"
         );
+        assert!(
+            llm_tok_ps >= floor_llm_tok_ps,
+            "bench_serve regression: {llm_tok_ps:.0} tok/s is below the committed floor of \
+             {floor_llm_tok_ps:.0} tok/s — the LLM decode engine got slower"
+        );
     }
 }
 
@@ -312,3 +397,8 @@ fn main() {
 /// (an accidental return to per-request retention, a quadratic event
 /// loop) trip it on shared CI machines.
 const DEFAULT_FLOOR_RPS: f64 = 50_000.0;
+
+/// The tokens/sec floor for the `llm_decode` scenario when no committed
+/// baseline carries one. Same philosophy as [`DEFAULT_FLOOR_RPS`]:
+/// order-of-magnitude headroom below measured throughput.
+const DEFAULT_FLOOR_LLM_TOK_PS: f64 = 100_000.0;

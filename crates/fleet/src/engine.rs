@@ -1006,6 +1006,7 @@ impl Fleet {
             per_npu: sim.usage,
             per_model,
             records,
+            llm: None,
             stats,
         }
     }

@@ -38,6 +38,15 @@
 //!   into an exact per-request `mem_stall_ns`. Unset, the engine is
 //!   byte-identical to a fleet without the memory system.
 //!
+//! On top of the whole-graph engine, the [`llm`] module serves
+//! *autoregressive decode*: prefill/decode-step cycle tables built once
+//! from the cached simulator ([`llm::DecodeModel`]), KV-cache DRAM
+//! demand through the same [`MemorySystem`], and an iteration-level
+//! engine ([`llm::LlmFleet`]) with static batching, Orca-style
+//! continuous batching, and block-boundary preemption with
+//! checkpoint/restore — reporting TTFT/TPOT/tokens-per-second with the
+//! same exact latency identity.
+//!
 //! A [`tandem_trace::TraceSink`] threads through
 //! [`Fleet::serve_traced`], so a whole fleet run renders in Perfetto —
 //! one lane per NPU, queueing visible as the gaps between service
@@ -63,6 +72,7 @@
 
 mod engine;
 mod events;
+pub mod llm;
 mod memory;
 mod policy;
 mod report;
@@ -75,7 +85,9 @@ pub use memory::{Allocation, BandwidthDemand, MemorySystem};
 pub use policy::{
     BatchCoalesce, Dispatch, Fifo, FleetView, ModelAffinity, Policy, SchedulerPolicy, ShortestJob,
 };
-pub use report::{FleetReport, LatencyStats, ModelStats, NpuUsage, Rejection, RequestRecord};
+pub use report::{
+    FleetReport, LatencyStats, LlmRecord, LlmStats, ModelStats, NpuUsage, Rejection, RequestRecord,
+};
 pub use stats::{nearest_rank, LatencyAccumulator, LatencySketch, RollupWindow, SUB_BITS};
 pub use sweep::{render_serve_json, serve_json, sweep, ServeScenario, SweepSpec};
 pub use workload::{

@@ -165,6 +165,53 @@ impl NpuUsage {
     }
 }
 
+/// Per-request LLM serving detail, kept (like [`RequestRecord`]) only
+/// when [`crate::FleetConfig::retain_records`] is on. Indexed by the
+/// same ids as [`FleetReport::records`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlmRecord {
+    /// Request id (issue order).
+    pub id: u64,
+    /// Time-to-first-token: first generated token minus arrival.
+    pub ttft_ns: u64,
+    /// Output tokens generated (always the request's full budget —
+    /// preemption checkpoints, it never discards decoded tokens).
+    pub tokens: u32,
+    /// How many times the request was preempted (and later resumed).
+    pub preemptions: u32,
+    /// Whether the request was latency-critical class.
+    pub latency_class: bool,
+}
+
+/// Aggregate LLM-serving accounting, present on a [`FleetReport`] only
+/// when the run came from the [`crate::llm`] engine — classic
+/// whole-graph serving reports carry `None` and serialize byte-identical
+/// to reports rendered before the LLM subsystem existed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LlmStats {
+    /// Time-to-first-token distribution over completed requests.
+    pub ttft: LatencyStats,
+    /// Time-per-output-token distribution (`(completion − first token) /
+    /// (tokens − 1)`) over completed requests with ≥ 2 output tokens.
+    pub tpot: LatencyStats,
+    /// Total output tokens generated.
+    pub tokens_out: u64,
+    /// Serving iterations executed across the fleet (each runs the
+    /// joiners' prefills plus one decode step for the running members).
+    pub iterations: u64,
+    /// Prompt prefills performed (one per admitted request).
+    pub prefills: u64,
+    /// Block-boundary preemptions (checkpointed to persisted KV pages).
+    pub preemptions: u64,
+    /// Checkpoint/restore resumes (each charged a KV re-warm cost).
+    pub resumes: u64,
+    /// Largest batch membership any iteration reached.
+    pub max_batch_seen: u64,
+    /// Per-request LLM detail, ascending id; empty unless records are
+    /// retained.
+    pub per_request: Vec<LlmRecord>,
+}
+
 /// Per-model aggregate over the completed requests.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelStats {
@@ -224,6 +271,10 @@ pub struct FleetReport {
     pub per_model: Vec<ModelStats>,
     /// Every completed request, ascending id.
     pub records: Vec<RequestRecord>,
+    /// LLM serving accounting (TTFT, per-token latency, token
+    /// throughput, preemption counters). `None` for classic whole-graph
+    /// serving runs, which keeps their JSON byte-identical.
+    pub llm: Option<LlmStats>,
     /// Host-side cache statistics, merged across the fleet's distinct
     /// cache sets with [`ExecStats::merge`] over per-window deltas (see
     /// that method's double-counting note). Not serialized: `wall_s` is
@@ -238,6 +289,15 @@ impl FleetReport {
             0.0
         } else {
             self.completed as f64 * 1e9 / self.makespan_ns as f64
+        }
+    }
+
+    /// Generated output tokens per virtual second (zero for classic
+    /// whole-graph serving runs, which carry no LLM accounting).
+    pub fn tokens_per_s(&self) -> f64 {
+        match (&self.llm, self.makespan_ns) {
+            (Some(l), ns) if ns > 0 => l.tokens_out as f64 * 1e9 / ns as f64,
+            _ => 0.0,
         }
     }
 
@@ -372,6 +432,42 @@ impl FleetReport {
             }
             out.push(']');
         }
+        // LLM fields appear only for runs of the LLM engine, so classic
+        // serving reports serialize byte-identically to reports rendered
+        // before the subsystem existed.
+        if let Some(l) = &self.llm {
+            let _ = write!(
+                out,
+                ", \"llm\": {{\"ttft_ms\": {{\"mean\": {}, \"p50\": {}, \"p95\": {}, \
+                 \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+                ms(l.ttft.mean_ns),
+                ms(l.ttft.p50_ns),
+                ms(l.ttft.p95_ns),
+                ms(l.ttft.p99_ns),
+                ms(l.ttft.p999_ns),
+                ms(l.ttft.max_ns),
+            );
+            let _ = write!(
+                out,
+                ", \"tpot_ms\": {{\"mean\": {}, \"p50\": {}, \"p99\": {}}}",
+                ms(l.tpot.mean_ns),
+                ms(l.tpot.p50_ns),
+                ms(l.tpot.p99_ns),
+            );
+            let _ = write!(
+                out,
+                ", \"tokens_out\": {}, \"tokens_per_s\": {:.1}, \"iterations\": {}, \
+                 \"prefills\": {}, \"preemptions\": {}, \"resumes\": {}, \
+                 \"max_batch_seen\": {}}}",
+                l.tokens_out,
+                self.tokens_per_s(),
+                l.iterations,
+                l.prefills,
+                l.preemptions,
+                l.resumes,
+                l.max_batch_seen,
+            );
+        }
         out.push('}');
         out
     }
@@ -440,6 +536,7 @@ mod tests {
                 latency: LatencyStats::from_sorted(&[1_000_000]),
             }],
             records: Vec::new(),
+            llm: None,
             stats: ExecStats::default(),
         };
         let a = r.to_json();
@@ -483,5 +580,27 @@ mod tests {
         assert!(c.contains("\"rollup_window_ms\": 1.0000"));
         assert!(c.contains("\"throughput_rps\": 4000.000"));
         assert!(c.contains("\"utilization\": 0.2500"));
+        // LLM fields likewise appear only for LLM-engine runs.
+        assert!(!a.contains("llm"));
+        assert!(!a.contains("ttft"));
+        let mut llm = r.clone();
+        llm.llm = Some(LlmStats {
+            ttft: LatencyStats::from_sorted(&[1_000_000]),
+            tpot: LatencyStats::from_sorted(&[100_000]),
+            tokens_out: 200,
+            iterations: 40,
+            prefills: 9,
+            preemptions: 2,
+            resumes: 2,
+            max_batch_seen: 4,
+            per_request: Vec::new(),
+        });
+        let d = llm.to_json();
+        assert!(d.contains("\"ttft_ms\": {\"mean\": 1.0000"));
+        assert!(d.contains("\"tpot_ms\": {\"mean\": 0.1000"));
+        // 200 tokens over a 2 ms makespan = 100k tokens/s.
+        assert!(d.contains("\"tokens_per_s\": 100000.0"));
+        assert!(d.contains("\"preemptions\": 2"));
+        assert!(d.contains("\"max_batch_seen\": 4"));
     }
 }

@@ -138,8 +138,8 @@ pub fn render_serve_json(sections: &[(String, Vec<FleetReport>)]) -> String {
 
 /// Claim-counter fan-out: workers grab the next unclaimed cell index,
 /// results land in per-index slots, so output order never depends on
-/// scheduling.
-fn run_cells<F>(n: usize, jobs: usize, run: F) -> Vec<FleetReport>
+/// scheduling. Shared with the LLM sweep ([`crate::llm`]).
+pub(crate) fn run_cells<F>(n: usize, jobs: usize, run: F) -> Vec<FleetReport>
 where
     F: Fn(usize) -> FleetReport + Sync,
 {

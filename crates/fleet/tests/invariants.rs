@@ -16,12 +16,20 @@
 //! 5. `to_json` is byte-stable — serving the same spec twice yields the
 //!    identical report.
 //!
+//! A second harness covers the LLM decode engine across its three
+//! batching modes: the token ledger balances exactly (preempted
+//! requests never lose decoded tokens), no token precedes its request's
+//! TTFT, and batch membership is conserved at every step boundary (the
+//! engine asserts it per iteration in debug builds, which is how these
+//! tests compile).
+//!
 //! `FLEET_PROP_CASES` overrides the case count (CI keeps the suite under
 //! ~30 s; crank it up locally for deeper soak runs). Cases use a
 //! catalog of tiny micro graphs so each simulation costs microseconds,
 //! and all fleets draw members from one warm [`Npu::fleet`] pool so the
 //! cycle model runs once per (config, graph), not once per case.
 
+use tandem_fleet::llm::{DecodeModel, LlmConfig, LlmFleet, LlmMode, LlmModelSpec, LlmWorkloadSpec};
 use tandem_fleet::{ArrivalProcess, Catalog, Fleet, FleetConfig, Policy, SplitMix64, WorkloadSpec};
 use tandem_model::{Graph, GraphBuilder, Padding};
 use tandem_npu::{Npu, NpuConfig};
@@ -157,6 +165,146 @@ fn every_policy_upholds_the_serving_invariants_across_random_scenarios() {
 
             // 5. Byte-stable JSON across a second, independent run.
             let again = fleet.serve(&catalog, &spec, policy);
+            assert_eq!(
+                report.to_json(),
+                again.to_json(),
+                "{ctx}: to_json must be byte-stable across runs"
+            );
+        }
+    }
+}
+
+/// Tiny decode "model" for the LLM harness: a projection plus a
+/// context-sized contraction, so per-step cost grows with the KV cache.
+fn llm_prefill(seq: usize) -> Graph {
+    let mut b = GraphBuilder::new("inv-prefill", 2024);
+    let x = b.input("x", [seq, 16]);
+    let w = b.weight([16, 16]);
+    let h = b.matmul(x, w);
+    let s = b.softmax(h, -1);
+    b.output(s);
+    b.finish()
+}
+
+fn llm_step(ctx: usize) -> Graph {
+    let mut b = GraphBuilder::new("inv-step", 2024);
+    let x = b.input("x", [1, 16]);
+    let kv = b.weight([ctx, 16]);
+    let kt = b.transpose(kv, &[1, 0]);
+    let scores = b.matmul(x, kt);
+    let p = b.softmax(scores, -1);
+    let o = b.matmul(p, kv);
+    b.output(o);
+    b.finish()
+}
+
+/// Draws one random-but-seeded LLM serving scenario. Block/context
+/// geometry stays fixed so every case replays one shared
+/// [`DecodeModel`] table.
+fn draw_llm(rng: &mut SplitMix64) -> (LlmConfig, LlmWorkloadSpec) {
+    let n = 1 + (rng.next_u64() as usize % MAX_FLEET);
+    let mut fleet = FleetConfig::homogeneous(NpuConfig::paper(), n);
+    fleet.max_batch = 1 + (rng.next_u64() as usize % 4);
+    fleet.batch_window_ns = rng.next_u64() % 50_000;
+    fleet.retain_records = !(rng.next_u64()).is_multiple_of(4);
+    fleet.hbm_gbps = match rng.next_u64() % 3 {
+        0 => Some(0.05 + rng.next_f64() * 4.0),
+        _ => None,
+    };
+    let mut cfg = LlmConfig::new(fleet, LlmMode::Continuous);
+    cfg.rewarm_ns_per_block = rng.next_u64() % 20_000;
+    let wl = LlmWorkloadSpec {
+        rate_rps: 20_000.0 + rng.next_f64() * 400_000.0,
+        requests: 8 + (rng.next_u64() as usize % 32),
+        seed: rng.next_u64(),
+        prompt_tokens: (
+            1 + (rng.next_u64() as usize % 4),
+            4 + (rng.next_u64() as usize % 12),
+        ),
+        output_tokens: (1, 1 + (rng.next_u64() as usize % 15)),
+        latency_fraction: rng.next_f64(),
+    };
+    (cfg, wl)
+}
+
+#[test]
+fn every_llm_mode_upholds_the_decode_serving_invariants() {
+    let spec = LlmModelSpec {
+        name: "inv-micro".to_string(),
+        prefill: llm_prefill,
+        decode_step: llm_step,
+        block_tokens: 4,
+        max_context: 32,
+    };
+    let pool = Npu::fleet(&vec![NpuConfig::paper(); MAX_FLEET]);
+    let tables = DecodeModel::build(&spec, &pool);
+    let mut rng = SplitMix64::new(0x11a_5eed_f1ee);
+    // LLM cells simulate many iterations per request, so run a slice of
+    // the whole-graph case budget — still ~100 mode-crossed scenarios by
+    // default. Batch-membership conservation at every step boundary is
+    // asserted inside the engine (debug builds), so each serve below
+    // re-proves it along the way.
+    for case in 0..case_count().div_ceil(6) {
+        let (base_cfg, wl) = draw_llm(&mut rng);
+        let requests = wl.generate();
+        let offered_tokens: u64 = requests.iter().map(|r| r.output_tokens as u64).sum();
+        for mode in LlmMode::ALL {
+            let mut cfg = base_cfg.clone();
+            cfg.mode = mode;
+            let engine = LlmFleet::new(cfg.clone(), &tables);
+            let report = engine.serve(&requests);
+            let ctx = format!("case {case} ({mode:?}, cfg {cfg:?}, wl {wl:?})");
+            let l = report.llm.as_ref().expect("LLM reports carry llm stats");
+
+            // 1. Conservation: every request completes, and preempted
+            //    requests never lose decoded tokens — the token ledger
+            //    balances exactly against the offered budgets.
+            assert_eq!(report.completed, requests.len() as u64, "{ctx}");
+            assert_eq!(report.dropped + report.timed_out, 0, "{ctx}");
+            assert_eq!(
+                l.tokens_out, offered_tokens,
+                "{ctx}: token ledger must balance"
+            );
+            assert_eq!(l.preemptions, l.resumes, "{ctx}: every checkpoint restores");
+            if mode != LlmMode::Preemptive {
+                assert_eq!(l.preemptions, 0, "{ctx}: only preemptive mode preempts");
+            }
+            assert!(l.max_batch_seen as usize <= cfg.fleet.max_batch, "{ctx}");
+
+            // 2. Exact decomposition and TTFT ordering: no token is
+            //    emitted before the request's first-token timestamp, and
+            //    the first token never lands after completion.
+            for (r, lr) in report.records.iter().zip(&l.per_request) {
+                assert_eq!(r.id, lr.id, "{ctx}");
+                assert_eq!(
+                    r.latency_ns(),
+                    r.queue_ns + r.warmup_ns + r.service_ns + r.mem_stall_ns,
+                    "{ctx}: request {} latency must decompose exactly",
+                    r.id
+                );
+                assert!(lr.ttft_ns > 0, "{ctx}: TTFT strictly follows arrival");
+                assert!(
+                    lr.ttft_ns <= r.latency_ns(),
+                    "{ctx}: request {} first token after completion",
+                    r.id
+                );
+                assert_eq!(
+                    lr.tokens as usize, requests[r.id as usize].output_tokens,
+                    "{ctx}: request {} lost decoded tokens",
+                    r.id
+                );
+            }
+
+            // 3. Busy time fits the makespan.
+            for (i, u) in report.per_npu.iter().enumerate() {
+                assert!(
+                    u.warmup_ns + u.service_ns + u.mem_stall_ns <= report.makespan_ns,
+                    "{ctx}: NPU {i} busy longer than the makespan"
+                );
+            }
+
+            // 4. Byte-stable JSON across a second, independent run.
+            let again = engine.serve(&requests);
             assert_eq!(
                 report.to_json(),
                 again.to_json(),

@@ -52,6 +52,89 @@ fn decoder_layer(b: &mut GraphBuilder, x: TensorId, seq: usize, causal: TensorId
     b.add(ff2, res1)
 }
 
+/// One decoder layer of the single-token decode step: the new token's
+/// query attends over `ctx` cached keys/values plus itself. The KV cache
+/// pages are modeled as resident weight tensors (`[1, heads, ctx, d]`
+/// per layer for K and V), so the step's DRAM traffic — and with it the
+/// serving layer's bandwidth demand — grows with the context length.
+fn decode_step_layer(b: &mut GraphBuilder, x: TensorId, ctx: usize) -> TensorId {
+    // --- attention (pre-LN), query length 1 ---
+    let ln1 = b.layer_norm(x);
+    let qkv = linear_bias(b, ln1, 3 * HIDDEN);
+    let parts = b.split(qkv, 3, -1);
+    let qh = split_heads(b, parts[0], 1);
+    let kh = split_heads(b, parts[1], 1);
+    let vh = split_heads(b, parts[2], 1);
+    // KV-cache pages streamed from DRAM and extended by the new token.
+    let k_cache = b.weight([1, HEADS, ctx, HIDDEN / HEADS]);
+    let v_cache = b.weight([1, HEADS, ctx, HIDDEN / HEADS]);
+    let k_all = b.concat(&[k_cache, kh], 2);
+    let v_all = b.concat(&[v_cache, vh], 2);
+    let kt = b.transpose(k_all, &[0, 1, 3, 2]);
+    let scores = b.matmul(qh, kt);
+    let scaled = b.div_const(scores);
+    // No causal mask: the newest token attends to the whole context.
+    let probs = b.softmax(scaled, -1);
+    let attn = b.matmul(probs, v_all);
+    let merged_t = b.transpose(attn, &[0, 2, 1, 3]);
+    let merged = b.reshape(merged_t, [1, 1, HIDDEN]);
+    let attn_out = linear_bias(b, merged, HIDDEN);
+    let res1 = b.add(attn_out, x);
+
+    // --- MLP (pre-LN) ---
+    let ln2 = b.layer_norm(res1);
+    let ff1 = linear_bias(b, ln2, FFN);
+    let gelu = b.gelu_tanh(ff1);
+    let ff2 = linear_bias(b, gelu, HIDDEN);
+    b.add(ff2, res1)
+}
+
+/// The prompt-processing (prefill) phase of autoregressive GPT-2
+/// serving: identical to the full forward pass at sequence length `seq`
+/// — every prompt token is embedded, attended causally, and the final
+/// logits produce the first generated token. An alias of [`gpt2`] so
+/// prefill cost estimates share the cycle-model cache with whole-graph
+/// runs at the same length.
+pub fn gpt2_prefill(seq: usize) -> Graph {
+    gpt2(seq)
+}
+
+/// One autoregressive decode step of GPT-2 124M: a single new token
+/// (query length 1) attending over `ctx` cached context tokens. The KV
+/// cache is modeled as resident weights, so per-step cycle cost *and*
+/// DRAM byte footprint grow with `ctx` — the serving layer samples this
+/// graph at block-boundary context lengths to build its per-step cost
+/// tables. Requires `1 ≤ ctx < 1024` (the model's position limit).
+pub fn gpt2_decode_step(ctx: usize) -> Graph {
+    assert!(
+        (1..MAX_POS).contains(&ctx),
+        "decode-step context must be in 1..{MAX_POS}, got {ctx}"
+    );
+    let mut b = GraphBuilder::new("gpt2-decode", 2019);
+    let ids = b.input("input_ids", [1]);
+
+    // --- embeddings for the one new token ---
+    let wte = b.weight([VOCAB, HIDDEN]);
+    let wpe = b.weight([MAX_POS, HIDDEN]);
+    let tok = b.gather(wte, ids);
+    let tok3 = b.reshape(tok, [1, 1, HIDDEN]);
+    let pos_ids = b.weight([1]);
+    let pos = b.gather(wpe, pos_ids);
+    let pos3 = b.reshape(pos, [1, 1, HIDDEN]);
+    let mut h = b.add(tok3, pos3);
+
+    for _ in 0..LAYERS {
+        h = decode_step_layer(&mut b, h, ctx);
+    }
+
+    // --- final LN + tied LM head ---
+    let ln_f = b.layer_norm(h);
+    let lm_w = b.weight([HIDDEN, VOCAB]);
+    let logits = b.matmul(ln_f, lm_w);
+    b.output(logits);
+    b.finish()
+}
+
 /// Builds GPT-2 124M (12 layers, hidden 768, 12 heads) at the given
 /// sequence length (batch 1), producing next-token logits.
 pub fn gpt2(seq: usize) -> Graph {
@@ -87,6 +170,35 @@ pub fn gpt2(seq: usize) -> Graph {
 mod tests {
     use super::*;
     use crate::op::OpKind;
+
+    #[test]
+    fn decode_step_structure_and_kv_growth() {
+        let g = gpt2_decode_step(64);
+        g.validate().unwrap_or_else(|e| panic!("{e}"));
+        let s = g.stats();
+        // Same projection/attention matmul count as the full pass, but at
+        // query length 1.
+        assert_eq!(s.kind_count(OpKind::MatMul), LAYERS * 6 + 1);
+        // Two KV-cache concats per layer, no causal mask.
+        assert_eq!(s.kind_count(OpKind::Concat), LAYERS * 2);
+        assert_eq!(s.kind_count(OpKind::Where), 0);
+        assert_eq!(s.kind_count(OpKind::Softmax), LAYERS);
+        // A decode step is far cheaper than prefill at the same length…
+        let step_macs = s.total_macs();
+        let prefill_macs = gpt2_prefill(64).stats().total_macs();
+        assert!(step_macs * 8 < prefill_macs);
+        // …and its cost grows with the cached context.
+        let long = gpt2_decode_step(512).stats().total_macs();
+        assert!(long > step_macs);
+    }
+
+    #[test]
+    fn prefill_is_the_full_forward_pass() {
+        let a = gpt2_prefill(32);
+        let b = gpt2(32);
+        assert_eq!(a.stats().total_macs(), b.stats().total_macs());
+        assert_eq!(a.nodes().len(), b.nodes().len());
+    }
 
     #[test]
     fn structure() {

@@ -15,7 +15,7 @@ mod yolov3;
 
 pub use bert::bert_base;
 pub use efficientnet::efficientnet_b0;
-pub use gpt2::gpt2;
+pub use gpt2::{gpt2, gpt2_decode_step, gpt2_prefill};
 pub use llama::llama_tiny;
 pub use mobilenetv2::mobilenetv2;
 pub use resnet50::resnet50;

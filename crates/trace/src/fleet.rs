@@ -99,6 +99,79 @@ pub fn hbm_throttle(sink: &mut dyn TraceSink, at_ns: u64, npus: u64) {
     }
 }
 
+/// One LLM serving iteration on NPU `npu`: `batch` members total, of
+/// which `prefills` paid their prompt pass this iteration and `decodes`
+/// advanced one token; `ctx` is the longest member context. Rendered on
+/// the NPU's lane so batch membership over time reads directly off the
+/// spans — category `"prefill"` when the iteration only admitted new
+/// members, `"decode"` otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn llm_step_span(
+    sink: &mut dyn TraceSink,
+    npu: u16,
+    model: &str,
+    start_ns: u64,
+    dur_ns: u64,
+    batch: u64,
+    prefills: u64,
+    decodes: u64,
+    ctx: u64,
+) {
+    if sink.enabled() {
+        let cat = if decodes == 0 { "prefill" } else { "decode" };
+        sink.span(
+            Track::Lane(npu),
+            model,
+            cat,
+            start_ns,
+            dur_ns,
+            &[
+                ("batch", batch),
+                ("prefills", prefills),
+                ("decodes", decodes),
+                ("ctx", ctx),
+            ],
+        );
+    }
+}
+
+/// A block-boundary preemption marker on NPU `npu`'s lane: request
+/// `req` was checkpointed (its KV pages persist) with `tokens` tokens
+/// already decoded, to make room for a latency-critical request.
+pub fn preempt_marker(sink: &mut dyn TraceSink, npu: u16, at_ns: u64, req: u64, tokens: u64) {
+    if sink.enabled() {
+        sink.instant(
+            Track::Lane(npu),
+            "preempt",
+            "llm",
+            at_ns,
+            &[("req", req), ("tokens", tokens)],
+        );
+    }
+}
+
+/// A checkpoint/restore resume marker on NPU `npu`'s lane: request
+/// `req` rejoined the batch, re-warming `blocks` persisted KV blocks.
+pub fn resume_marker(sink: &mut dyn TraceSink, npu: u16, at_ns: u64, req: u64, blocks: u64) {
+    if sink.enabled() {
+        sink.instant(
+            Track::Lane(npu),
+            "resume",
+            "llm",
+            at_ns,
+            &[("req", req), ("blocks", blocks)],
+        );
+    }
+}
+
+/// Cumulative generated-token counter across the fleet (the slope is
+/// the tokens/sec the run is achieving at that instant).
+pub fn tokens_out(sink: &mut dyn TraceSink, at_ns: u64, total: u64) {
+    if sink.enabled() {
+        sink.counter("tokens out", at_ns, &[("tokens", total)]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +207,23 @@ mod tests {
         assert!(json.contains("\"granted\":3200"));
         assert!(json.contains("\"name\":\"shared HBM\""));
         assert!(json.contains("\"name\":\"throttle\""));
+    }
+
+    #[test]
+    fn llm_helpers_emit_step_spans_and_markers() {
+        let mut sink = ChromeTraceSink::new();
+        llm_step_span(&mut sink, 1, "GPT-2", 0, 100, 4, 4, 0, 32);
+        llm_step_span(&mut sink, 1, "GPT-2", 100, 50, 4, 1, 3, 48);
+        preempt_marker(&mut sink, 1, 150, 7, 16);
+        resume_marker(&mut sink, 1, 300, 7, 3);
+        tokens_out(&mut sink, 150, 12);
+        let json = sink.to_json();
+        assert!(json.contains("\"cat\":\"prefill\""));
+        assert!(json.contains("\"cat\":\"decode\""));
+        assert!(json.contains("\"batch\":4"));
+        assert!(json.contains("\"name\":\"preempt\""));
+        assert!(json.contains("\"name\":\"resume\""));
+        assert!(json.contains("tokens out"));
     }
 
     #[test]

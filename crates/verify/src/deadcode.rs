@@ -12,8 +12,10 @@
 //! would close over the gaps of a strided store and mis-flag the rows
 //! in between). Soundness of the *lint* direction: a store is only
 //! called dead when a later store provably covers the row with no
-//! possible intervening read — reads are applied before writes within a
-//! nest, a stream too wide to materialize ([`RowSet::MAX_WINDOW`])
+//! possible intervening read — rows a nest reads are cleared both
+//! before its writes (an earlier nest's store it consumes) and after
+//! them (a same-nest store consumed by the same or a later iteration),
+//! a stream too wide to materialize ([`RowSet::MAX_WINDOW`])
 //! degrades to a namespace barrier, and `TILE_LD_ST` / `PERMUTE START`
 //! (whose data effects this pass does not model) clear all pending
 //! state. Rows still pending at the end of the program are *live-out* —
@@ -148,7 +150,13 @@ impl Visitor for DeadTrafficVisitor<'_> {
         // Phase 1 — reads. Applied before the nest's writes: any row a
         // source stream can touch counts as consumed, which is the
         // conservative direction for a lint (never flags a store some
-        // iteration interleaving might still read).
+        // iteration interleaving might still read). The rows are also
+        // remembered so phase 3 can re-clear them *after* the nest's
+        // writes: a store in this body whose row the body also reads is
+        // consumed by the same iteration (read after the store) or the
+        // next one (read before it) and must never be left pending.
+        let mut read_rows: Vec<(usize, usize)> = Vec::new();
+        let mut read_barrier = [false; 3];
         for instr in body {
             let Some((src1, src2)) = instr.sources() else {
                 continue;
@@ -166,17 +174,20 @@ impl Visitor for DeadTrafficVisitor<'_> {
                 match stream.and_then(|s| s.row_set(levels)) {
                     Some(rows) => {
                         for row in rows.rows() {
-                            if let Some(cell) = usize::try_from(row)
-                                .ok()
-                                .and_then(|r| self.pending[idx].get_mut(r))
-                            {
-                                *cell = 0;
+                            if let Ok(r) = usize::try_from(row) {
+                                if let Some(cell) = self.pending[idx].get_mut(r) {
+                                    *cell = 0;
+                                    read_rows.push((idx, r));
+                                }
                             }
                         }
                     }
                     // Unknown footprint: could read anything in the
                     // namespace.
-                    None => self.barrier_ns(src.namespace()),
+                    None => {
+                        self.barrier_ns(src.namespace());
+                        read_barrier[idx] = true;
+                    }
                 }
             }
             // Read-modify-write functions consume their destination too.
@@ -187,15 +198,18 @@ impl Visitor for DeadTrafficVisitor<'_> {
                         match stream.and_then(|s| s.row_set(levels)) {
                             Some(rows) => {
                                 for row in rows.rows() {
-                                    if let Some(cell) = usize::try_from(row)
-                                        .ok()
-                                        .and_then(|r| self.pending[idx].get_mut(r))
-                                    {
-                                        *cell = 0;
+                                    if let Ok(r) = usize::try_from(row) {
+                                        if let Some(cell) = self.pending[idx].get_mut(r) {
+                                            *cell = 0;
+                                            read_rows.push((idx, r));
+                                        }
                                     }
                                 }
                             }
-                            None => self.barrier_ns(dst.namespace()),
+                            None => {
+                                self.barrier_ns(dst.namespace());
+                                read_barrier[idx] = true;
+                            }
                         }
                     }
                 }
@@ -237,6 +251,18 @@ impl Visitor for DeadTrafficVisitor<'_> {
                 // Unknown footprint: this store may cover anything, but
                 // nothing is *provably* dead — drop all pending state.
                 None => self.barrier_ns(dst.namespace()),
+            }
+        }
+        // Phase 3 — rows the body reads never stay pending: a same-nest
+        // store to such a row is (or may be, across iterations) consumed
+        // by that read. Store-over-store kills inside the nest were
+        // already charged in phase 2.
+        for &(idx, row) in &read_rows {
+            self.pending[idx][row] = 0;
+        }
+        for (idx, &b) in read_barrier.iter().enumerate() {
+            if b {
+                self.pending[idx].fill(0);
             }
         }
     }

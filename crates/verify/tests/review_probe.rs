@@ -40,11 +40,11 @@ fn intra_nest_producer_consumer_store_is_not_dead() {
         loop_id: 0,
         count: 2,
     }); // 5
-    // body: A stores row 5, B reads row 5 into row 9 — each iteration
-    // B consumes the value A just wrote, so A is NOT dead.
+        // body: A stores row 5, B reads row 5 into row 9 — each iteration
+        // B consumes the value A just wrote, so A is NOT dead.
     p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0))); // 6: store row 5
     p.push(Instruction::alu(AluFunc::Add, i1(1), i1(0), imm(0))); // 7: read row 5
-    // later overwrite of row 5
+                                                                  // later overwrite of row 5
     p.push(Instruction::alu(AluFunc::Add, i1(0), imm(0), imm(0))); // 8
     let r = Verifier::new(VerifyConfig::tiny()).verify(&p);
     let dead: Vec<_> = r
