@@ -56,4 +56,14 @@ cargo run --release -q --bin tandem_serve -- --scenario llm --smoke --out SERVE_
 echo "==> bench-serve (fleet engine throughput, smoke + regression floor)"
 cargo run --release -q --bin bench_serve -- --smoke
 
+# Schedule/tiling autotuner: the CI-sized search per zoo model, scored by
+# the cached simulator and gated by widened tandem-verify. The search is
+# byte-deterministic, so the committed smoke_floor_cycles_* values in
+# BENCH_TUNE.json are exact: the step fails if any model's smoke search
+# lands above its floor (a schedule lever or the search got worse) or if
+# the searches blow the committed wall budget. The smoke output goes to
+# artifacts/ so the committed full-mode baseline stays the floor source.
+echo "==> tandem-tune (schedule autotuner, smoke + regression floors)"
+cargo run --release -q --bin tandem_tune -- --smoke --out artifacts/BENCH_TUNE_SMOKE.json
+
 echo "CI OK"

@@ -28,6 +28,7 @@ pub mod passes;
 mod schedule;
 mod signature;
 mod tiling;
+mod tune_space;
 
 pub use blocks::{BlockKind, ExecutionBlock, Partitioner};
 pub use codegen::{BuilderMark, Fixed, NestLevel, TileProgramBuilder, View};
@@ -37,3 +38,6 @@ pub use schedule::{
 };
 pub use signature::{CompileCache, NodeSignature};
 pub use tiling::{TilePlan, Tiler};
+pub use tune_space::{
+    enumerate_sites, prefetch_key, stable_hash, Schedule, StableHasher, TileChoice, TuneSite,
+};

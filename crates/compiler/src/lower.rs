@@ -12,6 +12,7 @@
 
 use crate::codegen::{Fixed, NestLevel, TileProgramBuilder, View};
 use crate::kernels;
+use crate::tune_space::{Schedule, TileChoice};
 use std::error::Error;
 use std::fmt;
 use tandem_isa::{
@@ -111,24 +112,55 @@ impl CompiledOp {
     }
 }
 
-/// The operator-template library, parameterized by the machine shape.
+/// The operator-template library, parameterized by the machine shape and
+/// (optionally) a tuner [`Schedule`] overriding per-site tile decisions.
 #[derive(Debug, Clone)]
 pub struct OpLowering {
     lanes: usize,
     interim_rows: usize,
+    schedule: Schedule,
     /// The activation fixed-point format.
     pub fixed: Fixed,
 }
 
 impl OpLowering {
     /// Creates the template library for a machine with `lanes` SIMD lanes
-    /// and `interim_rows` rows per Interim BUF.
+    /// and `interim_rows` rows per Interim BUF, under the empty schedule
+    /// (every tile decision falls to the hand-rolled heuristics).
     pub fn new(lanes: usize, interim_rows: usize) -> Self {
         OpLowering {
             lanes,
             interim_rows,
+            schedule: Schedule::empty(),
             fixed: Fixed::DEFAULT,
         }
+    }
+
+    /// This lowering with `schedule` pinning per-site tile decisions —
+    /// the compiler side of the candidate materializer. Sites the
+    /// schedule does not name keep their heuristics; illegal choices
+    /// (ones outside the site's enumerated candidate set) are ignored in
+    /// favor of the baseline, so a schedule can never push a template
+    /// past its `fits()` predicate.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The active schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The schedule choice pinned at `node`'s tuning site, if any.
+    pub fn choice_for(&self, graph: &Graph, node: &Node) -> Option<TileChoice> {
+        if self.schedule.is_empty() {
+            return None;
+        }
+        let key =
+            crate::NodeSignature::of(graph, node, self.lanes, self.interim_rows, self.fixed.q)
+                .site_key();
+        self.schedule.get(key)
     }
 
     fn builder(&self) -> TileProgramBuilder {
@@ -465,8 +497,8 @@ impl OpLowering {
         Ok(())
     }
 
-    /// Builds a complete single-nest element-wise tile program over `rows`
-    /// rows: `y = kind(x [, x2])`.
+    /// [`OpLowering::elementwise_tile_nested`] with the flat (unsplit)
+    /// row loop — the hand-rolled compiler's shape.
     ///
     /// # Errors
     ///
@@ -482,6 +514,30 @@ impl OpLowering {
         x2: Option<View>,
         y: View,
     ) -> Result<Program, CompileError> {
+        self.elementwise_tile_nested(kind, alpha, clip, rows, 1, x, x2, y)
+    }
+
+    /// Builds a complete element-wise tile program over `rows` rows:
+    /// `y = kind(x [, x2])`. With `split > 1` (which must divide `rows`)
+    /// the flat row loop is emitted as a `rows/split × split` two-level
+    /// code-repeater nest walking identical addresses — the nesting knob
+    /// the autotuner explores.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`] from resource allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn elementwise_tile_nested(
+        &self,
+        kind: OpKind,
+        alpha: f64,
+        clip: (f64, f64),
+        rows: u16,
+        split: u16,
+        x: View,
+        x2: Option<View>,
+        y: View,
+    ) -> Result<Program, CompileError> {
         let mut b = self.builder();
         let xi = b.iter_at(x, 1)?;
         let x2i = match x2 {
@@ -491,15 +547,41 @@ impl OpLowering {
         let yi = b.iter_at(y, 1)?;
         let mut body = Vec::new();
         self.emit_elementwise_body(&mut b, kind, alpha, clip, rows, xi, x2i, yi, &mut body)?;
-        b.nest(
-            &[NestLevel {
-                count: rows,
-                dst: Some(yi),
-                src1: Some(yi),
-                src2: Some(yi),
-            }],
-            &body,
-        )?;
+        let split = split.max(1);
+        if split > 1 && rows.is_multiple_of(split) && rows > split {
+            // Outer level advances whole sub-tiles: one shared iterator
+            // with stride `split` drives every operand slot (addresses
+            // come from each operand's own base; bindings contribute the
+            // stride), the inner level reuses the flat stride-1 walk.
+            let outer = b.iter(y.ns, y.base, split as i16)?;
+            b.nest(
+                &[
+                    NestLevel {
+                        count: rows / split,
+                        dst: Some(outer),
+                        src1: Some(outer),
+                        src2: Some(outer),
+                    },
+                    NestLevel {
+                        count: split,
+                        dst: Some(yi),
+                        src1: Some(yi),
+                        src2: Some(yi),
+                    },
+                ],
+                &body,
+            )?;
+        } else {
+            b.nest(
+                &[NestLevel {
+                    count: rows,
+                    dst: Some(yi),
+                    src1: Some(yi),
+                    src2: Some(yi),
+                }],
+                &body,
+            )?;
+        }
         Ok(b.finish())
     }
 
@@ -799,11 +881,17 @@ impl OpLowering {
     /// Repeater's biggest wins to (Figure 18: depth-wise convolution, "an
     /// operation with five nested loops").
     ///
+    /// `swap_kernel_loops` iterates the kernel window column-major (`kx`
+    /// outside `ky`): the two inner levels exchange counts and bindings,
+    /// visiting the same addresses in a different order — the loop-order
+    /// knob the autotuner explores (max and sum reductions commute, so
+    /// results are bit-identical).
+    ///
     /// # Errors
     ///
     /// Any [`CompileError`] from resource allocation.
     #[allow(clippy::too_many_arguments)]
-    pub fn window_tile(
+    pub fn window_tile_ordered(
         &self,
         kind: OpKind,
         in_w: u16,
@@ -811,6 +899,7 @@ impl OpLowering {
         out_w: u16,
         kernel: u16,
         stride: u16,
+        swap_kernel_loops: bool,
         x: View,
         w: Option<View>,
         bias: Option<View>,
@@ -870,35 +959,36 @@ impl OpLowering {
                 let w_frozen = b.iter(wv.ns, wv.base, 0)?;
                 // macc y,x,w: src1 walks the input window, src2 the
                 // per-channel weight taps (frozen across output positions).
-                b.nest(
-                    &[
-                        NestLevel {
-                            count: out_h,
-                            dst: Some(y_oy),
-                            src1: Some(x_oy),
-                            src2: Some(w_frozen),
-                        },
-                        NestLevel {
-                            count: out_w,
-                            dst: Some(y_ox),
-                            src1: Some(x_ox),
-                            src2: Some(w_frozen),
-                        },
-                        NestLevel {
-                            count: kernel,
-                            dst: Some(y_frozen),
-                            src1: Some(x_ky),
-                            src2: Some(w_ky),
-                        },
-                        NestLevel {
-                            count: kernel,
-                            dst: Some(y_frozen),
-                            src1: Some(x_kx),
-                            src2: Some(w_kx),
-                        },
-                    ],
-                    &[Instruction::alu(Macc, y_oy, x_kx, w_kx)],
-                )?;
+                let mut levels = [
+                    NestLevel {
+                        count: out_h,
+                        dst: Some(y_oy),
+                        src1: Some(x_oy),
+                        src2: Some(w_frozen),
+                    },
+                    NestLevel {
+                        count: out_w,
+                        dst: Some(y_ox),
+                        src1: Some(x_ox),
+                        src2: Some(w_frozen),
+                    },
+                    NestLevel {
+                        count: kernel,
+                        dst: Some(y_frozen),
+                        src1: Some(x_ky),
+                        src2: Some(w_ky),
+                    },
+                    NestLevel {
+                        count: kernel,
+                        dst: Some(y_frozen),
+                        src1: Some(x_kx),
+                        src2: Some(w_kx),
+                    },
+                ];
+                if swap_kernel_loops {
+                    levels.swap(2, 3);
+                }
+                b.nest(&levels, &[Instruction::alu(Macc, y_oy, x_kx, w_kx)])?;
                 // rescale the Q·Q products once per output
                 b.nest(
                     &[
@@ -928,35 +1018,36 @@ impl OpLowering {
             OpKind::MaxPool => ([y_oy, y_ox, y_frozen, y_frozen], [x_oy, x_ox, x_ky, x_kx]),
             _ => ([x_oy, x_ox, x_ky, x_kx], [x_oy, x_ox, x_ky, x_kx]),
         };
-        b.nest(
-            &[
-                NestLevel {
-                    count: out_h,
-                    dst: Some(y_oy),
-                    src1: Some(s1[0]),
-                    src2: Some(s2[0]),
-                },
-                NestLevel {
-                    count: out_w,
-                    dst: Some(y_ox),
-                    src1: Some(s1[1]),
-                    src2: Some(s2[1]),
-                },
-                NestLevel {
-                    count: kernel,
-                    dst: Some(y_frozen),
-                    src1: Some(s1[2]),
-                    src2: Some(s2[2]),
-                },
-                NestLevel {
-                    count: kernel,
-                    dst: Some(y_frozen),
-                    src1: Some(s1[3]),
-                    src2: Some(s2[3]),
-                },
-            ],
-            &body,
-        )?;
+        let mut levels = [
+            NestLevel {
+                count: out_h,
+                dst: Some(y_oy),
+                src1: Some(s1[0]),
+                src2: Some(s2[0]),
+            },
+            NestLevel {
+                count: out_w,
+                dst: Some(y_ox),
+                src1: Some(s1[1]),
+                src2: Some(s2[1]),
+            },
+            NestLevel {
+                count: kernel,
+                dst: Some(y_frozen),
+                src1: Some(s1[2]),
+                src2: Some(s2[2]),
+            },
+            NestLevel {
+                count: kernel,
+                dst: Some(y_frozen),
+                src1: Some(s1[3]),
+                src2: Some(s2[3]),
+            },
+        ];
+        if swap_kernel_loops {
+            levels.swap(2, 3);
+        }
+        b.nest(&levels, &body)?;
         if kind == OpKind::AveragePool {
             let k2 = b.imm((kernel * kernel) as i32)?;
             b.nest(
@@ -978,6 +1069,31 @@ impl OpLowering {
             )?;
         }
         Ok(b.finish())
+    }
+
+    /// [`OpLowering::window_tile_ordered`] with the row-major kernel walk
+    /// — the hand-rolled compiler's loop order.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`] from resource allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn window_tile(
+        &self,
+        kind: OpKind,
+        in_w: u16,
+        out_h: u16,
+        out_w: u16,
+        kernel: u16,
+        stride: u16,
+        x: View,
+        w: Option<View>,
+        bias: Option<View>,
+        y: View,
+    ) -> Result<Program, CompileError> {
+        self.window_tile_ordered(
+            kind, in_w, out_h, out_w, kernel, stride, false, x, w, bias, y,
+        )
     }
 
     /// Transpose / layout-move tile via the Permute Engine: `extents` with

@@ -6,12 +6,13 @@
 
 use crate::blocks::{BlockKind, ExecutionBlock};
 use crate::lower::{CompileError, OpLowering};
+use crate::tune_space::Schedule;
 use tandem_isa::{CastTarget, Instruction, Program, SyncEdge, SyncKind, SyncUnit};
 use tandem_model::{Graph, OpClass};
 use tandem_verify::{Verifier, VerifyConfig, VerifyMode};
 
 /// Options controlling graph compilation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompileOptions {
     /// Run the `tandem-verify` static dataflow pass over every scheduled
     /// block and fail compilation on any error-severity finding. Defaults
@@ -23,6 +24,11 @@ pub struct CompileOptions {
     /// widening) and the O(program-size) widened summaries in release
     /// builds, where verification may gate an autotuner search loop.
     pub verify_mode: VerifyMode,
+    /// Tuner schedule overriding per-site tile decisions. The empty
+    /// schedule (the default) reproduces the hand-rolled compiler bit
+    /// for bit; `tandem-tune` materializes each search candidate by
+    /// compiling the graph under its schedule.
+    pub schedule: Schedule,
 }
 
 impl Default for CompileOptions {
@@ -34,6 +40,7 @@ impl Default for CompileOptions {
             } else {
                 VerifyMode::Widened
             },
+            schedule: Schedule::empty(),
         }
     }
 }
@@ -177,6 +184,15 @@ pub fn schedule_graph_opts(
     graph: &Graph,
     opts: &CompileOptions,
 ) -> Result<Vec<ScheduledBlock>, CompileError> {
+    // Materialize the candidate: a non-empty schedule overrides per-site
+    // tile decisions for every node lowered below.
+    let tuned;
+    let lowering = if opts.schedule.is_empty() {
+        lowering
+    } else {
+        tuned = lowering.clone().with_schedule(opts.schedule.clone());
+        &tuned
+    };
     let blocks: Vec<ScheduledBlock> = crate::blocks::Partitioner::new()
         .partition(graph)
         .iter()

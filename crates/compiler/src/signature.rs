@@ -12,7 +12,9 @@
 //! node per run.
 
 use crate::lower::{CompileError, CompiledOp, OpLowering};
+use crate::tune_space::{StableHasher, TileChoice};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tandem_model::{Graph, Node, OpAttrs, Padding};
@@ -72,6 +74,13 @@ pub struct NodeSignature {
     interim_rows: usize,
     /// Fixed-point fractional bits of the activation format.
     q: u32,
+    /// The tuner's pinned decision at this node's site, if the lowering
+    /// carries a [`crate::Schedule`] that overrides it. Part of the key —
+    /// two schedules produce different programs for the same node, so
+    /// every downstream cache (compile, sim, verify) must distinguish
+    /// them — but excluded from [`NodeSignature::site_key`], which names
+    /// the site the choice applies to.
+    choice: Option<TileChoice>,
 }
 
 impl NodeSignature {
@@ -97,18 +106,39 @@ impl NodeSignature {
             lanes,
             interim_rows,
             q,
+            choice: None,
         }
     }
 
-    /// The signature of `node` under `lowering`'s machine shape.
+    /// The signature of `node` under `lowering`'s machine shape,
+    /// including the schedule choice pinned at the node's site (if any).
     pub fn for_lowering(lowering: &OpLowering, graph: &Graph, node: &Node) -> Self {
-        Self::of(
+        let mut sig = Self::of(
             graph,
             node,
             lowering.lanes(),
             lowering.interim_rows(),
             lowering.fixed.q,
-        )
+        );
+        sig.choice = lowering.schedule().get(sig.site_key());
+        sig
+    }
+
+    /// The stable key of this node's tuning site: a platform-independent
+    /// FNV-1a hash over every field *except* the schedule choice. All
+    /// nodes that would share a compilation under the empty schedule
+    /// share one site key; a [`crate::Schedule`] maps these keys to
+    /// [`TileChoice`]s.
+    pub fn site_key(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.kind.hash(&mut h);
+        self.inputs.hash(&mut h);
+        self.outputs.hash(&mut h);
+        self.attrs.hash(&mut h);
+        h.write_usize(self.lanes);
+        h.write_usize(self.interim_rows);
+        h.write_u32(self.q);
+        h.finish()
     }
 }
 

@@ -10,7 +10,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tandem_compiler::{
-    BlockKind, CompileCache, ExecutionBlock, NodeSignature, OpLowering, Partitioner,
+    enumerate_sites, prefetch_key, stable_hash, BlockKind, CompileCache, ExecutionBlock,
+    NodeSignature, OpLowering, Partitioner, Schedule, TileChoice, TuneSite,
 };
 use tandem_core::{Dram, EnergyModel, Mode, RunReport, TandemConfig, TandemProcessor};
 use tandem_model::{Graph, Node, NodeId, TensorId};
@@ -53,6 +54,12 @@ pub struct NpuConfig {
     /// summaries in release builds. The two report identical
     /// diagnostics; they differ only in wall-time.
     pub verify_mode: VerifyMode,
+    /// Tuner schedule overriding per-site tile decisions — the
+    /// compiler's non-GEMM sites *and* the GEMM-side pipelining
+    /// granularity ([`TileChoice::GemmTile`]), which only this crate can
+    /// apply. The empty schedule (the default) reproduces the
+    /// hand-rolled heuristics bit for bit.
+    pub schedule: Schedule,
 }
 
 impl NpuConfig {
@@ -70,6 +77,7 @@ impl NpuConfig {
             } else {
                 VerifyMode::Widened
             },
+            schedule: Schedule::empty(),
         }
     }
 
@@ -79,6 +87,25 @@ impl NpuConfig {
         cfg.tandem = cfg.tandem.scaled(216.0);
         cfg.gemm = cfg.gemm.scaled(216.0);
         cfg
+    }
+
+    /// A stable digest of every report-affecting executor setting. Keys
+    /// the shared graph-level report cache, so [`Npu::sibling`]s that
+    /// differ only in schedule or verify settings never answer each
+    /// other's runs. The unit geometries enter through their headline
+    /// dimensions; full equality is the sibling contract (asserted
+    /// there).
+    fn digest(&self) -> u64 {
+        stable_hash(&(
+            self.schedule.digest(),
+            self.verify,
+            self.verify_mode,
+            self.granularity,
+            self.knobs,
+            self.static_power_w.to_bits(),
+            (self.tandem.lanes, self.tandem.interim_rows),
+            (self.gemm.rows, self.gemm.cols),
+        ))
     }
 }
 
@@ -109,8 +136,10 @@ struct SimKey {
 /// GEMM cycle model is closed-form in `(workload, tile)`.
 /// Memoization key of a whole-graph report: the graph's structural
 /// digest, hardened against (already astronomically unlikely) hash
-/// collisions by the graph's node and tensor counts.
-type GraphKey = (u64, usize, usize);
+/// collisions by the graph's node and tensor counts, plus the
+/// [`NpuConfig::digest`] of the runner — siblings with different
+/// schedules share the cache map but never a report.
+type GraphKey = (u64, usize, usize, u64);
 
 /// The cycle-and-traffic demand of one batch-1 run of a graph, as
 /// returned by [`Npu::estimate_demand`] — the serving layer's input to
@@ -153,6 +182,7 @@ struct NpuCaches {
 #[derive(Debug, Clone)]
 pub struct Npu {
     cfg: NpuConfig,
+    cfg_digest: u64,
     gemm: GemmUnit,
     lowering: OpLowering,
     caches: Arc<NpuCaches>,
@@ -163,13 +193,47 @@ impl Npu {
     /// Creates an NPU with the given configuration.
     pub fn new(cfg: NpuConfig) -> Self {
         let gemm = GemmUnit::new(cfg.gemm.clone());
-        let lowering = OpLowering::new(cfg.tandem.lanes, cfg.tandem.interim_rows);
+        let lowering = OpLowering::new(cfg.tandem.lanes, cfg.tandem.interim_rows)
+            .with_schedule(cfg.schedule.clone());
         Npu {
+            cfg_digest: cfg.digest(),
             cfg,
             gemm,
             lowering,
             caches: Arc::new(NpuCaches::default()),
             cache_enabled: true,
+        }
+    }
+
+    /// A runner over the *same silicon* with different executor settings
+    /// — schedule, verify, knobs, granularity — sharing this NPU's
+    /// caches. The autotuner scores hundreds of candidate schedules
+    /// against one graph; siblings let every candidate reuse the
+    /// compile/simulate work of `(site, choice)` decisions already paid
+    /// for by earlier candidates, while the config digest in every graph
+    /// cache key keeps their reports apart. The Tandem and GEMM unit
+    /// configurations must equal this NPU's (debug-asserted): the GEMM
+    /// report cache is keyed on `(workload, tile)` under one fixed unit
+    /// geometry.
+    pub fn sibling(&self, cfg: NpuConfig) -> Npu {
+        debug_assert_eq!(
+            self.cfg.tandem, cfg.tandem,
+            "siblings share one Tandem configuration"
+        );
+        debug_assert_eq!(
+            self.cfg.gemm, cfg.gemm,
+            "siblings share one GEMM unit configuration"
+        );
+        let gemm = GemmUnit::new(cfg.gemm.clone());
+        let lowering = OpLowering::new(cfg.tandem.lanes, cfg.tandem.interim_rows)
+            .with_schedule(cfg.schedule.clone());
+        Npu {
+            cfg_digest: cfg.digest(),
+            cfg,
+            gemm,
+            lowering,
+            caches: Arc::clone(&self.caches),
+            cache_enabled: self.cache_enabled,
         }
     }
 
@@ -220,6 +284,7 @@ impl Npu {
                 graph.content_hash(),
                 graph.nodes().len(),
                 graph.tensors().len(),
+                self.cfg_digest,
             );
             let cached = self.caches.graph.lock().unwrap().get(&key).cloned();
             match cached {
@@ -346,6 +411,9 @@ impl Npu {
         // (state is overwritten by each program's configuration section).
         let mut proc = TandemProcessor::with_mode(self.cfg.tandem.clone(), Mode::Performance);
         let mut dram = Dram::new(16);
+        // Trailing idle window of the previous block's GEMM DRAM channel:
+        // the budget a schedule-enabled weight prefetch may hide in.
+        let mut exposed = 0u64;
         for block in &blocks {
             if self.cfg.verify {
                 self.verify_block(graph, block, &mut report);
@@ -358,6 +426,7 @@ impl Npu {
                 &mut dram,
                 &mut report,
                 sink,
+                &mut exposed,
             );
         }
         let energy_model = EnergyModel::paper(self.cfg.tandem.lanes);
@@ -576,6 +645,145 @@ impl Npu {
         }
     }
 
+    /// The schedule's [`TileChoice::GemmTile`] override pinned at
+    /// `node`'s tuning site, if any — the raw m-rows before clamping to
+    /// the accumulator capacity.
+    fn gemm_tile_override(&self, graph: &Graph, node: &Node) -> Option<u64> {
+        if self.cfg.schedule.is_empty() {
+            return None;
+        }
+        let key = NodeSignature::of(
+            graph,
+            node,
+            self.cfg.tandem.lanes,
+            self.cfg.tandem.interim_rows,
+            self.lowering.fixed.q,
+        )
+        .site_key();
+        match self.cfg.schedule.get(key) {
+            Some(TileChoice::GemmTile { m_rows }) => Some(m_rows as u64),
+            _ => None,
+        }
+    }
+
+    /// `true` when the schedule turns on cross-block weight prefetch for
+    /// `node` (a [`TileChoice::Prefetch`] pinned at the node's
+    /// [`prefetch_key`] site).
+    fn prefetch_enabled(&self, graph: &Graph, node: &Node) -> bool {
+        if self.cfg.schedule.is_empty() {
+            return false;
+        }
+        let key = NodeSignature::of(
+            graph,
+            node,
+            self.cfg.tandem.lanes,
+            self.cfg.tandem.interim_rows,
+            self.lowering.fixed.q,
+        )
+        .site_key();
+        matches!(
+            self.cfg.schedule.get(prefetch_key(key)),
+            Some(TileChoice::Prefetch { on: true })
+        )
+    }
+
+    /// Enumerates every tuning site of `graph` on this NPU: the
+    /// compiler's non-GEMM sites ([`enumerate_sites`]) merged with the
+    /// GEMM-side pipelining-granularity sites only this crate can build
+    /// — their candidate m-tiles depend on the systolic geometry through
+    /// [`GemmUnit::max_tile_rows`]. Site keys and candidate lists are
+    /// schedule-independent, so the result is identical whatever
+    /// schedule this NPU currently runs under.
+    pub fn tune_sites(&self, graph: &Graph) -> Vec<TuneSite> {
+        use std::collections::BTreeSet;
+        let mut sites = enumerate_sites(&self.lowering, graph);
+        let mut index: HashMap<u64, usize> =
+            sites.iter().enumerate().map(|(i, s)| (s.key, i)).collect();
+        for node in graph.nodes() {
+            if node.kind.class() != tandem_model::OpClass::Gemm {
+                continue;
+            }
+            let key = NodeSignature::of(
+                graph,
+                node,
+                self.cfg.tandem.lanes,
+                self.cfg.tandem.interim_rows,
+                self.lowering.fixed.q,
+            )
+            .site_key();
+            if let Some(&i) = index.get(&key) {
+                sites[i].instances += 1;
+                continue;
+            }
+            let w = self.gemm_workload(graph, node);
+            // The hand-rolled executor always takes the largest tile the
+            // accumulator holds; the candidates walk down from it and add
+            // the largest *exact divisor* of M (no ragged last tile).
+            let cap = self.gemm.max_tile_rows(w.n).min(w.m.max(1));
+            let baseline = TileChoice::GemmTile { m_rows: cap as u32 };
+            let mut set = BTreeSet::from([baseline]);
+            for c in [cap / 2, cap / 4, cap / 8, largest_divisor_le(w.m, cap)] {
+                if c >= 1 {
+                    set.insert(TileChoice::GemmTile { m_rows: c as u32 });
+                }
+            }
+            if set.len() < 2 {
+                continue;
+            }
+            index.insert(key, sites.len());
+            sites.push(TuneSite {
+                key,
+                name: node.name.clone(),
+                node: node.id,
+                instances: 1,
+                baseline,
+                candidates: set.into_iter().collect(),
+            });
+        }
+        // Cross-block weight-prefetch sites: one boolean per distinct
+        // GEMM signature whose weight matrix actually appears in the
+        // first-tile fill (resident-and-tiled weights are already
+        // amortized, so prefetch would be a no-op there).
+        for node in graph.nodes() {
+            if node.kind.class() != tandem_model::OpClass::Gemm {
+                continue;
+            }
+            let key = NodeSignature::of(
+                graph,
+                node,
+                self.cfg.tandem.lanes,
+                self.cfg.tandem.interim_rows,
+                self.lowering.fixed.q,
+            )
+            .site_key();
+            let pkey = prefetch_key(key);
+            if let Some(&i) = index.get(&pkey) {
+                sites[i].instances += 1;
+                continue;
+            }
+            let w = self.gemm_workload(graph, node);
+            let cap = self.gemm.max_tile_rows(w.n).min(w.m.max(1));
+            let weight_bytes = w.k * w.n;
+            let resident = weight_bytes <= (self.gemm.config().scratchpad_bytes / 2) as u64;
+            if resident && cap < w.m {
+                continue;
+            }
+            index.insert(pkey, sites.len());
+            sites.push(TuneSite {
+                key: pkey,
+                name: format!("{}+prefetch", node.name),
+                node: node.id,
+                instances: 1,
+                baseline: TileChoice::Prefetch { on: false },
+                candidates: vec![
+                    TileChoice::Prefetch { on: false },
+                    TileChoice::Prefetch { on: true },
+                ],
+            });
+        }
+        sites
+    }
+
     /// DRAM traffic of the Tandem side for a block: activations entering
     /// from outside the block (except the GEMM output, which arrives via
     /// the Output BUF) and activations leaving it (INT32 words).
@@ -630,6 +838,7 @@ impl Npu {
         dram: &mut Dram,
         report: &mut NpuReport,
         sink: &mut dyn TraceSink,
+        exposed: &mut u64,
     ) {
         let cursor = report.total_cycles;
         // --- Tandem side: compile + simulate each non-GEMM node ---
@@ -664,13 +873,23 @@ impl Npu {
         // --- GEMM side ---
         let mut gemm_compute_cycles = 0u64;
         let mut gemm_detail: Option<(GemmWorkload, u64)> = None;
+        // Cycles the GEMM DRAM channel is busy in this block (bounds the
+        // idle window the *next* block's weight prefetch may hide in),
+        // and this block's first-tile fill after prefetch hiding.
+        let mut gemm_dram_busy = 0u64;
+        let mut gemm_fill_cycles = 0u64;
         let (gemm_total_cycles, gemm_tile_cycles, tiles) = match block.gemm {
             Some(id) => {
                 let node = graph.node(id);
                 let w = self.gemm_workload(graph, node);
-                let tile_rows = self.gemm.max_tile_rows(w.n).min(w.m.max(1));
+                let cap = self.gemm.max_tile_rows(w.n).min(w.m.max(1));
+                let tile_rows = match self.gemm_tile_override(graph, node) {
+                    Some(m_rows) => m_rows.clamp(1, cap),
+                    None => cap,
+                };
                 let tiles = w.m.div_ceil(tile_rows.max(1)).max(1);
-                let tile = self.gemm_tile_report(w, tile_rows.min(w.m));
+                let m_tile = tile_rows.min(w.m);
+                let tile = self.gemm_tile_report(w, m_tile);
                 let whole = self.gemm_layer_report(w);
                 report.gemm_macs += whole.macs;
                 report.gemm_dram_bytes += whole.dram_bytes;
@@ -678,8 +897,42 @@ impl Npu {
                 *report.per_kind_cycles.entry(node.kind).or_default() += whole.overlapped_cycles();
                 report.busy.gemm_cycles += whole.compute_cycles;
                 gemm_compute_cycles = whole.compute_cycles;
-                gemm_detail = Some((w, tile_rows.min(w.m)));
-                (whole.overlapped_cycles(), tile.overlapped_cycles(), tiles)
+                gemm_detail = Some((w, m_tile));
+                // Cross-block weight prefetch (schedule-enabled): up to
+                // the double-buffered scratchpad half of this matrix may
+                // stream during the previous block's idle-channel window
+                // (`*exposed`), shrinking the first tile's weight load.
+                // The total traffic is unchanged — only its placement.
+                let hidden = if self.prefetch_enabled(graph, node) {
+                    let gcfg = self.gemm.config();
+                    let weight_bytes = w.k * w.n;
+                    let half = (gcfg.scratchpad_bytes / 2) as u64;
+                    // Mirrors `GemmUnit::tile_report`'s residency rule: a
+                    // resident matrix on a tiled layer never appears in
+                    // tile DRAM time, so there is nothing to hide.
+                    let charged = if weight_bytes <= half && m_tile < w.m {
+                        0
+                    } else {
+                        weight_bytes.min(half)
+                    };
+                    let hideable = (charged as f64 / gcfg.dram_bytes_per_cycle).ceil() as u64;
+                    hideable.min(*exposed)
+                } else {
+                    0
+                };
+                let fill = tile
+                    .compute_cycles
+                    .max(tile.dram_cycles.saturating_sub(hidden));
+                gemm_fill_cycles = fill;
+                gemm_dram_busy = if block.non_gemm.is_empty() {
+                    whole.dram_cycles.saturating_sub(hidden)
+                } else {
+                    (tiles * tile.dram_cycles).saturating_sub(hidden)
+                };
+                let whole_hidden = whole
+                    .compute_cycles
+                    .max(whole.dram_cycles.saturating_sub(hidden));
+                (whole_hidden, tile.overlapped_cycles(), tiles)
             }
             None => (0, 0, 1),
         };
@@ -720,8 +973,9 @@ impl Npu {
                     // max(gemm, tandem) per tile, then drain the last
                     // Tandem tile.
                     let t_tile = tandem_cycles / tiles.max(1);
-                    // First tile: the Tandem Processor has nothing to do.
-                    attr.drain = gemm_tile_cycles;
+                    // First tile: the Tandem Processor has nothing to do
+                    // (the fill shrinks when a prefetch hid its weights).
+                    attr.drain = gemm_fill_cycles;
                     // Steady state: when a GEMM tile outlasts a Tandem
                     // tile, the Tandem Processor waits on the next
                     // Output-BUF handoff.
@@ -735,7 +989,7 @@ impl Npu {
                     attr.front_end_stall = buckets[1];
                     attr.sync_wait += buckets[2];
                     attr.dae_wait = buckets[3];
-                    gemm_tile_cycles + (tiles - 1) * gemm_tile_cycles.max(t_tile) + t_tile
+                    gemm_fill_cycles + (tiles - 1) * gemm_tile_cycles.max(t_tile) + t_tile
                 }
                 TileGranularity::Layer => {
                     // Serial handoff through DRAM: the whole GEMM output
@@ -764,6 +1018,9 @@ impl Npu {
         );
         report.attribution.merge(&attr);
         report.total_cycles += block_cycles;
+        // Whatever part of this block the GEMM DRAM channel sat idle is
+        // the next block's prefetch budget.
+        *exposed = block_cycles.saturating_sub(gemm_dram_busy);
         if sink.enabled() {
             self.trace_block(
                 graph,
@@ -1153,6 +1410,13 @@ impl Npu {
     }
 }
 
+/// The largest divisor of `n` that is at most `cap` (≥ 1): the biggest
+/// GEMM m-tile that divides the output rows exactly.
+fn largest_divisor_le(n: u64, cap: u64) -> u64 {
+    let cap = cap.min(n).max(1);
+    (1..=cap).rev().find(|&d| n.is_multiple_of(d)).unwrap_or(1)
+}
+
 /// Runs `n` jobs across the available cores with scoped threads and a
 /// shared claim counter, collecting results in job order. Falls back to a
 /// serial loop when only one worker is warranted.
@@ -1291,6 +1555,53 @@ mod tests {
         let r = Npu::new(cfg).run(&zoo::vgg16());
         assert_eq!(r.verify.programs, 0);
         assert!(r.verify.is_clean());
+    }
+
+    #[test]
+    fn schedule_overrides_are_cache_sound_and_deterministic() {
+        use std::collections::BTreeMap;
+        use tandem_model::{GraphBuilder, Padding};
+        let g = {
+            let mut b = GraphBuilder::new("tune-exec", 2024);
+            let x = b.input("x", [1, 32, 28, 28]);
+            let c = b.conv(x, 32, 3, 1, Padding::Same);
+            let r = b.relu(c);
+            let m = b.max_pool(r, 2, 2);
+            b.output(m);
+            b.finish()
+        };
+        let base = Npu::new(NpuConfig::paper());
+        let sites = base.tune_sites(&g);
+        assert!(
+            sites
+                .iter()
+                .any(|s| matches!(s.baseline, TileChoice::GemmTile { .. })),
+            "conv must contribute a GEMM-side site"
+        );
+        // Pin every site to a non-baseline candidate.
+        let choices: BTreeMap<u64, TileChoice> = sites
+            .iter()
+            .filter_map(|s| {
+                s.candidates
+                    .iter()
+                    .copied()
+                    .find(|c| *c != s.baseline)
+                    .map(|c| (s.key, c))
+            })
+            .collect();
+        assert!(!choices.is_empty());
+        let mut cfg = NpuConfig::paper();
+        cfg.schedule = Schedule::new(choices);
+        let tuned = base.sibling(cfg.clone());
+        // The tuned report must match a fresh uncached run under the same
+        // schedule (the tuner's oracle contract) …
+        let r = tuned.run(&g);
+        assert_eq!(r, Npu::uncached(cfg).run(&g));
+        // … differ from the baseline, and leave the shared caches clean
+        // for the baseline runner.
+        let rb = base.run(&g);
+        assert_ne!(r.total_cycles, rb.total_cycles);
+        assert_eq!(rb, Npu::uncached(NpuConfig::paper()).run(&g));
     }
 
     #[test]

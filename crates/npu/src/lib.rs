@@ -48,7 +48,12 @@ pub use dispatch::{dispatch_block, DispatchedBlock};
 pub use dse::{pareto_frontier, sweep, DesignPoint, DseResult};
 pub use executor::{run_matrix, Npu, NpuConfig, ServiceDemand, TileGranularity};
 pub use knobs::Despecialization;
+
+// Re-exported so the autotuner (and other schedule-carrying callers) can
+// fill [`NpuConfig::schedule`] and consume [`Npu::tune_sites`] without
+// naming `tandem-compiler`.
 pub use report::{ExecStats, NpuReport, UnitBusy, VerifySummary};
+pub use tandem_compiler::{Schedule, TileChoice, TuneSite};
 
 // Re-exported so profiling front-ends can drive [`Npu::run_traced`] and
 // consume [`NpuReport::attribution`] without naming `tandem-trace`.

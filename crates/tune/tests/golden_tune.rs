@@ -1,0 +1,37 @@
+//! Byte-stable golden tuning trajectory for the demo graph. The search
+//! is deterministic by contract, so the whole trajectory — every
+//! generation's best/median, evaluation counts, and the final schedule —
+//! is pinned as committed bytes. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p tandem-tune --test golden_tune`.
+
+use tandem_npu::{Npu, NpuConfig};
+use tandem_tune::{demo_graph, search_space, trajectory_json, tune_in_space, TuneOptions};
+
+#[test]
+fn demo_tune_trajectory_matches_golden_bytes() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/tune_demo.json");
+    let g = demo_graph();
+    let npu = Npu::new(NpuConfig::paper());
+    let space = search_space(&npu, &g);
+    let opts = TuneOptions {
+        seed: 2024,
+        generations: 4,
+        population: 12,
+        beam: 4,
+        ..TuneOptions::default()
+    };
+    let out = tune_in_space(&npu, &g, &space, &opts);
+    assert!(out.best_cycles < out.baseline_cycles);
+    let json = trajectory_json(&[(out, space)]);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &json).expect("write golden tune trajectory");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect(
+        "golden trajectory missing — regenerate with UPDATE_GOLDEN=1 cargo test -p tandem-tune --test golden_tune",
+    );
+    assert_eq!(
+        json, golden,
+        "tune trajectory changed byte-for-byte; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}

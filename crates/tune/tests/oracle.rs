@@ -1,0 +1,71 @@
+//! The cached simulator is the search's oracle — so the caches must be
+//! invisible. For tuned candidates sampled from a real search, the
+//! cycles the search recorded (scored through cache-sharing siblings)
+//! must bit-agree with a fresh [`Npu::uncached`] run of the same
+//! configuration.
+
+use tandem_npu::{Npu, NpuConfig};
+use tandem_tune::{demo_graph, search_space, tune_in_space, TuneOptions};
+
+#[test]
+fn cached_scores_bit_agree_with_uncached_runs() {
+    let g = demo_graph();
+    let npu = Npu::new(NpuConfig::paper());
+    let space = search_space(&npu, &g);
+    let opts = TuneOptions {
+        seed: 5,
+        generations: 3,
+        population: 10,
+        beam: 3,
+        record_accepted: true,
+        ..TuneOptions::default()
+    };
+    let out = tune_in_space(&npu, &g, &space, &opts);
+    assert!(
+        out.accepted.len() >= 4,
+        "search accepted too few candidates"
+    );
+
+    // The best candidate plus an evenly spaced sample of the rest.
+    let step = (out.accepted.len() / 4).max(1);
+    let best = (out.best.clone(), out.best_cycles);
+    let sample = out
+        .accepted
+        .iter()
+        .step_by(step)
+        .chain(std::iter::once(&best));
+    for (cand, recorded) in sample {
+        let mut cfg = NpuConfig::paper();
+        cfg.verify = false;
+        cfg.schedule = cand.schedule();
+        let fresh = Npu::uncached(cfg).run(&g).total_cycles;
+        assert_eq!(
+            *recorded,
+            fresh,
+            "cached score diverges from uncached oracle for {:016x}",
+            cand.digest()
+        );
+    }
+}
+
+#[test]
+fn baseline_score_matches_unscheduled_run() {
+    // The empty schedule must cost exactly what the hand-rolled
+    // scheduler costs — the reduction numbers in BENCH_TUNE.json are
+    // relative to it.
+    let g = demo_graph();
+    let npu = Npu::new(NpuConfig::paper());
+    let out = tune_in_space(
+        &npu,
+        &g,
+        &search_space(&npu, &g),
+        &TuneOptions {
+            generations: 0,
+            ..TuneOptions::default()
+        },
+    );
+    let mut cfg = NpuConfig::paper();
+    cfg.verify = false;
+    let plain = Npu::uncached(cfg).run(&g).total_cycles;
+    assert_eq!(out.baseline_cycles, plain);
+}

@@ -117,7 +117,7 @@ impl DeadTrafficVisitor<'_> {
     fn finish(&mut self) {
         let lanes = self.cfg.lanes as u64;
         for (&pc, &(ns, rows)) in &self.dead {
-            self.diags.push(Diagnostic::new(
+            self.diags.push(Diagnostic::with_wasted(
                 pc,
                 Rule::DeadStore,
                 format!(
@@ -125,18 +125,20 @@ impl DeadTrafficVisitor<'_> {
                      anything reads them — ~{} wasted words of scratchpad traffic",
                     rows * lanes
                 ),
+                rows * lanes,
             ));
         }
         for (slot, s) in self.imm.iter().enumerate() {
             if let Some(pc) = s.written_at {
                 if !s.read_since {
-                    self.diags.push(Diagnostic::new(
+                    self.diags.push(Diagnostic::with_wasted(
                         pc,
                         Rule::RedundantImmWrite,
                         format!(
                             "IMM BUF slot {slot} is written here but no compute \
                              instruction ever reads the value — wasted IMM traffic"
                         ),
+                        1,
                     ));
                 }
             }
@@ -276,13 +278,14 @@ impl Visitor for DeadTrafficVisitor<'_> {
             // value was never read, the earlier write was redundant.
             if let Some(prev) = s.written_at {
                 if !s.read_since {
-                    self.diags.push(Diagnostic::new(
+                    self.diags.push(Diagnostic::with_wasted(
                         prev,
                         Rule::RedundantImmWrite,
                         format!(
                             "IMM BUF slot {slot} is rewritten at pc {pc} before any \
                              compute instruction reads this value — the write is dead"
                         ),
+                        1,
                     ));
                 }
             }

@@ -216,6 +216,12 @@ pub struct Diagnostic {
     pub rule: Rule,
     /// Human-readable explanation with the concrete values involved.
     pub message: String,
+    /// For dead-traffic lints: the estimated number of scratchpad/IMM
+    /// words moved for nothing. Structured (not just embedded in the
+    /// message) so the `tandem-tune` mutation prior can rank sites by
+    /// wasted traffic without parsing strings. `None` for rules that do
+    /// not estimate traffic.
+    pub wasted_words: Option<u64>,
 }
 
 impl Diagnostic {
@@ -224,6 +230,22 @@ impl Diagnostic {
             pc,
             rule,
             message: message.into(),
+            wasted_words: None,
+        }
+    }
+
+    /// [`Diagnostic::new`] with a wasted-traffic estimate attached.
+    pub(crate) fn with_wasted(
+        pc: usize,
+        rule: Rule,
+        message: impl Into<String>,
+        wasted_words: u64,
+    ) -> Self {
+        Diagnostic {
+            pc,
+            rule,
+            message: message.into(),
+            wasted_words: Some(wasted_words),
         }
     }
 
@@ -266,6 +288,13 @@ impl VerifyReport {
         self.diagnostics
             .iter()
             .filter(|d| d.severity() == Severity::Error)
+    }
+
+    /// Total estimated dead traffic (words) across all findings that
+    /// carry a [`Diagnostic::wasted_words`] estimate — the signal the
+    /// autotuner's mutation prior weighs sites by.
+    pub fn wasted_words(&self) -> u64 {
+        self.diagnostics.iter().filter_map(|d| d.wasted_words).sum()
     }
 }
 
